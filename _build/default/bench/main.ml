@@ -1,0 +1,738 @@
+(* The reproduction harness: regenerates every table and figure of the
+   paper's evaluation (§III and §VI), the design-choice ablations called
+   out in DESIGN.md, and a bechamel micro-benchmark suite.
+
+   The campaign budget defaults to 7200 s of modelled wall-clock per
+   approach; set AVIS_BUDGET=7200 for the paper's full two hours (the
+   comparison shape is the same, the absolute counts grow). *)
+
+open Avis_util
+open Avis_sensors
+open Avis_firmware
+open Avis_core
+
+let budget_s =
+  match Sys.getenv_opt "AVIS_BUDGET" with
+  | Some v -> (try float_of_string v with _ -> 7200.0)
+  | None -> 7200.0
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+(* ------------------------------------------------------------------ *)
+(* Campaign matrix: run once, reused by Tables II, III and IV.         *)
+(* ------------------------------------------------------------------ *)
+
+let approaches =
+  [
+    ("Avis", fun ctx -> Sabre.make ctx);
+    ("Strat. BFI", fun ctx -> Strat_bfi.make ctx);
+    ("BFI", fun ctx -> Bfi.make ctx);
+    ("Random", fun ctx -> Random_search.make ctx);
+  ]
+
+let policies = [ Policy.apm; Policy.px4 ]
+
+let workloads = [ Workload.manual_box; Workload.auto_box ]
+
+type cell = {
+  policy : Policy.t;
+  workload : Workload.t;
+  approach : string;
+  result : Campaign.result;
+}
+
+let campaign_matrix =
+  lazy
+    (List.concat_map
+       (fun policy ->
+         List.concat_map
+           (fun workload ->
+             List.map
+               (fun (name, strategy) ->
+                 Printf.eprintf "[bench] campaign: %s / %s / %s...\n%!"
+                   name policy.Policy.name workload.Workload.name;
+                 let config =
+                   {
+                     (Campaign.default_config policy workload) with
+                     Campaign.budget_s;
+                   }
+                 in
+                 let result = Campaign.run config ~strategy in
+                 { policy; workload; approach = name; result })
+               approaches)
+           workloads)
+       policies)
+
+let cells_for ?approach ?policy () =
+  List.filter
+    (fun c ->
+      (match approach with Some a -> c.approach = a | None -> true)
+      && match policy with Some p -> c.policy == p | None -> true)
+    (Lazy.force campaign_matrix)
+
+let total_unsafe cells =
+  List.fold_left (fun acc c -> acc + Campaign.unsafe_count c.result) 0 cells
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table I: distinguishing features of the approaches";
+  let t =
+    Table.create ~header:[ "Features"; "Avis"; "Strat. BFI"; "BFI"; "Rnd" ]
+  in
+  Table.add_row t
+    [ "Targets operating mode transitions"; "yes"; "no"; "no"; "no" ];
+  Table.add_row t [ "Prior bugs inform injection sites"; "yes"; "yes"; "yes"; "no" ];
+  Table.add_row t [ "Search dissimilar scenarios first"; "yes"; "yes"; "no"; "yes" ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 (the bug study)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  section "Figure 3: analysis of reported bugs (215 pruned reports)";
+  let open Avis_bugstudy in
+  subsection "(A) root causes of crash-causing bugs";
+  let t = Table.create ~header:[ "Root cause"; "% of all bugs"; "% of crash bugs" ] in
+  List.iter
+    (fun cause ->
+      Table.add_row t
+        [
+          Bugstudy.root_cause_to_string cause;
+          Printf.sprintf "%.0f%%" (100.0 *. Bugstudy.fraction_by_cause cause);
+          Printf.sprintf "%.0f%%" (100.0 *. Bugstudy.crash_fraction_by_cause cause);
+        ])
+    [ Bugstudy.Semantic; Bugstudy.Sensor_fault; Bugstudy.Memory; Bugstudy.Other ];
+  Table.print t;
+  subsection "(B) sensor-bug reproducibility";
+  Printf.printf "default settings: %.0f%%   special settings: %.0f%%\n"
+    (100.0 *. Bugstudy.sensor_default_reproducible_fraction)
+    (100.0 *. (1.0 -. Bugstudy.sensor_default_reproducible_fraction));
+  subsection "(C) sensor-bug symptoms";
+  let t = Table.create ~header:[ "Symptom"; "count"; "share" ] in
+  List.iter
+    (fun (symptom, n) ->
+      Table.add_row t
+        [
+          Bugstudy.symptom_to_string symptom;
+          string_of_int n;
+          Printf.sprintf "%.0f%%" (100.0 *. float_of_int n /. 44.0);
+        ])
+    (Bugstudy.symptom_breakdown Bugstudy.sensor_bugs);
+  Table.print t;
+  Printf.printf
+    "Findings: sensor bugs are %.0f%% of reports but %.0f%% of crash bugs; \
+     %.0f%% reproduce under default settings; %.0f%% are serious.\n"
+    (100.0 *. Bugstudy.fraction_by_cause Bugstudy.Sensor_fault)
+    (100.0 *. Bugstudy.crash_fraction_by_cause Bugstudy.Sensor_fault)
+    (100.0 *. Bugstudy.sensor_default_reproducible_fraction)
+    (100.0 *. Bugstudy.sensor_serious_fraction)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5 (search orders on the toy fault space)                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  section "Figure 5: exploration order on the 2-sensor, 5-step example";
+  (* Two single-instance sensors, transitions discovered at t1, t2 and t4
+     (of t1..t5), exactly as in the figure. *)
+  let instances =
+    [ { Sensor.kind = Sensor.Gps; index = 0 };
+      { Sensor.kind = Sensor.Barometer; index = 0 } ]
+  in
+  let ctx =
+    {
+      Search.transitions =
+        [ (1.0, "Pre-Flight", "Takeoff"); (2.0, "Takeoff", "Cruise");
+          (4.0, "Cruise", "Land") ];
+      mission_duration = 5.0;
+      instances;
+      instances_of_kind = (fun _ -> 1);
+      mode_at = (fun _ -> Some "Cruise");
+      rng = Rng.create 0;
+    }
+  in
+  let render scenario =
+    (* <F1,...,F5> with permanent failures, as in the paper's notation. *)
+    let cell t =
+      let failed =
+        List.filter_map
+          (fun f ->
+            if f.Scenario.at <= t +. 1e-9 then
+              Some
+                (match f.Scenario.sensor.Sensor.kind with
+                | Sensor.Gps -> "GPS"
+                | Sensor.Barometer -> "Baro"
+                | _ -> "?")
+            else None)
+          scenario
+      in
+      match failed with [] -> "0" | fs -> "{" ^ String.concat "," fs ^ "}"
+    in
+    "<" ^ String.concat ", " (List.map (fun i -> cell (float_of_int i)) [ 1; 2; 3; 4; 5 ]) ^ ">"
+  in
+  let first_n searcher n =
+    let rec loop acc k =
+      if k = 0 then List.rev acc
+      else
+        match searcher.Search.next () with
+        | Search.Exhausted -> List.rev acc
+        | Search.Think _ -> loop acc k
+        | Search.Run (s, _) ->
+          searcher.Search.observe s
+            { Search.unsafe = false; observed_transitions = [] };
+          loop (render s :: acc) (k - 1)
+    in
+    loop [] n
+  in
+  List.iter
+    (fun (name, make) ->
+      subsection name;
+      List.iter print_endline (first_n (make ()) 6))
+    [
+      ("depth-first search", fun () -> Dfs.make ~site_step_s:1.0 ctx);
+      ("breadth-first search", fun () -> Bfs.make ~start_s:1.0 ~site_step_s:1.0 ctx);
+      ("SABRE (transitions first)", fun () -> Sabre.make ~shift_s:1.0 ctx);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6 (sensor-instance symmetry)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  section "Figure 6: sensor-instance symmetry on three compasses";
+  let compass i = { Sensor.kind = Sensor.Compass; index = i } in
+  let subsets =
+    [ [ 0 ]; [ 1 ]; [ 2 ]; [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ]; [ 0; 1; 2 ] ]
+  in
+  let prune = Prune.create () in
+  let t = Table.create ~header:[ "Failure set"; "decision" ] in
+  List.iter
+    (fun subset ->
+      let scenario =
+        Scenario.of_faults
+          (List.map (fun i -> { Scenario.sensor = compass i; at = 10.0 }) subset)
+      in
+      let name =
+        "{"
+        ^ String.concat ","
+            (List.map (function 0 -> "P" | 1 -> "B1" | i -> "B" ^ string_of_int i) subset)
+        ^ "}"
+      in
+      if Prune.should_prune prune scenario then Table.add_row t [ name; "pruned (symmetry)" ]
+      else begin
+        Prune.note_run prune scenario;
+        Table.add_row t [ name; "run" ]
+      end)
+    subsets;
+  Table.print t;
+  let t = Table.create ~header:[ "instances N"; "N(2^N-1)"; "2N-1 (with symmetry)" ] in
+  List.iter
+    (fun n ->
+      Table.add_row t
+        [
+          string_of_int n;
+          string_of_int (Prune.unpruned_scenarios ~instances:n);
+          string_of_int (Prune.symmetry_scenarios ~instances:n);
+        ])
+    [ 1; 2; 3; 4; 5 ];
+  Table.print ~title:"scenario counts per site and sensor kind:" t
+
+(* ------------------------------------------------------------------ *)
+(* Figures 1, 9, 10 (altitude traces, golden vs fault)                 *)
+(* ------------------------------------------------------------------ *)
+
+let fail_kind ?(n = 2) kind at =
+  List.init n (fun index -> { Avis_hinj.Hinj.sensor = { Sensor.kind; index }; at })
+
+let run_auto_box policy ~enabled ~plan =
+  let base = Avis_sitl.Sim.default_config policy in
+  let config =
+    {
+      base with
+      Avis_sitl.Sim.seed = 1001;
+      enabled_bugs = enabled;
+      max_duration = Workload.auto_box.Workload.nominal_duration +. 60.0;
+    }
+  in
+  let sim = Avis_sitl.Sim.create ~plan config in
+  let passed = Workload.execute Workload.auto_box sim in
+  Avis_sitl.Sim.outcome sim ~workload_passed:passed
+
+let transition_into (outcome : Avis_sitl.Sim.outcome) to_mode =
+  List.find_map
+    (fun tr ->
+      if tr.Avis_hinj.Hinj.to_mode = to_mode then Some tr.Avis_hinj.Hinj.time
+      else None)
+    outcome.Avis_sitl.Sim.transitions
+
+let altitude_figure ~title ~bug ~sensor ~window_mode ~offset =
+  section title;
+  let golden = run_auto_box Policy.apm ~enabled:[] ~plan:[] in
+  let site =
+    match transition_into golden window_mode with
+    | Some t -> t +. offset
+    | None -> failwith ("no transition into " ^ window_mode)
+  in
+  let fault = run_auto_box Policy.apm ~enabled:[ bug ] ~plan:(fail_kind sensor site) in
+  Printf.printf "injection: %s at t=%.2f s (%s window); outcome: %s\n"
+    (Sensor.kind_to_string sensor) site window_mode
+    (match fault.Avis_sitl.Sim.crash with
+    | Some e -> Format.asprintf "%a" Avis_physics.World.pp_contact e
+    | None -> "no collision (see monitor verdict in Table II runs)");
+  let series outcome =
+    (* One sample per whole second. *)
+    let seen = Hashtbl.create 128 in
+    List.filter
+      (fun (t, _) ->
+        let second = int_of_float t in
+        if Hashtbl.mem seen second then false
+        else begin
+          Hashtbl.add seen second ();
+          true
+        end)
+      (Avis_sitl.Trace.altitude_series outcome.Avis_sitl.Sim.trace)
+  in
+  let t = Table.create ~header:[ "t (s)"; "golden alt (m)"; "fault alt (m)" ] in
+  let golden_series = series golden and fault_series = series fault in
+  List.iter
+    (fun (time, alt) ->
+      let fault_alt =
+        List.find_opt (fun (ft, _) -> Float.abs (ft -. time) < 0.3) fault_series
+      in
+      match fault_alt with
+      | Some (_, fa) ->
+        Table.add_row t
+          [ Printf.sprintf "%.0f" time; Printf.sprintf "%6.2f" alt;
+            Printf.sprintf "%6.2f" fa ]
+      | None ->
+        Table.add_row t
+          [ Printf.sprintf "%.0f" time; Printf.sprintf "%6.2f" alt; "(crashed)" ])
+    golden_series;
+  Table.print t
+
+let fig1 () =
+  altitude_figure
+    ~title:"Figure 1: IMU failure at the end of landing (APM-16682)"
+    ~bug:Bug.Apm_16682 ~sensor:Sensor.Accelerometer ~window_mode:"Land"
+    ~offset:1.0
+
+let fig9 () =
+  altitude_figure
+    ~title:"Figure 9: APM-16021, accelerometer failure late in the climb"
+    ~bug:Bug.Apm_16021 ~sensor:Sensor.Accelerometer ~window_mode:"Takeoff"
+    ~offset:7.0
+
+let fig10 () =
+  altitude_figure
+    ~title:"Figure 10: APM-16967, compass failure between waypoints"
+    ~bug:Bug.Apm_16967 ~sensor:Sensor.Compass ~window_mode:"Waypoint 2"
+    ~offset:0.5
+
+(* ------------------------------------------------------------------ *)
+(* Table II                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table II: previously-unknown bugs detected";
+  let t =
+    Table.create
+      ~header:
+        [ "Report #"; "Firmware"; "Symptom"; "Sensor Failure";
+          "Failure Starting Moment"; "Avis"; "Strat. BFI" ]
+  in
+  List.iter
+    (fun bug ->
+      let info = Bug.info bug in
+      if not info.Bug.known then begin
+        let found approach =
+          let cells =
+            cells_for ~approach ~policy:(Policy.of_firmware info.Bug.firmware) ()
+          in
+          List.exists (fun c -> Campaign.found_bug c.result bug) cells
+        in
+        Table.add_row t
+          [
+            info.Bug.report;
+            Bug.firmware_name info.Bug.firmware;
+            Bug.symptom_to_string info.Bug.symptom;
+            Sensor.kind_to_string info.Bug.sensor;
+            info.Bug.window_label;
+            (if found "Avis" then "found" else "missed");
+            (if found "Strat. BFI" then "found" else "missed");
+          ]
+      end)
+    Bug.all;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Table III                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  section
+    (Printf.sprintf
+       "Table III: unsafe scenarios identified per approach (%.0f s budget \
+        per approach per workload)"
+       budget_s);
+  let t =
+    Table.create
+      ~header:[ "Approach"; "ArduPilot Unsafe #"; "PX4 Unsafe #"; "Total #" ]
+  in
+  List.iter
+    (fun (name, _) ->
+      let apm = total_unsafe (cells_for ~approach:name ~policy:Policy.apm ()) in
+      let px4 = total_unsafe (cells_for ~approach:name ~policy:Policy.px4 ()) in
+      Table.add_row t
+        [ name; string_of_int apm; string_of_int px4; string_of_int (apm + px4) ])
+    approaches;
+  Table.print t;
+  let avis = total_unsafe (cells_for ~approach:"Avis" ()) in
+  let strat = total_unsafe (cells_for ~approach:"Strat. BFI" ()) in
+  if strat > 0 then
+    Printf.printf "Avis found %.1fx more unsafe conditions than Stratified BFI.\n"
+      (float_of_int avis /. float_of_int strat)
+
+(* ------------------------------------------------------------------ *)
+(* Table IV                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  section "Table IV: unsafe scenarios per operating mode at injection";
+  let t =
+    Table.create
+      ~header:[ "Approach"; "Takeoff #"; "Manual #"; "Waypoint #"; "Land #" ]
+  in
+  List.iter
+    (fun (name, _) ->
+      let cells = cells_for ~approach:name () in
+      let count bucket =
+        List.fold_left
+          (fun acc c ->
+            acc
+            + (List.assoc bucket (Campaign.count_by_bucket c.result)))
+          0 cells
+      in
+      Table.add_row t
+        [
+          name;
+          string_of_int (count Report.Takeoff_bucket);
+          string_of_int (count Report.Manual_bucket);
+          string_of_int (count Report.Waypoint_bucket);
+          string_of_int (count Report.Land_bucket);
+        ])
+    approaches;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Table V                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  section "Table V: re-inserted known bugs";
+  let t =
+    Table.create
+      ~header:
+        [ "Bug ID"; "Avis found"; "Avis sims"; "Strat. BFI found";
+          "Strat. BFI sims" ]
+  in
+  List.iter
+    (fun bug ->
+      let info = Bug.info bug in
+      if info.Bug.known then begin
+        Printf.eprintf "[bench] Table V campaign for %s...\n%!" info.Bug.report;
+        let policy = Policy.of_firmware info.Bug.firmware in
+        let workload =
+          if bug = Bug.Apm_4455 then Workload.manual_box else Workload.auto_box
+        in
+        let run strategy =
+          let config =
+            {
+              (Campaign.default_config policy workload) with
+              Campaign.budget_s;
+              enabled_bugs = [ bug ];
+            }
+          in
+          let result =
+            Campaign.run
+              ~stop_when:(fun f -> List.mem bug f.Campaign.report.Report.triggered_bugs)
+              config ~strategy
+          in
+          Campaign.simulations_until_bug result bug
+        in
+        let avis = run (fun ctx -> Sabre.make ctx) in
+        let strat = run (fun ctx -> Strat_bfi.make ctx) in
+        let show = function
+          | Some n -> ("found", string_of_int n)
+          | None -> ("missed", "n/a")
+        in
+        let avis_found, avis_sims = show avis in
+        let strat_found, strat_sims = show strat in
+        Table.add_row t
+          [ info.Bug.report; avis_found; avis_sims; strat_found; strat_sims ]
+      end)
+    Bug.all;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_search_order () =
+  section "Ablation: search order under an equal (reduced) budget";
+  let t =
+    Table.create ~header:[ "Strategy"; "simulations"; "unsafe found" ]
+  in
+  List.iter
+    (fun (name, strategy) ->
+      Printf.eprintf "[bench] ablation strategy %s...\n%!" name;
+      let config =
+        {
+          (Campaign.default_config Policy.apm Workload.auto_box) with
+          Campaign.budget_s = Float.min budget_s 1200.0;
+        }
+      in
+      let result = Campaign.run config ~strategy in
+      Table.add_row t
+        [
+          name;
+          string_of_int result.Campaign.simulations;
+          string_of_int (Campaign.unsafe_count result);
+        ])
+    [
+      ("SABRE", fun ctx -> Sabre.make ctx);
+      ("SABRE, no pruning", fun ctx ->
+        Sabre.make ~prune:(Prune.create ~symmetry:false ~found_bug:false ()) ctx);
+      ("plain BFS", fun ctx -> Bfs.make ctx);
+      ("plain DFS", fun ctx -> Dfs.make ctx);
+    ];
+  Table.print t
+
+let ablation_liveliness_metric () =
+  section "Ablation: liveliness metric (position-only vs full state tuple)";
+  let config = Campaign.default_config Policy.apm Workload.auto_box in
+  let profile, _, golden = Campaign.profile_and_context config in
+  let takeoff =
+    match transition_into golden "Takeoff" with Some t -> t | None -> 2.0 in
+  let wp1 =
+    match transition_into golden "Waypoint 1" with Some t -> t | None -> 10.0 in
+  let t =
+    Table.create
+      ~header:[ "Scenario"; "fault at"; "full-metric detection"; "position-only" ]
+  in
+  List.iter
+    (fun (label, bug, kind, at) ->
+      let o = run_auto_box Policy.apm ~enabled:[ bug ] ~plan:(fail_kind kind at) in
+      let show metric =
+        match Monitor.detection_time ~metric profile o with
+        | Some time -> Printf.sprintf "t=%.1f s (+%.1f s)" time (time -. at)
+        | None -> "not detected"
+      in
+      Table.add_row t
+        [
+          label; Printf.sprintf "%.1f" at;
+          show Distance.Full; show Distance.Position_only;
+        ])
+    [
+      ("APM-16027 fly-away", Bug.Apm_16027, Sensor.Barometer, takeoff +. 0.1);
+      ("APM-16020 fly-away", Bug.Apm_16020, Sensor.Gps, wp1 +. 0.2);
+      ("APM-16967 heading loss",
+       Bug.Apm_16967, Sensor.Compass,
+       (match transition_into golden "Waypoint 2" with Some t -> t +. 0.5 | None -> 15.0));
+    ];
+  Table.print t
+
+let ablation_replay () =
+  section "Ablation: mode-relative vs absolute-time replay";
+  let config =
+    {
+      (Campaign.default_config Policy.apm Workload.auto_box) with
+      Campaign.budget_s = Float.min budget_s 1200.0;
+    }
+  in
+  let result =
+    Campaign.run ~stop_when:(fun _ -> true) config
+      ~strategy:(fun ctx -> Sabre.make ctx)
+  in
+  match result.Campaign.findings with
+  | [] -> Printf.printf "no finding available for the replay ablation\n"
+  | finding :: _ ->
+    let report = finding.Campaign.report in
+    Printf.printf "finding: %s\n" (Report.describe report);
+    let seeds = [ 101; 202; 303; 404; 505; 606 ] in
+    let relative_ok =
+      List.length
+        (List.filter
+           (fun seed ->
+             (Replay.replay ~config ~profile:result.Campaign.profile ~seed report)
+               .Replay.reproduced)
+           seeds)
+    in
+    (* Absolute-time replay: re-inject at the original timestamps. *)
+    let absolute_ok =
+      List.length
+        (List.filter
+           (fun seed ->
+             let base = Avis_sitl.Sim.default_config Policy.apm in
+             let sim_cfg =
+               {
+                 base with
+                 Avis_sitl.Sim.seed;
+                 max_duration = Workload.auto_box.Workload.nominal_duration +. 60.0;
+               }
+             in
+             let sim =
+               Avis_sitl.Sim.create ~plan:(Scenario.to_plan report.Report.scenario)
+                 sim_cfg
+             in
+             let passed = Workload.execute Workload.auto_box sim in
+             let o = Avis_sitl.Sim.outcome sim ~workload_passed:passed in
+             match Monitor.check result.Campaign.profile o with
+             | Monitor.Unsafe _ -> true
+             | Monitor.Safe -> false)
+           seeds)
+    in
+    Printf.printf
+      "mode-relative replay reproduced %d/%d; absolute-time replay %d/%d\n"
+      relative_ok (List.length seeds) absolute_ok (List.length seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator characteristics (the paper's slowdown discussion)          *)
+(* ------------------------------------------------------------------ *)
+
+let simulator_stats () =
+  section "Simulator characteristics";
+  let golden = run_auto_box Policy.apm ~enabled:[] ~plan:[] in
+  Printf.printf
+    "auto-box mission: %.1f simulated s, %d sensor reads (%.0f reads/s), %d \
+     mode transitions\n"
+    golden.Avis_sitl.Sim.duration golden.Avis_sitl.Sim.sensor_reads
+    (float_of_int golden.Avis_sitl.Sim.sensor_reads /. golden.Avis_sitl.Sim.duration)
+    (List.length golden.Avis_sitl.Sim.transitions);
+  let t0 = Unix.gettimeofday () in
+  ignore (run_auto_box Policy.apm ~enabled:[] ~plan:[]);
+  let real = Unix.gettimeofday () -. t0 in
+  Printf.printf "real-time speed-up on this machine: %.0fx\n"
+    (golden.Avis_sitl.Sim.duration /. real)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro_benchmarks () =
+  section "Micro-benchmarks (bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  (* One Test.make per table/figure driver cost centre. *)
+  let sim_step =
+    let sim =
+      Avis_sitl.Sim.create
+        { (Avis_sitl.Sim.default_config Policy.apm) with
+          Avis_sitl.Sim.max_duration = 1.0e12 }
+    in
+    Test.make ~name:"table2-4: simulation step"
+      (Staged.stage (fun () -> Avis_sitl.Sim.step sim))
+  in
+  let monitor_check =
+    let config = Campaign.default_config Policy.apm Workload.auto_box in
+    let profile, _, golden = Campaign.profile_and_context config in
+    Test.make ~name:"table3: monitor check of one run"
+      (Staged.stage (fun () -> ignore (Monitor.check profile golden)))
+  in
+  let sabre_schedule =
+    Test.make ~name:"fig5: SABRE scheduling decision"
+      (Staged.stage
+         (let ctx =
+            {
+              Search.transitions = [ (2.0, "Pre-Flight", "Takeoff") ];
+              mission_duration = 1.0e9;
+              instances = Suite.instances_of_complement Suite.iris_complement;
+              instances_of_kind = (fun _ -> 2);
+              mode_at = (fun _ -> Some "Takeoff");
+              rng = Rng.create 0;
+            }
+          in
+          let searcher = Sabre.make ctx in
+          fun () ->
+            match searcher.Search.next () with
+            | Search.Run (s, _) ->
+              searcher.Search.observe s
+                { Search.unsafe = false; observed_transitions = [] }
+            | Search.Think _ | Search.Exhausted -> ()))
+  in
+  let bfi_inference =
+    let model = Bfi_model.default () in
+    let features =
+      { Bfi_model.mode_class = "Waypoint"; kinds = [ Sensor.Gps ];
+        whole_kind_lost = true; multiplicity = 1 }
+    in
+    Test.make ~name:"table1: BFI model inference"
+      (Staged.stage (fun () -> ignore (Bfi_model.predict model features)))
+  in
+  let frame_codec =
+    let msg = Avis_mavlink.Msg.Heartbeat { custom_mode = 3; armed = true; system_status = 4 } in
+    Test.make ~name:"fig7: frame encode+decode"
+      (Staged.stage (fun () ->
+           let encoded = Avis_mavlink.Frame.encode ~seq:0 ~sysid:1 ~compid:1 msg in
+           ignore (Avis_mavlink.Frame.feed (Avis_mavlink.Frame.decoder ()) encoded)))
+  in
+  let tests =
+    Test.make_grouped ~name:"avis"
+      [ sim_step; monitor_check; sabre_schedule; bfi_inference; frame_codec ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+    in
+    let raw = Benchmark.all cfg instances tests in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let results = benchmark () in
+  let t = Table.create ~header:[ "benchmark"; "ns/run" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (v :: _) -> Printf.sprintf "%.0f" v
+        | Some [] | None -> "n/a"
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter (fun (name, ns) -> Table.add_row t [ name; ns ])
+    (List.sort compare !rows);
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf
+    "Avis reproduction benchmarks (budget %.0f s of modelled wall-clock per \
+     approach per workload; override with AVIS_BUDGET)\n"
+    budget_s;
+  table1 ();
+  fig3 ();
+  fig5 ();
+  fig6 ();
+  fig1 ();
+  fig9 ();
+  fig10 ();
+  table2 ();
+  table3 ();
+  table4 ();
+  table5 ();
+  ablation_search_order ();
+  ablation_liveliness_metric ();
+  ablation_replay ();
+  simulator_stats ();
+  micro_benchmarks ()

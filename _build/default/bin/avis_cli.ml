@@ -1,0 +1,300 @@
+(* Command-line front end for the Avis reproduction: fly missions, hunt for
+   sensor bugs, replay findings, and browse the bug study. *)
+
+open Cmdliner
+open Avis_core
+
+let policy_of_string = function
+  | "apm" | "ardupilot" -> Ok Avis_firmware.Policy.apm
+  | "px4" -> Ok Avis_firmware.Policy.px4
+  | s -> Error (`Msg (Printf.sprintf "unknown firmware %S (apm|px4)" s))
+
+let policy_conv =
+  Arg.conv
+    ( policy_of_string,
+      fun ppf p -> Format.pp_print_string ppf p.Avis_firmware.Policy.name )
+
+let workload_conv =
+  Arg.conv
+    ( (fun s ->
+        match Workload.by_name s with
+        | Some w -> Ok w
+        | None ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown workload %S (quickstart|manual-box|auto-box|fence-mission)"
+                 s))),
+      fun ppf w -> Format.pp_print_string ppf w.Workload.name )
+
+let fault_conv =
+  (* "<kind>[index]@<seconds>", e.g. "gps[0]@12.5"; "<kind>@t" fails every
+     instance of the kind. *)
+  let parse s =
+    match String.index_opt s '@' with
+    | None -> Error (`Msg "expected <sensor>@<seconds>")
+    | Some i -> (
+      let sensor = String.sub s 0 i in
+      let time = String.sub s (i + 1) (String.length s - i - 1) in
+      match float_of_string_opt time with
+      | None -> Error (`Msg ("bad time " ^ time))
+      | Some at -> (
+        let name, index =
+          match (String.index_opt sensor '[', String.index_opt sensor ']') with
+          | Some l, Some r when r > l ->
+            ( String.sub sensor 0 l,
+              int_of_string_opt (String.sub sensor (l + 1) (r - l - 1)) )
+          | _ -> (sensor, None)
+        in
+        match Avis_sensors.Sensor.kind_of_string name with
+        | None -> Error (`Msg ("unknown sensor kind " ^ name))
+        | Some kind -> Ok (kind, index, at)))
+  in
+  let print ppf (kind, index, at) =
+    Format.fprintf ppf "%s%s@%g"
+      (Avis_sensors.Sensor.kind_to_string kind)
+      (match index with Some i -> Printf.sprintf "[%d]" i | None -> "")
+      at
+  in
+  Arg.conv (parse, print)
+
+let faults_to_plan faults =
+  List.concat_map
+    (fun (kind, index, at) ->
+      let indices =
+        match index with
+        | Some i -> [ i ]
+        | None ->
+          List.init
+            (let c = Avis_sensors.Suite.iris_complement in
+             match kind with
+             | Avis_sensors.Sensor.Accelerometer -> c.Avis_sensors.Suite.accelerometers
+             | Avis_sensors.Sensor.Gyroscope -> c.Avis_sensors.Suite.gyroscopes
+             | Avis_sensors.Sensor.Compass -> c.Avis_sensors.Suite.compasses
+             | Avis_sensors.Sensor.Gps -> c.Avis_sensors.Suite.gps_receivers
+             | Avis_sensors.Sensor.Barometer -> c.Avis_sensors.Suite.barometers
+             | Avis_sensors.Sensor.Battery -> c.Avis_sensors.Suite.batteries)
+            Fun.id
+      in
+      List.map
+        (fun index ->
+          { Avis_hinj.Hinj.sensor = { Avis_sensors.Sensor.kind; index }; at })
+        indices)
+    faults
+
+let firmware_arg =
+  Arg.(value & opt policy_conv Avis_firmware.Policy.apm
+       & info [ "f"; "firmware" ] ~docv:"FIRMWARE" ~doc:"Firmware personality (apm|px4).")
+
+let workload_arg =
+  Arg.(value & opt workload_conv Workload.auto_box
+       & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload to execute.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base random seed.")
+
+(* fly *)
+
+let fly policy workload seed faults =
+  let base = Avis_sitl.Sim.default_config policy in
+  let config =
+    {
+      base with
+      Avis_sitl.Sim.seed;
+      max_duration = workload.Workload.nominal_duration +. 60.0;
+      environment = workload.Workload.environment ();
+    }
+  in
+  let sim = Avis_sitl.Sim.create ~plan:(faults_to_plan faults) config in
+  let passed = Workload.execute workload sim in
+  let outcome = Avis_sitl.Sim.outcome sim ~workload_passed:passed in
+  Printf.printf "workload %s on %s: %s after %.1f s\n" workload.Workload.name
+    policy.Avis_firmware.Policy.name
+    (if passed then "PASSED" else "FAILED")
+    outcome.Avis_sitl.Sim.duration;
+  (match outcome.Avis_sitl.Sim.crash with
+  | Some e ->
+    Printf.printf "crash: %s\n" (Format.asprintf "%a" Avis_physics.World.pp_contact e)
+  | None -> ());
+  Printf.printf "mode transitions:\n";
+  List.iter
+    (fun tr ->
+      Printf.printf "  %6.2f s  %s -> %s\n" tr.Avis_hinj.Hinj.time
+        tr.Avis_hinj.Hinj.from_mode tr.Avis_hinj.Hinj.to_mode)
+    outcome.Avis_sitl.Sim.transitions;
+  (match outcome.Avis_sitl.Sim.triggered_bugs with
+  | [] -> ()
+  | bugs ->
+    Printf.printf "flawed code paths exercised: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun id -> (Avis_firmware.Bug.info id).Avis_firmware.Bug.report)
+            bugs)));
+  Printf.printf "sensor reads intercepted: %d\n" outcome.Avis_sitl.Sim.sensor_reads
+
+let fly_cmd =
+  let faults =
+    Arg.(value & opt_all fault_conv []
+         & info [ "fail" ] ~docv:"SENSOR@T"
+             ~doc:"Inject a clean sensor failure, e.g. gps@12.5 or gyroscope[1]@30.")
+  in
+  Cmd.v
+    (Cmd.info "fly" ~doc:"Fly one simulated mission, optionally injecting failures.")
+    Term.(const fly $ firmware_arg $ workload_arg $ seed_arg $ faults)
+
+(* hunt *)
+
+let strategy_of_name name ctx =
+  match name with
+  | "avis" | "sabre" -> Sabre.make ctx
+  | "strat-bfi" -> Strat_bfi.make ctx
+  | "bfi" -> Bfi.make ctx
+  | "random" -> Random_search.make ctx
+  | "dfs" -> Dfs.make ctx
+  | "bfs" -> Bfs.make ctx
+  | s -> invalid_arg ("unknown approach " ^ s)
+
+let hunt policy workload seed approach budget verbose artefacts =
+  let config =
+    {
+      (Campaign.default_config policy workload) with
+      Campaign.budget_s = budget;
+      seed;
+    }
+  in
+  Printf.printf "hunting with %s on %s / %s (budget %.0f s wall-clock)...\n%!"
+    approach policy.Avis_firmware.Policy.name workload.Workload.name budget;
+  let result = Campaign.run config ~strategy:(strategy_of_name approach) in
+  Printf.printf
+    "%s: %d unsafe conditions in %d simulations (%d inferences, %.0f s spent)\n"
+    result.Campaign.approach
+    (Campaign.unsafe_count result)
+    result.Campaign.simulations result.Campaign.inferences
+    result.Campaign.wall_clock_spent_s;
+  List.iter
+    (fun (bucket, n) ->
+      Printf.printf "  %-8s %d\n" (Report.bucket_label bucket) n)
+    (Campaign.count_by_bucket result);
+  if verbose then
+    List.iteri
+      (fun i f ->
+        Printf.printf "[%02d] sim#%d %s\n" i f.Campaign.simulation_index
+          (Report.describe f.Campaign.report))
+      result.Campaign.findings;
+  match artefacts with
+  | None -> ()
+  | Some dir ->
+    let base = Filename.concat dir (policy.Avis_firmware.Policy.name ^ "-" ^ workload.Workload.name) in
+    Export.write_file ~path:(base ^ "-campaign.json")
+      (Avis_util.Json.to_string_pretty (Export.campaign_to_json result));
+    Export.write_file ~path:(base ^ "-modes.dot")
+      (Export.mode_graph_to_dot (Monitor.graph result.Campaign.profile));
+    Printf.printf "artefacts written under %s\n" dir
+
+let hunt_cmd =
+  let approach =
+    Arg.(value & opt string "avis"
+         & info [ "a"; "approach" ] ~docv:"APPROACH"
+             ~doc:"Search strategy (avis|strat-bfi|bfi|random|dfs|bfs).")
+  in
+  let budget =
+    Arg.(value & opt float 1200.0
+         & info [ "b"; "budget" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock budget in seconds (the paper uses 7200).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every finding.")
+  in
+  let artefacts =
+    Arg.(value & opt (some string) None
+         & info [ "artefacts" ] ~docv:"DIR"
+             ~doc:"Write the campaign result (JSON) and mode graph (DOT) under this directory.")
+  in
+  Cmd.v
+    (Cmd.info "hunt" ~doc:"Run a model-checking campaign against the firmware.")
+    Term.(const hunt $ firmware_arg $ workload_arg $ seed_arg $ approach $ budget $ verbose $ artefacts)
+
+(* replay *)
+
+let replay_cmd_run policy workload seed =
+  let config =
+    {
+      (Campaign.default_config policy workload) with
+      Campaign.budget_s = 2400.0;
+      seed;
+    }
+  in
+  Printf.printf "hunting until the first unsafe condition...\n%!";
+  let result =
+    Campaign.run ~stop_when:(fun _ -> true) config ~strategy:(fun ctx -> Sabre.make ctx)
+  in
+  match result.Campaign.findings with
+  | [] -> Printf.printf "no unsafe condition found within the budget\n"
+  | finding :: _ ->
+    let report = finding.Campaign.report in
+    Printf.printf "found: %s\n" (Report.describe report);
+    Printf.printf "replaying under a different nondeterminism seed...\n%!";
+    let replayed =
+      Replay.replay ~config ~profile:result.Campaign.profile ~seed:(seed + 500)
+        report
+    in
+    Printf.printf "replay %s: %s\n"
+      (if replayed.Replay.reproduced then "REPRODUCED the unsafe condition"
+       else "did not reproduce")
+      (match replayed.Replay.verdict with
+      | Monitor.Unsafe v -> Monitor.describe v
+      | Monitor.Safe -> "run judged safe")
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Find one unsafe condition, then replay it by mode-relative offsets.")
+    Term.(const replay_cmd_run $ firmware_arg $ workload_arg $ seed_arg)
+
+(* study *)
+
+let study () =
+  Printf.printf "Bug study over %d pruned reports (reproducing §III):\n\n"
+    Avis_bugstudy.Bugstudy.total;
+  Printf.printf "Finding 1: sensor bugs are %.0f%% of bugs but %.0f%% of crash bugs\n"
+    (100.0 *. Avis_bugstudy.Bugstudy.fraction_by_cause
+                Avis_bugstudy.Bugstudy.Sensor_fault)
+    (100.0 *. Avis_bugstudy.Bugstudy.crash_fraction_by_cause
+                Avis_bugstudy.Bugstudy.Sensor_fault);
+  Printf.printf "Finding 2: %.0f%% of sensor bugs reproduce under default settings\n"
+    (100.0 *. Avis_bugstudy.Bugstudy.sensor_default_reproducible_fraction);
+  Printf.printf "Finding 3: %.0f%% of sensor bugs have serious symptoms\n"
+    (100.0 *. Avis_bugstudy.Bugstudy.sensor_serious_fraction);
+  Printf.printf "(semantic bugs are %.0f%% asymptomatic)\n"
+    (100.0 *. Avis_bugstudy.Bugstudy.semantic_asymptomatic_fraction)
+
+let study_cmd =
+  Cmd.v (Cmd.info "study" ~doc:"Print the §III bug-study findings.")
+    Term.(const study $ const ())
+
+(* bugs *)
+
+let bugs () =
+  List.iter
+    (fun id ->
+      let info = Avis_firmware.Bug.info id in
+      Printf.printf "%-10s %-9s %-15s %-13s %-28s %s\n" info.Avis_firmware.Bug.report
+        (Avis_firmware.Bug.firmware_name info.Avis_firmware.Bug.firmware)
+        (Avis_firmware.Bug.symptom_to_string info.Avis_firmware.Bug.symptom)
+        (Avis_sensors.Sensor.kind_to_string info.Avis_firmware.Bug.sensor)
+        info.Avis_firmware.Bug.window_label
+        (if info.Avis_firmware.Bug.known then "(known, re-insertable)" else "(unknown)"))
+    Avis_firmware.Bug.all
+
+let bugs_cmd =
+  Cmd.v (Cmd.info "bugs" ~doc:"List the reproduced bug catalogue.")
+    Term.(const bugs $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "avis" ~version:"1.0.0"
+             ~doc:"Avis: in-situ model checking for unmanned aerial vehicles")
+          [ fly_cmd; hunt_cmd; replay_cmd; study_cmd; bugs_cmd ]))

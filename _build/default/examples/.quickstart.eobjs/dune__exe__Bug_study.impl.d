@@ -1,0 +1,1 @@
+examples/bug_study.ml: Avis_bugstudy Bugstudy List Printf

@@ -1,0 +1,1 @@
+examples/fault_hunt.ml: Avis_core Avis_firmware Campaign List Printf Report Sabre Workload

@@ -1,0 +1,1 @@
+examples/fence_mission.ml: Avis_core Avis_firmware Avis_hinj Avis_physics Avis_sensors Avis_sitl Format List Printf Sensor Sim Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Avis_core Avis_firmware Avis_hinj Avis_sitl List Printf Sim Workload

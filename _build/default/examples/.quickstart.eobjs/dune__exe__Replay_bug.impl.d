@@ -1,0 +1,1 @@
+examples/replay_bug.ml: Avis_core Avis_firmware Avis_sensors Campaign List Printf Replay Report Sabre Workload

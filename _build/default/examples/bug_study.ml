@@ -1,0 +1,36 @@
+(* Regenerate the §III bug-study findings and the Fig. 3 panels from the
+   embedded 215-record dataset.
+
+   Run with: dune exec examples/bug_study.exe *)
+
+open Avis_bugstudy
+
+let pct x = 100.0 *. x
+
+let () =
+  Printf.printf "Bug study: %d classified reports\n\n" Bugstudy.total;
+  Printf.printf "root-cause shares:\n";
+  List.iter
+    (fun cause ->
+      Printf.printf "  %-9s %4.0f%%  (of crash-causing bugs: %.0f%%)\n"
+        (Bugstudy.root_cause_to_string cause)
+        (pct (Bugstudy.fraction_by_cause cause))
+        (pct (Bugstudy.crash_fraction_by_cause cause)))
+    [ Bugstudy.Semantic; Bugstudy.Sensor_fault; Bugstudy.Memory; Bugstudy.Other ];
+  Printf.printf "\nsensor-bug reproducibility (Fig. 3B): %.0f%% default settings\n"
+    (pct Bugstudy.sensor_default_reproducible_fraction);
+  Printf.printf "\nsensor-bug symptoms (Fig. 3C):\n";
+  List.iter
+    (fun (symptom, n) ->
+      Printf.printf "  %-12s %d\n" (Bugstudy.symptom_to_string symptom) n)
+    (Bugstudy.symptom_breakdown Bugstudy.sensor_bugs);
+  Printf.printf "\nexample sensor-bug records:\n";
+  List.iteri
+    (fun i r ->
+      if i < 5 then
+        Printf.printf "  %s: %s [%s, %s]\n" r.Bugstudy.id r.Bugstudy.summary
+          (Bugstudy.symptom_to_string r.Bugstudy.symptom)
+          (match r.Bugstudy.reproducibility with
+          | Bugstudy.Default_settings -> "default settings"
+          | Bugstudy.Special_settings -> "special settings"))
+    Bugstudy.sensor_bugs

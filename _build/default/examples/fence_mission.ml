@@ -1,0 +1,44 @@
+(* The geofenced mission: the second waypoint lies in restricted airspace,
+   so the firmware must stop at the fence and return to launch. We fly it
+   twice — clean, and with a GPS failure injected mid-leg — and show the
+   fence is respected in both (the GPS-loss run lands in place instead of
+   continuing without a position source).
+
+   Run with: dune exec examples/fence_mission.exe *)
+
+open Avis_core
+open Avis_sitl
+open Avis_sensors
+
+let fly ~plan label =
+  let w = Workload.fence_mission in
+  let config =
+    {
+      (Sim.default_config Avis_firmware.Policy.apm) with
+      Sim.max_duration = w.Workload.nominal_duration +. 60.0;
+      environment = w.Workload.environment ();
+    }
+  in
+  let sim = Sim.create ~plan config in
+  let passed = Workload.execute w sim in
+  let o = Sim.outcome sim ~workload_passed:passed in
+  Printf.printf "%s:\n  workload %s, fence breached: %b, crash: %s\n" label
+    (if passed then "passed" else "did not complete")
+    o.Sim.fence_breached
+    (match o.Sim.crash with
+    | Some e -> Format.asprintf "%a" Avis_physics.World.pp_contact e
+    | None -> "none");
+  List.iter
+    (fun tr ->
+      Printf.printf "    %6.2f s  -> %s\n" tr.Avis_hinj.Hinj.time
+        tr.Avis_hinj.Hinj.to_mode)
+    o.Sim.transitions;
+  print_newline ()
+
+let () =
+  fly ~plan:[] "clean fenced mission";
+  let gps_failure =
+    List.init 2 (fun index ->
+        { Avis_hinj.Hinj.sensor = { Sensor.kind = Sensor.Gps; index }; at = 13.0 })
+  in
+  fly ~plan:gps_failure "fenced mission with GPS loss at t=13 s"

@@ -1,0 +1,34 @@
+(* Quickstart: the paper's Fig. 8 workload, verbatim through the workload
+   framework — wait for initialisation, upload a takeoff-and-land mission,
+   arm, enter the auto mission, wait for the climb and the landing.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Avis_core
+open Avis_sitl
+
+let () =
+  let policy = Avis_firmware.Policy.apm in
+  let config =
+    {
+      (Sim.default_config policy) with
+      Sim.max_duration = Workload.quickstart.Workload.nominal_duration +. 30.0;
+    }
+  in
+  let sim = Sim.create config in
+  Printf.printf "Flying the Fig. 8 quickstart workload on %s...\n%!"
+    policy.Avis_firmware.Policy.name;
+  let passed = Workload.execute Workload.quickstart sim in
+  let outcome = Sim.outcome sim ~workload_passed:passed in
+  Printf.printf "test %s in %.1f simulated seconds\n"
+    (if passed then "PASSED" else "FAILED")
+    outcome.Sim.duration;
+  Printf.printf "operating-mode transitions observed through libhinj:\n";
+  List.iter
+    (fun tr ->
+      Printf.printf "  %6.2f s  %-16s -> %s\n" tr.Avis_hinj.Hinj.time
+        tr.Avis_hinj.Hinj.from_mode tr.Avis_hinj.Hinj.to_mode)
+    outcome.Sim.transitions;
+  Printf.printf "sensor reads intercepted by the fault injector: %d (%.0f/s)\n"
+    outcome.Sim.sensor_reads
+    (float_of_int outcome.Sim.sensor_reads /. outcome.Sim.duration)

@@ -1,0 +1,1 @@
+lib/bugstudy/bugstudy.ml: Array List Printf

@@ -1,0 +1,197 @@
+type firmware = Ardupilot_tracker | Px4_tracker
+
+type root_cause = Semantic | Memory | Sensor_fault | Other
+
+type reproducibility = Default_settings | Special_settings
+
+type symptom_class = Asymptomatic | Transient | Serious_crash | Serious_fly_away
+
+type record = {
+  id : string;
+  firmware : firmware;
+  root_cause : root_cause;
+  reproducibility : reproducibility;
+  symptom : symptom_class;
+  summary : string;
+}
+
+(* Summary templates per category; records cycle through them so the
+   dataset reads plausibly without reproducing tracker text. *)
+let semantic_summaries =
+  [|
+    "mission item index off by one after upload";
+    "unit conversion error in reported ground speed";
+    "log message printed with wrong severity";
+    "parameter range check missing on rate limit";
+    "waypoint acceptance radius ignored for spline legs";
+    "heading displayed in radians in telemetry view";
+    "gradual drift during long loiter from integrator preload";
+    "unimplemented command acknowledged as accepted";
+    "altitude offset applied twice in terrain following";
+    "stale copy of home position used after in-flight reset";
+  |]
+
+let memory_summaries =
+  [|
+    "buffer overrun parsing oversized telemetry frame";
+    "use-after-free in logging backend on unmount";
+    "stack overflow in recursive mission validation";
+    "uninitialised covariance matrix read on cold start";
+  |]
+
+let sensor_summaries =
+  [|
+    "IMU failure at low altitude triggers GPS-altitude climb";
+    "baro glitch mid-cruise switches to raw GPS altitude";
+    "compass loss between waypoints freezes heading estimate";
+    "GPS loss during position hold keeps controller engaged";
+    "accelerometer clipping mishandled during landing flare";
+    "gyro dropout at takeoff leaves rate loop open";
+    "battery monitor brown-out triggers blind failsafe";
+    "rangefinder timeout treated as zero altitude";
+    "airspeed sensor ice-up drives pitch oscillation";
+    "magnetometer interference misread as yaw step";
+  |]
+
+let other_summaries =
+  [|
+    "race between mode change and mission advance";
+    "deadlock between logging thread and sensor driver";
+    "watchdog reset during parameter flash write";
+    "scheduler overrun starves telemetry task";
+  |]
+
+(* Category counts chosen to match the paper's reported statistics over
+   215 bugs: 68 % semantic, 20 % sensor (44), the rest memory/other;
+   sensor bugs are 40 % of crash-causing bugs, 47 % default-reproducible,
+   34 % serious; 90 % of semantic bugs are asymptomatic. *)
+type spec = {
+  cause : root_cause;
+  count : int;
+  symptoms : (symptom_class * int) list;
+  default_reproducible : int;
+  summaries : string array;
+}
+
+let specs =
+  [
+    {
+      cause = Semantic;
+      count = 146;
+      (* 90 % asymptomatic; 9 crashes keep sensor at 40 % of crashes. *)
+      symptoms =
+        [ (Asymptomatic, 131); (Transient, 5); (Serious_crash, 9); (Serious_fly_away, 1) ];
+      default_reproducible = 95;
+      summaries = semantic_summaries;
+    }
+    ;
+    {
+      cause = Sensor_fault;
+      count = 44;
+      (* 15/44 serious (34 %), 12 of them crashes. *)
+      symptoms =
+        [ (Asymptomatic, 11); (Transient, 18); (Serious_crash, 12); (Serious_fly_away, 3) ];
+      default_reproducible = 21;
+      summaries = sensor_summaries;
+    }
+    ;
+    {
+      cause = Memory;
+      count = 12;
+      symptoms =
+        [ (Asymptomatic, 4); (Transient, 2); (Serious_crash, 5); (Serious_fly_away, 1) ];
+      default_reproducible = 8;
+      summaries = memory_summaries;
+    }
+    ;
+    {
+      cause = Other;
+      count = 13;
+      symptoms =
+        [ (Asymptomatic, 5); (Transient, 3); (Serious_crash, 4); (Serious_fly_away, 1) ];
+      default_reproducible = 6;
+      summaries = other_summaries;
+    }
+    ;
+  ]
+
+let cause_tag = function
+  | Semantic -> "SEM"
+  | Memory -> "MEM"
+  | Sensor_fault -> "SNS"
+  | Other -> "OTH"
+
+let records_of_spec spec =
+  let symptom_list =
+    List.concat_map
+      (fun (symptom, n) -> List.init n (fun _ -> symptom))
+      spec.symptoms
+  in
+  if List.length symptom_list <> spec.count then
+    invalid_arg "Bugstudy: symptom counts do not sum to category count";
+  List.mapi
+    (fun i symptom ->
+      {
+        id = Printf.sprintf "%s-%03d" (cause_tag spec.cause) (i + 1);
+        firmware = (if i mod 2 = 0 then Ardupilot_tracker else Px4_tracker);
+        root_cause = spec.cause;
+        reproducibility =
+          (if i < spec.default_reproducible then Default_settings
+           else Special_settings);
+        symptom;
+        summary = spec.summaries.(i mod Array.length spec.summaries);
+      })
+    symptom_list
+
+let dataset = List.concat_map records_of_spec specs
+
+let total = List.length dataset
+
+let root_cause_to_string = function
+  | Semantic -> "semantic"
+  | Memory -> "memory"
+  | Sensor_fault -> "sensor"
+  | Other -> "other"
+
+let symptom_to_string = function
+  | Asymptomatic -> "asymptomatic"
+  | Transient -> "transient"
+  | Serious_crash -> "crash"
+  | Serious_fly_away -> "fly away"
+
+let count pred = List.length (List.filter pred dataset)
+
+let fraction_by_cause cause =
+  float_of_int (count (fun r -> r.root_cause = cause)) /. float_of_int total
+
+let crash_fraction_by_cause cause =
+  let crashes = count (fun r -> r.symptom = Serious_crash) in
+  let cause_crashes =
+    count (fun r -> r.symptom = Serious_crash && r.root_cause = cause)
+  in
+  float_of_int cause_crashes /. float_of_int crashes
+
+let sensor_bugs = List.filter (fun r -> r.root_cause = Sensor_fault) dataset
+
+let fraction_of pred records =
+  float_of_int (List.length (List.filter pred records))
+  /. float_of_int (List.length records)
+
+let sensor_default_reproducible_fraction =
+  fraction_of (fun r -> r.reproducibility = Default_settings) sensor_bugs
+
+let sensor_serious_fraction =
+  fraction_of
+    (fun r -> r.symptom = Serious_crash || r.symptom = Serious_fly_away)
+    sensor_bugs
+
+let semantic_asymptomatic_fraction =
+  fraction_of
+    (fun r -> r.symptom = Asymptomatic)
+    (List.filter (fun r -> r.root_cause = Semantic) dataset)
+
+let symptom_breakdown records =
+  List.map
+    (fun symptom ->
+      (symptom, List.length (List.filter (fun r -> r.symptom = symptom) records)))
+    [ Asymptomatic; Transient; Serious_crash; Serious_fly_away ]

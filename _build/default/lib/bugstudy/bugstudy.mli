@@ -1,0 +1,56 @@
+(** The §III bug study: 215 classified bug reports.
+
+    The paper reviewed 394 issues from the ArduPilot and PX4 GitHub
+    trackers (2016–2019), kept 215 after pruning, and classified them by
+    root cause, reproducibility and symptom. We cannot redistribute the
+    GitHub text, so this module carries an embedded dataset of 215 records
+    whose classification marginals match the paper's reported statistics;
+    the [findings] functions recompute §III's three findings and Fig. 3's
+    panels from the records rather than hard-coding the percentages. *)
+
+type firmware = Ardupilot_tracker | Px4_tracker
+
+type root_cause = Semantic | Memory | Sensor_fault | Other
+
+type reproducibility = Default_settings | Special_settings
+
+type symptom_class = Asymptomatic | Transient | Serious_crash | Serious_fly_away
+
+type record = {
+  id : string;
+  firmware : firmware;
+  root_cause : root_cause;
+  reproducibility : reproducibility;
+  symptom : symptom_class;
+  summary : string;
+}
+
+val dataset : record list
+(** All 215 records. *)
+
+val total : int
+
+val root_cause_to_string : root_cause -> string
+val symptom_to_string : symptom_class -> string
+
+(** {2 The paper's findings} *)
+
+val fraction_by_cause : root_cause -> float
+(** Finding 1's first half: e.g. sensor bugs ≈ 20 %, semantic ≈ 68 %. *)
+
+val crash_fraction_by_cause : root_cause -> float
+(** Fig. 3(A): share of crash-causing bugs per root cause (sensor ≈ 40 %). *)
+
+val sensor_bugs : record list
+
+val sensor_default_reproducible_fraction : float
+(** Finding 2: ≈ 47 %. *)
+
+val sensor_serious_fraction : float
+(** Finding 3: ≈ 34 %. *)
+
+val semantic_asymptomatic_fraction : float
+(** ≈ 90 %, the paper's explanation for why semantic bugs are benign. *)
+
+val symptom_breakdown : record list -> (symptom_class * int) list
+(** Fig. 3(C) for any subset. *)

@@ -1,0 +1,1 @@
+lib/core/bfi.ml: Bfi_model Dfs Scenario Search

@@ -1,0 +1,1 @@
+lib/core/bfi.mli: Bfi_model Search

@@ -1,0 +1,1 @@
+lib/core/bfi_model.ml: Avis_sensors Avis_util Float Hashtbl List Option Printf Scenario Sensor String

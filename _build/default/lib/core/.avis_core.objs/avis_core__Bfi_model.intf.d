@@ -1,0 +1,1 @@
+lib/core/bfi_model.mli: Avis_sensors Avis_util Scenario Sensor

@@ -1,0 +1,1 @@
+lib/core/bfs.ml: Prune Scenario Search

@@ -1,0 +1,1 @@
+lib/core/bfs.mli: Prune Search

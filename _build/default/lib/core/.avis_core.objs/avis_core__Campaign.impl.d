@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Avis_firmware Avis_hinj Avis_sensors Avis_sitl Avis_util Budget Bug List Monitor Policy Printf Report Scenario Search Sim Workload

@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Avis_firmware Avis_sitl Bug Monitor Policy Report Search Workload

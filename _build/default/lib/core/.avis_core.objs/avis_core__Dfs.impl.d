@@ -1,0 +1,1 @@
+lib/core/dfs.ml: Prune Scenario Search

@@ -1,0 +1,1 @@
+lib/core/dfs.mli: Prune Search

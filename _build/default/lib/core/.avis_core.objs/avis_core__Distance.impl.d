@@ -1,0 +1,1 @@
+lib/core/distance.ml: Array Avis_geo Avis_sitl List Mode_graph Trace Vec3

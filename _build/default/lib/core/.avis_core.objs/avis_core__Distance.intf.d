@@ -1,0 +1,1 @@
+lib/core/distance.mli: Avis_sitl Mode_graph Trace

@@ -1,0 +1,1 @@
+lib/core/export.mli: Avis_sitl Avis_util Campaign Json Mode_graph Report

@@ -1,0 +1,1 @@
+lib/core/mode_graph.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Array Avis_geo Avis_hinj Avis_physics Avis_sitl Distance Float Format List Mode_graph Printf Sim Trace Vec3

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Avis_sitl Distance Mode_graph Sim

@@ -1,0 +1,1 @@
+lib/core/prune.ml: Hashtbl List Scenario

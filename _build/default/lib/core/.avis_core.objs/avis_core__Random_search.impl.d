@@ -1,0 +1,1 @@
+lib/core/random_search.ml: Hashtbl Scenario Search

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Avis_hinj Avis_sitl Campaign List Monitor Report Sim Workload

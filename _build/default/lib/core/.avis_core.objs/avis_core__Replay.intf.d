@@ -1,0 +1,1 @@
+lib/core/replay.mli: Avis_hinj Campaign Monitor Report

@@ -1,0 +1,1 @@
+lib/core/report.ml: Avis_firmware Avis_hinj Avis_sensors Avis_sitl Bfi_model List Monitor Printf Scenario Sensor String

@@ -1,0 +1,1 @@
+lib/core/report.mli: Avis_firmware Avis_hinj Avis_sensors Avis_sitl Monitor Scenario Sensor

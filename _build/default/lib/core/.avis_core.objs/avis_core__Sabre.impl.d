@@ -1,0 +1,1 @@
+lib/core/sabre.ml: Float Hashtbl List Printf Prune Queue Scenario Search

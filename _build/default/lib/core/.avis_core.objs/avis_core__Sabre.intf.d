@@ -1,0 +1,1 @@
+lib/core/sabre.mli: Prune Scenario Search

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Avis_hinj Avis_sensors Float Format List Printf Sensor String

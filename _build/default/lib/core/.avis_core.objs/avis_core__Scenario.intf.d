@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Avis_hinj Avis_sensors Format Sensor

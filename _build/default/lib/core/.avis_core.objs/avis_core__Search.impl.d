@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Avis_hinj Avis_sensors Avis_sitl Avis_util Hashtbl List Scenario Sensor Suite

@@ -1,0 +1,1 @@
+lib/core/search.mli: Avis_sensors Avis_sitl Avis_util Scenario Sensor

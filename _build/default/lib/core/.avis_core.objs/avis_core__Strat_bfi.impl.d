@@ -1,0 +1,1 @@
+lib/core/strat_bfi.ml: Bfi_model Sabre Search

@@ -1,0 +1,1 @@
+lib/core/strat_bfi.mli: Bfi_model Prune Search

@@ -1,0 +1,1 @@
+lib/core/workload.ml: Avis_geo Avis_mavlink Avis_physics Avis_sitl Float Gcs Geodesy List Msg Sim Vec3

@@ -1,0 +1,1 @@
+lib/core/workload.mli: Avis_geo Avis_mavlink Avis_physics Avis_sitl Gcs Msg Sim

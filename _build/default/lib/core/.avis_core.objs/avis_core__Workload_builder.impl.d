@@ -1,0 +1,1 @@
+lib/core/workload_builder.ml: Avis_geo Avis_mavlink Float List Printf Workload

@@ -1,0 +1,1 @@
+lib/core/workload_builder.mli: Avis_physics Workload

@@ -1,0 +1,40 @@
+let make ?model ?(site_step_s = 0.1) ctx =
+  let model = match model with Some m -> m | None -> Bfi_model.default () in
+  let inner = Dfs.make ~site_step_s ctx in
+  let rejected_streak = ref 0 in
+  let best : (float * Scenario.t) option ref = ref None in
+  let score scenario =
+    let features =
+      Bfi_model.features_of_scenario ~mode_at:ctx.Search.mode_at
+        ~instances_of_kind:ctx.Search.instances_of_kind scenario
+    in
+    Bfi_model.predict model features
+  in
+  let next () =
+    match inner.Search.next () with
+    | Search.Exhausted -> Search.Exhausted
+    | Search.Think cost -> Search.Think cost
+    | Search.Run (scenario, _) ->
+      let p = score scenario in
+      if p > 0.5 then begin
+        rejected_streak := 0;
+        Search.Run (scenario, Bfi_model.inference_cost_s)
+      end
+      else begin
+        incr rejected_streak;
+        (match !best with
+        | Some (bp, _) when bp >= p -> ()
+        | Some _ | None -> best := Some (p, scenario));
+        if !rejected_streak >= 30 then begin
+          rejected_streak := 0;
+          match !best with
+          | Some (_, candidate) ->
+            best := None;
+            Search.Run (candidate, Bfi_model.inference_cost_s)
+          | None -> Search.Think Bfi_model.inference_cost_s
+        end
+        else Search.Think Bfi_model.inference_cost_s
+      end
+  in
+  let observe scenario result = inner.Search.observe scenario result in
+  { Search.name = "BFI"; next; observe }

@@ -1,0 +1,13 @@
+(** Bayesian Fault Injection (the paper's BFI baseline).
+
+    Candidates are enumerated depth-first (as in the paper's
+    implementation) and each is labelled by the learned model at ~10 s of
+    wall-clock per prediction; only candidates the model considers likely
+    to be unsafe are simulated. With thousands of injection sites per
+    second of flight, the budget is consumed almost entirely by
+    inference — the paper observes BFI "was unable to explore even a
+    single second of data" in two hours. Every thirty rejected candidates
+    the current best-scoring one is simulated anyway (exploration), which
+    is why BFI occasionally still finds something. *)
+
+val make : ?model:Bfi_model.t -> ?site_step_s:float -> Search.context -> Search.t

@@ -1,0 +1,163 @@
+open Avis_sensors
+
+type features = {
+  mode_class : string;
+  kinds : Sensor.kind list;
+  whole_kind_lost : bool;
+  multiplicity : int;
+}
+
+let mode_class_of_label label =
+  match String.split_on_char ' ' label with
+  | "Waypoint" :: _ -> "Waypoint"
+  | _ -> label
+
+let features_of_scenario ~mode_at ~instances_of_kind scenario =
+  let mode_class =
+    match Scenario.first_injection_time scenario with
+    | None -> "Pre-Flight"
+    | Some at -> (
+      match mode_at at with
+      | Some label -> mode_class_of_label label
+      | None -> "Pre-Flight")
+  in
+  let kinds =
+    List.sort_uniq compare
+      (List.map (fun id -> id.Sensor.kind) (Scenario.sensors_failed scenario))
+  in
+  let whole_kind_lost =
+    List.exists
+      (fun kind ->
+        let failed =
+          List.length
+            (List.filter
+               (fun id -> id.Sensor.kind = kind)
+               (Scenario.sensors_failed scenario))
+        in
+        failed >= instances_of_kind kind)
+      kinds
+  in
+  { mode_class; kinds; whole_kind_lost; multiplicity = List.length kinds }
+
+let tokens f =
+  (* Multiplicities above two share the two-failure token: the incident
+     corpus contains no higher-order combinations, and an unseen token
+     would otherwise be neutral — letting the cruise features approve
+     arbitrarily deep composites the model has no evidence about. *)
+  ("mode:" ^ f.mode_class)
+  :: Printf.sprintf "mult:%d" (min f.multiplicity 2)
+  :: (if f.whole_kind_lost then "whole-kind" else "partial")
+  :: List.map (fun k -> "kind:" ^ Sensor.kind_to_string k) f.kinds
+
+type t = {
+  prior_unsafe : float;
+  unsafe_counts : (string, int) Hashtbl.t;
+  safe_counts : (string, int) Hashtbl.t;
+  unsafe_total : int;
+  safe_total : int;
+  vocabulary : int;
+}
+
+let train corpus =
+  if corpus = [] then invalid_arg "Bfi_model.train: empty corpus";
+  let unsafe_counts = Hashtbl.create 64 in
+  let safe_counts = Hashtbl.create 64 in
+  let vocab = Hashtbl.create 64 in
+  let unsafe_total = ref 0 and safe_total = ref 0 in
+  let unsafe_examples = ref 0 in
+  List.iter
+    (fun (f, unsafe) ->
+      if unsafe then incr unsafe_examples;
+      let table = if unsafe then unsafe_counts else safe_counts in
+      let total = if unsafe then unsafe_total else safe_total in
+      List.iter
+        (fun tok ->
+          Hashtbl.replace vocab tok ();
+          Hashtbl.replace table tok
+            (1 + Option.value ~default:0 (Hashtbl.find_opt table tok));
+          incr total)
+        (tokens f))
+    corpus;
+  {
+    prior_unsafe = float_of_int !unsafe_examples /. float_of_int (List.length corpus);
+    unsafe_counts;
+    safe_counts;
+    unsafe_total = !unsafe_total;
+    safe_total = !safe_total;
+    vocabulary = Hashtbl.length vocab;
+  }
+
+let log_likelihood counts total vocabulary tok =
+  let c = Option.value ~default:0 (Hashtbl.find_opt counts tok) in
+  log (float_of_int (c + 1) /. float_of_int (total + vocabulary))
+
+let predict t f =
+  let toks = tokens f in
+  let log_unsafe =
+    log (Float.max 1e-9 t.prior_unsafe)
+    +. List.fold_left
+         (fun acc tok ->
+           acc +. log_likelihood t.unsafe_counts t.unsafe_total t.vocabulary tok)
+         0.0 toks
+  in
+  let log_safe =
+    log (Float.max 1e-9 (1.0 -. t.prior_unsafe))
+    +. List.fold_left
+         (fun acc tok ->
+           acc +. log_likelihood t.safe_counts t.safe_total t.vocabulary tok)
+         0.0 toks
+  in
+  1.0 /. (1.0 +. exp (log_safe -. log_unsafe))
+
+(* The incident distribution the paper describes: plenty of single-kind
+   whole-kind failures during cruise (waypoint legs) and manual flight,
+   some of them unsafe; takeoff/landing/pre-flight examples are rare and
+   recorded as handled; multi-sensor combinations are absent from the
+   unsafe side entirely. *)
+let synthetic_corpus ?(size = 400) rng =
+  let cruise_modes = [| "Waypoint"; "Manual" |] in
+  let edge_modes = [| "Takeoff"; "Land"; "Pre-Flight"; "Return To Launch" |] in
+  let kinds =
+    [|
+      Sensor.Accelerometer;
+      Sensor.Gyroscope;
+      Sensor.Gps;
+      Sensor.Compass;
+      Sensor.Barometer;
+    |]
+  in
+  List.init size (fun _ ->
+      let in_cruise = Avis_util.Rng.uniform rng < 0.8 in
+      let mode_class =
+        if in_cruise then Avis_util.Rng.choose rng cruise_modes
+        else Avis_util.Rng.choose rng edge_modes
+      in
+      let kind = Avis_util.Rng.choose rng kinds in
+      let whole = Avis_util.Rng.uniform rng < 0.7 in
+      let multi = Avis_util.Rng.uniform rng < 0.15 in
+      let kinds_failed =
+        if multi then
+          List.sort_uniq compare [ kind; Avis_util.Rng.choose rng kinds ]
+        else [ kind ]
+      in
+      let features =
+        {
+          mode_class;
+          kinds = kinds_failed;
+          whole_kind_lost = whole;
+          multiplicity = List.length kinds_failed;
+        }
+      in
+      (* Label: historical incidents show unsafe outcomes for whole-kind
+         single failures in cruise; everything else was handled (or never
+         observed failing). *)
+      let unsafe =
+        in_cruise && whole
+        && List.length kinds_failed = 1
+        && Avis_util.Rng.uniform rng < 0.75
+      in
+      (features, unsafe))
+
+let default () = train (synthetic_corpus (Avis_util.Rng.create 42))
+
+let inference_cost_s = 10.0

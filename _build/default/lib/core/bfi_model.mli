@@ -1,0 +1,55 @@
+(** The Bayesian fault-injection model (the BFI baseline's learner).
+
+    BFI (Jha et al., DSN'19) uses an ML model trained on past incidents to
+    predict which injection scenarios are likely to produce unsafe
+    conditions. We reproduce it as a Naive-Bayes classifier over scenario
+    features (operating mode at injection, failed sensor kinds, whether a
+    whole kind is lost, failure multiplicity).
+
+    The paper attributes BFI's misses to its training distribution: past
+    incidents are concentrated on single-sensor failures in the main
+    flight modes, so the model never predicts unsafe conditions at takeoff
+    or landing boundaries, nor for multi-sensor combinations. The
+    [synthetic_corpus] reproduces exactly that distribution. Inference is
+    charged at the ~10 s per labelled scenario the paper measured. *)
+
+open Avis_sensors
+
+type features = {
+  mode_class : string;
+      (** Operating mode at the first injection, with waypoint legs
+          collapsed to one class. *)
+  kinds : Sensor.kind list;  (** Distinct sensor kinds touched. *)
+  whole_kind_lost : bool;  (** Some kind loses every instance. *)
+  multiplicity : int;  (** Number of distinct kinds failed. *)
+}
+
+val mode_class_of_label : string -> string
+(** "Waypoint 7" → "Waypoint"; other labels unchanged. *)
+
+val features_of_scenario :
+  mode_at:(float -> string option) ->
+  instances_of_kind:(Sensor.kind -> int) ->
+  Scenario.t ->
+  features
+(** Build features using the profiling run's mode timeline and the
+    vehicle's sensor complement. Empty scenarios get mode class
+    ["Pre-Flight"]. *)
+
+type t
+
+val train : (features * bool) list -> t
+(** Laplace-smoothed Naive Bayes; the boolean labels are "caused an unsafe
+    condition". Raises [Invalid_argument] on an empty corpus. *)
+
+val predict : t -> features -> float
+(** Posterior probability of an unsafe condition. *)
+
+val synthetic_corpus : ?size:int -> Avis_util.Rng.t -> (features * bool) list
+(** The BFI training distribution described above (default 400 examples). *)
+
+val default : unit -> t
+(** Trained on the synthetic corpus with a fixed seed. *)
+
+val inference_cost_s : float
+(** Wall-clock charged per prediction (the paper's ~10 s). *)

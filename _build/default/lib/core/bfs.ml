@@ -1,0 +1,30 @@
+type state = {
+  ctx : Search.context;
+  site_step_s : float;
+  prune : Prune.t;
+  mutable at : float;
+  mutable current : Scenario.t list;
+}
+
+let make ?(start_s = 0.0) ?(site_step_s = 0.1) ?prune ctx =
+  let prune = match prune with Some p -> p | None -> Prune.create () in
+  let st = { ctx; site_step_s; prune; at = start_s; current = [] } in
+  let rec next () =
+    match st.current with
+    | scenario :: rest ->
+      st.current <- rest;
+      if Prune.should_prune st.prune scenario then next ()
+      else Search.Run (scenario, 0.0)
+    | [] ->
+      if st.at > st.ctx.Search.mission_duration then Search.Exhausted
+      else begin
+        st.current <- Search.candidate_sets st.ctx ~at:st.at ~base:Scenario.empty;
+        st.at <- st.at +. st.site_step_s;
+        next ()
+      end
+  in
+  let observe scenario (result : Search.run_result) =
+    Prune.note_run st.prune scenario;
+    if result.Search.unsafe then Prune.note_bug st.prune scenario
+  in
+  { Search.name = "BFS"; next; observe }

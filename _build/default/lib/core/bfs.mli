@@ -1,0 +1,11 @@
+(** Breadth-first exploration of the fault space (§IV-B's second strawman).
+
+    Enumerates injection sites forward in time at sensor-sampling
+    granularity: all failure sets at the earliest site, then the next
+    site, and so on — thorough but slow to reach dissimilar execution
+    contexts, exactly the weakness SABRE's stratification fixes. Used by
+    the Fig. 5 reproduction and the search-order ablation. *)
+
+val make :
+  ?start_s:float -> ?site_step_s:float -> ?prune:Prune.t -> Search.context -> Search.t
+(** [start_s] is the first injection site (default 0). *)

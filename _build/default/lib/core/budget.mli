@@ -1,0 +1,33 @@
+(** The wall-clock cost model.
+
+    The paper gives each approach two hours of wall-clock per workload. We
+    reproduce that with a deterministic accounting model instead of real
+    time: simulated flight costs its duration divided by the simulator's
+    real-time speed-up, and BFI's model inference costs the ~10 seconds
+    per labelled scenario the paper reports. Campaigns stop when the
+    budget is spent, so comparisons across approaches are equal-budget as
+    in Table III. *)
+
+type t
+
+val create : ?speedup:float -> total_s:float -> unit -> t
+(** [speedup] is simulated-seconds per wall-second (default 5). *)
+
+val two_hours : unit -> t
+(** The paper's 7200 s budget with the default speed-up. *)
+
+val charge_simulation : t -> sim_seconds:float -> unit
+(** Account a simulated run. *)
+
+val charge_inference : t -> float -> unit
+(** Account model-inference wall time (BFI variants). *)
+
+val spent_s : t -> float
+val remaining_s : t -> float
+val exhausted : t -> bool
+
+val can_afford_run : t -> sim_seconds:float -> bool
+(** Whether a run of that length still fits. *)
+
+val simulations_run : t -> int
+val inferences_run : t -> int

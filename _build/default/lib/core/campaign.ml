@@ -1,0 +1,167 @@
+open Avis_firmware
+open Avis_sitl
+
+type config = {
+  policy : Policy.t;
+  workload : Workload.t;
+  enabled_bugs : Bug.id list;
+  budget_s : float;
+  speedup : float;
+  seed : int;
+  profiling_runs : int;
+  link_jitter_steps : int;
+}
+
+let default_config policy workload =
+  {
+    policy;
+    workload;
+    enabled_bugs = Bug.unknown_bugs policy.Policy.firmware;
+    budget_s = 7200.0;
+    speedup = 6.0;
+    seed = 1;
+    profiling_runs = 8;
+    link_jitter_steps = 2;
+  }
+
+type finding = { report : Report.t; simulation_index : int }
+
+type result = {
+  approach : string;
+  findings : finding list;
+  simulations : int;
+  inferences : int;
+  wall_clock_spent_s : float;
+  profile : Monitor.profile;
+}
+
+let sim_config (config : config) ~seed ~plan =
+  let base = Sim.default_config config.policy in
+  let sim_cfg =
+    {
+      base with
+      Sim.enabled_bugs = config.enabled_bugs;
+      seed;
+      max_duration = config.workload.Workload.nominal_duration +. 60.0;
+      link_jitter_steps = config.link_jitter_steps;
+      environment = config.workload.Workload.environment ();
+    }
+  in
+  Sim.create ~plan sim_cfg
+
+let execute_run config ~seed ~plan =
+  let sim = sim_config config ~seed ~plan in
+  let passed = Workload.execute config.workload sim in
+  Sim.outcome sim ~workload_passed:passed
+
+let profile_and_context config =
+  let outcomes =
+    List.init config.profiling_runs (fun i ->
+        execute_run config ~seed:(config.seed + i) ~plan:[])
+  in
+  List.iteri
+    (fun i o ->
+      if (not o.Sim.workload_passed) || o.Sim.crash <> None then
+        failwith
+          (Printf.sprintf
+             "profiling run %d of %s on %s did not complete cleanly" i
+             config.workload.Workload.name config.policy.Policy.name))
+    outcomes;
+  let profile = Monitor.build_profile outcomes in
+  let first = List.hd outcomes in
+  let rng = Avis_util.Rng.create (config.seed * 7919) in
+  let ctx =
+    Search.context_of_outcome ~rng
+      ~suite_complement:Avis_sensors.Suite.iris_complement first
+  in
+  (profile, ctx, first)
+
+let run ?(stop_when = fun _ -> false) config ~strategy =
+  let profile, ctx, _first = profile_and_context config in
+  let searcher = strategy ctx in
+  let budget = Budget.create ~speedup:config.speedup ~total_s:config.budget_s () in
+  let findings = ref [] in
+  let stopped = ref false in
+  (* Test runs are deterministic: a fixed seed distinct from profiling. *)
+  let test_seed = config.seed + 1000 in
+  while (not !stopped) && not (Budget.exhausted budget) do
+    match searcher.Search.next () with
+    | Search.Exhausted -> stopped := true
+    | Search.Think cost -> Budget.charge_inference budget cost
+    | Search.Run (scenario, inference_cost) ->
+      if inference_cost > 0.0 then Budget.charge_inference budget inference_cost;
+      if
+        not
+          (Budget.can_afford_run budget
+             ~sim_seconds:(config.workload.Workload.nominal_duration /. 2.0))
+      then stopped := true
+      else begin
+        let outcome =
+          execute_run config ~seed:test_seed ~plan:(Scenario.to_plan scenario)
+        in
+        Budget.charge_simulation budget ~sim_seconds:outcome.Sim.duration;
+        let verdict = Monitor.check profile outcome in
+        let unsafe = match verdict with Monitor.Unsafe _ -> true | Monitor.Safe -> false in
+        searcher.Search.observe scenario
+          {
+            Search.unsafe;
+            observed_transitions =
+              List.map (fun tr -> tr.Avis_hinj.Hinj.time) outcome.Sim.transitions;
+          };
+        (match verdict with
+        | Monitor.Safe -> ()
+        | Monitor.Unsafe violation ->
+          let finding =
+            {
+              report = Report.make outcome scenario violation;
+              simulation_index = Budget.simulations_run budget;
+            }
+          in
+          findings := finding :: !findings;
+          if stop_when finding then stopped := true)
+      end
+  done;
+  {
+    approach = searcher.Search.name;
+    findings = List.rev !findings;
+    simulations = Budget.simulations_run budget;
+    inferences = Budget.inferences_run budget;
+    wall_clock_spent_s = Budget.spent_s budget;
+    profile;
+  }
+
+let unsafe_count result = List.length result.findings
+
+let count_by_bucket result =
+  let buckets =
+    [
+      Report.Takeoff_bucket;
+      Report.Manual_bucket;
+      Report.Waypoint_bucket;
+      Report.Land_bucket;
+    ]
+  in
+  List.map
+    (fun bucket ->
+      ( bucket,
+        List.length
+          (List.filter
+             (fun f -> Report.injection_bucket f.report = bucket)
+             result.findings) ))
+    buckets
+
+let found_bug result bug =
+  List.exists
+    (fun f -> List.mem bug f.report.Report.triggered_bugs)
+    result.findings
+
+let simulations_until_bug result bug =
+  List.fold_left
+    (fun acc f ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if List.mem bug f.report.Report.triggered_bugs then
+          Some f.simulation_index
+        else None)
+    None result.findings

@@ -1,0 +1,60 @@
+(** Model-checking campaigns: profiling, the search loop, budget
+    accounting, and result aggregation.
+
+    A campaign pairs one firmware personality with one workload: it first
+    flies N fault-free profiling runs (with scheduler jitter) to build the
+    monitor's profile and the search context, then drives a strategy until
+    the wall-clock budget is exhausted, simulating each scheduled scenario
+    in a freshly provisioned simulator and judging it with the invariant
+    monitor. *)
+
+open Avis_firmware
+
+type config = {
+  policy : Policy.t;
+  workload : Workload.t;
+  enabled_bugs : Bug.id list;
+  budget_s : float;  (** Wall-clock budget (the paper uses 7200 s). *)
+  speedup : float;  (** Simulated seconds per wall-clock second. *)
+  seed : int;
+  profiling_runs : int;
+  link_jitter_steps : int;
+}
+
+val default_config : Policy.t -> Workload.t -> config
+(** 7200 s budget, 6× speed-up, 8 profiling runs, the firmware's unknown
+    bugs enabled. *)
+
+type finding = { report : Report.t; simulation_index : int }
+
+type result = {
+  approach : string;
+  findings : finding list;  (** Oldest first. *)
+  simulations : int;
+  inferences : int;
+  wall_clock_spent_s : float;
+  profile : Monitor.profile;
+}
+
+val profile_and_context :
+  config -> Monitor.profile * Search.context * Avis_sitl.Sim.outcome
+(** Run the profiling phase only; also returns the first profiling run's
+    outcome (the one the search context is built from). Raises [Failure]
+    if a profiling run does not complete cleanly. *)
+
+val run :
+  ?stop_when:(finding -> bool) -> config ->
+  strategy:(Search.context -> Search.t) -> result
+(** Run a full campaign. [stop_when] ends the campaign early when a
+    finding satisfies it (used by the Table V until-found experiments). *)
+
+val unsafe_count : result -> int
+
+val count_by_bucket : result -> (Report.mode_bucket * int) list
+(** Findings per Table IV mode bucket (buckets with zero included). *)
+
+val found_bug : result -> Bug.id -> bool
+(** Did any finding's ground-truth attribution include this bug? *)
+
+val simulations_until_bug : result -> Bug.id -> int option
+(** Simulation count at the first finding attributed to the bug. *)

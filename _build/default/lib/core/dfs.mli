@@ -1,0 +1,12 @@
+(** Depth-first exploration of the fault space (§IV-B's first strawman,
+    and the ordering the paper's BFI implementation uses).
+
+    Enumerates injection sites from the end of the mission backwards at
+    sensor-sampling granularity — the paper's DFS tests failures at the
+    latest timestamps first, then extends earlier — so within any
+    realistic budget it only ever exercises a narrow slice of the
+    mission. *)
+
+val make : ?site_step_s:float -> ?prune:Prune.t -> Search.context -> Search.t
+(** [site_step_s] is the spacing between candidate sites (default 0.1 s,
+    the GPS sampling period). *)

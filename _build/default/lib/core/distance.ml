@@ -1,0 +1,73 @@
+open Avis_geo
+open Avis_sitl
+
+type metric = Full | Position_only
+
+type t = { graph : Mode_graph.t; p_hat : float; a_hat : float }
+
+let pairwise_max traces component =
+  let n = List.length traces in
+  let arr = Array.of_list traces in
+  let len =
+    Array.fold_left (fun acc tr -> max acc (Trace.length tr)) 0 arr
+  in
+  let best = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      for k = 0 to len - 1 do
+        let a = Trace.nth_padded arr.(i) k in
+        let b = Trace.nth_padded arr.(j) k in
+        let d = component a b in
+        if d > !best then best := d
+      done
+    done
+  done;
+  !best
+
+let position_component (a : Trace.sample) (b : Trace.sample) =
+  Vec3.dist a.Trace.position b.Trace.position
+
+let accel_component (a : Trace.sample) (b : Trace.sample) =
+  Vec3.dist a.Trace.acceleration b.Trace.acceleration
+
+let build ~graph ~profiles =
+  let nonzero v = if v <= 1e-9 then 1.0 else v in
+  {
+    graph;
+    p_hat = nonzero (pairwise_max profiles position_component);
+    a_hat = nonzero (pairwise_max profiles accel_component);
+  }
+
+let graph t = t.graph
+let p_hat t = t.p_hat
+let a_hat t = t.a_hat
+
+let state_distance ?(metric = Full) t a b =
+  let scale = float_of_int (Mode_graph.diameter t.graph) in
+  let d_p = position_component a b *. scale /. t.p_hat in
+  match metric with
+  | Position_only -> d_p
+  | Full ->
+    let d_a = accel_component a b *. scale /. t.a_hat in
+    let d_m =
+      float_of_int (Mode_graph.distance t.graph a.Trace.mode b.Trace.mode)
+    in
+    sqrt ((d_p *. d_p) +. (d_a *. d_a) +. (d_m *. d_m))
+
+let tau ?(metric = Full) t profiles =
+  let arr = Array.of_list profiles in
+  let n = Array.length arr in
+  let len = Array.fold_left (fun acc tr -> max acc (Trace.length tr)) 0 arr in
+  let best = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      for k = 0 to len - 1 do
+        let d =
+          state_distance ~metric t (Trace.nth_padded arr.(i) k)
+            (Trace.nth_padded arr.(j) k)
+        in
+        if d > !best then best := d
+      done
+    done
+  done;
+  !best

@@ -1,0 +1,36 @@
+(** The liveliness state metric (§IV-C).
+
+    A vehicle state is the tuple (P, α, M) — position, acceleration and
+    mode. Position and acceleration distances are Euclidean, normalised so
+    that the largest pairwise difference seen across profiling runs maps to
+    the mode graph's diameter; mode distance is the shortest path in the
+    mode graph. The total distance is the Euclidean norm of the three
+    components.
+
+    [Position_only] is the paper's discussed-and-rejected alternative
+    (detection takes tens of seconds instead of seconds); it is kept for
+    the ablation benchmark. *)
+
+open Avis_sitl
+
+type metric = Full | Position_only
+
+type t
+(** Normalisers (the paper's P̂, Â and D) plus the mode graph. *)
+
+val build : graph:Mode_graph.t -> profiles:Trace.t list -> t
+(** Compute P̂ and Â as the largest pairwise distances between profiling
+    runs at equal time offsets (shorter runs padded with their final
+    state). Degenerate zero maxima fall back to 1 so the metric stays
+    defined. *)
+
+val graph : t -> Mode_graph.t
+val p_hat : t -> float
+val a_hat : t -> float
+
+val state_distance : ?metric:metric -> t -> Trace.sample -> Trace.sample -> float
+(** Distance between two states at the same time offset. *)
+
+val tau : ?metric:metric -> t -> Trace.t list -> float
+(** The threshold τ: the largest state distance between any two profiling
+    runs at the same offset. *)

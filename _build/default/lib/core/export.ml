@@ -1,0 +1,139 @@
+open Avis_util
+open Avis_geo
+
+let vec3_to_json v = Json.List [ Json.Number v.Vec3.x; Json.Number v.Vec3.y; Json.Number v.Vec3.z ]
+
+let trace_to_json trace =
+  Json.List
+    (Array.to_list
+       (Array.map
+          (fun s ->
+            Json.Assoc
+              [
+                ("t", Json.Number s.Avis_sitl.Trace.time);
+                ("position", vec3_to_json s.Avis_sitl.Trace.position);
+                ("acceleration", vec3_to_json s.Avis_sitl.Trace.acceleration);
+                ("mode", Json.String s.Avis_sitl.Trace.mode);
+              ])
+          (Avis_sitl.Trace.samples trace)))
+
+let transitions_to_json transitions =
+  Json.List
+    (List.map
+       (fun tr ->
+         Json.Assoc
+           [
+             ("t", Json.Number tr.Avis_hinj.Hinj.time);
+             ("from", Json.String tr.Avis_hinj.Hinj.from_mode);
+             ("to", Json.String tr.Avis_hinj.Hinj.to_mode);
+           ])
+       transitions)
+
+let outcome_to_json (o : Avis_sitl.Sim.outcome) =
+  Json.Assoc
+    [
+      ("duration_s", Json.Number o.Avis_sitl.Sim.duration);
+      ("workload_passed", Json.Bool o.Avis_sitl.Sim.workload_passed);
+      ( "crash",
+        match o.Avis_sitl.Sim.crash with
+        | Some e ->
+          Json.String (Format.asprintf "%a" Avis_physics.World.pp_contact e)
+        | None -> Json.Null );
+      ("fence_breached", Json.Bool o.Avis_sitl.Sim.fence_breached);
+      ("sensor_reads", Json.int o.Avis_sitl.Sim.sensor_reads);
+      ("transitions", transitions_to_json o.Avis_sitl.Sim.transitions);
+      ("trace", trace_to_json o.Avis_sitl.Sim.trace);
+    ]
+
+let scenario_to_json scenario =
+  Json.List
+    (List.map
+       (fun f ->
+         Json.Assoc
+           [
+             ("sensor", Json.String (Avis_sensors.Sensor.id_to_string f.Scenario.sensor));
+             ("at_s", Json.Number f.Scenario.at);
+           ])
+       scenario)
+
+let violation_to_json (v : Monitor.violation) =
+  Json.Assoc
+    [
+      ( "kind",
+        Json.String
+          (match v.Monitor.kind with
+          | Monitor.Safety s -> "safety: " ^ s
+          | Monitor.Fence_breach -> "fence breach"
+          | Monitor.Liveliness -> "liveliness"
+          | Monitor.Safe_mode_invariant m -> "safe-mode invariant: " ^ m) );
+      ("time_s", Json.Number v.Monitor.time);
+      ("mode", Json.String v.Monitor.mode);
+      ("symptom", Json.String (Monitor.symptom_to_string v.Monitor.symptom));
+    ]
+
+let report_to_json (r : Report.t) =
+  Json.Assoc
+    [
+      ("scenario", scenario_to_json r.Report.scenario);
+      ("violation", violation_to_json r.Report.violation);
+      ("injection_mode", Json.String r.Report.injection_mode);
+      ( "relative_faults",
+        Json.List
+          (List.map
+             (fun rf ->
+               Json.Assoc
+                 [
+                   ( "sensor",
+                     Json.String (Avis_sensors.Sensor.id_to_string rf.Report.sensor) );
+                   ("mode", Json.String rf.Report.mode);
+                   ("offset_s", Json.Number rf.Report.offset_s);
+                 ])
+             r.Report.relative_faults) );
+      ( "triggered_bugs",
+        Json.List
+          (List.map
+             (fun id ->
+               Json.String (Avis_firmware.Bug.info id).Avis_firmware.Bug.report)
+             r.Report.triggered_bugs) );
+      ("duration_s", Json.Number r.Report.duration);
+    ]
+
+let campaign_to_json (result : Campaign.result) =
+  Json.Assoc
+    [
+      ("approach", Json.String result.Campaign.approach);
+      ("simulations", Json.int result.Campaign.simulations);
+      ("inferences", Json.int result.Campaign.inferences);
+      ("wall_clock_spent_s", Json.Number result.Campaign.wall_clock_spent_s);
+      ("unsafe_conditions", Json.int (Campaign.unsafe_count result));
+      ( "findings",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Assoc
+                 [
+                   ("simulation_index", Json.int f.Campaign.simulation_index);
+                   ("report", report_to_json f.Campaign.report);
+                 ])
+             result.Campaign.findings) );
+    ]
+
+let mode_graph_to_dot graph =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph modes {\n";
+  List.iter
+    (fun mode -> Buffer.add_string buf (Printf.sprintf "  %S;\n" mode))
+    (Mode_graph.modes graph);
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  %S -> %S;\n" a b))
+    (Mode_graph.edges graph);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ~path contents =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

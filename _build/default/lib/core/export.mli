@@ -1,0 +1,28 @@
+(** Export of runs, findings and campaign results as artefacts.
+
+    The paper publishes the system logs behind every reported unsafe
+    condition; these converters produce the equivalent machine-readable
+    artefacts — JSON for traces, reports and campaign summaries, and
+    Graphviz DOT for the mode graph. *)
+
+open Avis_util
+
+val trace_to_json : Avis_sitl.Trace.t -> Json.t
+(** The 10 Hz state series: time, position, acceleration, mode. *)
+
+val outcome_to_json : Avis_sitl.Sim.outcome -> Json.t
+(** Full run record: trace, transitions, crash, workload result. *)
+
+val report_to_json : Report.t -> Json.t
+(** A finding: scenario, violation, injection mode, mode-relative offsets,
+    ground-truth bug attribution. *)
+
+val campaign_to_json : Campaign.result -> Json.t
+(** Summary plus every finding. *)
+
+val mode_graph_to_dot : Mode_graph.t -> string
+(** Graphviz rendering of the observed mode graph. *)
+
+val write_file : path:string -> string -> unit
+(** Write a string artefact, creating the parent directory if needed
+    (single level). *)

@@ -1,0 +1,295 @@
+open Avis_geo
+open Avis_sitl
+
+type profile = {
+  traces : Trace.t list;
+  graph : Mode_graph.t;
+  norm : Distance.t;
+  tau_full : float;
+  tau_position : float;
+  max_alt : float;
+  max_home_dist : float;
+}
+
+let build_profile outcomes =
+  if outcomes = [] then invalid_arg "Monitor.build_profile: no profiling runs";
+  let traces = List.map (fun o -> o.Sim.trace) outcomes in
+  let transitions =
+    List.map
+      (fun o ->
+        List.map
+          (fun tr -> (tr.Avis_hinj.Hinj.from_mode, tr.Avis_hinj.Hinj.to_mode))
+          o.Sim.transitions)
+      outcomes
+  in
+  let graph = Mode_graph.build ~transitions in
+  let norm = Distance.build ~graph ~profiles:traces in
+  let max_alt, max_home_dist =
+    List.fold_left
+      (fun (alt, dist) trace ->
+        Array.fold_left
+          (fun (alt, dist) s ->
+            ( Float.max alt s.Trace.position.Vec3.z,
+              Float.max dist (Vec3.norm (Vec3.horizontal s.Trace.position)) ))
+          (alt, dist) (Trace.samples trace))
+      (0.0, 0.0) traces
+  in
+  (* A floor keeps τ meaningful when the profiling runs are near-identical,
+     and a safety margin absorbs per-instance sensor biases the profiling
+     runs cannot have sampled (a failover to a backup instance changes the
+     noise realisation without being a misbehaviour). *)
+  let tau_floor = 0.75 in
+  let margin = 1.35 in
+  {
+    traces;
+    graph;
+    norm;
+    tau_full =
+      Float.max tau_floor (margin *. Distance.tau ~metric:Distance.Full norm traces);
+    tau_position =
+      Float.max tau_floor
+        (margin *. Distance.tau ~metric:Distance.Position_only norm traces);
+    max_alt;
+    max_home_dist;
+  }
+
+let graph p = p.graph
+let tau p = p.tau_full
+let normalisers p = p.norm
+
+type symptom = Crash | Fly_away | Takeoff_failure | Stalled
+
+let symptom_to_string = function
+  | Crash -> "Crash"
+  | Fly_away -> "Fly Away"
+  | Takeoff_failure -> "Takeoff Failure"
+  | Stalled -> "Stalled"
+
+type violation_kind =
+  | Safety of string
+  | Fence_breach
+  | Liveliness
+  | Safe_mode_invariant of string
+
+type violation = {
+  kind : violation_kind;
+  time : float;
+  mode : string;
+  symptom : symptom;
+}
+
+type verdict = Safe | Unsafe of violation
+
+(* Ticks are the 10 Hz trace samples; windows are expressed in ticks. *)
+let consecutive_needed = 5
+let invariant_window = 30 (* 3 s *)
+let grounded_grace = 150 (* 15 s *)
+
+let mode_rtl = "Return To Launch"
+let mode_land = "Land"
+let mode_disarmed = "Disarmed"
+let mode_manual = "Manual"
+
+let home_distance (s : Trace.sample) = Vec3.norm (Vec3.horizontal s.Trace.position)
+
+(* Safe-mode invariants, evaluated per tick once the vehicle has been in
+   the safe mode for at least [invariant_window] ticks. *)
+let safe_mode_ok (samples : Trace.sample array) i ~entered_tick ~grounded_ticks =
+  let s = samples.(i) in
+  let alt = s.Trace.position.Vec3.z in
+  if s.Trace.mode = mode_rtl then
+    if i - entered_tick < invariant_window then true
+    else begin
+      let prev = samples.(i - invariant_window) in
+      let progressing = home_distance s < home_distance prev -. 0.1 in
+      let climbing = alt > prev.Trace.position.Vec3.z +. 0.2 in
+      (* Wide enough that the braking creep before the Land hand-off
+         still counts as arrived. *)
+      let arrived = home_distance s < 8.0 in
+      progressing || climbing || arrived
+    end
+  else if s.Trace.mode = mode_land then
+    (* Extra grace: entering Land at speed takes a few seconds of braking
+       before the descent shows. *)
+    if i - entered_tick < 2 * invariant_window then true
+    else begin
+      let prev = samples.(i - invariant_window) in
+      let descending = alt < prev.Trace.position.Vec3.z -. 0.2 in
+      let freshly_grounded = alt < 0.3 && grounded_ticks <= grounded_grace in
+      descending || freshly_grounded
+    end
+  else if s.Trace.mode = mode_disarmed then alt < 0.5
+  else true
+
+(* The Manual hover excuse: liveliness in Manual is tolerated while the
+   vehicle stays put (degraded GPS-loss hold), but not while it moves. *)
+let manual_hover_excuse (samples : Trace.sample array) i =
+  let s = samples.(i) in
+  if s.Trace.mode <> mode_manual then false
+  else if i = 0 then true
+  else begin
+    let prev = samples.(max 0 (i - 10)) in
+    let dt = Float.max 0.1 (s.Trace.time -. prev.Trace.time) in
+    let speed =
+      Vec3.norm
+        (Vec3.horizontal (Vec3.sub s.Trace.position prev.Trace.position))
+      /. dt
+    in
+    speed < 1.5
+  end
+
+let is_safe_mode mode =
+  mode = mode_rtl || mode = mode_land || mode = mode_disarmed
+
+let classify profile ~(samples : Trace.sample array) ~violation_tick ~crashed =
+  if crashed then Crash
+  else begin
+    let max_alt_seen =
+      Array.fold_left
+        (fun acc s -> Float.max acc s.Trace.position.Vec3.z)
+        0.0 samples
+    in
+    if max_alt_seen < 1.5 && profile.max_alt > 5.0 then Takeoff_failure
+    else begin
+      let s = samples.(min violation_tick (Array.length samples - 1)) in
+      let away =
+        home_distance s > profile.max_home_dist +. 10.0
+        || s.Trace.position.Vec3.z > profile.max_alt +. 10.0
+      in
+      (* Still departing at the end of the run also reads as a fly-away. *)
+      let final = samples.(Array.length samples - 1) in
+      let final_away =
+        home_distance final > profile.max_home_dist +. 10.0
+        || final.Trace.position.Vec3.z > profile.max_alt +. 10.0
+      in
+      if away || final_away then Fly_away else Stalled
+    end
+  end
+
+let first_violation ?(metric = Distance.Full) profile (outcome : Sim.outcome) =
+  let samples = Trace.samples outcome.Sim.trace in
+  let n = Array.length samples in
+  if n = 0 then None
+  else begin
+    let tau =
+      match metric with
+      | Distance.Full -> profile.tau_full
+      | Distance.Position_only -> profile.tau_position
+    in
+    let profiles = Array.of_list profile.traces in
+    let result = ref None in
+    let live_streak = ref 0 in
+    let safe_streak = ref 0 in
+    let entered_tick = ref 0 in
+    let grounded_ticks = ref 0 in
+    let i = ref 0 in
+    while !result = None && !i < n do
+      let s = samples.(!i) in
+      if !i > 0 && samples.(!i - 1).Trace.mode <> s.Trace.mode then begin
+        entered_tick := !i;
+        grounded_ticks := 0
+      end;
+      if s.Trace.position.Vec3.z < 0.3 then incr grounded_ticks
+      else grounded_ticks := 0;
+      (* Safe-mode invariants run whenever the vehicle is in a safe mode. *)
+      if is_safe_mode s.Trace.mode then begin
+        if
+          safe_mode_ok samples !i ~entered_tick:!entered_tick
+            ~grounded_ticks:!grounded_ticks
+        then safe_streak := 0
+        else begin
+          incr safe_streak;
+          if !safe_streak >= consecutive_needed then
+            result :=
+              Some
+                ( Safe_mode_invariant s.Trace.mode,
+                  s.Trace.time,
+                  s.Trace.mode,
+                  !i )
+        end
+      end
+      else safe_streak := 0;
+      (* Liveliness: the state must stay within tau of some profiling run,
+         unless a safe mode (whose invariant is already enforced above) or
+         a legitimate Manual hover explains the divergence. *)
+      if !result = None then begin
+        let d_min = ref infinity in
+        Array.iter
+          (fun p ->
+            let d =
+              Distance.state_distance ~metric profile.norm s
+                (Trace.nth_padded p !i)
+            in
+            if d < !d_min then d_min := d)
+          profiles;
+        let preflight_refusal =
+          (* A vehicle that refuses to fly after a pre-arming failure is
+             preserving safety, not violating liveliness. *)
+          s.Trace.mode = "Pre-Flight" && s.Trace.position.Vec3.z < 0.5
+        in
+        if !d_min > tau && (not (is_safe_mode s.Trace.mode))
+           && (not (manual_hover_excuse samples !i))
+           && not preflight_refusal
+        then begin
+          incr live_streak;
+          if !live_streak >= consecutive_needed then
+            result := Some (Liveliness, s.Trace.time, s.Trace.mode, !i)
+        end
+        else live_streak := 0
+      end;
+      incr i
+    done;
+    !result
+  end
+
+let check ?(metric = Distance.Full) profile (outcome : Sim.outcome) =
+  let samples = Trace.samples outcome.Sim.trace in
+  let n = Array.length samples in
+  if n = 0 then Safe
+  else begin
+    match outcome.Sim.crash with
+    | Some event ->
+      let s = samples.(n - 1) in
+      Unsafe
+        {
+          kind = Safety (Format.asprintf "%a" Avis_physics.World.pp_contact event);
+          time = outcome.Sim.duration;
+          mode = s.Trace.mode;
+          symptom = Crash;
+        }
+    | None ->
+      if outcome.Sim.fence_breached then
+        let s = samples.(n - 1) in
+        Unsafe
+          {
+            kind = Fence_breach;
+            time = outcome.Sim.duration;
+            mode = s.Trace.mode;
+            symptom = Fly_away;
+          }
+      else begin
+        match first_violation ~metric profile outcome with
+        | None -> Safe
+        | Some (kind, time, mode, tick) ->
+          let symptom =
+            classify profile ~samples ~violation_tick:tick ~crashed:false
+          in
+          Unsafe { kind; time; mode; symptom }
+      end
+  end
+
+let detection_time ?(metric = Distance.Full) profile outcome =
+  match check ~metric profile outcome with
+  | Safe -> None
+  | Unsafe v -> Some v.time
+
+let describe v =
+  let kind =
+    match v.kind with
+    | Safety s -> "safety: " ^ s
+    | Fence_breach -> "geofence breach"
+    | Liveliness -> "liveliness violation"
+    | Safe_mode_invariant m -> "safe-mode invariant failed in " ^ m
+  in
+  Printf.sprintf "%s at t=%.1fs in %s (%s)" kind v.time v.mode
+    (symptom_to_string v.symptom)

@@ -1,0 +1,57 @@
+(** The invariant monitor (§IV-C).
+
+    Two rules, as in the paper:
+
+    - {b Safety} — the vehicle does not collide with anything (the crash
+      detector also reports geofence violations).
+    - {b Liveliness} — the run must track the profiling runs: at every time
+      offset the state must be within τ of at least one profiling run.
+
+    Liveliness may legitimately be sacrificed to preserve safety, so
+    developer-specified *safe modes* carry their own invariants instead:
+    Return To Launch must make progress home (or climb to its return
+    altitude), Land must descend (or be freshly on the ground), Disarmed
+    must be on the ground, and a Manual hover (the degraded GPS-loss hold)
+    is excused while it stays put. *)
+
+open Avis_sitl
+
+type profile
+
+val build_profile : Sim.outcome list -> profile
+(** From fault-free profiling runs (the paper uses a handful with
+    scheduler jitter). Raises [Invalid_argument] on an empty list. *)
+
+val graph : profile -> Mode_graph.t
+val tau : profile -> float
+val normalisers : profile -> Distance.t
+
+type symptom = Crash | Fly_away | Takeoff_failure | Stalled
+
+val symptom_to_string : symptom -> string
+
+type violation_kind =
+  | Safety of string  (** Collision or tipover; the payload describes it. *)
+  | Fence_breach
+  | Liveliness
+  | Safe_mode_invariant of string  (** Which safe mode's invariant failed. *)
+
+type violation = {
+  kind : violation_kind;
+  time : float;  (** When the violation was detected. *)
+  mode : string;  (** Operating mode at that moment. *)
+  symptom : symptom;
+}
+
+type verdict = Safe | Unsafe of violation
+
+val check : ?metric:Distance.metric -> profile -> Sim.outcome -> verdict
+(** Judge a test run against the profile. [metric] selects the liveliness
+    state metric (default [Full]; [Position_only] exists for the
+    ablation). *)
+
+val detection_time : ?metric:Distance.metric -> profile -> Sim.outcome -> float option
+(** Time of the first detected violation, if any — used by the ablation
+    comparing detection latency of the two metrics. *)
+
+val describe : violation -> string

@@ -1,0 +1,21 @@
+let make ?(max_runs = 1_000_000) ctx =
+  let seen = Hashtbl.create 1024 in
+  let produced = ref 0 in
+  let next () =
+    if !produced >= max_runs then Search.Exhausted
+    else begin
+      incr produced;
+      let rec draw attempts =
+        let scenario = Search.random_scenario ctx in
+        let key = Scenario.key scenario in
+        if Hashtbl.mem seen key && attempts < 5 then draw (attempts + 1)
+        else begin
+          Hashtbl.replace seen key ();
+          scenario
+        end
+      in
+      Search.Run (draw 0, 0.0)
+    end
+  in
+  let observe _scenario _result = () in
+  { Search.name = "Random"; next; observe }

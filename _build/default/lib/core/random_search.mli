@@ -1,0 +1,11 @@
+(** Random fault injection (the Rnd baseline of Table I).
+
+    Sites are drawn uniformly from all sensor readings and scenarios are
+    chosen at random, as in the paper — which makes the combinations that
+    actually defeat the sensor redundancy (every instance of a kind, in a
+    narrow window) correspondingly unlikely. *)
+
+val make : ?max_runs:int -> Search.context -> Search.t
+(** [max_runs] bounds the stream (default 1_000_000; the budget normally
+    stops the campaign long before). Duplicate scenarios are re-rolled a
+    few times, then surrendered to. *)

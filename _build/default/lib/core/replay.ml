@@ -1,0 +1,61 @@
+open Avis_sitl
+
+let reconstruct_plan ~reference relative_faults =
+  List.map
+    (fun rf ->
+      let entered =
+        if rf.Report.mode = "Pre-Flight" then Some 0.0
+        else
+          List.fold_left
+            (fun acc tr ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                if tr.Avis_hinj.Hinj.to_mode = rf.Report.mode then
+                  Some tr.Avis_hinj.Hinj.time
+                else None)
+            None reference
+      in
+      let base = match entered with Some t -> t | None -> 0.0 in
+      { Avis_hinj.Hinj.sensor = rf.Report.sensor; at = base +. rf.Report.offset_s })
+    relative_faults
+
+type outcome = {
+  reproduced : bool;
+  verdict : Monitor.verdict;
+  original : Report.t;
+  replay_duration : float;
+}
+
+let execute (config : Campaign.config) ~seed ~plan =
+  let base = Sim.default_config config.Campaign.policy in
+  let sim_cfg =
+    {
+      base with
+      Sim.enabled_bugs = config.Campaign.enabled_bugs;
+      seed;
+      max_duration =
+        config.Campaign.workload.Workload.nominal_duration +. 60.0;
+      link_jitter_steps = config.Campaign.link_jitter_steps;
+      environment = config.Campaign.workload.Workload.environment ();
+    }
+  in
+  let sim = Sim.create ~plan sim_cfg in
+  let passed = Workload.execute config.Campaign.workload sim in
+  Sim.outcome sim ~workload_passed:passed
+
+let replay ~config ~profile ~seed report =
+  (* Probe run: observe this seed's transition timing without faults. *)
+  let probe = execute config ~seed ~plan:[] in
+  let plan =
+    reconstruct_plan ~reference:probe.Sim.transitions
+      report.Report.relative_faults
+  in
+  let outcome = execute config ~seed ~plan in
+  let verdict = Monitor.check profile outcome in
+  {
+    reproduced = (match verdict with Monitor.Unsafe _ -> true | Monitor.Safe -> false);
+    verdict;
+    original = report;
+    replay_duration = outcome.Sim.duration;
+  }

@@ -1,0 +1,29 @@
+(** Replaying recorded unsafe conditions (§IV-D).
+
+    Avis saves each finding's faults as offsets from the mode transitions
+    that preceded them; to reconstruct the unsafe condition under a
+    different nondeterminism seed it re-executes the mission and injects
+    the same faults at the same offsets *relative to the modes they
+    affect*, which survives the small timing shifts the OS scheduler (our
+    link jitter) introduces. *)
+
+val reconstruct_plan :
+  reference:Avis_hinj.Hinj.transition list ->
+  Report.relative_fault list ->
+  Avis_hinj.Hinj.plan
+(** Map recorded mode-relative faults onto a (possibly shifted) new run's
+    transition log. Faults whose mode never appears in the reference are
+    scheduled at their recorded offset from the start. *)
+
+type outcome = {
+  reproduced : bool;  (** The replay was also judged unsafe. *)
+  verdict : Monitor.verdict;
+  original : Report.t;
+  replay_duration : float;
+}
+
+val replay :
+  config:Campaign.config -> profile:Monitor.profile -> seed:int -> Report.t -> outcome
+(** Re-execute the mission with a different seed: first a clean probe run
+    to observe the new timing, then the fault run with the reconstructed
+    plan. *)

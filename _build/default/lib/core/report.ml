@@ -1,0 +1,86 @@
+open Avis_sensors
+
+type relative_fault = {
+  sensor : Sensor.id;
+  mode : string;
+  offset_s : float;
+}
+
+type t = {
+  scenario : Scenario.t;
+  violation : Monitor.violation;
+  injection_mode : string;
+  relative_faults : relative_fault list;
+  triggered_bugs : Avis_firmware.Bug.id list;
+  duration : float;
+}
+
+(* Strictly before the fault: a failsafe reaction can change mode in the
+   very step the fault lands, and the injection should be attributed to
+   the mode the vehicle was flying, not the one it fled into. *)
+let mode_at_from_transitions transitions time =
+  List.fold_left
+    (fun acc tr ->
+      if tr.Avis_hinj.Hinj.time <= time -. 0.02 then tr.Avis_hinj.Hinj.to_mode
+      else acc)
+    "Pre-Flight" transitions
+
+let relative_fault transitions (fault : Scenario.fault) =
+  let entered, mode =
+    List.fold_left
+      (fun ((entered, _) as acc) tr ->
+        if tr.Avis_hinj.Hinj.time <= fault.Scenario.at -. 0.02
+           && tr.Avis_hinj.Hinj.time >= entered
+        then (tr.Avis_hinj.Hinj.time, tr.Avis_hinj.Hinj.to_mode)
+        else acc)
+      (0.0, "Pre-Flight") transitions
+  in
+  { sensor = fault.Scenario.sensor; mode; offset_s = fault.Scenario.at -. entered }
+
+let make (outcome : Avis_sitl.Sim.outcome) scenario violation =
+  let transitions = outcome.Avis_sitl.Sim.transitions in
+  let injection_mode =
+    match Scenario.first_injection_time scenario with
+    | Some at -> mode_at_from_transitions transitions at
+    | None -> "Pre-Flight"
+  in
+  {
+    scenario;
+    violation;
+    injection_mode;
+    relative_faults = List.map (relative_fault transitions) scenario;
+    triggered_bugs = outcome.Avis_sitl.Sim.triggered_bugs;
+    duration = outcome.Avis_sitl.Sim.duration;
+  }
+
+type mode_bucket = Takeoff_bucket | Manual_bucket | Waypoint_bucket | Land_bucket
+
+let bucket_of_mode label =
+  match Bfi_model.mode_class_of_label label with
+  | "Waypoint" -> Waypoint_bucket
+  | "Manual" -> Manual_bucket
+  | "Return To Launch" | "Land" | "Disarmed" -> Land_bucket
+  | "Pre-Flight" | "Takeoff" -> Takeoff_bucket
+  | _ -> Takeoff_bucket
+
+let bucket_label = function
+  | Takeoff_bucket -> "Takeoff"
+  | Manual_bucket -> "Manual"
+  | Waypoint_bucket -> "Waypoint"
+  | Land_bucket -> "Land"
+
+let injection_bucket t = bucket_of_mode t.injection_mode
+
+let describe t =
+  Printf.sprintf "%s | injected %s in %s | %s"
+    (Monitor.describe t.violation)
+    (Scenario.to_string t.scenario)
+    t.injection_mode
+    (match t.triggered_bugs with
+    | [] -> "no registered bug triggered"
+    | bugs ->
+      "triggered "
+      ^ String.concat ", "
+          (List.map
+             (fun id -> (Avis_firmware.Bug.info id).Avis_firmware.Bug.report)
+             bugs))

@@ -1,0 +1,48 @@
+(** Bug reports for unsafe conditions.
+
+    When the monitor flags a run, Avis records everything needed to
+    reproduce and diagnose it: the injected scenario, the violation, the
+    operating mode each fault was injected in, and each fault's offset
+    from the mode transition preceding it (the paper's replay mechanism
+    re-injects at the same offsets from the same transitions, which makes
+    reproduction robust to scheduler nondeterminism). *)
+
+open Avis_sensors
+
+type relative_fault = {
+  sensor : Sensor.id;
+  mode : string;  (** Mode in force when the fault began. *)
+  offset_s : float;  (** Seconds after that mode was entered. *)
+}
+
+type t = {
+  scenario : Scenario.t;
+  violation : Monitor.violation;
+  injection_mode : string;  (** Mode at the first injection. *)
+  relative_faults : relative_fault list;
+  triggered_bugs : Avis_firmware.Bug.id list;
+      (** Ground-truth diagnostics from the instrumented firmware — used
+          by the evaluation to attribute findings to reproduced bugs, not
+          by the checker itself. *)
+  duration : float;
+}
+
+val make : Avis_sitl.Sim.outcome -> Scenario.t -> Monitor.violation -> t
+
+val mode_at_from_transitions :
+  Avis_hinj.Hinj.transition list -> float -> string
+(** Mode in force at a time, from a transition log ("Pre-Flight" before
+    the first transition). *)
+
+(** Table IV's mode buckets. *)
+type mode_bucket = Takeoff_bucket | Manual_bucket | Waypoint_bucket | Land_bucket
+
+val bucket_of_mode : string -> mode_bucket
+(** Pre-Flight/Takeoff → takeoff; Waypoint legs → waypoint; Return To
+    Launch/Land/Disarmed → land. *)
+
+val bucket_label : mode_bucket -> string
+
+val injection_bucket : t -> mode_bucket
+
+val describe : t -> string

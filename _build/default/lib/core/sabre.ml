@@ -1,0 +1,92 @@
+type site = { at : float; base : Scenario.t }
+
+type state = {
+  ctx : Search.context;
+  shift_s : float;
+  prune : Prune.t;
+  gate : (Scenario.t -> float * bool) option;
+  queue : site Queue.t;
+  seen_sites : (string, unit) Hashtbl.t;
+  mutable current : (site * Scenario.t list) option;
+  mutable pending : (Scenario.t * site) list;
+      (* scenario -> site it came from, for observe-time bookkeeping *)
+}
+
+let site_key s =
+  Printf.sprintf "%d|%s" (int_of_float (Float.round (s.at *. 1000.0))) (Scenario.key s.base)
+
+let enqueue_site st site =
+  if site.at >= 0.0 && site.at <= st.ctx.Search.mission_duration +. 5.0 then begin
+    let key = site_key site in
+    if not (Hashtbl.mem st.seen_sites key) then begin
+      Hashtbl.add st.seen_sites key ();
+      Queue.push site st.queue
+    end
+  end
+
+let make ?(shift_s = 0.5) ?prune ?gate ctx =
+  let prune = match prune with Some p -> p | None -> Prune.create () in
+  let st =
+    {
+      ctx;
+      shift_s;
+      prune;
+      gate;
+      queue = Queue.create ();
+      seen_sites = Hashtbl.create 1024;
+      current = None;
+      pending = [];
+    }
+  in
+  (* Line 1: seed the queue with the profiling run's transitions. *)
+  List.iter
+    (fun (time, _, _) -> enqueue_site st { at = time; base = Scenario.empty })
+    ctx.Search.transitions;
+  let rec next () =
+    match st.current with
+    | Some (site, scenario :: rest) ->
+      st.current <- Some (site, rest);
+      if Prune.should_prune st.prune scenario then next ()
+      else begin
+        st.pending <- (scenario, site) :: st.pending;
+        match st.gate with
+        | None -> Search.Run (scenario, 0.0)
+        | Some gate ->
+          let cost, approved = gate scenario in
+          if approved then Search.Run (scenario, cost)
+          else begin
+            (* Skipped by the model; record so symmetry pruning does not
+               retest an equivalent candidate, and surface the cost. *)
+            st.pending <- List.tl st.pending;
+            Search.Think cost
+          end
+      end
+    | Some (site, []) ->
+      (* Line 20: revisit this site a little later. *)
+      enqueue_site st { site with at = site.at +. st.shift_s };
+      st.current <- None;
+      next ()
+    | None ->
+      if Queue.is_empty st.queue then Search.Exhausted
+      else begin
+        let site = Queue.pop st.queue in
+        let candidates =
+          Search.candidate_sets st.ctx ~at:site.at ~base:site.base
+        in
+        st.current <- Some (site, candidates);
+        next ()
+      end
+  in
+  let observe scenario (result : Search.run_result) =
+    st.pending <- List.filter (fun (s, _) -> s != scenario) st.pending;
+    Prune.note_run st.prune scenario;
+    if result.Search.unsafe then Prune.note_bug st.prune scenario
+    else
+      (* Lines 11–14: every transition of a bug-free run becomes a new
+         injection site carrying this run's faults. *)
+      List.iter
+        (fun time ->
+          if time > 0.05 then enqueue_site st { at = time; base = scenario })
+        result.Search.observed_transitions
+  in
+  { Search.name = "Avis (SABRE)"; next; observe }

@@ -1,0 +1,21 @@
+(** SABRE — stratified breadth-first search over the fault space
+    (Algorithm 1).
+
+    The transition queue is seeded with the profiling run's mode
+    transitions. Each dequeued site is expanded into the per-site failure
+    powerset (pruned by the §IV-B policies); bug-free runs re-enqueue
+    every transition they exhibited (composing multi-time scenarios, which
+    is how PX4-13291's GPS-then-battery pair is reached), and the dequeued
+    site itself is re-enqueued shifted later (line 20), so injection
+    points gradually sweep away from the boundaries. *)
+
+val make :
+  ?shift_s:float ->
+  ?prune:Prune.t ->
+  ?gate:(Scenario.t -> float * bool) ->
+  Search.context ->
+  Search.t
+(** [gate] (used by Stratified BFI) maps a candidate to (inference cost,
+    approved); rejected candidates are skipped but their cost is charged.
+    [shift_s] is the line-20 re-enqueue offset (default 0.5 s).
+    [prune] defaults to a fresh tracker with both policies on. *)

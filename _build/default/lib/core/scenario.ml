@@ -1,0 +1,69 @@
+open Avis_sensors
+
+type fault = Avis_hinj.Hinj.fault = { sensor : Sensor.id; at : float }
+
+type t = fault list
+
+let empty = []
+
+let bucket at = int_of_float (Float.round (at *. 1000.0))
+
+let compare_fault a b =
+  match compare (bucket a.at) (bucket b.at) with
+  | 0 -> Sensor.compare_id a.sensor b.sensor
+  | c -> c
+
+let of_faults faults =
+  let sorted = List.sort_uniq compare_fault faults in
+  sorted
+
+let add t fault = of_faults (fault :: t)
+
+let union a b = of_faults (a @ b)
+
+let to_plan t = t
+
+let cardinality = List.length
+
+let key t =
+  String.concat ";"
+    (List.map
+       (fun f -> Printf.sprintf "%s@%d" (Sensor.id_to_string f.sensor) (bucket f.at))
+       t)
+
+let role_key t =
+  String.concat ";"
+    (List.map
+       (fun f ->
+         let role =
+           match Sensor.role_of f.sensor with
+           | Sensor.Primary -> "P"
+           | Sensor.Backup -> "B"
+         in
+         Printf.sprintf "%s/%s@%d"
+           (Sensor.kind_to_string f.sensor.Sensor.kind)
+           role (bucket f.at))
+       t)
+
+let subsumes ~smaller ~larger =
+  List.for_all
+    (fun f -> List.exists (fun g -> compare_fault f g = 0) larger)
+    smaller
+
+let sensors_failed t = List.map (fun f -> f.sensor) t
+
+let first_injection_time = function
+  | [] -> None
+  | f :: rest ->
+    Some (List.fold_left (fun acc g -> Float.min acc g.at) f.at rest)
+
+let pp ppf t =
+  if t = [] then Format.fprintf ppf "(no faults)"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+      (fun ppf f ->
+        Format.fprintf ppf "%s@%.2fs" (Sensor.id_to_string f.sensor) f.at)
+      ppf t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,47 @@
+(** Fault-injection scenarios.
+
+    A scenario is a set of (sensor instance, injection time) pairs — the
+    paper's set of (Timestamp, Fault) tuples. Scenarios are kept in a
+    canonical sorted form so that equality, hashing and the pruning
+    policies are well defined. *)
+
+open Avis_sensors
+
+type fault = Avis_hinj.Hinj.fault = { sensor : Sensor.id; at : float }
+
+type t = fault list
+(** Canonically sorted (by time, then sensor id). *)
+
+val empty : t
+
+val of_faults : fault list -> t
+(** Sort into canonical form and drop exact duplicates. *)
+
+val add : t -> fault -> t
+
+val union : t -> t -> t
+
+val to_plan : t -> Avis_hinj.Hinj.plan
+
+val cardinality : t -> int
+
+val key : t -> string
+(** Canonical string key for the explored-scenario hash set. Times are
+    bucketed to the millisecond. *)
+
+val role_key : t -> string
+(** Key under sensor-instance symmetry: instances are reduced to their
+    roles, so two scenarios failing "some backup compass at t" get the
+    same key (§IV-B's symmetry policy). *)
+
+val subsumes : smaller:t -> larger:t -> bool
+(** [subsumes ~smaller ~larger] when every fault of [smaller] appears in
+    [larger] (same instance, same time bucket) — the found-bug pruning
+    relation. *)
+
+val sensors_failed : t -> Sensor.id list
+
+val first_injection_time : t -> float option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,90 @@
+open Avis_sensors
+
+type context = {
+  transitions : (float * string * string) list;
+  mission_duration : float;
+  instances : Sensor.id list;
+  instances_of_kind : Sensor.kind -> int;
+  mode_at : float -> string option;
+  rng : Avis_util.Rng.t;
+}
+
+let context_of_outcome ~rng ~suite_complement (outcome : Avis_sitl.Sim.outcome) =
+  let transitions =
+    List.map
+      (fun tr ->
+        Avis_hinj.Hinj.(tr.time, tr.from_mode, tr.to_mode))
+      outcome.Avis_sitl.Sim.transitions
+  in
+  let instances = Suite.instances_of_complement suite_complement in
+  let instances_of_kind kind =
+    List.length (List.filter (fun id -> id.Sensor.kind = kind) instances)
+  in
+  let mode_at time =
+    (* Replay the transition log: the mode in force at [time]. *)
+    List.fold_left
+      (fun acc (t, _, to_mode) -> if t <= time then Some to_mode else acc)
+      (Some "Pre-Flight") transitions
+  in
+  {
+    transitions;
+    mission_duration = outcome.Avis_sitl.Sim.duration;
+    instances;
+    instances_of_kind;
+    mode_at;
+    rng;
+  }
+
+type run_result = { unsafe : bool; observed_transitions : float list }
+
+type step = Run of Scenario.t * float | Think of float | Exhausted
+
+type t = {
+  name : string;
+  next : unit -> step;
+  observe : Scenario.t -> run_result -> unit;
+}
+
+let candidate_sets ctx ~at ~base =
+  let fault id = { Scenario.sensor = id; at } in
+  let kinds = List.sort_uniq compare (List.map (fun i -> i.Sensor.kind) ctx.instances) in
+  (* Whole-kind outages first: these defeat the redundancy and are the
+     scenarios the firmware's failure handling actually has to survive. *)
+  let kind_outage kind =
+    List.filter (fun i -> i.Sensor.kind = kind) ctx.instances |> List.map fault
+  in
+  let whole_kind = List.map kind_outage kinds in
+  (* Pairs of whole-kind outages: the powerset over sensor *types* that the
+     paper's Failures set ranges over (multi-type losses like GPS+battery
+     are what PX4-13291 needs). *)
+  let rec kind_pairs = function
+    | [] -> []
+    | k :: rest ->
+      List.map (fun k' -> kind_outage k @ kind_outage k') rest @ kind_pairs rest
+  in
+  let whole_kind_pairs = kind_pairs kinds in
+  let singles = List.map (fun id -> [ fault id ]) ctx.instances in
+  let all = whole_kind @ whole_kind_pairs @ singles in
+  (* Deduplicate (a whole-kind set of a 1-instance kind is also a single;
+     a whole-kind set of a 2-instance kind is also a same-kind pair). *)
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun faults ->
+      let scenario = Scenario.union base (Scenario.of_faults faults) in
+      let key = Scenario.key scenario in
+      if Hashtbl.mem seen key || Scenario.cardinality scenario = Scenario.cardinality base
+      then None
+      else begin
+        Hashtbl.add seen key ();
+        Some scenario
+      end)
+    all
+
+let random_scenario ctx =
+  let rng = ctx.rng in
+  let at = Avis_util.Rng.float rng ctx.mission_duration in
+  let all = Array.of_list ctx.instances in
+  let fault () = { Scenario.sensor = Avis_util.Rng.choose rng all; at } in
+  let u = Avis_util.Rng.uniform rng in
+  let picks = if u < 0.95 then 1 else if u < 0.995 then 2 else 3 in
+  Scenario.of_faults (List.init picks (fun _ -> fault ()))

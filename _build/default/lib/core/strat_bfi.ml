@@ -1,0 +1,11 @@
+let make ?model ?prune ctx =
+  let model = match model with Some m -> m | None -> Bfi_model.default () in
+  let gate scenario =
+    let features =
+      Bfi_model.features_of_scenario ~mode_at:ctx.Search.mode_at
+        ~instances_of_kind:ctx.Search.instances_of_kind scenario
+    in
+    (Bfi_model.inference_cost_s, Bfi_model.predict model features > 0.5)
+  in
+  let inner = Sabre.make ?prune ~gate ctx in
+  { inner with Search.name = "Stratified BFI" }

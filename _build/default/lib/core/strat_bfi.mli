@@ -1,0 +1,11 @@
+(** Stratified BFI — the paper's improved baseline.
+
+    BFI's learned model gates which scenarios to simulate, but the
+    candidates are scheduled by SABRE, so the model is at least asked
+    about the right sites. Its remaining weakness is the training
+    distribution: scenarios in modes the workload (and the incident
+    history) spend little time in — takeoff, landing, pre-flight — are
+    predicted safe and never simulated, which is exactly why it misses
+    the Table II bugs in those windows. *)
+
+val make : ?model:Bfi_model.t -> ?prune:Prune.t -> Search.context -> Search.t

@@ -1,0 +1,254 @@
+open Avis_geo
+open Avis_mavlink
+open Avis_sitl
+
+exception Workload_failed of string
+
+type api = { sim : Sim.t; gcs : Gcs.t }
+
+let sim api = api.sim
+let gcs api = api.gcs
+
+let step api =
+  if Sim.finished api.sim then raise (Workload_failed "run ended mid-workload");
+  Sim.step api.sim
+
+let wait_until api ?timeout pred =
+  let deadline =
+    match timeout with Some s -> Sim.time api.sim +. s | None -> infinity
+  in
+  let rec loop () =
+    if pred api then ()
+    else if Sim.time api.sim >= deadline then
+      raise (Workload_failed "wait timed out")
+    else begin
+      step api;
+      loop ()
+    end
+  in
+  loop ()
+
+let wait_time api seconds =
+  let until = Sim.time api.sim +. seconds in
+  wait_until api (fun api -> Sim.time api.sim >= until)
+
+let local_position api =
+  let geo =
+    {
+      Geodesy.lat = Gcs.latitude api.gcs;
+      lon = Gcs.longitude api.gcs;
+      alt = Gcs.relative_alt api.gcs;
+    }
+  in
+  Geodesy.to_local (Sim.frame api.sim) geo
+
+let arm_system_completely api =
+  Gcs.send_command api.gcs ~command:Msg.cmd_arm_disarm ~param1:1.0 ();
+  wait_until api ~timeout:10.0 (fun api ->
+      match Gcs.command_ack api.gcs ~command:Msg.cmd_arm_disarm with
+      | Some true -> true
+      | Some false -> raise (Workload_failed "arming rejected")
+      | None -> false)
+
+let upload_mission api items =
+  Gcs.start_mission_upload api.gcs items;
+  wait_until api ~timeout:30.0 (fun api ->
+      match Gcs.upload_state api.gcs with
+      | Gcs.Upload_done -> true
+      | Gcs.Upload_failed -> raise (Workload_failed "mission upload rejected")
+      | Gcs.Upload_idle | Gcs.Upload_in_progress -> false)
+
+let enter_auto_mode api = Gcs.request_mode api.gcs 3
+
+let takeoff api alt =
+  Gcs.send_command api.gcs ~command:Msg.cmd_takeoff ~param1:alt ();
+  wait_until api ~timeout:10.0 (fun api ->
+      match Gcs.command_ack api.gcs ~command:Msg.cmd_takeoff with
+      | Some true -> true
+      | Some false -> raise (Workload_failed "takeoff rejected")
+      | None -> false)
+
+let reposition api ~north ~east ~alt =
+  Gcs.send_command api.gcs ~command:Msg.cmd_reposition ~param1:north
+    ~param2:east ~param3:alt ()
+
+let land_now api = Gcs.send_command api.gcs ~command:Msg.cmd_land ~param1:0.0 ()
+
+let return_to_launch api =
+  Gcs.send_command api.gcs ~command:Msg.cmd_return_to_launch ~param1:0.0 ()
+
+let wait_altitude api ?(tolerance = 0.75) alt =
+  wait_until api (fun api ->
+      Float.abs (Gcs.relative_alt api.gcs -. alt) <= tolerance)
+
+let wait_mode api code =
+  wait_until api (fun api -> Gcs.vehicle_mode api.gcs = Some code)
+
+let wait_disarmed api =
+  (* Armed state rides on heartbeats (1 Hz); wait for one that says so. *)
+  let seen_armed = ref false in
+  wait_until api (fun api ->
+      let armed = Gcs.armed api.gcs in
+      if armed then seen_armed := true;
+      !seen_armed && not armed)
+
+let takeoff_item ~alt =
+  { Msg.seq = 0; command = Msg.cmd_takeoff; param1 = 0.0; x = 0.0; y = 0.0; z = alt }
+
+let waypoint_item api ~north ~east ~alt =
+  let geo = Geodesy.of_local (Sim.frame api.sim) (Vec3.make north east alt) in
+  {
+    Msg.seq = 0;
+    command = Msg.cmd_waypoint;
+    param1 = 0.0;
+    x = geo.Geodesy.lat;
+    y = geo.Geodesy.lon;
+    z = alt;
+  }
+
+let land_item () =
+  { Msg.seq = 0; command = Msg.cmd_land; param1 = 0.0; x = 0.0; y = 0.0; z = 0.0 }
+
+let rtl_item () =
+  {
+    Msg.seq = 0;
+    command = Msg.cmd_return_to_launch;
+    param1 = 0.0;
+    x = 0.0;
+    y = 0.0;
+    z = 0.0;
+  }
+
+let renumber items = List.mapi (fun i item -> { item with Msg.seq = i }) items
+
+type t = {
+  name : string;
+  description : string;
+  environment : unit -> Avis_physics.Environment.t option;
+  nominal_duration : float;
+  run : api -> unit;
+}
+
+let execute w sim =
+  let api = { sim; gcs = Sim.gcs sim } in
+  match w.run api with
+  | () -> true
+  | exception Workload_failed _ -> false
+
+let no_environment () = None
+
+let quickstart =
+  {
+    name = "quickstart";
+    description = "Fig. 8: takeoff to 20 m under the auto mission, then land";
+    environment = no_environment;
+    nominal_duration = 45.0;
+    run =
+      (fun api ->
+        wait_time api 2.0;
+        upload_mission api
+          (renumber [ takeoff_item ~alt:20.0; land_item () ]);
+        arm_system_completely api;
+        enter_auto_mode api;
+        wait_altitude api 20.0;
+        wait_altitude api 0.0;
+        wait_disarmed api);
+  }
+
+let box_corners = [ (20.0, 0.0); (20.0, 20.0); (0.0, 20.0); (0.0, 0.0) ]
+
+let manual_box =
+  {
+    name = "manual-box";
+    description =
+      "Position-hold workload: ascend to 20 m, fly the perimeter of a \
+       20 m x 20 m box, land at the launch point";
+    environment = no_environment;
+    nominal_duration = 75.0;
+    run =
+      (fun api ->
+        wait_time api 2.0;
+        arm_system_completely api;
+        takeoff api 20.0;
+        wait_altitude api 20.0;
+        (* The vehicle switches to Manual only after the climb completes;
+           repositions sent before that would be rejected. *)
+        wait_mode api 2;
+        List.iter
+          (fun (north, east) ->
+            reposition api ~north ~east ~alt:20.0;
+            wait_until api ~timeout:30.0 (fun api ->
+                let open Vec3 in
+                let p = local_position api in
+                norm (horizontal (sub p (make north east 0.0))) < 2.5))
+          box_corners;
+        land_now api;
+        wait_disarmed api);
+  }
+
+let auto_box =
+  {
+    name = "auto-box";
+    description =
+      "Auto mission: takeoff to 20 m, the four corners of a 20 m box, \
+       return to launch";
+    environment = no_environment;
+    nominal_duration = 85.0;
+    run =
+      (fun api ->
+        wait_time api 2.0;
+        upload_mission api
+          (renumber
+             (takeoff_item ~alt:20.0
+             :: List.map
+                  (fun (north, east) -> waypoint_item api ~north ~east ~alt:20.0)
+                  box_corners
+             @ [ rtl_item () ]));
+        arm_system_completely api;
+        enter_auto_mode api;
+        wait_altitude api 20.0;
+        wait_disarmed api);
+  }
+
+let fence_mission =
+  {
+    name = "fence-mission";
+    description =
+      "Auto mission whose second leg crosses a geofence; the firmware must \
+       refuse the leg and return to launch";
+    environment =
+      (fun () ->
+        Some
+          (Avis_physics.Environment.create
+             ~fence:
+               (Some
+                  {
+                    Avis_physics.Environment.centre_xy = Vec3.zero;
+                    radius_m = 30.0;
+                    max_alt_m = 60.0;
+                  })
+             ()));
+    nominal_duration = 70.0;
+    run =
+      (fun api ->
+        wait_time api 2.0;
+        upload_mission api
+          (renumber
+             [
+               takeoff_item ~alt:20.0;
+               waypoint_item api ~north:20.0 ~east:0.0 ~alt:20.0;
+               (* This target lies outside the 30 m fence. *)
+               waypoint_item api ~north:70.0 ~east:0.0 ~alt:20.0;
+               rtl_item ();
+             ]);
+        arm_system_completely api;
+        enter_auto_mode api;
+        wait_altitude api 20.0;
+        wait_disarmed api);
+  }
+
+let defaults = [ manual_box; auto_box ]
+
+let all = [ quickstart; manual_box; auto_box; fence_mission ]
+
+let by_name name = List.find_opt (fun w -> w.name = name) all

@@ -1,0 +1,115 @@
+(** The high-level workload framework (§V-A, Fig. 8).
+
+    Raw MAVLink is awkward for building workloads — the mission-upload
+    handshake alone is a multi-message transaction driven by the vehicle —
+    so this framework wraps the ground-control station in blocking-style
+    primitives ([wait_time], [upload_mission], [arm_system_completely],
+    [wait_altitude], …). Each primitive pumps the simulator step by step
+    (the step() RPC of Fig. 7) until its condition holds, and raises
+    {!Workload_failed} if the run ends first, so workloads can never
+    deadlock against the vehicle.
+
+    Two default workloads mirror the paper's: a *manual box* (position-hold
+    mode around a 20 m × 20 m square at 20 m) and an *auto box* mission
+    (waypoints, then return to launch); [fence_mission] adds the geofenced
+    variant and [quickstart] is Fig. 8's takeoff-and-land verbatim. *)
+
+open Avis_mavlink
+open Avis_sitl
+
+exception Workload_failed of string
+(** The run ended (crash or time-out) before a wait completed, or the
+    vehicle rejected a command. *)
+
+(** Handle passed to a running workload. *)
+type api
+
+val sim : api -> Sim.t
+val gcs : api -> Gcs.t
+
+(** {2 Blocking primitives} *)
+
+val step : api -> unit
+(** Advance exactly one simulation time-step. *)
+
+val wait_time : api -> float -> unit
+(** Let the simulation run for the given number of seconds. *)
+
+val wait_until : api -> ?timeout:float -> (api -> bool) -> unit
+(** Pump until the predicate holds. [timeout] is in simulated seconds from
+    now (default: until the run's duration cap). *)
+
+val arm_system_completely : api -> unit
+(** Send the arm command and wait for a positive acknowledgement. *)
+
+val upload_mission : api -> Msg.mission_item list -> unit
+(** Run the full COUNT → REQUEST… → ACK handshake to completion. *)
+
+val enter_auto_mode : api -> unit
+(** Request the Auto mission mode. *)
+
+val takeoff : api -> float -> unit
+(** Direct takeoff command to the given altitude (manual workloads). *)
+
+val reposition : api -> north:float -> east:float -> alt:float -> unit
+(** Send a position-hold target in local metres (manual mode). *)
+
+val land_now : api -> unit
+val return_to_launch : api -> unit
+
+val wait_altitude : api -> ?tolerance:float -> float -> unit
+(** Wait until telemetry reports the vehicle within [tolerance] (default
+    0.75 m) of the given relative altitude. *)
+
+val wait_mode : api -> int -> unit
+(** Wait for a heartbeat carrying the given custom mode code. *)
+
+val wait_disarmed : api -> unit
+
+val local_position : api -> Avis_geo.Vec3.t
+(** The vehicle's reported position converted back to local metres. *)
+
+(** {2 Mission builders} *)
+
+val takeoff_item : alt:float -> Msg.mission_item
+val waypoint_item : api -> north:float -> east:float -> alt:float -> Msg.mission_item
+(** Local offsets (metres from home) converted to geodetic coordinates. *)
+
+val land_item : unit -> Msg.mission_item
+val rtl_item : unit -> Msg.mission_item
+val renumber : Msg.mission_item list -> Msg.mission_item list
+(** Assign consecutive sequence numbers. *)
+
+(** {2 Workloads} *)
+
+type t = {
+  name : string;
+  description : string;
+  environment : unit -> Avis_physics.Environment.t option;
+      (** The physical environment this workload needs ([None] = benign). *)
+  nominal_duration : float;  (** Simulated seconds a clean run takes. *)
+  run : api -> unit;  (** Raises {!Workload_failed} on failure. *)
+}
+
+val execute : t -> Sim.t -> bool
+(** Run the workload against a provisioned simulation; [true] when it
+    completed (called [pass_test] in the paper's framework). *)
+
+val quickstart : t
+(** Fig. 8: wait, upload takeoff+land, arm, auto, wait up, wait down. *)
+
+val manual_box : t
+(** First default workload: position-hold around a 20 m box at 20 m. *)
+
+val auto_box : t
+(** Second default workload (fenceless variant): an auto mission around the
+    box, then return to launch. *)
+
+val fence_mission : t
+(** The fenced variant: one leg crosses restricted airspace the firmware
+    must refuse to enter. *)
+
+val defaults : t list
+(** The two default workloads used in the evaluation. *)
+
+val by_name : string -> t option

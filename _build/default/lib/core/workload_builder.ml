@@ -1,0 +1,114 @@
+let polygon_vertices ~sides ~radius =
+  if sides < 3 then invalid_arg "Workload_builder: a polygon needs >= 3 sides";
+  if radius <= 0.0 then invalid_arg "Workload_builder: non-positive radius";
+  List.init sides (fun i ->
+      let angle = 2.0 *. Float.pi *. float_of_int i /. float_of_int sides in
+      (radius *. cos angle, radius *. sin angle))
+
+(* Rough clean-flight time: legs at cruise speed plus climb and landing. *)
+let polygon_duration ~sides ~radius ~alt =
+  let side_length = 2.0 *. radius *. sin (Float.pi /. float_of_int sides) in
+  let cruise = float_of_int sides *. (side_length +. radius) /. 3.0 in
+  20.0 +. (alt /. 1.5) +. cruise
+
+let auto_polygon ?name ~sides ~radius ~alt () =
+  let vertices = polygon_vertices ~sides ~radius in
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "auto-%dgon" sides
+  in
+  {
+    Workload.name;
+    description =
+      Printf.sprintf
+        "auto mission around a %d-sided polygon of radius %.0f m at %.0f m"
+        sides radius alt;
+    environment = (fun () -> None);
+    nominal_duration = polygon_duration ~sides ~radius ~alt;
+    run =
+      (fun api ->
+        Workload.wait_time api 2.0;
+        Workload.upload_mission api
+          (Workload.renumber
+             (Workload.takeoff_item ~alt
+             :: List.map
+                  (fun (north, east) -> Workload.waypoint_item api ~north ~east ~alt)
+                  vertices
+             @ [ Workload.rtl_item () ]));
+        Workload.arm_system_completely api;
+        Workload.enter_auto_mode api;
+        Workload.wait_altitude api alt;
+        Workload.wait_disarmed api);
+  }
+
+let manual_polygon ?name ~sides ~radius ~alt () =
+  let vertices = polygon_vertices ~sides ~radius in
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "manual-%dgon" sides
+  in
+  {
+    Workload.name;
+    description =
+      Printf.sprintf
+        "position-hold flight around a %d-sided polygon of radius %.0f m"
+        sides radius;
+    environment = (fun () -> None);
+    nominal_duration = polygon_duration ~sides ~radius ~alt +. 10.0;
+    run =
+      (fun api ->
+        Workload.wait_time api 2.0;
+        Workload.arm_system_completely api;
+        Workload.takeoff api alt;
+        Workload.wait_altitude api alt;
+        Workload.wait_mode api 2;
+        List.iter
+          (fun (north, east) ->
+            Workload.reposition api ~north ~east ~alt;
+            Workload.wait_until api ~timeout:40.0 (fun api ->
+                let open Avis_geo.Vec3 in
+                let p = Workload.local_position api in
+                norm (horizontal (sub p (make north east 0.0))) < 2.5))
+          vertices;
+        Workload.land_now api;
+        Workload.wait_disarmed api);
+  }
+
+let altitude_sweep ?name ~levels () =
+  (match levels with
+  | [] -> invalid_arg "Workload_builder.altitude_sweep: no levels"
+  | levels ->
+    if List.exists (fun l -> l <= 1.0) levels then
+      invalid_arg "Workload_builder.altitude_sweep: levels must exceed 1 m");
+  let name = match name with Some n -> n | None -> "altitude-sweep" in
+  let first = List.hd levels in
+  let travel =
+    fst
+      (List.fold_left
+         (fun (acc, prev) l -> (acc +. Float.abs (l -. prev), l))
+         (first, first) (List.tl levels))
+  in
+  {
+    Workload.name;
+    description = "hold position while stepping through altitude levels";
+    environment = (fun () -> None);
+    nominal_duration = 30.0 +. travel;
+    run =
+      (fun api ->
+        Workload.wait_time api 2.0;
+        Workload.arm_system_completely api;
+        Workload.takeoff api first;
+        Workload.wait_altitude api first;
+        Workload.wait_mode api 2;
+        List.iter
+          (fun level ->
+            Workload.reposition api ~north:0.0 ~east:0.0 ~alt:level;
+            Workload.wait_until api ~timeout:60.0 (fun api ->
+                Float.abs (Avis_mavlink.Gcs.relative_alt (Workload.gcs api) -. level)
+                < 1.0))
+          (List.tl levels);
+        Workload.land_now api;
+        Workload.wait_disarmed api);
+  }
+
+let with_environment w environment = { w with Workload.environment }
+
+let with_name w name = { w with Workload.name }

@@ -1,0 +1,29 @@
+(** Combinators for building custom workloads.
+
+    The paper's framework lets developers extend the default workloads with
+    their own; these builders assemble parameterised missions from the
+    blocking primitives in {!Workload}. Each produces an ordinary
+    {!Workload.t}, so custom workloads drive campaigns, the monitor and the
+    searchers exactly like the built-in ones. *)
+
+val auto_polygon :
+  ?name:string -> sides:int -> radius:float -> alt:float -> unit -> Workload.t
+(** An auto mission around a regular polygon centred on home: takeoff,
+    one waypoint per vertex, return to launch. [sides] must be at least 3.
+    The paper's box missions are the [sides = 4] case. *)
+
+val manual_polygon :
+  ?name:string -> sides:int -> radius:float -> alt:float -> unit -> Workload.t
+(** The same shape flown with position-hold repositioning commands. *)
+
+val altitude_sweep : ?name:string -> levels:float list -> unit -> Workload.t
+(** Take off to the first level, then reposition through the remaining
+    altitudes in place, and land. Exercises climbs and descents — the
+    vertical failure-handling paths. [levels] must be non-empty and
+    positive. *)
+
+val with_environment :
+  Workload.t -> (unit -> Avis_physics.Environment.t option) -> Workload.t
+(** Override a workload's environment (e.g. to add wind or obstacles). *)
+
+val with_name : Workload.t -> string -> Workload.t

@@ -1,0 +1,1 @@
+lib/firmware/bug.ml: Avis_sensors List Phase Sensor

@@ -1,0 +1,1 @@
+lib/firmware/bug.mli: Avis_sensors Phase Sensor

@@ -1,0 +1,1 @@
+lib/firmware/control.ml: Array Avis_geo Avis_physics Avis_util Estimator Float Params Pid Quat Vec3

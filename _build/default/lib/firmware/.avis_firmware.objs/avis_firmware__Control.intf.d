@@ -1,0 +1,1 @@
+lib/firmware/control.mli: Avis_geo Avis_physics Estimator Params Vec3

@@ -1,0 +1,1 @@
+lib/firmware/drivers.ml: Avis_geo Avis_hinj Avis_sensors Avis_util Float List Params Sensor Suite Vec3

@@ -1,0 +1,1 @@
+lib/firmware/drivers.mli: Avis_hinj Avis_physics Avis_sensors Avis_util Params Sensor Suite

@@ -1,0 +1,1 @@
+lib/firmware/estimator.ml: Avis_geo Avis_physics Avis_sensors Drivers Float Params Quat Sensor Vec3

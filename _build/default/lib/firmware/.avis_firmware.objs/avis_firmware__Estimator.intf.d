@@ -1,0 +1,1 @@
+lib/firmware/estimator.mli: Avis_geo Drivers Params Quat Vec3

@@ -1,0 +1,1 @@
+lib/firmware/failsafe.ml: Avis_sensors Bug Drivers Estimator List Phase Policy Sensor

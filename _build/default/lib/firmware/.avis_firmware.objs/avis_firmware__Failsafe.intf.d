@@ -1,0 +1,1 @@
+lib/firmware/failsafe.mli: Bug Drivers Estimator Phase Policy

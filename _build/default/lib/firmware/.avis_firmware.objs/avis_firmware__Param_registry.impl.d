@@ -1,0 +1,1 @@
+lib/firmware/param_registry.ml: Avis_util List Params

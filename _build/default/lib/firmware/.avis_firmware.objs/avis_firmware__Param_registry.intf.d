@@ -1,0 +1,1 @@
+lib/firmware/param_registry.mli: Params

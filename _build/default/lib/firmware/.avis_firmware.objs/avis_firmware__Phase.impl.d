@@ -1,0 +1,1 @@
+lib/firmware/phase.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/firmware/pid.mli:

@@ -1,0 +1,1 @@
+lib/firmware/policy.ml: Bug Params

@@ -1,0 +1,1 @@
+lib/firmware/policy.mli: Bug Params

@@ -1,0 +1,1 @@
+lib/firmware/protocol.ml: Avis_geo Avis_mavlink Avis_util Float Frame Geodesy Link List Msg Param_registry Params Phase Vec3

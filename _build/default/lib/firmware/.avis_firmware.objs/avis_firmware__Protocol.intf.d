@@ -1,0 +1,1 @@
+lib/firmware/protocol.mli: Avis_geo Avis_mavlink Geodesy Link Msg Params Vec3

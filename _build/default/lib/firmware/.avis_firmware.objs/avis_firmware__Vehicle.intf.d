@@ -1,0 +1,1 @@
+lib/firmware/vehicle.mli: Avis_geo Avis_hinj Avis_mavlink Avis_physics Avis_sensors Bug Estimator Geodesy Link Phase Policy Vec3

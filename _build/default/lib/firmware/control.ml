@@ -1,0 +1,180 @@
+open Avis_geo
+
+type demand = {
+  pos_target : Vec3.t option;
+  velocity_ff : Vec3.t;
+  climb_demand : float;
+  yaw_target : float;
+  idle : bool;
+  max_speed : float option;
+  level_hold : bool;
+  open_loop_descent : bool;
+}
+
+let hold_demand ~yaw ~pos =
+  { pos_target = Some pos; velocity_ff = Vec3.zero; climb_demand = 0.0;
+    yaw_target = yaw; idle = false; max_speed = None; level_hold = false;
+    open_loop_descent = false }
+
+type t = {
+  params : Params.t;
+  airframe : Avis_physics.Airframe.t;
+  hover : float;
+  climb_pid : Pid.t;
+}
+
+let create ~params ~airframe () =
+  {
+    params;
+    airframe;
+    hover = Avis_physics.Airframe.hover_throttle airframe;
+    climb_pid =
+      Pid.create ~kp:params.Params.climb_vel_p ~ki:params.Params.climb_vel_i
+        ~i_limit:2.0 ~out_limit:0.6 ();
+  }
+
+let reset t = Pid.reset t.climb_pid
+
+let step t est demand ~dt =
+  let p = t.params in
+  if demand.idle then Array.make t.airframe.Avis_physics.Airframe.motor_count 0.0
+  else begin
+    let pos = Estimator.position est in
+    let vel = Estimator.velocity est in
+    let yaw = Estimator.yaw est in
+    (* Position loop: target -> velocity demand (horizontal). *)
+    let speed_limit =
+      match demand.max_speed with
+      | Some s -> Float.min s p.Params.cruise_speed
+      | None -> p.Params.cruise_speed
+    in
+    let vel_demand =
+      let ff = Vec3.horizontal demand.velocity_ff in
+      match demand.pos_target with
+      | Some target ->
+        let err = Vec3.horizontal (Vec3.sub target pos) in
+        Vec3.clamp_norm speed_limit (Vec3.add ff (Vec3.scale p.Params.pos_p err))
+      | None -> ff
+    in
+    (* Degraded attitude estimation tolerates only gentle manoeuvres. *)
+    let tilt_limit =
+      match Estimator.att_mode est with
+      | Estimator.Att_accel_only -> 0.15
+      | Estimator.Att_normal | Estimator.Att_frozen -> p.Params.max_tilt_rad
+    in
+    (* Velocity loop: velocity error -> world-frame acceleration demand.
+       In level-hold (no position source) the dead-reckoned velocity is
+       still good enough to brake with for a few seconds, then the
+       feedback fades to a pure attitude hold. *)
+    let accel_demand =
+      let weight =
+        if demand.level_hold then
+          Avis_util.Stats.clamp ~lo:0.0 ~hi:1.0
+            (1.0 -. (Estimator.dead_reckon_age est /. 8.0))
+        else 1.0
+      in
+      let target_vel = if demand.level_hold then Vec3.zero else vel_demand in
+      let err = Vec3.sub target_vel (Vec3.horizontal vel) in
+      Vec3.clamp_norm
+        (Avis_physics.Airframe.gravity *. tan tilt_limit)
+        (Vec3.scale (weight *. p.Params.vel_p) err)
+    in
+    (* Acceleration demand -> lean angles in the body-yaw frame. *)
+    let g = Avis_physics.Airframe.gravity in
+    let cy = cos yaw and sy = sin yaw in
+    let ax_b = (cy *. accel_demand.Vec3.x) +. (sy *. accel_demand.Vec3.y) in
+    let ay_b = (-.sy *. accel_demand.Vec3.x) +. (cy *. accel_demand.Vec3.y) in
+    let clamp_tilt = Avis_util.Stats.clamp ~lo:(-.tilt_limit) ~hi:tilt_limit in
+    let pitch_demand = clamp_tilt (atan (ax_b /. g)) in
+    let roll_demand = clamp_tilt (atan (-.ay_b /. g)) in
+    (* Vertical loop: climb-rate error -> thrust around hover. *)
+    let climb_demand =
+      Avis_util.Stats.clamp ~lo:(-.p.Params.max_climb_rate)
+        ~hi:p.Params.max_climb_rate demand.climb_demand
+    in
+    let climb_err = climb_demand -. Estimator.climb_rate est in
+    let thrust =
+      (* Tilt compensation: keep the vertical thrust component constant as
+         the vehicle leans, capped at the commanded-tilt limit so a tumbled
+         vehicle does not firewall the throttle. *)
+      let tilt_comp =
+        let c = cos (Quat.tilt (Estimator.attitude est)) in
+        1.0 /. Float.max (cos p.Params.max_tilt_rad) c
+      in
+      if demand.open_loop_descent then
+        (* Fixed collective just under hover: a steady drag-limited sink
+           with no feedback path to go unstable through. *)
+        Avis_util.Stats.clamp ~lo:0.05 ~hi:1.0 (t.hover *. 0.965 *. tilt_comp)
+      else
+        let correction = Pid.update t.climb_pid ~error:climb_err ~dt in
+        Avis_util.Stats.clamp ~lo:0.05 ~hi:1.0
+          ((t.hover +. correction) *. tilt_comp)
+    in
+    (* Attitude loop on the full quaternion error: decomposing into
+       independent Euler-angle errors goes unstable when yawing while
+       tilted, so the rate demand comes from the body-frame rotation vector
+       between current and desired attitude. *)
+    let attitude = Estimator.attitude est in
+    let rate = Estimator.angular_rate est in
+    (* The lean angles were computed in the *current* yaw frame, so the
+       desired attitude must keep the current yaw; the heading change is a
+       separate, slower yaw-rate demand. Mixing them (building the desired
+       quaternion with the target yaw) mis-directs the lean by the yaw
+       error and diverges during turns. *)
+    let desired =
+      Quat.of_euler ~roll:roll_demand ~pitch:pitch_demand ~yaw
+    in
+    let yaw_err =
+      let e = demand.yaw_target -. yaw in
+      let twopi = 2.0 *. Float.pi in
+      let e = Float.rem e twopi in
+      if e > Float.pi then e -. twopi
+      else if e < -.Float.pi then e +. twopi
+      else e
+    in
+    let rate_demand =
+      let q_err = Quat.mul (Quat.conjugate attitude) desired in
+      (* Take the short way round. *)
+      let q_err =
+        if q_err.Quat.w < 0.0 then
+          {
+            Quat.w = -.q_err.Quat.w;
+            x = -.q_err.Quat.x;
+            y = -.q_err.Quat.y;
+            z = -.q_err.Quat.z;
+          }
+        else q_err
+      in
+      let w = Float.min 1.0 (Float.max (-1.0) q_err.Quat.w) in
+      let angle = 2.0 *. acos w in
+      let s = sqrt (Float.max 1e-12 (1.0 -. (w *. w))) in
+      let err =
+        if s < 1e-6 then Vec3.zero
+        else
+          Vec3.scale (angle /. s)
+            (Vec3.make q_err.Quat.x q_err.Quat.y q_err.Quat.z)
+      in
+      Vec3.make
+        (Avis_util.Stats.clamp ~lo:(-3.0) ~hi:3.0 (p.Params.att_p *. err.Vec3.x))
+        (Avis_util.Stats.clamp ~lo:(-3.0) ~hi:3.0 (p.Params.att_p *. err.Vec3.y))
+        (Avis_util.Stats.clamp ~lo:(-0.7) ~hi:0.7 (p.Params.yaw_p *. yaw_err))
+    in
+    let torque_cmd =
+      Vec3.make
+        (p.Params.rate_p *. (rate_demand.Vec3.x -. rate.Vec3.x))
+        (p.Params.rate_p *. (rate_demand.Vec3.y -. rate.Vec3.y))
+        (p.Params.yaw_rate_p *. (rate_demand.Vec3.z -. rate.Vec3.z))
+    in
+    (* Mix thrust and torque demands onto the motors. *)
+    let layout = Avis_physics.Motor.mix_layout t.airframe in
+    let arm = t.airframe.Avis_physics.Airframe.arm_length_m in
+    Array.map
+      (fun (mpos, spin) ->
+        let open Vec3 in
+        let roll_term = torque_cmd.x *. (mpos.y /. arm) in
+        let pitch_term = torque_cmd.y *. (-.mpos.x /. arm) in
+        let yaw_term = torque_cmd.z *. spin in
+        Avis_util.Stats.clamp ~lo:0.0 ~hi:1.0
+          (thrust +. roll_term +. pitch_term +. yaw_term))
+      layout
+  end

@@ -1,0 +1,166 @@
+open Avis_sensors
+
+type kind_status = {
+  healthy : bool;
+  primary_failed_at : float option;
+  kind_failed_at : float option;
+  active_instance : int option;
+  fresh : Sensor.reading option;
+  stale : Sensor.reading option;
+}
+
+type kind_state = {
+  kind : Sensor.kind;
+  count : int;
+  period : float;
+  mutable next_sample : float;
+  mutable failed : (int * float) list;  (* instance index -> failure time *)
+  mutable fresh : Sensor.reading option;
+  mutable stale : Sensor.reading option;
+}
+
+type t = {
+  suite : Suite.t;
+  hinj : Avis_hinj.Hinj.t;
+  rng : Avis_util.Rng.t;
+  kinds : kind_state list;
+}
+
+let period_for (params : Params.t) = function
+  | Sensor.Accelerometer | Sensor.Gyroscope -> params.Params.imu_period
+  | Sensor.Gps -> params.Params.gps_period
+  | Sensor.Compass -> params.Params.compass_period
+  | Sensor.Barometer -> params.Params.baro_period
+  | Sensor.Battery -> params.Params.battery_period
+
+let create ?rng ~params ~suite ~hinj () =
+  let rng = match rng with Some r -> r | None -> Avis_util.Rng.create 0 in
+  let kinds =
+    List.filter_map
+      (fun kind ->
+        let count = Suite.count suite kind in
+        if count = 0 then None
+        else
+          Some
+            {
+              kind;
+              count;
+              period = period_for params kind;
+              next_sample = 0.0;
+              failed = [];
+              fresh = None;
+              stale = None;
+            })
+      Sensor.all_kinds
+  in
+  { suite; hinj; rng; kinds }
+
+let instance_failed ks index = List.mem_assoc index ks.failed
+
+let active_instance ks =
+  let rec first i = if i >= ks.count then None
+    else if instance_failed ks i then first (i + 1)
+    else Some i
+  in
+  first 0
+
+(* Probe every not-yet-failed instance (the health monitoring real firmware
+   performs on backups too), recording clean failures, and read the
+   lowest-indexed healthy instance. *)
+let probe_and_read t ks world ~time =
+  for index = 0 to ks.count - 1 do
+    if not (instance_failed ks index) then begin
+      let id = { Sensor.kind = ks.kind; index } in
+      match Avis_hinj.Hinj.sensor_read t.hinj ~time id with
+      | Avis_hinj.Hinj.Healthy -> ()
+      | Avis_hinj.Hinj.Failed -> ks.failed <- (index, time) :: ks.failed
+    end
+  done;
+  match active_instance ks with
+  | None -> None
+  | Some index -> Some (Suite.read t.suite world { Sensor.kind = ks.kind; index })
+
+(* Degradations keep the sensor "responding" but corrupt its readings; the
+   driver is none the wiser (the whole point of the richer fault model). *)
+let corrupt t kind ~(stale : Sensor.reading option) (reading : Sensor.reading) =
+  let open Avis_geo in
+  let perturb offset v = v +. offset () in
+  let perturb_vec offset v =
+    Vec3.make (perturb offset v.Vec3.x) (perturb offset v.Vec3.y)
+      (perturb offset v.Vec3.z)
+  in
+  let offset_of = function
+    | Avis_hinj.Hinj.Extra_noise stddev ->
+      fun () -> Avis_util.Rng.gaussian_scaled t.rng ~mean:0.0 ~stddev
+    | Avis_hinj.Hinj.Constant_bias b -> fun () -> b
+    | Avis_hinj.Hinj.Stuck_at_last -> fun () -> 0.0
+  in
+  match kind with
+  | Avis_hinj.Hinj.Stuck_at_last -> (
+    match stale with Some old -> old | None -> reading)
+  | Avis_hinj.Hinj.Extra_noise _ | Avis_hinj.Hinj.Constant_bias _ -> (
+    let offset = offset_of kind in
+    match reading with
+    | Sensor.Accel v -> Sensor.Accel (perturb_vec offset v)
+    | Sensor.Gyro v -> Sensor.Gyro (perturb_vec offset v)
+    | Sensor.Gps_fix { position; velocity; hdop } ->
+      Sensor.Gps_fix { position = perturb_vec offset position; velocity; hdop }
+    | Sensor.Heading h -> Sensor.Heading (perturb offset h)
+    | Sensor.Pressure_alt a -> Sensor.Pressure_alt (perturb offset a)
+    | Sensor.Battery_state { voltage; remaining } ->
+      Sensor.Battery_state { voltage = perturb offset voltage; remaining })
+
+let sample t world ~time =
+  List.iter
+    (fun ks ->
+      ks.fresh <- None;
+      if time >= ks.next_sample then begin
+        ks.next_sample <- ks.next_sample +. ks.period;
+        (* If scheduling fell far behind (it should not), resynchronise. *)
+        if ks.next_sample <= time then ks.next_sample <- time +. ks.period;
+        match probe_and_read t ks world ~time with
+        | Some reading ->
+          let reading =
+            match active_instance ks with
+            | Some index -> (
+              let id = { Sensor.kind = ks.kind; index } in
+              match Avis_hinj.Hinj.degradation_of t.hinj ~time id with
+              | Some kind -> corrupt t kind ~stale:ks.stale reading
+              | None -> reading)
+            | None -> reading
+          in
+          ks.fresh <- Some reading;
+          ks.stale <- Some reading
+        | None -> ()
+      end)
+    t.kinds
+
+let state_for t kind =
+  match List.find_opt (fun ks -> ks.kind = kind) t.kinds with
+  | Some ks -> ks
+  | None -> invalid_arg ("Drivers: no such kind " ^ Sensor.kind_to_string kind)
+
+let status t kind =
+  let ks = state_for t kind in
+  let active = active_instance ks in
+  {
+    healthy = active <> None;
+    primary_failed_at = List.assoc_opt 0 ks.failed;
+    kind_failed_at =
+      (if active = None then
+         match List.map snd ks.failed with
+         | [] -> None
+         | times -> Some (List.fold_left Float.max neg_infinity times)
+       else None);
+    active_instance = active;
+    fresh = ks.fresh;
+    stale = ks.stale;
+  }
+
+let kind_healthy t kind = (status t kind).healthy
+
+let failure_start t kind =
+  let ks = state_for t kind in
+  match List.map snd ks.failed with
+  | [] -> None
+  | times -> Some (List.fold_left Float.min infinity times)

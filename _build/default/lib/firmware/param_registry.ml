@@ -1,0 +1,78 @@
+type entry = {
+  name : string;
+  get : Params.t -> float;
+  set : Params.t -> float -> Params.t;
+  min_value : float;
+  max_value : float;
+  description : string;
+}
+
+let all =
+  [
+    {
+      name = "WPNAV_SPEED";
+      get = (fun p -> p.Params.cruise_speed);
+      set = (fun p v -> { p with Params.cruise_speed = v });
+      min_value = 1.0;
+      max_value = 5.0;
+      description = "horizontal speed along mission legs, m/s";
+    };
+    {
+      name = "WPNAV_RADIUS";
+      get = (fun p -> p.Params.waypoint_radius);
+      set = (fun p v -> { p with Params.waypoint_radius = v });
+      min_value = 1.0;
+      max_value = 10.0;
+      description = "waypoint acceptance radius, m";
+    };
+    {
+      name = "TKOFF_SPD";
+      get = (fun p -> p.Params.takeoff_climb_rate);
+      set = (fun p v -> { p with Params.takeoff_climb_rate = v });
+      min_value = 0.5;
+      max_value = 4.0;
+      description = "takeoff climb rate, m/s";
+    };
+    {
+      name = "LAND_SPEED";
+      get = (fun p -> p.Params.land_descent_rate);
+      set = (fun p v -> { p with Params.land_descent_rate = v });
+      min_value = 0.3;
+      max_value = 2.5;
+      description = "landing descent rate below the fast stage, m/s";
+    };
+    {
+      name = "RTL_ALT";
+      get = (fun p -> p.Params.rtl_altitude);
+      set = (fun p v -> { p with Params.rtl_altitude = v });
+      min_value = 5.0;
+      max_value = 100.0;
+      description = "return altitude, m";
+    };
+    {
+      name = "FS_BATT_PCT";
+      get = (fun p -> 100.0 *. p.Params.battery_low_fraction);
+      set = (fun p v -> { p with Params.battery_low_fraction = v /. 100.0 });
+      min_value = 5.0;
+      max_value = 50.0;
+      description = "battery failsafe threshold, percent";
+    };
+  ]
+
+let count = List.length all
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let index_of name =
+  let rec loop i = function
+    | [] -> None
+    | e :: rest -> if e.name = name then Some i else loop (i + 1) rest
+  in
+  loop 0 all
+
+let apply_set params ~name ~value =
+  match find name with
+  | None -> None
+  | Some entry ->
+    let value = Avis_util.Stats.clamp ~lo:entry.min_value ~hi:entry.max_value value in
+    Some (entry.set params value, value)

@@ -1,0 +1,30 @@
+(** The firmware's tunable-parameter table.
+
+    A small registry of the navigation parameters a ground station may read
+    and write over the PARAM protocol, in ArduPilot's naming style. Each
+    entry carries an accessor pair over {!Params.t} plus the valid range;
+    sets outside the range are rejected (the vehicle replies with the
+    unchanged value, as real firmware does). Controller *gains* are
+    deliberately not exposed. *)
+
+type entry = {
+  name : string;
+  get : Params.t -> float;
+  set : Params.t -> float -> Params.t;
+  min_value : float;
+  max_value : float;
+  description : string;
+}
+
+val all : entry list
+(** In index order (the PARAM_VALUE index/count fields follow this). *)
+
+val count : int
+
+val find : string -> entry option
+
+val index_of : string -> int option
+
+val apply_set : Params.t -> name:string -> value:float -> (Params.t * float) option
+(** [Some (params', accepted_value)] when the parameter exists; the value
+    is clamped into the entry's range. [None] for unknown names. *)

@@ -1,0 +1,43 @@
+(** Flight phases — the firmware's operating modes.
+
+    These are the "operating modes" Avis exploits: every phase change goes
+    through the mode-update function instrumented with hinj, so each one is
+    a potential fault-injection site for SABRE. Waypoint legs are separate
+    modes (as in ArduPilot's AUTO sub-modes), which is why the paper's
+    Table II can report windows like "Waypoint 1 → Waypoint 2". *)
+
+type t =
+  | Preflight  (** On the ground, initialising and waiting to arm. *)
+  | Takeoff
+  | Waypoint of int  (** 1-based leg of an uploaded mission. *)
+  | Manual  (** Pilot-commanded position hold / repositioning. *)
+  | Rtl  (** Return to launch. *)
+  | Land
+  | Landed  (** Mission complete, disarmed. *)
+
+val label : t -> string
+(** Human-readable mode label, matching the paper's vocabulary
+    ("Pre-Flight", "Takeoff", "Waypoint 1", "Return To Launch", …). This is
+    the string reported through hinj's mode-update call. *)
+
+val of_label : string -> t option
+(** Inverse of [label]. *)
+
+val equal : t -> t -> bool
+
+val is_airborne : t -> bool
+(** Phases in which the vehicle is expected to be flying. *)
+
+(** Pattern over phases, for describing bug trigger windows. *)
+type pattern =
+  | Any
+  | Exactly of t
+  | Any_waypoint
+  | One_of : pattern list -> pattern
+
+val matches : pattern -> t -> bool
+
+val to_code : t -> int
+(** Integer encoding carried in heartbeats' custom-mode field. *)
+
+val of_code : int -> t option

@@ -1,0 +1,37 @@
+type t = {
+  kp : float;
+  ki : float;
+  kd : float;
+  i_limit : float;
+  out_limit : float;
+  mutable integral : float;
+  mutable last_error : float option;
+}
+
+let create ?(kp = 0.0) ?(ki = 0.0) ?(kd = 0.0) ?(i_limit = infinity)
+    ?(out_limit = infinity) () =
+  { kp; ki; kd; i_limit; out_limit; integral = 0.0; last_error = None }
+
+let clamp limit v = Avis_util.Stats.clamp ~lo:(-.limit) ~hi:limit v
+
+let finish t ~error ~derivative ~dt =
+  t.integral <- clamp t.i_limit (t.integral +. (error *. dt));
+  let out = (t.kp *. error) +. (t.ki *. t.integral) +. (t.kd *. derivative) in
+  clamp t.out_limit out
+
+let update t ~error ~dt =
+  let derivative =
+    match t.last_error with
+    | Some prev when dt > 0.0 -> (error -. prev) /. dt
+    | Some _ | None -> 0.0
+  in
+  t.last_error <- Some error;
+  finish t ~error ~derivative ~dt
+
+let update_with_rate t ~error ~rate ~dt =
+  t.last_error <- Some error;
+  finish t ~error ~derivative:(-.rate) ~dt
+
+let reset t =
+  t.integral <- 0.0;
+  t.last_error <- None

@@ -1,0 +1,29 @@
+type gps_loss_action = Gps_failsafe_land | Gps_altitude_hold
+
+type t = {
+  firmware : Bug.firmware_kind;
+  name : string;
+  params : Params.t;
+  gps_loss_action : gps_loss_action;
+  takeoff_gates : bool;
+}
+
+let apm =
+  {
+    firmware = Bug.Ardupilot;
+    name = "ArduPilot";
+    params = Params.default;
+    gps_loss_action = Gps_failsafe_land;
+    takeoff_gates = false;
+  }
+
+let px4 =
+  {
+    firmware = Bug.Px4;
+    name = "PX4";
+    params = Params.default;
+    gps_loss_action = Gps_altitude_hold;
+    takeoff_gates = true;
+  }
+
+let of_firmware = function Bug.Ardupilot -> apm | Bug.Px4 -> px4

@@ -1,0 +1,29 @@
+(** Firmware personalities.
+
+    ArduPilot and PX4 differ, for Avis's purposes, in their mode vocabulary
+    and in their failure-handling policies; this record captures those
+    differences so that the rest of the flight stack is shared. Each
+    personality also owns its set of reproduced bugs (see {!Bug}). *)
+
+type gps_loss_action =
+  | Gps_failsafe_land  (** ArduPilot: land in place when position is lost. *)
+  | Gps_altitude_hold
+      (** PX4: degrade to an altitude-hold manual mode and keep flying. *)
+
+type t = {
+  firmware : Bug.firmware_kind;
+  name : string;
+  params : Params.t;
+  gps_loss_action : gps_loss_action;
+  takeoff_gates : bool;
+      (** PX4 refuses to climb until heading and altitude sources are
+          valid; ArduPilot climbs regardless. *)
+}
+
+val apm : t
+(** The ArduPilot-like personality. *)
+
+val px4 : t
+(** The PX4-like personality. *)
+
+val of_firmware : Bug.firmware_kind -> t

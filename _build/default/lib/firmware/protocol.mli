@@ -1,0 +1,53 @@
+(** Vehicle-side MAVLink handling.
+
+    Owns the vehicle end of the link: decodes incoming frames, runs the
+    vehicle's half of the mission-upload handshake (it requests each item —
+    the ground station must answer, which is the transaction the paper
+    notes makes naive workloads deadlock-prone), acknowledges commands, and
+    streams telemetry at the configured rates. Pilot-level requests are
+    surfaced as a queue of {!request} values for the mode logic. *)
+
+open Avis_geo
+open Avis_mavlink
+
+type request =
+  | Req_arm
+  | Req_disarm
+  | Req_takeoff of float  (** Target altitude, metres. *)
+  | Req_land
+  | Req_rtl
+  | Req_auto  (** Start the uploaded mission. *)
+  | Req_manual
+  | Req_reposition of Vec3.t  (** Local-frame target. *)
+  | Req_param_set of string * float
+  | Req_param_list
+
+(** What the mode logic must expose for telemetry. *)
+type telemetry = {
+  phase_code : int;
+  armed : bool;
+  position : Vec3.t;  (** Estimated position, local frame. *)
+  velocity : Vec3.t;
+  yaw : float;
+  battery_voltage : float;
+  battery_remaining : float;
+}
+
+type t
+
+val create : link:Link.t -> frame:Geodesy.frame -> params:Params.t -> unit -> t
+
+val step : t -> time:float -> telemetry -> request list
+(** Process inbound traffic and emit due telemetry. Returns the pilot
+    requests decoded this cycle, in arrival order. *)
+
+val mission : t -> Msg.mission_item list
+(** The last fully uploaded mission (empty before any upload). *)
+
+val ack_command : t -> command:int -> accepted:bool -> unit
+(** Send a COMMAND_ACK (the mode logic decides acceptance). *)
+
+val send_statustext : t -> Msg.severity -> string -> unit
+
+val send_param_value : t -> name:string -> value:float -> index:int -> unit
+(** Emit a PARAM_VALUE (the reply to PARAM_SET and PARAM_REQUEST_LIST). *)

@@ -1,0 +1,1 @@
+lib/geo/geodesy.ml: Float Vec3

@@ -1,0 +1,1 @@
+lib/geo/geodesy.mli: Vec3

@@ -1,0 +1,1 @@
+lib/geo/quat.ml: Float Format Stdlib Vec3

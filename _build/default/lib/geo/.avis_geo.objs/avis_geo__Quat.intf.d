@@ -1,0 +1,1 @@
+lib/geo/quat.mli: Format Vec3

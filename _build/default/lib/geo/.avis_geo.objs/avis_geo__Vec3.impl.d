@@ -1,0 +1,1 @@
+lib/geo/vec3.ml: Float Format

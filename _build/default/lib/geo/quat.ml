@@ -1,0 +1,116 @@
+type t = { w : float; x : float; y : float; z : float }
+
+let identity = { w = 1.0; x = 0.0; y = 0.0; z = 0.0 }
+
+let make ~w ~x ~y ~z = { w; x; y; z }
+
+let norm q = sqrt ((q.w *. q.w) +. (q.x *. q.x) +. (q.y *. q.y) +. (q.z *. q.z))
+
+let normalize q =
+  let n = norm q in
+  if n = 0.0 then identity
+  else { w = q.w /. n; x = q.x /. n; y = q.y /. n; z = q.z /. n }
+
+let of_axis_angle axis angle =
+  let a = Vec3.normalize axis in
+  let half = angle /. 2.0 in
+  let s = sin half in
+  normalize { w = cos half; x = s *. a.Vec3.x; y = s *. a.Vec3.y; z = s *. a.Vec3.z }
+
+let of_euler ~roll ~pitch ~yaw =
+  let cr = cos (roll /. 2.0) and sr = sin (roll /. 2.0) in
+  let cp = cos (pitch /. 2.0) and sp = sin (pitch /. 2.0) in
+  let cy = cos (yaw /. 2.0) and sy = sin (yaw /. 2.0) in
+  {
+    w = (cr *. cp *. cy) +. (sr *. sp *. sy);
+    x = (sr *. cp *. cy) -. (cr *. sp *. sy);
+    y = (cr *. sp *. cy) +. (sr *. cp *. sy);
+    z = (cr *. cp *. sy) -. (sr *. sp *. cy);
+  }
+
+let to_euler q =
+  let q = normalize q in
+  let sinr = 2.0 *. ((q.w *. q.x) +. (q.y *. q.z)) in
+  let cosr = 1.0 -. (2.0 *. ((q.x *. q.x) +. (q.y *. q.y))) in
+  let roll = atan2 sinr cosr in
+  let sinp = 2.0 *. ((q.w *. q.y) -. (q.z *. q.x)) in
+  let pitch =
+    if Float.abs sinp >= 1.0 then Float.copy_sign (Float.pi /. 2.0) sinp
+    else asin sinp
+  in
+  let siny = 2.0 *. ((q.w *. q.z) +. (q.x *. q.y)) in
+  let cosy = 1.0 -. (2.0 *. ((q.y *. q.y) +. (q.z *. q.z))) in
+  let yaw = atan2 siny cosy in
+  (roll, pitch, yaw)
+
+let mul a b =
+  {
+    w = (a.w *. b.w) -. (a.x *. b.x) -. (a.y *. b.y) -. (a.z *. b.z);
+    x = (a.w *. b.x) +. (a.x *. b.w) +. (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.w *. b.y) -. (a.x *. b.z) +. (a.y *. b.w) +. (a.z *. b.x);
+    z = (a.w *. b.z) +. (a.x *. b.y) -. (a.y *. b.x) +. (a.z *. b.w);
+  }
+
+let conjugate q = { w = q.w; x = -.q.x; y = -.q.y; z = -.q.z }
+
+let rotate q v =
+  (* v' = q * (0, v) * q^-1, expanded without building quaternions. *)
+  let u = Vec3.make q.x q.y q.z in
+  let t = Vec3.scale 2.0 (Vec3.cross u v) in
+  Vec3.add v (Vec3.add (Vec3.scale q.w t) (Vec3.cross u t))
+
+let rotate_inv q v = rotate (conjugate q) v
+
+let integrate q omega dt =
+  let ox = omega.Vec3.x and oy = omega.Vec3.y and oz = omega.Vec3.z in
+  let half_dt = dt /. 2.0 in
+  (* dq = (dt/2) * q ⊗ (0, omega), with omega in the body frame. *)
+  let dq =
+    {
+      w = 0.0 -. (half_dt *. ((ox *. q.x) +. (oy *. q.y) +. (oz *. q.z)));
+      x = half_dt *. ((ox *. q.w) +. (oz *. q.y) -. (oy *. q.z));
+      y = half_dt *. ((oy *. q.w) +. (ox *. q.z) -. (oz *. q.x));
+      z = half_dt *. ((oz *. q.w) +. (oy *. q.x) -. (ox *. q.y));
+    }
+  in
+  normalize { w = q.w +. dq.w; x = q.x +. dq.x; y = q.y +. dq.y; z = q.z +. dq.z }
+
+let dot a b = (a.w *. b.w) +. (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+
+let slerp a b s =
+  let a = normalize a and b = normalize b in
+  let d = dot a b in
+  (* Take the shortest arc by flipping one endpoint when needed. *)
+  let negate q = { w = -.q.w; x = -.q.x; y = -.q.y; z = -.q.z } in
+  let b, d = if d < 0.0 then (negate b, -.d) else (b, d) in
+  if d > 0.9995 then
+    normalize
+      {
+        w = a.w +. (s *. (b.w -. a.w));
+        x = a.x +. (s *. (b.x -. a.x));
+        y = a.y +. (s *. (b.y -. a.y));
+        z = a.z +. (s *. (b.z -. a.z));
+      }
+  else
+    let theta = acos (Float.min 1.0 d) in
+    let sin_theta = sin theta in
+    let wa = sin ((1.0 -. s) *. theta) /. sin_theta in
+    let wb = sin (s *. theta) /. sin_theta in
+    normalize
+      {
+        w = (wa *. a.w) +. (wb *. b.w);
+        x = (wa *. a.x) +. (wb *. b.x);
+        y = (wa *. a.y) +. (wb *. b.y);
+        z = (wa *. a.z) +. (wb *. b.z);
+      }
+
+let angle_between a b =
+  let d = Float.abs (dot (normalize a) (normalize b)) in
+  2.0 *. acos (Float.min 1.0 d)
+
+let tilt q =
+  let body_up = rotate q Vec3.unit_z in
+  let c = Stdlib.max (-1.0) (Stdlib.min 1.0 (Vec3.dot body_up Vec3.unit_z)) in
+  acos c
+
+let pp ppf q = Format.fprintf ppf "(w=%.4f x=%.4f y=%.4f z=%.4f)" q.w q.x q.y q.z

@@ -1,0 +1,54 @@
+(** Unit quaternions representing vehicle attitude.
+
+    Attitude maps body-frame vectors into the world frame via [rotate].
+    Euler angles follow the aerospace convention: roll about body x, pitch
+    about body y, yaw about world z (heading, radians, zero = north = +x,
+    increasing towards east = +y). *)
+
+type t = { w : float; x : float; y : float; z : float }
+
+val identity : t
+
+val make : w:float -> x:float -> y:float -> z:float -> t
+
+val of_axis_angle : Vec3.t -> float -> t
+(** Rotation of [angle] radians about the given axis (normalised internally). *)
+
+val of_euler : roll:float -> pitch:float -> yaw:float -> t
+(** Build from aerospace Euler angles (ZYX order). *)
+
+val to_euler : t -> float * float * float
+(** [(roll, pitch, yaw)] of a (near-)unit quaternion. *)
+
+val mul : t -> t -> t
+(** Hamilton product; [mul a b] applies [b] first, then [a]. *)
+
+val conjugate : t -> t
+
+val norm : t -> float
+
+val normalize : t -> t
+(** Renormalise to unit length; the identity if the norm is zero. *)
+
+val rotate : t -> Vec3.t -> Vec3.t
+(** Rotate a body-frame vector into the world frame. *)
+
+val rotate_inv : t -> Vec3.t -> Vec3.t
+(** Rotate a world-frame vector into the body frame. *)
+
+val integrate : t -> Vec3.t -> float -> t
+(** [integrate q omega dt] advances attitude [q] by body angular rate
+    [omega] (rad/s) over [dt] seconds and renormalises. *)
+
+val slerp : t -> t -> float -> t
+(** Spherical linear interpolation (shortest arc). *)
+
+val angle_between : t -> t -> float
+(** Magnitude of the rotation taking one attitude to the other, in
+    [\[0, pi\]]. *)
+
+val tilt : t -> float
+(** Angle between the body z axis and the world vertical — how far from
+    level the vehicle is, in radians. *)
+
+val pp : Format.formatter -> t -> unit

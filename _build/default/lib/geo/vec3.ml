@@ -1,0 +1,47 @@
+type t = { x : float; y : float; z : float }
+
+let zero = { x = 0.0; y = 0.0; z = 0.0 }
+let make x y z = { x; y; z }
+let unit_x = { x = 1.0; y = 0.0; z = 0.0 }
+let unit_y = { x = 0.0; y = 1.0; z = 0.0 }
+let unit_z = { x = 0.0; y = 0.0; z = 1.0 }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y; z = a.z -. b.z }
+let neg a = { x = -.a.x; y = -.a.y; z = -.a.z }
+let scale s a = { x = s *. a.x; y = s *. a.y; z = s *. a.z }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+
+let cross a b =
+  {
+    x = (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.z *. b.x) -. (a.x *. b.z);
+    z = (a.x *. b.y) -. (a.y *. b.x);
+  }
+
+let norm_sq a = dot a a
+let norm a = sqrt (norm_sq a)
+let dist a b = norm (sub a b)
+
+let normalize a =
+  let n = norm a in
+  if n = 0.0 then zero else scale (1.0 /. n) a
+
+let lerp a b s = add a (scale s (sub b a))
+let horizontal a = { a with z = 0.0 }
+
+let clamp_norm limit v =
+  if limit < 0.0 then invalid_arg "Vec3.clamp_norm: negative limit";
+  let n = norm v in
+  if n <= limit || n = 0.0 then v else scale (limit /. n) v
+
+let is_finite a =
+  Float.is_finite a.x && Float.is_finite a.y && Float.is_finite a.z
+
+let equal_eps ?(eps = 1e-9) a b =
+  Float.abs (a.x -. b.x) <= eps
+  && Float.abs (a.y -. b.y) <= eps
+  && Float.abs (a.z -. b.z) <= eps
+
+let pp ppf a = Format.fprintf ppf "(%.4f, %.4f, %.4f)" a.x a.y a.z
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,52 @@
+(** Three-dimensional vectors.
+
+    The simulator works in a local NED-like frame: x north, y east, z *up*
+    (we keep z-up rather than NED's z-down because altitude arithmetic reads
+    more naturally; the convention is applied consistently everywhere). *)
+
+type t = { x : float; y : float; z : float }
+
+val zero : t
+val make : float -> float -> float -> t
+val unit_x : t
+val unit_y : t
+val unit_z : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+val cross : t -> t -> t
+
+val norm : t -> float
+(** Euclidean length. *)
+
+val norm_sq : t -> float
+(** Squared length (cheaper; use for comparisons). *)
+
+val dist : t -> t -> float
+(** Euclidean distance between two points — the [d_e] of the paper's
+    liveliness metric. *)
+
+val normalize : t -> t
+(** Unit vector in the same direction; [zero] maps to [zero]. *)
+
+val lerp : t -> t -> float -> t
+(** [lerp a b s] is [a + s*(b - a)]. *)
+
+val horizontal : t -> t
+(** Projection onto the ground plane (z set to 0). *)
+
+val clamp_norm : float -> t -> t
+(** [clamp_norm limit v] rescales [v] so its length does not exceed
+    [limit] (which must be non-negative). *)
+
+val is_finite : t -> bool
+(** All three components are finite (no NaN/inf). *)
+
+val equal_eps : ?eps:float -> t -> t -> bool
+(** Component-wise comparison within [eps] (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

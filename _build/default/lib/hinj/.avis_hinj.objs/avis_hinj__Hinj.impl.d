@@ -1,0 +1,1 @@
+lib/hinj/hinj.ml: Avis_sensors List Sensor

@@ -1,0 +1,1 @@
+lib/hinj/hinj.mli: Avis_sensors Sensor

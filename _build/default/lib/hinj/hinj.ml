@@ -1,0 +1,79 @@
+open Avis_sensors
+
+type fault = { sensor : Sensor.id; at : float }
+
+type plan = fault list
+
+type degradation_kind =
+  | Stuck_at_last
+  | Extra_noise of float
+  | Constant_bias of float
+
+type degradation = {
+  target : Sensor.id;
+  from_time : float;
+  kind : degradation_kind;
+}
+
+type decision = Healthy | Failed
+
+type transition = { time : float; from_mode : string; to_mode : string }
+
+type t = {
+  plan : plan;
+  degradations : degradation list;
+  mutable mode : string option;
+  mutable initial_mode : (float * string) option;
+  mutable transitions : transition list; (* newest first *)
+  mutable read_count : int;
+}
+
+let create ?(plan = []) ?(degradations = []) () =
+  { plan; degradations; mode = None; initial_mode = None; transitions = [];
+    read_count = 0 }
+
+let plan t = t.plan
+
+let is_failed t ~time id =
+  List.exists (fun f -> Sensor.equal_id f.sensor id && f.at <= time) t.plan
+
+let sensor_read t ~time id =
+  t.read_count <- t.read_count + 1;
+  if is_failed t ~time id then Failed else Healthy
+
+let update_mode t ~time mode =
+  match t.mode with
+  | None ->
+    t.mode <- Some mode;
+    t.initial_mode <- Some (time, mode)
+  | Some current when current = mode -> ()
+  | Some current ->
+    t.mode <- Some mode;
+    t.transitions <- { time; from_mode = current; to_mode = mode } :: t.transitions
+
+let current_mode t = t.mode
+
+let transitions t = List.rev t.transitions
+
+let mode_at t time =
+  match t.initial_mode with
+  | None -> None
+  | Some (t0, first) ->
+    if time < t0 then None
+    else
+      List.fold_left
+        (fun acc tr -> if tr.time <= time then Some tr.to_mode else acc)
+        (Some first) (transitions t)
+
+let read_count t = t.read_count
+
+let injected_so_far t ~time = List.filter (fun f -> f.at <= time) t.plan
+
+let degradation_of t ~time id =
+  if is_failed t ~time id then None
+  else
+    List.find_map
+      (fun d ->
+        if Sensor.equal_id d.target id && d.from_time <= time then Some d.kind
+        else None)
+      t.degradations

@@ -1,0 +1,76 @@
+(** The hardware-fault-injector interface ("libhinj").
+
+    This is the reproduction of the paper's libhinj: the only firmware
+    modifications Avis requires. Firmware sensor drivers route every read
+    through [sensor_read], which consults the injection plan and either
+    passes the read through or reports a clean failure; the firmware's
+    mode-change function calls [update_mode], which is how Avis observes
+    mode transitions and timestamps them.
+
+    The fault model is the paper's: a *clean sensor failure* — from its
+    start time onwards the instance stops communicating and the driver
+    reports it failed; a failed sensor never recovers within a run. *)
+
+open Avis_sensors
+
+type fault = { sensor : Sensor.id; at : float }
+(** Fail [sensor] from simulation time [at] (seconds) onwards. *)
+
+type plan = fault list
+
+(** Degradations — the richer fault models the paper leaves to future work.
+    Unlike clean failures, a degraded sensor keeps responding, but its
+    readings are corrupted; the driver cannot tell from the transport that
+    anything is wrong. *)
+type degradation_kind =
+  | Stuck_at_last  (** The reading freezes at its last healthy value. *)
+  | Extra_noise of float
+      (** Additional zero-mean Gaussian noise with this stddev on every
+          scalar channel. *)
+  | Constant_bias of float  (** A constant offset on every scalar channel. *)
+
+type degradation = {
+  target : Sensor.id;
+  from_time : float;
+  kind : degradation_kind;
+}
+
+type decision = Healthy | Failed
+
+type transition = { time : float; from_mode : string; to_mode : string }
+
+type t
+
+val create : ?plan:plan -> ?degradations:degradation list -> unit -> t
+
+val plan : t -> plan
+
+val sensor_read : t -> time:float -> Sensor.id -> decision
+(** The instrumented driver's question: should this read succeed? Also
+    counts reads for throughput statistics. *)
+
+val is_failed : t -> time:float -> Sensor.id -> bool
+(** Same decision without counting a read (used by health monitors). *)
+
+val update_mode : t -> time:float -> string -> unit
+(** Called by the firmware whenever its mode changes. The first call
+    records the initial mode; subsequent calls with a different mode record
+    a transition. *)
+
+val current_mode : t -> string option
+
+val transitions : t -> transition list
+(** All observed transitions, oldest first. *)
+
+val mode_at : t -> float -> string option
+(** The mode the firmware was in at a given time, from the transition log. *)
+
+val read_count : t -> int
+(** Total sensor reads intercepted. *)
+
+val injected_so_far : t -> time:float -> fault list
+(** The part of the plan already active at [time]. *)
+
+val degradation_of : t -> time:float -> Sensor.id -> degradation_kind option
+(** The degradation active on an instance, if any (clean failures take
+    precedence: a failed instance does not respond at all). *)

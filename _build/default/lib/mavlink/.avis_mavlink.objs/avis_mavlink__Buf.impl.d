@@ -1,0 +1,1 @@
+lib/mavlink/buf.ml: Buffer Char Int32 String

@@ -1,0 +1,1 @@
+lib/mavlink/gcs.ml: Array Avis_geo Frame Link List Msg

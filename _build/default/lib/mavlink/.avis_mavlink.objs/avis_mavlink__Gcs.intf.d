@@ -1,0 +1,1 @@
+lib/mavlink/gcs.mli: Link Msg

@@ -1,0 +1,1 @@
+lib/mavlink/link.ml: Avis_util List String

@@ -1,0 +1,1 @@
+lib/mavlink/link.mli: Avis_util

@@ -1,0 +1,1 @@
+lib/mavlink/msg.ml: Buf Printf

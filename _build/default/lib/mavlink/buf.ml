@@ -1,0 +1,69 @@
+exception Truncated
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 64
+
+let put_u8 w v = Buffer.add_char w (Char.chr (v land 0xFF))
+
+let put_u16 w v =
+  put_u8 w v;
+  put_u8 w (v lsr 8)
+
+let put_i32 w v =
+  let v = v land 0xFFFFFFFF in
+  put_u8 w v;
+  put_u8 w (v lsr 8);
+  put_u8 w (v lsr 16);
+  put_u8 w (v lsr 24)
+
+let put_f32 w f =
+  let bits = Int32.bits_of_float f in
+  put_i32 w (Int32.to_int bits land 0xFFFFFFFF)
+
+let put_string w ~len s =
+  for i = 0 to len - 1 do
+    if i < String.length s then Buffer.add_char w s.[i] else Buffer.add_char w '\000'
+  done
+
+let contents = Buffer.contents
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let need r n = if r.pos + n > String.length r.data then raise Truncated
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  let lo = get_u8 r in
+  let hi = get_u8 r in
+  lo lor (hi lsl 8)
+
+let get_i32 r =
+  let b0 = get_u8 r in
+  let b1 = get_u8 r in
+  let b2 = get_u8 r in
+  let b3 = get_u8 r in
+  let v = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+  (* Sign-extend from 32 bits. *)
+  if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+let get_f32 r =
+  let v = get_i32 r in
+  Int32.float_of_bits (Int32.of_int v)
+
+let get_string r ~len =
+  need r len;
+  let raw = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  match String.index_opt raw '\000' with
+  | Some i -> String.sub raw 0 i
+  | None -> raw
+
+let remaining r = String.length r.data - r.pos

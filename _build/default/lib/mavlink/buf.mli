@@ -1,0 +1,32 @@
+(** Little-endian payload serialisation.
+
+    MAVLink payloads are packed little-endian structures; this module gives
+    the writer and a cursor-based reader used by the message codec. Readers
+    raise [Truncated] rather than returning partial values, so a corrupt
+    frame is rejected as a whole. *)
+
+exception Truncated
+
+type writer
+
+val writer : unit -> writer
+val put_u8 : writer -> int -> unit
+val put_u16 : writer -> int -> unit
+val put_i32 : writer -> int -> unit
+val put_f32 : writer -> float -> unit
+val put_string : writer -> len:int -> string -> unit
+(** Fixed-width string field, zero-padded or truncated to [len]. *)
+
+val contents : writer -> string
+
+type reader
+
+val reader : string -> reader
+val get_u8 : reader -> int
+val get_u16 : reader -> int
+val get_i32 : reader -> int
+val get_f32 : reader -> float
+val get_string : reader -> len:int -> string
+(** Reads [len] bytes and strips trailing zero padding. *)
+
+val remaining : reader -> int

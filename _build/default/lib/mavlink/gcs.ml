@@ -1,0 +1,127 @@
+type upload_state = Upload_idle | Upload_in_progress | Upload_done | Upload_failed
+
+type t = {
+  link : Link.t;
+  sysid : int;
+  compid : int;
+  decoder : Frame.decoder;
+  mutable seq : int;
+  (* telemetry cache *)
+  mutable relative_alt : float;
+  mutable latitude : float;
+  mutable longitude : float;
+  mutable velocity : float * float * float;
+  mutable heading_deg : float;
+  mutable vehicle_mode : int option;
+  mutable armed : bool;
+  mutable battery_pct : int;
+  mutable statustexts : string list; (* newest first *)
+  (* transactions *)
+  mutable upload : upload_state;
+  mutable upload_items : Msg.mission_item array;
+  mutable command_acks : (int * bool) list;
+  mutable params : (string * float) list;
+}
+
+let create ?(sysid = 255) ?(compid = 190) link =
+  {
+    link;
+    sysid;
+    compid;
+    decoder = Frame.decoder ();
+    seq = 0;
+    relative_alt = 0.0;
+    latitude = 0.0;
+    longitude = 0.0;
+    velocity = (0.0, 0.0, 0.0);
+    heading_deg = 0.0;
+    vehicle_mode = None;
+    armed = false;
+    battery_pct = 100;
+    statustexts = [];
+    upload = Upload_idle;
+    upload_items = [||];
+    command_acks = [];
+    params = [];
+  }
+
+let send t msg =
+  let data = Frame.encode ~seq:t.seq ~sysid:t.sysid ~compid:t.compid msg in
+  t.seq <- (t.seq + 1) land 0xFF;
+  Link.send t.link Link.Gcs_end data
+
+let handle t (msg : Msg.t) =
+  match msg with
+  | Msg.Heartbeat { custom_mode; armed; _ } ->
+    t.vehicle_mode <- Some custom_mode;
+    t.armed <- armed
+  | Msg.Sys_status { battery_remaining; _ } -> t.battery_pct <- battery_remaining
+  | Msg.Global_position g ->
+    t.relative_alt <- float_of_int g.relative_alt_mm /. 1000.0;
+    t.latitude <- Avis_geo.Geodesy.e7_to_deg g.lat_e7;
+    t.longitude <- Avis_geo.Geodesy.e7_to_deg g.lon_e7;
+    t.velocity <-
+      ( float_of_int g.vx_cm /. 100.0,
+        float_of_int g.vy_cm /. 100.0,
+        float_of_int g.vz_cm /. 100.0 );
+    t.heading_deg <- float_of_int g.heading_cdeg /. 100.0
+  | Msg.Statustext { text; _ } -> t.statustexts <- text :: t.statustexts
+  | Msg.Mission_request { seq } ->
+    if t.upload = Upload_in_progress then
+      if seq >= 0 && seq < Array.length t.upload_items then
+        send t (Msg.Mission_item t.upload_items.(seq))
+      else t.upload <- Upload_failed
+  | Msg.Mission_ack { accepted } ->
+    if t.upload = Upload_in_progress then
+      t.upload <- (if accepted then Upload_done else Upload_failed)
+  | Msg.Command_ack { command; accepted } ->
+    t.command_acks <- (command, accepted) :: t.command_acks
+  | Msg.Param_value { name; value; _ } ->
+    t.params <- (name, value) :: List.remove_assoc name t.params
+  | Msg.Set_mode _ | Msg.Mission_count _ | Msg.Mission_item _
+  | Msg.Mission_current _ | Msg.Command_long _ | Msg.Param_request_list
+  | Msg.Param_set _ ->
+    (* Vehicle-to-GCS traffic never carries these; ignore. *)
+    ()
+
+let poll t =
+  let bytes = Link.receive t.link Link.Gcs_end in
+  let frames = Frame.feed t.decoder bytes in
+  let msgs = List.map (fun f -> f.Frame.message) frames in
+  List.iter (handle t) msgs;
+  msgs
+
+let relative_alt t = t.relative_alt
+let latitude t = t.latitude
+let longitude t = t.longitude
+let velocity t = t.velocity
+let heading_deg t = t.heading_deg
+let vehicle_mode t = t.vehicle_mode
+let armed t = t.armed
+let battery_remaining_pct t = t.battery_pct
+let statustexts t = List.rev t.statustexts
+
+let start_mission_upload t items =
+  if t.upload = Upload_in_progress then
+    invalid_arg "Gcs.start_mission_upload: upload already in progress";
+  t.upload_items <- Array.of_list items;
+  t.upload <- Upload_in_progress;
+  send t (Msg.Mission_count { count = List.length items })
+
+let upload_state t = t.upload
+
+let send_command t ~command ?(param2 = 0.0) ?(param3 = 0.0) ?(param4 = 0.0) ~param1 () =
+  t.command_acks <- List.remove_assoc command t.command_acks;
+  send t (Msg.Command_long { command; param1; param2; param3; param4 })
+
+let command_ack t ~command = List.assoc_opt command t.command_acks
+
+let request_mode t mode = send t (Msg.Set_mode { custom_mode = mode })
+
+let set_param t ~name ~value = send t (Msg.Param_set { name; value })
+
+let request_param_list t = send t Msg.Param_request_list
+
+let param t name = List.assoc_opt name t.params
+
+let params t = t.params

@@ -1,0 +1,78 @@
+(** Ground-control-station protocol driver.
+
+    Wraps one end of a {!Link} with frame encoding/decoding, telemetry
+    caching, and the stateful transactions a workload needs: the
+    mission-upload handshake (COUNT → REQUEST… → ITEM… → ACK), long
+    commands with acknowledgements, and mode changes. All operations are
+    non-blocking — [poll] must be called every simulation step, and
+    completion is observed through the state accessors. This is exactly the
+    structure the paper's workload framework exists to hide; the high-level
+    blocking API lives in [Avis_core.Workload]. *)
+
+type t
+
+val create : ?sysid:int -> ?compid:int -> Link.t -> t
+(** Attach to the GCS end of a link. *)
+
+val poll : t -> Msg.t list
+(** Ingest everything that arrived since the last poll, update cached
+    telemetry, answer mission-upload requests, and return the decoded
+    messages for custom handling. Call once per simulation step. *)
+
+val send : t -> Msg.t -> unit
+(** Fire-and-forget send (framed with the next sequence number). *)
+
+(** {2 Cached telemetry} *)
+
+val relative_alt : t -> float
+(** Metres above home from the latest position message (0 before any). *)
+
+val latitude : t -> float
+val longitude : t -> float
+val velocity : t -> float * float * float
+(** North/east/up velocity, m/s. *)
+
+val heading_deg : t -> float
+val vehicle_mode : t -> int option
+val armed : t -> bool
+val battery_remaining_pct : t -> int
+val statustexts : t -> string list
+(** All STATUSTEXT strings received so far, oldest first. *)
+
+(** {2 Transactions} *)
+
+type upload_state = Upload_idle | Upload_in_progress | Upload_done | Upload_failed
+
+val start_mission_upload : t -> Msg.mission_item list -> unit
+(** Begin the mission-upload handshake. Raises [Invalid_argument] if an
+    upload is already in progress. *)
+
+val upload_state : t -> upload_state
+
+val send_command :
+  t ->
+  command:int ->
+  ?param2:float ->
+  ?param3:float ->
+  ?param4:float ->
+  param1:float ->
+  unit ->
+  unit
+(** COMMAND_LONG; the acknowledgement is observable via [command_ack]. *)
+
+val command_ack : t -> command:int -> bool option
+(** [Some accepted] once an ack for [command] has arrived. *)
+
+val request_mode : t -> int -> unit
+(** SET_MODE; confirmation arrives via the heartbeat's custom mode. *)
+
+val set_param : t -> name:string -> value:float -> unit
+(** PARAM_SET; the vehicle echoes a PARAM_VALUE observable via [param]. *)
+
+val request_param_list : t -> unit
+
+val param : t -> string -> float option
+(** Latest PARAM_VALUE received for a name. *)
+
+val params : t -> (string * float) list
+(** Every parameter seen so far. *)

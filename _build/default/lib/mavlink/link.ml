@@ -1,0 +1,60 @@
+type endpoint = Gcs_end | Vehicle_end
+
+type chunk = { deliver_at : int; data : string }
+
+type t = {
+  jitter : (Avis_util.Rng.t * int) option;
+  mutable now : int;
+  mutable to_vehicle : chunk list; (* newest first *)
+  mutable to_gcs : chunk list;
+  mutable last_to_vehicle : int;
+  mutable last_to_gcs : int;
+}
+
+let create ?jitter () =
+  { jitter; now = 0; to_vehicle = []; to_gcs = []; last_to_vehicle = 0;
+    last_to_gcs = 0 }
+
+let delay t =
+  match t.jitter with
+  | None -> 1
+  | Some (rng, max_steps) -> 1 + Avis_util.Rng.int rng (max_steps + 1)
+
+let send t from data =
+  if data <> "" then begin
+    (* A byte stream never reorders: each chunk's delivery time is at
+       least the previous chunk's in the same direction. *)
+    let at = t.now + delay t in
+    let at =
+      match from with
+      | Gcs_end ->
+        let at = max at t.last_to_vehicle in
+        t.last_to_vehicle <- at;
+        at
+      | Vehicle_end ->
+        let at = max at t.last_to_gcs in
+        t.last_to_gcs <- at;
+        at
+    in
+    let chunk = { deliver_at = at; data } in
+    match from with
+    | Gcs_end -> t.to_vehicle <- chunk :: t.to_vehicle
+    | Vehicle_end -> t.to_gcs <- chunk :: t.to_gcs
+  end
+
+let step t = t.now <- t.now + 1
+
+let receive t at =
+  let queue = match at with Gcs_end -> t.to_gcs | Vehicle_end -> t.to_vehicle in
+  let due, pending = List.partition (fun c -> c.deliver_at <= t.now) queue in
+  (match at with
+  | Gcs_end -> t.to_gcs <- pending
+  | Vehicle_end -> t.to_vehicle <- pending);
+  (* Queues are newest-first; restore send order, then stably order by
+     delivery time so jittered chunks cannot overtake within a step. *)
+  let ordered =
+    List.stable_sort (fun a b -> compare a.deliver_at b.deliver_at) (List.rev due)
+  in
+  String.concat "" (List.map (fun c -> c.data) ordered)
+
+let in_flight t = List.length t.to_vehicle + List.length t.to_gcs

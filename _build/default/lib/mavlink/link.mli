@@ -1,0 +1,29 @@
+(** In-memory duplex byte link between the ground-control station and the
+    vehicle.
+
+    The paper's monitor copes with "slight delays between the workload
+    sending and the firmware receiving messages" introduced by the OS
+    scheduler; the link reproduces that nondeterminism deterministically: an
+    optional jitter source delays each chunk by a small random number of
+    simulation steps. *)
+
+type endpoint = Gcs_end | Vehicle_end
+
+type t
+
+val create : ?jitter:Avis_util.Rng.t * int -> unit -> t
+(** [create ~jitter:(rng, max_steps) ()] delays each sent chunk by a uniform
+    0..max_steps steps. Without [jitter], delivery happens on the next
+    step. *)
+
+val send : t -> endpoint -> string -> unit
+(** Queue bytes from the given endpoint towards the other side. *)
+
+val step : t -> unit
+(** Advance one simulation step; due chunks become receivable. *)
+
+val receive : t -> endpoint -> string
+(** Drain all bytes that have arrived at the given endpoint. *)
+
+val in_flight : t -> int
+(** Chunks queued in either direction, for diagnostics. *)

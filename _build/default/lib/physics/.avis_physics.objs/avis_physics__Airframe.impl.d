@@ -1,0 +1,1 @@
+lib/physics/airframe.ml: Avis_geo List Vec3

@@ -1,0 +1,1 @@
+lib/physics/airframe.mli: Avis_geo Vec3

@@ -1,0 +1,1 @@
+lib/physics/environment.ml: Avis_geo Avis_util Float List Vec3

@@ -1,0 +1,1 @@
+lib/physics/environment.mli: Avis_geo Avis_util Vec3

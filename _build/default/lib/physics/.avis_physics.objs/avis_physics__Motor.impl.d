@@ -1,0 +1,1 @@
+lib/physics/motor.ml: Airframe Array Avis_geo Avis_util Float Vec3

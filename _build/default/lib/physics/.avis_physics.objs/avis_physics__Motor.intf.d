@@ -1,0 +1,1 @@
+lib/physics/motor.mli: Airframe Avis_geo Vec3

@@ -1,0 +1,1 @@
+lib/physics/rigid_body.ml: Airframe Avis_geo Quat Vec3

@@ -1,0 +1,1 @@
+lib/physics/rigid_body.mli: Avis_geo Quat Vec3

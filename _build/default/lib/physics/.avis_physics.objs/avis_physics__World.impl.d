@@ -1,0 +1,1 @@
+lib/physics/world.ml: Airframe Avis_geo Avis_util Environment Float Format List Motor Quat Rigid_body Vec3

@@ -1,0 +1,1 @@
+lib/physics/world.mli: Airframe Avis_geo Avis_util Environment Format Rigid_body Vec3

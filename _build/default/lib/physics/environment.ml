@@ -1,0 +1,64 @@
+open Avis_geo
+
+type obstacle = { centre : Vec3.t; half_extents : Vec3.t; label : string }
+
+type fence = { centre_xy : Vec3.t; radius_m : float; max_alt_m : float }
+
+type wind = {
+  steady : Vec3.t;
+  gust_stddev : float;
+  gust_correlation_s : float;
+}
+
+type t = {
+  obstacles : obstacle list;
+  fence : fence option;
+  wind : wind option;
+  mutable gust : Vec3.t;
+}
+
+let create ?(obstacles = []) ?(fence = None) ?(wind = None) () =
+  { obstacles; fence; wind; gust = Vec3.zero }
+
+let benign () = create ()
+
+let obstacles t = t.obstacles
+let fence t = t.fence
+
+let wind_at t rng dt =
+  match t.wind with
+  | None -> Vec3.zero
+  | Some w ->
+    (* Ornstein-Uhlenbeck gusts: exponentially correlated noise around the
+       steady component. *)
+    let tau = Float.max 1e-3 w.gust_correlation_s in
+    let alpha = exp (-.dt /. tau) in
+    let sigma = w.gust_stddev *. sqrt (1.0 -. (alpha *. alpha)) in
+    let noise =
+      Vec3.make
+        (Avis_util.Rng.gaussian_scaled rng ~mean:0.0 ~stddev:sigma)
+        (Avis_util.Rng.gaussian_scaled rng ~mean:0.0 ~stddev:sigma)
+        (Avis_util.Rng.gaussian_scaled rng ~mean:0.0 ~stddev:(sigma /. 3.0))
+    in
+    t.gust <- Vec3.add (Vec3.scale alpha t.gust) noise;
+    Vec3.add w.steady t.gust
+
+let ground_altitude _t _pos = 0.0
+
+let inside_obstacle t pos =
+  let contains o =
+    let open Vec3 in
+    let d = sub pos o.centre in
+    Float.abs d.x <= o.half_extents.x
+    && Float.abs d.y <= o.half_extents.y
+    && Float.abs d.z <= o.half_extents.z
+  in
+  List.find_opt contains t.obstacles
+
+let breaches_fence t pos =
+  match t.fence with
+  | None -> false
+  | Some f ->
+    let open Vec3 in
+    let d = horizontal (sub pos f.centre_xy) in
+    norm d > f.radius_m || pos.z > f.max_alt_m

@@ -1,0 +1,43 @@
+(** The simulated physical world: ground, obstacles, geofence and wind.
+
+    The paper's environments contain obstacles and weather effects; the
+    default evaluation environment is flat, obstacle-free and calm, and that
+    is the default here too ([benign]). Obstacles are axis-aligned boxes;
+    the geofence is an optional horizontal circle plus an altitude ceiling,
+    matching the fence semantics the second default workload exercises. *)
+
+open Avis_geo
+
+type obstacle = { centre : Vec3.t; half_extents : Vec3.t; label : string }
+
+type fence = { centre_xy : Vec3.t; radius_m : float; max_alt_m : float }
+
+type wind = {
+  steady : Vec3.t;  (** Constant component, m/s. *)
+  gust_stddev : float;  (** Strength of the coloured-noise gusts. *)
+  gust_correlation_s : float;  (** Gust time constant. *)
+}
+
+type t
+
+val benign : unit -> t
+(** Flat ground, no obstacles, no fence, no wind. *)
+
+val create :
+  ?obstacles:obstacle list -> ?fence:fence option -> ?wind:wind option -> unit -> t
+
+val obstacles : t -> obstacle list
+val fence : t -> fence option
+
+val wind_at : t -> Avis_util.Rng.t -> float -> Vec3.t
+(** [wind_at t rng dt] advances the gust process by [dt] and returns the
+    current wind vector. Calm environments always return zero. *)
+
+val ground_altitude : t -> Vec3.t -> float
+(** Terrain height under a position; the default world is flat at 0. *)
+
+val inside_obstacle : t -> Vec3.t -> obstacle option
+(** The first obstacle containing the point, if any. *)
+
+val breaches_fence : t -> Vec3.t -> bool
+(** True when a fence exists and the point lies outside it. *)

@@ -1,0 +1,86 @@
+open Avis_geo
+
+type t = {
+  frame : Airframe.t;
+  layout : (Vec3.t * float) array;
+  commanded : float array;
+  actual : float array; (* thrust fraction actually produced *)
+}
+
+(* Motors evenly spaced around the airframe starting 45 degrees off the
+   nose (so a quad is the usual X configuration), with alternating spin
+   directions for yaw authority. Any even motor count works. *)
+let mix_layout (frame : Airframe.t) =
+  let n = frame.motor_count in
+  if n < 4 || n mod 2 <> 0 then
+    invalid_arg "Motor.mix_layout: motor count must be even and at least 4";
+  Array.init n (fun i ->
+      let angle =
+        (Float.pi /. 4.0)
+        -. (2.0 *. Float.pi *. float_of_int i /. float_of_int n)
+      in
+      let pos =
+        Vec3.make
+          (frame.arm_length_m *. cos angle)
+          (frame.arm_length_m *. sin angle)
+          0.0
+      in
+      let spin = if i mod 2 = 0 then 1.0 else -1.0 in
+      (pos, spin))
+
+let create frame =
+  let n = frame.Airframe.motor_count in
+  {
+    frame;
+    layout = mix_layout frame;
+    commanded = Array.make n 0.0;
+    actual = Array.make n 0.0;
+  }
+
+let command t cmds =
+  if Array.length cmds <> Array.length t.commanded then
+    invalid_arg "Motor.command: wrong motor count";
+  Array.iteri
+    (fun i c -> t.commanded.(i) <- Avis_util.Stats.clamp ~lo:0.0 ~hi:1.0 c)
+    cmds
+
+let step t dt =
+  let tau = t.frame.Airframe.motor_time_constant_s in
+  let alpha = if tau <= 0.0 then 1.0 else 1.0 -. exp (-.dt /. tau) in
+  for i = 0 to Array.length t.actual - 1 do
+    t.actual.(i) <- t.actual.(i) +. (alpha *. (t.commanded.(i) -. t.actual.(i)))
+  done
+
+let thrusts t =
+  Array.map (fun f -> f *. t.frame.Airframe.max_thrust_per_motor_n) t.actual
+
+let total_thrust t = Array.fold_left ( +. ) 0.0 (thrusts t)
+
+let body_torque t ~rate ~airspeed_body =
+  let th = thrusts t in
+  let torque = ref Vec3.zero in
+  Array.iteri
+    (fun i (pos, spin) ->
+      let lift = Vec3.make 0.0 0.0 th.(i) in
+      (* Differential-thrust roll/pitch torque plus yaw reaction torque. *)
+      let arm = Vec3.cross pos lift in
+      let yaw =
+        Vec3.make 0.0 0.0 (spin *. t.frame.Airframe.torque_per_thrust *. th.(i))
+      in
+      torque := Vec3.add !torque (Vec3.add arm yaw))
+    t.layout;
+  (* Blade flapping, scaled by how hard the rotors are working: a moment
+     opposing roll/pitch rates, and a flap-back moment about (z x v)
+     tilting the disc against the perpendicular airflow. *)
+  let thrust_fraction =
+    total_thrust t /. Float.max 1e-6 (Airframe.max_total_thrust_n t.frame)
+  in
+  let k_damp = t.frame.Airframe.flap_rate_damping *. thrust_fraction in
+  let rate_term = Vec3.make (-.k_damp *. rate.Vec3.x) (-.k_damp *. rate.Vec3.y) 0.0 in
+  let v_perp = Vec3.horizontal airspeed_body in
+  let back_term =
+    Vec3.scale
+      (t.frame.Airframe.flap_back *. thrust_fraction)
+      (Vec3.cross Vec3.unit_z v_perp)
+  in
+  Vec3.add !torque (Vec3.add rate_term back_term)

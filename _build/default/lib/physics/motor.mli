@@ -1,0 +1,35 @@
+(** Rotor model with first-order spin-up lag.
+
+    The flight stack commands a throttle fraction per motor; actual thrust
+    follows the command with a small time constant, which is what makes
+    abrupt attitude-controller output physically bounded. Motors are laid
+    out in an X configuration; [mix_layout] gives each motor's position and
+    spin direction for torque computation. *)
+
+open Avis_geo
+
+type t
+
+val create : Airframe.t -> t
+(** All motors at rest. *)
+
+val command : t -> float array -> unit
+(** Set commanded throttle per motor, clamped to [\[0, 1\]]. The array length
+    must equal the airframe's motor count. *)
+
+val step : t -> float -> unit
+(** Advance rotor dynamics by [dt] seconds. *)
+
+val thrusts : t -> float array
+(** Current thrust per motor, newtons. *)
+
+val total_thrust : t -> float
+
+val body_torque : t -> rate:Vec3.t -> airspeed_body:Vec3.t -> Vec3.t
+(** Net torque in the body frame from differential thrust, reaction
+    torques, and blade flapping (a moment opposing roll/pitch [rate] plus a
+    flap-back moment against the perpendicular [airspeed_body]) — the
+    passive stability real rotors provide. *)
+
+val mix_layout : Airframe.t -> (Vec3.t * float) array
+(** Per-motor [(position in body frame, spin direction ±1)]. *)

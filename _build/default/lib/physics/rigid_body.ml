@@ -1,0 +1,51 @@
+open Avis_geo
+
+type t = {
+  mutable position : Vec3.t;
+  mutable velocity : Vec3.t;
+  mutable attitude : Quat.t;
+  mutable angular_velocity : Vec3.t;
+  mutable acceleration : Vec3.t;
+}
+
+let create ?(position = Vec3.zero) () =
+  {
+    position;
+    velocity = Vec3.zero;
+    attitude = Quat.identity;
+    angular_velocity = Vec3.zero;
+    acceleration = Vec3.zero;
+  }
+
+let step t ~inertia ~mass ~force ~torque ~dt =
+  let accel = Vec3.scale (1.0 /. mass) force in
+  t.acceleration <- accel;
+  (* Semi-implicit Euler: update velocity first, then position with the new
+     velocity, which keeps the contact dynamics stable. *)
+  t.velocity <- Vec3.add t.velocity (Vec3.scale dt accel);
+  t.position <- Vec3.add t.position (Vec3.scale dt t.velocity);
+  let open Vec3 in
+  let omega = t.angular_velocity in
+  (* Euler's equations with a diagonal inertia tensor. *)
+  let coriolis =
+    make
+      ((inertia.z -. inertia.y) *. omega.y *. omega.z)
+      ((inertia.x -. inertia.z) *. omega.z *. omega.x)
+      ((inertia.y -. inertia.x) *. omega.x *. omega.y)
+  in
+  let angular_accel =
+    make
+      ((torque.x -. coriolis.x) /. inertia.x)
+      ((torque.y -. coriolis.y) /. inertia.y)
+      ((torque.z -. coriolis.z) /. inertia.z)
+  in
+  t.angular_velocity <- add omega (scale dt angular_accel);
+  t.attitude <- Quat.integrate t.attitude t.angular_velocity dt
+
+let specific_force_body t =
+  let gravity = Vec3.make 0.0 0.0 (-.Airframe.gravity) in
+  Quat.rotate_inv t.attitude (Vec3.sub t.acceleration gravity)
+
+let speed t = Vec3.norm t.velocity
+let horizontal_speed t = Vec3.norm (Vec3.horizontal t.velocity)
+let climb_rate t = t.velocity.Vec3.z

@@ -1,0 +1,31 @@
+(** Six-degree-of-freedom rigid-body state and integration.
+
+    Positions are metres in the local world frame (z up); attitudes map body
+    vectors to world vectors. Integration is semi-implicit Euler, which is
+    stable at the simulator's 250 Hz step for this system's stiffness. *)
+
+open Avis_geo
+
+type t = {
+  mutable position : Vec3.t;
+  mutable velocity : Vec3.t;
+  mutable attitude : Quat.t;
+  mutable angular_velocity : Vec3.t;  (** Body frame, rad/s. *)
+  mutable acceleration : Vec3.t;  (** World frame, latest step, m/s². *)
+}
+
+val create : ?position:Vec3.t -> unit -> t
+(** At rest, level, at the given position (origin by default). *)
+
+val step :
+  t -> inertia:Vec3.t -> mass:float -> force:Vec3.t -> torque:Vec3.t -> dt:float -> unit
+(** Advance by [dt] under a world-frame [force] (newtons, gravity included by
+    the caller) and a body-frame [torque] (N·m). Updates [acceleration]. *)
+
+val specific_force_body : t -> Vec3.t
+(** What an ideal accelerometer strapped to the body reads: the world
+    acceleration minus gravity, rotated into the body frame. *)
+
+val speed : t -> float
+val horizontal_speed : t -> float
+val climb_rate : t -> float

@@ -1,0 +1,176 @@
+open Avis_geo
+
+type contact_event =
+  | Touchdown of { speed : float }
+  | Ground_impact of { speed : float }
+  | Obstacle_strike of { label : string; speed : float }
+  | Tipover
+
+type t = {
+  airframe : Airframe.t;
+  environment : Environment.t;
+  rng : Avis_util.Rng.t;
+  body : Rigid_body.t;
+  motors : Motor.t;
+  mutable time : float;
+  mutable crashed : bool;
+  mutable crash_event : contact_event option;
+  mutable fence_breached : bool;
+  mutable resting : bool;
+}
+
+(* Impact limits: a multicopter landing gear tolerates roughly 2.5 m/s of
+   sink and modest lateral scrub; beyond that we call it a crash. *)
+let crash_sink_speed = 2.5
+let crash_lateral_speed = 2.0
+let tipover_tilt_rad = Float.pi /. 4.0
+let ground_friction = 8.0
+
+let create ?environment ?rng ?(airframe = Airframe.iris) ?(position = Vec3.zero) () =
+  let environment =
+    match environment with Some e -> e | None -> Environment.benign ()
+  in
+  let rng = match rng with Some r -> r | None -> Avis_util.Rng.create 0 in
+  {
+    airframe;
+    environment;
+    rng;
+    body = Rigid_body.create ~position ();
+    motors = Motor.create airframe;
+    time = 0.0;
+    crashed = false;
+    crash_event = None;
+    fence_breached = false;
+    resting = true;
+  }
+
+let airframe t = t.airframe
+let environment t = t.environment
+let body t = t.body
+let time t = t.time
+let crashed t = t.crashed
+let crash_event t = t.crash_event
+let fence_breached t = t.fence_breached
+
+let on_ground t =
+  let ground = Environment.ground_altitude t.environment t.body.Rigid_body.position in
+  t.body.Rigid_body.position.Vec3.z <= ground +. 0.02
+
+let latch_crash t event =
+  t.crashed <- true;
+  t.crash_event <- Some event;
+  t.body.Rigid_body.velocity <- Vec3.zero;
+  t.body.Rigid_body.angular_velocity <- Vec3.zero
+
+let settle_on_ground t ground =
+  let b = t.body in
+  b.Rigid_body.position <- { b.Rigid_body.position with Vec3.z = ground };
+  let v = b.Rigid_body.velocity in
+  b.Rigid_body.velocity <- { v with Vec3.z = Float.max 0.0 v.Vec3.z }
+
+let step t ~motor_commands ~dt =
+  t.time <- t.time +. dt;
+  if t.crashed then None
+  else begin
+    Motor.command t.motors motor_commands;
+    Motor.step t.motors dt;
+    let b = t.body in
+    let frame = t.airframe in
+    let thrust_body = Vec3.make 0.0 0.0 (Motor.total_thrust t.motors) in
+    let thrust_world = Quat.rotate b.Rigid_body.attitude thrust_body in
+    let gravity =
+      Vec3.make 0.0 0.0 (-.frame.Airframe.mass_kg *. Airframe.gravity)
+    in
+    let wind = Environment.wind_at t.environment t.rng dt in
+    let airspeed = Vec3.sub b.Rigid_body.velocity wind in
+    let drag = Vec3.scale (-.frame.Airframe.linear_drag) airspeed in
+    let ground = Environment.ground_altitude t.environment b.Rigid_body.position in
+    let contact = b.Rigid_body.position.Vec3.z <= ground +. 1e-9 in
+    let normal =
+      (* Ground reaction: cancel any net downward force while in contact. *)
+      if contact then
+        let net_z = thrust_world.Vec3.z +. gravity.Vec3.z +. drag.Vec3.z in
+        if net_z < 0.0 then Vec3.make 0.0 0.0 (-.net_z) else Vec3.zero
+      else Vec3.zero
+    in
+    let friction =
+      if contact then
+        Vec3.scale
+          (-.ground_friction *. frame.Airframe.mass_kg)
+          (Vec3.horizontal b.Rigid_body.velocity)
+      else Vec3.zero
+    in
+    let force =
+      List.fold_left Vec3.add Vec3.zero [ thrust_world; gravity; drag; normal; friction ]
+    in
+    let torque =
+      let motor_torque =
+        let airspeed_body = Quat.rotate_inv b.Rigid_body.attitude airspeed in
+        Vec3.add
+          (Motor.body_torque t.motors ~rate:b.Rigid_body.angular_velocity
+             ~airspeed_body)
+          (Vec3.scale (-.frame.Airframe.angular_drag)
+             b.Rigid_body.angular_velocity)
+      in
+      if contact && normal <> Vec3.zero then
+        (* Resting on the gear: the ground damps rotation strongly, but a
+           sustained differential-thrust torque can still tip the vehicle. *)
+        Vec3.add motor_torque (Vec3.scale (-1.0) b.Rigid_body.angular_velocity)
+      else motor_torque
+    in
+    Rigid_body.step b ~inertia:frame.Airframe.inertia ~mass:frame.Airframe.mass_kg
+      ~force ~torque ~dt;
+    if Environment.breaches_fence t.environment b.Rigid_body.position then
+      t.fence_breached <- true;
+    let event =
+      match Environment.inside_obstacle t.environment b.Rigid_body.position with
+      | Some o when Rigid_body.speed b > 0.5 ->
+        let e = Obstacle_strike { label = o.Environment.label; speed = Rigid_body.speed b } in
+        latch_crash t e;
+        Some e
+      | Some _ | None ->
+        let z = b.Rigid_body.position.Vec3.z in
+        if z < ground then begin
+          let sink = -.b.Rigid_body.velocity.Vec3.z in
+          let lateral = Rigid_body.horizontal_speed b in
+          if sink > crash_sink_speed || lateral > crash_lateral_speed then begin
+            settle_on_ground t ground;
+            let e = Ground_impact { speed = Float.max sink lateral } in
+            latch_crash t e;
+            Some e
+          end
+          else if Quat.tilt b.Rigid_body.attitude > tipover_tilt_rad then begin
+            settle_on_ground t ground;
+            latch_crash t Tipover;
+            Some Tipover
+          end
+          else begin
+            settle_on_ground t ground;
+            let was_resting = t.resting in
+            t.resting <- true;
+            if was_resting then None else Some (Touchdown { speed = sink })
+          end
+        end
+        else if
+          (* Resting contact: tipping over on the ground (e.g. motors kept
+             running after a missed touchdown) is also a crash. *)
+          z <= ground +. 0.02
+          && Quat.tilt b.Rigid_body.attitude > tipover_tilt_rad
+        then begin
+          latch_crash t Tipover;
+          Some Tipover
+        end
+        else begin
+          if z > ground +. 0.05 then t.resting <- false;
+          None
+        end
+    in
+    event
+  end
+
+let pp_contact ppf = function
+  | Touchdown { speed } -> Format.fprintf ppf "touchdown (%.2f m/s)" speed
+  | Ground_impact { speed } -> Format.fprintf ppf "ground impact (%.2f m/s)" speed
+  | Obstacle_strike { label; speed } ->
+    Format.fprintf ppf "obstacle strike on %s (%.2f m/s)" label speed
+  | Tipover -> Format.fprintf ppf "tipover"

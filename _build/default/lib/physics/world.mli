@@ -1,0 +1,54 @@
+(** The complete simulated vehicle-in-environment.
+
+    One [step] is the simulation time-step of the paper's Fig. 7: the
+    firmware's actuator outputs (motor commands) go in, the new physical
+    state comes out, and any contact events are recorded. The contact model
+    distinguishes a gentle touchdown (the vehicle comes to rest) from a hard
+    impact or an obstacle strike, which is what the invariant monitor's
+    crash detector consumes. *)
+
+open Avis_geo
+
+type contact_event =
+  | Touchdown of { speed : float }
+      (** Ground contact below the crash threshold; the vehicle settles. *)
+  | Ground_impact of { speed : float }
+      (** Ground contact above the crash threshold — a crash. *)
+  | Obstacle_strike of { label : string; speed : float }
+  | Tipover
+      (** The vehicle is on the ground with excessive tilt. *)
+
+type t
+
+val create :
+  ?environment:Environment.t ->
+  ?rng:Avis_util.Rng.t ->
+  ?airframe:Airframe.t ->
+  ?position:Vec3.t ->
+  unit ->
+  t
+
+val airframe : t -> Airframe.t
+val environment : t -> Environment.t
+val body : t -> Rigid_body.t
+
+val time : t -> float
+(** Simulated seconds since creation. *)
+
+val on_ground : t -> bool
+
+val step : t -> motor_commands:float array -> dt:float -> contact_event option
+(** Advance one time-step. Returns the contact event produced during this
+    step, if any. After a [Ground_impact], [Obstacle_strike] or [Tipover]
+    the world latches [crashed] and further steps keep the vehicle where it
+    stopped. *)
+
+val crashed : t -> bool
+
+val crash_event : t -> contact_event option
+(** The latched crash, if one occurred. *)
+
+val fence_breached : t -> bool
+(** True once the vehicle has ever left the geofence (latched). *)
+
+val pp_contact : Format.formatter -> contact_event -> unit

@@ -1,0 +1,1 @@
+lib/sensors/noise.ml: Avis_util

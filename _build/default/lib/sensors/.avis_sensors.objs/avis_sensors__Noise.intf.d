@@ -1,0 +1,1 @@
+lib/sensors/noise.mli: Avis_util

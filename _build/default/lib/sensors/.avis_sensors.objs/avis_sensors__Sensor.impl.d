@@ -1,0 +1,1 @@
+lib/sensors/sensor.ml: Avis_geo Format Printf Vec3

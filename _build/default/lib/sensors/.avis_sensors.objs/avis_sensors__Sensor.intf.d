@@ -1,0 +1,1 @@
+lib/sensors/sensor.mli: Avis_geo Format Vec3

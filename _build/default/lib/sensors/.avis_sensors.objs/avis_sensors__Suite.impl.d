@@ -1,0 +1,1 @@
+lib/sensors/suite.ml: Airframe Avis_geo Avis_physics Avis_util Float List Noise Quat Sensor Vec3 World

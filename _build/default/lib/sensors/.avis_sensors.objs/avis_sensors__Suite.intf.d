@@ -1,0 +1,1 @@
+lib/sensors/suite.mli: Avis_physics Avis_util Sensor

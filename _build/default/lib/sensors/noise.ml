@@ -1,0 +1,31 @@
+type spec = { white_stddev : float; bias_stddev : float; drift_rate : float }
+
+let accel = { white_stddev = 0.05; bias_stddev = 0.03; drift_rate = 0.0 }
+let gyro = { white_stddev = 0.005; bias_stddev = 0.0003; drift_rate = 0.0 }
+let gps_horizontal = { white_stddev = 0.6; bias_stddev = 0.3; drift_rate = 0.0 }
+let gps_vertical = { white_stddev = 2.2; bias_stddev = 1.0; drift_rate = 0.0 }
+let gps_velocity = { white_stddev = 0.12; bias_stddev = 0.05; drift_rate = 0.0 }
+let compass = { white_stddev = 0.02; bias_stddev = 0.01; drift_rate = 0.0 }
+let baro = { white_stddev = 0.12; bias_stddev = 0.25; drift_rate = 0.01 }
+let battery_voltage = { white_stddev = 0.02; bias_stddev = 0.01; drift_rate = 0.0 }
+
+type channel = {
+  rng : Avis_util.Rng.t;
+  spec : spec;
+  bias : float;
+  mutable drift : float;
+}
+
+let channel rng spec =
+  let rng = Avis_util.Rng.split rng in
+  let bias = Avis_util.Rng.gaussian_scaled rng ~mean:0.0 ~stddev:spec.bias_stddev in
+  { rng; spec; bias; drift = 0.0 }
+
+let sample c ~dt ~truth =
+  if c.spec.drift_rate > 0.0 then
+    c.drift <-
+      c.drift
+      +. Avis_util.Rng.gaussian_scaled c.rng ~mean:0.0
+           ~stddev:(c.spec.drift_rate *. sqrt dt);
+  truth +. c.bias +. c.drift
+  +. Avis_util.Rng.gaussian_scaled c.rng ~mean:0.0 ~stddev:c.spec.white_stddev

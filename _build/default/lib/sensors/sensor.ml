@@ -1,0 +1,62 @@
+open Avis_geo
+
+type kind = Accelerometer | Gyroscope | Gps | Compass | Barometer | Battery
+
+let all_kinds = [ Accelerometer; Gyroscope; Gps; Compass; Barometer; Battery ]
+
+let kind_to_string = function
+  | Accelerometer -> "accelerometer"
+  | Gyroscope -> "gyroscope"
+  | Gps -> "gps"
+  | Compass -> "compass"
+  | Barometer -> "barometer"
+  | Battery -> "battery"
+
+let kind_of_string = function
+  | "accelerometer" -> Some Accelerometer
+  | "gyroscope" -> Some Gyroscope
+  | "gps" -> Some Gps
+  | "compass" -> Some Compass
+  | "barometer" -> Some Barometer
+  | "battery" -> Some Battery
+  | _ -> None
+
+type role = Primary | Backup
+
+type id = { kind : kind; index : int }
+
+let role_of id = if id.index = 0 then Primary else Backup
+
+let id_to_string id = Printf.sprintf "%s[%d]" (kind_to_string id.kind) id.index
+
+let compare_id a b =
+  match compare a.kind b.kind with 0 -> compare a.index b.index | c -> c
+
+let equal_id a b = compare_id a b = 0
+
+type reading =
+  | Accel of Vec3.t
+  | Gyro of Vec3.t
+  | Gps_fix of { position : Vec3.t; velocity : Vec3.t; hdop : float }
+  | Heading of float
+  | Pressure_alt of float
+  | Battery_state of { voltage : float; remaining : float }
+
+let reading_kind = function
+  | Accel _ -> Accelerometer
+  | Gyro _ -> Gyroscope
+  | Gps_fix _ -> Gps
+  | Heading _ -> Compass
+  | Pressure_alt _ -> Barometer
+  | Battery_state _ -> Battery
+
+let pp_reading ppf = function
+  | Accel v -> Format.fprintf ppf "accel %a" Vec3.pp v
+  | Gyro v -> Format.fprintf ppf "gyro %a" Vec3.pp v
+  | Gps_fix { position; velocity; hdop } ->
+    Format.fprintf ppf "gps pos=%a vel=%a hdop=%.2f" Vec3.pp position Vec3.pp
+      velocity hdop
+  | Heading h -> Format.fprintf ppf "heading %.3f rad" h
+  | Pressure_alt a -> Format.fprintf ppf "baro alt %.2f m" a
+  | Battery_state { voltage; remaining } ->
+    Format.fprintf ppf "battery %.2f V (%.0f%%)" voltage (remaining *. 100.0)

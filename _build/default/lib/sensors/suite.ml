@@ -1,0 +1,170 @@
+open Avis_geo
+open Avis_physics
+
+type complement = {
+  accelerometers : int;
+  gyroscopes : int;
+  compasses : int;
+  gps_receivers : int;
+  barometers : int;
+  batteries : int;
+}
+
+let iris_complement =
+  {
+    accelerometers = 2;
+    gyroscopes = 2;
+    compasses = 2;
+    gps_receivers = 2;
+    barometers = 2;
+    batteries = 1;
+  }
+
+let instances_of_complement c =
+  let ids kind n = List.init n (fun index -> { Sensor.kind; index }) in
+  List.concat
+    [
+      ids Sensor.Accelerometer c.accelerometers;
+      ids Sensor.Gyroscope c.gyroscopes;
+      ids Sensor.Compass c.compasses;
+      ids Sensor.Gps c.gps_receivers;
+      ids Sensor.Barometer c.barometers;
+      ids Sensor.Battery c.batteries;
+    ]
+
+(* Noise channels per instance: three spatial channels for vector sensors,
+   dedicated channels for GPS's anisotropic errors. *)
+type instance_state = {
+  id : Sensor.id;
+  ch1 : Noise.channel;
+  ch2 : Noise.channel;
+  ch3 : Noise.channel;
+  ch_aux : Noise.channel;
+}
+
+type t = {
+  complement : complement;
+  states : (Sensor.id * instance_state) list;
+  mutable charge : float; (* state of charge, 0..1 *)
+  full_voltage : float;
+  empty_voltage : float;
+  capacity_j : float;
+}
+
+let spec_for (id : Sensor.id) =
+  match id.Sensor.kind with
+  | Sensor.Accelerometer -> (Noise.accel, Noise.accel)
+  | Sensor.Gyroscope -> (Noise.gyro, Noise.gyro)
+  | Sensor.Gps -> (Noise.gps_horizontal, Noise.gps_vertical)
+  | Sensor.Compass -> (Noise.compass, Noise.compass)
+  | Sensor.Barometer -> (Noise.baro, Noise.baro)
+  | Sensor.Battery -> (Noise.battery_voltage, Noise.battery_voltage)
+
+let create ?(complement = iris_complement) ~rng () =
+  let make_state id =
+    let spec, spec_v = spec_for id in
+    let aux_spec =
+      match id.Sensor.kind with
+      | Sensor.Gps -> Noise.gps_velocity
+      | _ -> spec
+    in
+    ( id,
+      {
+        id;
+        ch1 = Noise.channel rng spec;
+        ch2 = Noise.channel rng spec;
+        ch3 = Noise.channel rng spec_v;
+        ch_aux = Noise.channel rng aux_spec;
+      } )
+  in
+  {
+    complement;
+    states = List.map make_state (instances_of_complement complement);
+    charge = 1.0;
+    full_voltage = 12.6;
+    empty_voltage = 10.2;
+    capacity_j = 180_000.0;
+  }
+
+let instances t = List.map fst t.states
+
+let count t kind =
+  match kind with
+  | Sensor.Accelerometer -> t.complement.accelerometers
+  | Sensor.Gyroscope -> t.complement.gyroscopes
+  | Sensor.Compass -> t.complement.compasses
+  | Sensor.Gps -> t.complement.gps_receivers
+  | Sensor.Barometer -> t.complement.barometers
+  | Sensor.Battery -> t.complement.batteries
+
+let tick t world ~dt =
+  (* Electrical power rises with thrust; hovering the Iris draws ~180 W. *)
+  let thrust_fraction =
+    let frame = World.airframe world in
+    let hover = Airframe.hover_throttle frame in
+    Float.max 0.05 hover
+  in
+  let power_w = 180.0 *. (thrust_fraction /. Airframe.hover_throttle (World.airframe world)) in
+  t.charge <- Float.max 0.0 (t.charge -. (power_w *. dt /. t.capacity_j))
+
+let battery_remaining t = t.charge
+
+let drain_battery_to t level =
+  t.charge <- Avis_util.Stats.clamp ~lo:0.0 ~hi:1.0 level
+
+let state_for t id =
+  match List.assoc_opt id t.states with
+  | Some s -> s
+  | None -> invalid_arg ("Suite.read: unknown instance " ^ Sensor.id_to_string id)
+
+let read t world id =
+  let s = state_for t id in
+  let b = World.body world in
+  let dt = 0.0 in
+  match id.Sensor.kind with
+  | Sensor.Accelerometer ->
+    let f = Avis_physics.Rigid_body.specific_force_body b in
+    Sensor.Accel
+      (Vec3.make
+         (Noise.sample s.ch1 ~dt ~truth:f.Vec3.x)
+         (Noise.sample s.ch2 ~dt ~truth:f.Vec3.y)
+         (Noise.sample s.ch3 ~dt ~truth:f.Vec3.z))
+  | Sensor.Gyroscope ->
+    let w = b.Avis_physics.Rigid_body.angular_velocity in
+    Sensor.Gyro
+      (Vec3.make
+         (Noise.sample s.ch1 ~dt ~truth:w.Vec3.x)
+         (Noise.sample s.ch2 ~dt ~truth:w.Vec3.y)
+         (Noise.sample s.ch3 ~dt ~truth:w.Vec3.z))
+  | Sensor.Gps ->
+    let p = b.Avis_physics.Rigid_body.position in
+    let v = b.Avis_physics.Rigid_body.velocity in
+    Sensor.Gps_fix
+      {
+        position =
+          Vec3.make
+            (Noise.sample s.ch1 ~dt ~truth:p.Vec3.x)
+            (Noise.sample s.ch2 ~dt ~truth:p.Vec3.y)
+            (Noise.sample s.ch3 ~dt ~truth:p.Vec3.z);
+        velocity =
+          Vec3.make
+            (Noise.sample s.ch_aux ~dt ~truth:v.Vec3.x)
+            (Noise.sample s.ch_aux ~dt ~truth:v.Vec3.y)
+            (Noise.sample s.ch_aux ~dt ~truth:v.Vec3.z);
+        hdop = 0.8;
+      }
+  | Sensor.Compass ->
+    let _, _, yaw = Quat.to_euler b.Avis_physics.Rigid_body.attitude in
+    Sensor.Heading (Noise.sample s.ch1 ~dt ~truth:yaw)
+  | Sensor.Barometer ->
+    let alt = b.Avis_physics.Rigid_body.position.Vec3.z in
+    Sensor.Pressure_alt (Noise.sample s.ch1 ~dt:0.004 ~truth:alt)
+  | Sensor.Battery ->
+    let truth_v =
+      t.empty_voltage +. ((t.full_voltage -. t.empty_voltage) *. t.charge)
+    in
+    Sensor.Battery_state
+      {
+        voltage = Noise.sample s.ch1 ~dt ~truth:truth_v;
+        remaining = t.charge;
+      }

@@ -1,0 +1,1 @@
+lib/sitl/sim.ml: Avis_firmware Avis_geo Avis_hinj Avis_mavlink Avis_physics Avis_sensors Avis_util Bug Gcs Link Phase Policy Trace Vehicle

@@ -1,0 +1,1 @@
+lib/sitl/sim.mli: Avis_firmware Avis_geo Avis_hinj Avis_mavlink Avis_physics Bug Gcs Policy Trace Vehicle

@@ -1,0 +1,1 @@
+lib/sitl/trace.ml: Array Avis_geo Avis_physics List Vec3

@@ -1,0 +1,1 @@
+lib/sitl/trace.mli: Avis_geo Avis_physics Vec3

@@ -1,0 +1,136 @@
+open Avis_firmware
+open Avis_mavlink
+
+type config = {
+  policy : Policy.t;
+  enabled_bugs : Bug.id list;
+  seed : int;
+  dt : float;
+  max_duration : float;
+  link_jitter_steps : int;
+  environment : Avis_physics.Environment.t option;
+  airframe : Avis_physics.Airframe.t;
+}
+
+let default_config policy =
+  {
+    policy;
+    enabled_bugs = Bug.unknown_bugs policy.Policy.firmware;
+    seed = 0;
+    dt = 0.004;
+    max_duration = 120.0;
+    link_jitter_steps = 2;
+    environment = None;
+    airframe = Avis_physics.Airframe.iris;
+  }
+
+type t = {
+  config : config;
+  frame : Avis_geo.Geodesy.frame;
+  world : Avis_physics.World.t;
+  suite : Avis_sensors.Suite.t;
+  hinj : Avis_hinj.Hinj.t;
+  vehicle : Vehicle.t;
+  link : Link.t;
+  gcs : Gcs.t;
+  trace : Trace.t;
+  mutable steps : int;
+}
+
+(* The local frame is anchored at a fixed home location (the PX4 SITL
+   default near Zurich); all workloads use coordinates relative to it. *)
+let home_geodetic = { Avis_geo.Geodesy.lat = 47.397742; lon = 8.545594; alt = 0.0 }
+
+let create ?(plan = []) ?(degradations = []) config =
+  let rng = Avis_util.Rng.create config.seed in
+  let env_rng = Avis_util.Rng.split rng in
+  let suite_rng = Avis_util.Rng.split rng in
+  let jitter_rng = Avis_util.Rng.split rng in
+  let environment =
+    match config.environment with
+    | Some e -> e
+    | None -> Avis_physics.Environment.benign ()
+  in
+  let world =
+    Avis_physics.World.create ~environment ~rng:env_rng
+      ~airframe:config.airframe ()
+  in
+  let suite = Avis_sensors.Suite.create ~rng:suite_rng () in
+  let hinj = Avis_hinj.Hinj.create ~plan ~degradations () in
+  let link =
+    if config.link_jitter_steps > 0 then
+      Link.create ~jitter:(jitter_rng, config.link_jitter_steps) ()
+    else Link.create ()
+  in
+  let frame = Avis_geo.Geodesy.frame_at home_geodetic in
+  let bugs = Bug.registry ~enabled:config.enabled_bugs config.policy.Policy.firmware in
+  let vehicle =
+    Vehicle.create
+      ?fence:(Avis_physics.Environment.fence environment)
+      ~airframe:config.airframe ~policy:config.policy ~bugs ~suite ~hinj ~link
+      ~frame ()
+  in
+  let trace = Trace.create () in
+  { config; frame; world; suite; hinj; vehicle; link; gcs = Gcs.create link;
+    trace; steps = 0 }
+
+let config t = t.config
+let frame t = t.frame
+let gcs t = t.gcs
+let world t = t.world
+let vehicle t = t.vehicle
+let hinj t = t.hinj
+let trace t = t.trace
+let time t = float_of_int t.steps *. t.config.dt
+let steps t = t.steps
+
+let finished t =
+  Avis_physics.World.crashed t.world || time t >= t.config.max_duration
+
+let step t =
+  if not (finished t) then begin
+    t.steps <- t.steps + 1;
+    Link.step t.link;
+    let motors = Vehicle.step t.vehicle t.world ~dt:t.config.dt in
+    let (_ : Avis_physics.World.contact_event option) =
+      Avis_physics.World.step t.world ~motor_commands:motors ~dt:t.config.dt
+    in
+    Avis_sensors.Suite.tick t.suite t.world ~dt:t.config.dt;
+    Trace.record t.trace ~time:(time t) t.world
+      ~mode:(Phase.label (Vehicle.phase t.vehicle));
+    ignore (Gcs.poll t.gcs)
+  end
+
+let run_until t pred =
+  let rec loop () =
+    if pred t then true
+    else if finished t then pred t
+    else begin
+      step t;
+      loop ()
+    end
+  in
+  loop ()
+
+type outcome = {
+  trace : Trace.t;
+  crash : Avis_physics.World.contact_event option;
+  fence_breached : bool;
+  workload_passed : bool;
+  transitions : Avis_hinj.Hinj.transition list;
+  triggered_bugs : Bug.id list;
+  duration : float;
+  sensor_reads : int;
+}
+
+let outcome (t : t) ~workload_passed =
+  {
+    trace = t.trace;
+    crash = Avis_physics.World.crash_event t.world;
+    fence_breached = Avis_physics.World.fence_breached t.world;
+    workload_passed;
+    transitions = Avis_hinj.Hinj.transitions t.hinj;
+    triggered_bugs = Vehicle.triggered_bugs t.vehicle;
+    duration = time t;
+    sensor_reads = Avis_hinj.Hinj.read_count t.hinj;
+  }

@@ -1,0 +1,82 @@
+(** The software-in-the-loop test harness.
+
+    Each test provisions a fresh simulator + firmware + ground-control link
+    (the paper's per-test provisioning), then a workload drives the ground
+    station and calls [step] — the step() RPC of Fig. 7 — which advances
+    the link, the firmware, the physics and the trace by one time-step.
+
+    The harness is deliberately workload-agnostic: the high-level blocking
+    workload API lives in the core library on top of this. *)
+
+open Avis_firmware
+open Avis_mavlink
+
+type config = {
+  policy : Policy.t;
+  enabled_bugs : Bug.id list;
+  seed : int;
+  dt : float;
+  max_duration : float;  (** Hard stop, simulated seconds. *)
+  link_jitter_steps : int;
+      (** Maximum extra delivery delay per message chunk, in steps —
+          the scheduler nondeterminism the monitor must tolerate. *)
+  environment : Avis_physics.Environment.t option;
+      (** Defaults to the paper's benign evaluation environment. *)
+  airframe : Avis_physics.Airframe.t;
+      (** The evaluation uses the Iris; [Airframe.hexa] is also available. *)
+}
+
+val default_config : Policy.t -> config
+(** 4 ms step, 120 s cap, seed 0, jitter 2 steps, the firmware's default
+    (unknown) bugs enabled. *)
+
+type t
+
+val create :
+  ?plan:Avis_hinj.Hinj.plan ->
+  ?degradations:Avis_hinj.Hinj.degradation list ->
+  config ->
+  t
+(** Provision a run with the given fault-injection plan and optional sensor
+    degradations (none by default). *)
+
+val config : t -> config
+
+val frame : t -> Avis_geo.Geodesy.frame
+(** The local tangent frame anchored at the home location. *)
+
+val home_geodetic : Avis_geo.Geodesy.geodetic
+(** The fixed home location all runs are anchored at. *)
+
+val gcs : t -> Gcs.t
+val world : t -> Avis_physics.World.t
+val vehicle : t -> Vehicle.t
+val hinj : t -> Avis_hinj.Hinj.t
+val trace : t -> Trace.t
+val time : t -> float
+val steps : t -> int
+
+val step : t -> unit
+(** Advance one time-step (no-op once [finished]). *)
+
+val run_until : t -> (t -> bool) -> bool
+(** Step until the predicate holds or the run [finished]; returns whether
+    the predicate held. *)
+
+val finished : t -> bool
+(** True when the vehicle has crashed (the simulation freezes a crashed
+    world) or the duration cap was reached. *)
+
+(** Everything the model checker needs to judge a run. *)
+type outcome = {
+  trace : Trace.t;
+  crash : Avis_physics.World.contact_event option;
+  fence_breached : bool;
+  workload_passed : bool;
+  transitions : Avis_hinj.Hinj.transition list;
+  triggered_bugs : Bug.id list;  (** Ground-truth diagnostics only. *)
+  duration : float;
+  sensor_reads : int;
+}
+
+val outcome : t -> workload_passed:bool -> outcome

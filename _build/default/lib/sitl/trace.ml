@@ -1,0 +1,65 @@
+open Avis_geo
+
+type sample = {
+  time : float;
+  position : Vec3.t;
+  acceleration : Vec3.t;
+  mode : string;
+}
+
+type t = {
+  period : float;
+  mutable samples : sample list; (* newest first *)
+  mutable next_due : float;
+  mutable cache : sample array option;
+}
+
+let create ?(period = 0.1) () =
+  { period; samples = []; next_due = 0.0; cache = None }
+
+let period t = t.period
+
+let record t ~time world ~mode =
+  if time >= t.next_due then begin
+    t.next_due <- t.next_due +. t.period;
+    if t.next_due <= time then t.next_due <- time +. t.period;
+    let body = Avis_physics.World.body world in
+    t.samples <-
+      {
+        time;
+        position = body.Avis_physics.Rigid_body.position;
+        acceleration = body.Avis_physics.Rigid_body.acceleration;
+        mode;
+      }
+      :: t.samples;
+    t.cache <- None
+  end
+
+let samples t =
+  match t.cache with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list (List.rev t.samples) in
+    t.cache <- Some a;
+    a
+
+let length t = List.length t.samples
+
+let nth t i =
+  let a = samples t in
+  if i < 0 || i >= Array.length a then invalid_arg "Trace.nth: out of range";
+  a.(i)
+
+let nth_padded t i =
+  let a = samples t in
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Trace.nth_padded: empty trace";
+  if i < 0 then invalid_arg "Trace.nth_padded: negative index";
+  a.(min i (n - 1))
+
+let altitude_series t =
+  Array.to_list
+    (Array.map (fun s -> (s.time, s.position.Vec3.z)) (samples t))
+
+let final_mode t =
+  match t.samples with [] -> None | s :: _ -> Some s.mode

@@ -1,0 +1,43 @@
+(** Recording of a simulated flight.
+
+    The invariant monitor compares runs by the state tuple (P, α, M) —
+    position, acceleration, mode — sampled at a fixed period; the trace is
+    exactly that series, taken from the simulator's ground truth (the
+    monitor observes physics, not the firmware's beliefs). *)
+
+open Avis_geo
+
+type sample = {
+  time : float;
+  position : Vec3.t;
+  acceleration : Vec3.t;
+  mode : string;  (** The firmware's operating-mode label at this time. *)
+}
+
+type t
+
+val create : ?period:float -> unit -> t
+(** Sampling period defaults to 0.1 s (10 Hz). *)
+
+val period : t -> float
+
+val record : t -> time:float -> Avis_physics.World.t -> mode:string -> unit
+(** Append a sample if the period has elapsed since the last one. *)
+
+val samples : t -> sample array
+(** All samples, oldest first. *)
+
+val length : t -> int
+
+val nth : t -> int -> sample
+(** Raises [Invalid_argument] when out of range. *)
+
+val nth_padded : t -> int -> sample
+(** Like [nth] but repeats the final sample beyond the end — the paper's
+    padding rule for comparing runs of different durations. Raises
+    [Invalid_argument] on an empty trace. *)
+
+val altitude_series : t -> (float * float) list
+(** (time, altitude) pairs, for figure reproduction. *)
+
+val final_mode : t -> string option

@@ -1,0 +1,99 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+let int i = Number (float_of_int i)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number_to_string f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Number f -> Buffer.add_string buf (number_to_string f)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Assoc fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf (String key);
+        Buffer.add_char buf ':';
+        write buf value)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+let rec write_pretty buf ~indent ~level = function
+  | (Null | Bool _ | Number _ | String _) as v -> write buf v
+  | List [] -> Buffer.add_string buf "[]"
+  | Assoc [] -> Buffer.add_string buf "{}"
+  | List items ->
+    let pad n = String.make (n * indent) ' ' in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (level + 1));
+        write_pretty buf ~indent ~level:(level + 1) item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad level);
+    Buffer.add_char buf ']'
+  | Assoc fields ->
+    let pad n = String.make (n * indent) ' ' in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (level + 1));
+        write buf (String key);
+        Buffer.add_string buf ": ";
+        write_pretty buf ~indent ~level:(level + 1) value)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad level);
+    Buffer.add_char buf '}'
+
+let to_string_pretty ?(indent = 2) t =
+  let buf = Buffer.create 512 in
+  write_pretty buf ~indent ~level:0 t;
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** A minimal JSON value and serialiser.
+
+    Findings, traces and flight logs are exported as JSON artefacts (the
+    paper publishes the system logs behind each report); this is a
+    dependency-free emitter, with a parser deliberately out of scope. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val int : int -> t
+(** Convenience: integers are numbers. *)
+
+val to_string : t -> string
+(** Compact rendering with correct string escaping; non-finite numbers are
+    rendered as [null] (JSON has no NaN/infinity). *)
+
+val to_string_pretty : ?indent:int -> t -> string
+(** Multi-line rendering (default 2-space indent). *)

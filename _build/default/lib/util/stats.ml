@@ -1,0 +1,53 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (sq /. float_of_int (List.length xs))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = max 0 (min (n - 1) (rank - 1)) in
+  List.nth sorted idx
+
+let clamp ~lo ~hi v = Float.max lo (Float.min hi v)
+
+let clampi ~lo ~hi v = max lo (min hi v)
+
+type running = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable max : float;
+}
+
+let running_create () = { count = 0; mean = 0.0; m2 = 0.0; max = neg_infinity }
+
+let running_add r x =
+  r.count <- r.count + 1;
+  let delta = x -. r.mean in
+  r.mean <- r.mean +. (delta /. float_of_int r.count);
+  r.m2 <- r.m2 +. (delta *. (x -. r.mean));
+  if x > r.max then r.max <- x
+
+let running_count r = r.count
+let running_mean r = if r.count = 0 then 0.0 else r.mean
+
+let running_stddev r =
+  if r.count < 2 then 0.0 else sqrt (r.m2 /. float_of_int r.count)
+
+let running_max r = r.max

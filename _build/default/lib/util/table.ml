@@ -1,0 +1,48 @@
+type row = Cells of string list | Separator
+
+type t = { header : string list; mutable rows : row list (* reversed *) }
+
+let create ~header = { header; rows = [] }
+
+let add_row t cells =
+  let width = List.length t.header in
+  let n = List.length cells in
+  if n > width then invalid_arg "Table.add_row: more cells than headers";
+  let padded = cells @ List.init (width - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let column_widths t =
+  let rows = List.rev t.rows in
+  let update widths cells =
+    List.map2 (fun w c -> max w (String.length c)) widths cells
+  in
+  let init = List.map String.length t.header in
+  List.fold_left
+    (fun widths row ->
+      match row with Cells cells -> update widths cells | Separator -> widths)
+    init rows
+
+let pad width s = s ^ String.make (width - String.length s) ' '
+
+let render t =
+  let widths = column_widths t in
+  let render_cells cells =
+    "| " ^ String.concat " | " (List.map2 pad widths cells) ^ " |"
+  in
+  let rule =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  let body =
+    List.rev_map
+      (fun row -> match row with Cells cells -> render_cells cells | Separator -> rule)
+      t.rows
+  in
+  String.concat "\n" (render_cells t.header :: rule :: body)
+
+let print ?title t =
+  (match title with
+  | Some s -> Printf.printf "%s\n" s
+  | None -> ());
+  print_endline (render t)

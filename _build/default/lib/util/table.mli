@@ -1,0 +1,24 @@
+(** ASCII table rendering for the benchmark harness.
+
+    The bench executable regenerates every table of the paper; this module
+    renders them in aligned, pipe-separated form so that the output can be
+    compared side by side with the paper's tables. *)
+
+type t
+
+val create : header:string list -> t
+(** A table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Rows shorter than the header are right-padded with blanks;
+    longer rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : t -> string
+(** The table as a multi-line string (no trailing newline). *)
+
+val print : ?title:string -> t -> unit
+(** [print ?title t] writes the optional title and the rendered table to
+    standard output. *)

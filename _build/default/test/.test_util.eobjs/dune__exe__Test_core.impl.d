@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Avis_bugstudy Avis_core Avis_hinj Avis_sensors Bfi_model Budget Float List Mode_graph Prune QCheck QCheck_alcotest Report Scenario Sensor

@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Avis_firmware Avis_geo Avis_hinj Avis_physics Avis_sensors Avis_util Drivers Estimator Float List Params Quat Sensor Suite Vec3

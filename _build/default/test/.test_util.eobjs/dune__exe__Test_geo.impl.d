@@ -1,0 +1,1 @@
+test/test_geo.ml: Alcotest Avis_geo Float Format Geodesy QCheck QCheck_alcotest Quat Vec3

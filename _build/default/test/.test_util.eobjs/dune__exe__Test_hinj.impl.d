@@ -1,0 +1,1 @@
+test/test_hinj.ml: Alcotest Avis_hinj Avis_sensors Hinj List Sensor

@@ -1,0 +1,1 @@
+test/test_hinj.mli:

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Avis_core Avis_firmware Avis_hinj Avis_sensors Avis_sitl Bug Campaign Float Lazy List Monitor Phase Policy Printf Replay Sabre Sensor Sim Workload

@@ -1,0 +1,1 @@
+test/test_mavlink.ml: Alcotest Avis_mavlink Avis_util Buf Bytes Char Crc Float Frame Gcs Link List Msg Printf QCheck QCheck_alcotest String

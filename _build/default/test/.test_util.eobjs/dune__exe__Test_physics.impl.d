@@ -1,0 +1,1 @@
+test/test_physics.ml: Airframe Alcotest Array Avis_geo Avis_physics Avis_util Environment Float Motor Rigid_body Vec3 World

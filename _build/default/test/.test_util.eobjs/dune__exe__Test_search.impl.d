@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Avis_core Avis_sensors Avis_util Bfi Bfs Dfs Float List Random_search Sabre Scenario Search Sensor Strat_bfi Suite

@@ -1,0 +1,1 @@
+test/test_sensors.ml: Alcotest Avis_geo Avis_physics Avis_sensors Avis_util Float List Noise Sensor Suite Vec3

@@ -1,0 +1,1 @@
+test/test_sitl.ml: Alcotest Array Avis_core Avis_firmware Avis_geo Avis_hinj Avis_physics Avis_sensors Avis_sitl List Sim Trace Vec3 Workload

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Avis_util Float Fun List Rng Stats String Table

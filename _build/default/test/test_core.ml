@@ -1,0 +1,298 @@
+(* Tests for avis_core's data structures: the mode graph, the liveliness
+   metric, scenarios, the pruning policies, the budget model, the BFI
+   model, report bucketing and the bug-study dataset. *)
+
+open Avis_sensors
+open Avis_core
+
+(* Mode graph *)
+
+let simple_graph =
+  Mode_graph.build
+    ~transitions:
+      [
+        [ ("Pre-Flight", "Takeoff"); ("Takeoff", "Waypoint 1");
+          ("Waypoint 1", "Waypoint 2"); ("Waypoint 2", "Land");
+          ("Land", "Disarmed") ];
+      ]
+
+let test_graph_nodes () =
+  Alcotest.(check int) "six modes" 6 (List.length (Mode_graph.modes simple_graph));
+  Alcotest.(check bool) "has takeoff" true (Mode_graph.has_mode simple_graph "Takeoff");
+  Alcotest.(check bool) "no rtl" false
+    (Mode_graph.has_mode simple_graph "Return To Launch")
+
+let test_graph_distances () =
+  Alcotest.(check int) "self" 0 (Mode_graph.distance simple_graph "Takeoff" "Takeoff");
+  Alcotest.(check int) "adjacent" 1
+    (Mode_graph.distance simple_graph "Takeoff" "Waypoint 1");
+  Alcotest.(check int) "two hops" 2
+    (Mode_graph.distance simple_graph "Takeoff" "Waypoint 2");
+  Alcotest.(check int) "symmetric" 2
+    (Mode_graph.distance simple_graph "Waypoint 2" "Takeoff")
+
+let test_graph_diameter () =
+  Alcotest.(check int) "chain diameter" 5 (Mode_graph.diameter simple_graph);
+  Alcotest.(check int) "unknown mode at diameter" 5
+    (Mode_graph.distance simple_graph "Takeoff" "Mystery")
+
+let test_graph_merges_runs () =
+  let g =
+    Mode_graph.build
+      ~transitions:[ [ ("A", "B") ]; [ ("B", "C") ]; [ ("A", "B"); ("B", "C") ] ]
+  in
+  Alcotest.(check int) "three modes" 3 (List.length (Mode_graph.modes g));
+  Alcotest.(check int) "across runs" 2 (Mode_graph.distance g "A" "C")
+
+(* Scenario *)
+
+let id kind index = { Sensor.kind; index }
+
+let fault kind index at = { Scenario.sensor = id kind index; at }
+
+let test_scenario_canonical () =
+  let a = Scenario.of_faults [ fault Sensor.Gps 1 5.0; fault Sensor.Gps 0 2.0 ] in
+  let b = Scenario.of_faults [ fault Sensor.Gps 0 2.0; fault Sensor.Gps 1 5.0 ] in
+  Alcotest.(check string) "same key" (Scenario.key a) (Scenario.key b);
+  Alcotest.(check int) "dedup" 1
+    (Scenario.cardinality (Scenario.of_faults [ fault Sensor.Gps 0 1.0; fault Sensor.Gps 0 1.0 ]))
+
+let test_scenario_role_key () =
+  (* Two backups of the same kind at the same time are symmetric... *)
+  let compass_b1 = Scenario.of_faults [ fault Sensor.Compass 1 3.0 ] in
+  let compass_b2 = Scenario.of_faults [ fault Sensor.Compass 1 3.0 ] in
+  Alcotest.(check string) "backup symmetric" (Scenario.role_key compass_b1)
+    (Scenario.role_key compass_b2);
+  (* ...but primary vs backup differ. *)
+  let compass_p = Scenario.of_faults [ fault Sensor.Compass 0 3.0 ] in
+  Alcotest.(check bool) "primary distinct" true
+    (Scenario.role_key compass_p <> Scenario.role_key compass_b1)
+
+let test_scenario_subsumes () =
+  let small = Scenario.of_faults [ fault Sensor.Gps 0 2.0 ] in
+  let large = Scenario.of_faults [ fault Sensor.Gps 0 2.0; fault Sensor.Battery 0 4.0 ] in
+  Alcotest.(check bool) "subset" true (Scenario.subsumes ~smaller:small ~larger:large);
+  Alcotest.(check bool) "not superset" false
+    (Scenario.subsumes ~smaller:large ~larger:small);
+  let shifted = Scenario.of_faults [ fault Sensor.Gps 0 2.5 ] in
+  Alcotest.(check bool) "different time" false
+    (Scenario.subsumes ~smaller:shifted ~larger:large)
+
+let test_scenario_first_injection () =
+  let s = Scenario.of_faults [ fault Sensor.Gps 0 7.0; fault Sensor.Barometer 0 3.0 ] in
+  Alcotest.(check (option (float 1e-9))) "earliest" (Some 3.0)
+    (Scenario.first_injection_time s);
+  Alcotest.(check (option (float 1e-9))) "empty" None
+    (Scenario.first_injection_time Scenario.empty)
+
+(* Prune *)
+
+let test_prune_dedup () =
+  let p = Prune.create () in
+  let s = Scenario.of_faults [ fault Sensor.Gps 0 2.0 ] in
+  Alcotest.(check bool) "fresh" false (Prune.should_prune p s);
+  Prune.note_run p s;
+  Alcotest.(check bool) "repeat pruned" true (Prune.should_prune p s)
+
+let test_prune_symmetry () =
+  let p = Prune.create () in
+  Prune.note_run p (Scenario.of_faults [ fault Sensor.Compass 1 3.0 ]);
+  (* A different backup instance of a 3-compass vehicle would map to the
+     same role key; with 2 compasses index 1 is the only backup, so test
+     with gps backup which shares the role structure. *)
+  Alcotest.(check bool) "equivalent role pruned" true
+    (Prune.should_prune p (Scenario.of_faults [ fault Sensor.Compass 1 3.0 ]));
+  let p' = Prune.create ~symmetry:false () in
+  Prune.note_run p' (Scenario.of_faults [ fault Sensor.Compass 1 3.0 ]);
+  Alcotest.(check bool) "exact key still pruned without symmetry" true
+    (Prune.should_prune p' (Scenario.of_faults [ fault Sensor.Compass 1 3.0 ]))
+
+let test_prune_found_bug () =
+  let p = Prune.create () in
+  let bug = Scenario.of_faults [ fault Sensor.Gps 0 2.0 ] in
+  Prune.note_bug p bug;
+  let superset = Scenario.of_faults [ fault Sensor.Gps 0 2.0; fault Sensor.Battery 0 2.0 ] in
+  Alcotest.(check bool) "superset pruned" true (Prune.should_prune p superset);
+  let p' = Prune.create ~found_bug:false () in
+  Prune.note_bug p' bug;
+  Alcotest.(check bool) "policy off" false (Prune.should_prune p' superset)
+
+let test_prune_formulas () =
+  (* Fig. 6: three compasses, 21 -> 5. *)
+  Alcotest.(check int) "N(2^N-1) for 3" 21 (Prune.unpruned_scenarios ~instances:3);
+  Alcotest.(check int) "2N-1 for 3" 5 (Prune.symmetry_scenarios ~instances:3);
+  Alcotest.(check int) "2N-1 for 1" 1 (Prune.symmetry_scenarios ~instances:1)
+
+let prop_symmetry_saves =
+  QCheck.Test.make ~name:"symmetry always reduces for N >= 2" ~count:20
+    (QCheck.int_range 2 12)
+    (fun n ->
+      Prune.symmetry_scenarios ~instances:n < Prune.unpruned_scenarios ~instances:n)
+
+(* Budget *)
+
+let test_budget_accounting () =
+  let b = Budget.create ~speedup:10.0 ~total_s:100.0 () in
+  Budget.charge_simulation b ~sim_seconds:100.0;
+  Alcotest.(check (float 1e-9)) "sim cost scaled" 10.0 (Budget.spent_s b);
+  Budget.charge_inference b 5.0;
+  Alcotest.(check (float 1e-9)) "inference full price" 15.0 (Budget.spent_s b);
+  Alcotest.(check bool) "not exhausted" false (Budget.exhausted b);
+  Alcotest.(check bool) "can afford" true (Budget.can_afford_run b ~sim_seconds:800.0);
+  Alcotest.(check bool) "cannot afford" false (Budget.can_afford_run b ~sim_seconds:900.0);
+  Budget.charge_inference b 85.0;
+  Alcotest.(check bool) "exhausted" true (Budget.exhausted b);
+  Alcotest.(check int) "counters" 1 (Budget.simulations_run b);
+  Alcotest.(check int) "inferences" 2 (Budget.inferences_run b)
+
+let test_budget_rejects_nonpositive () =
+  Alcotest.check_raises "bad budget"
+    (Invalid_argument "Budget.create: non-positive budget") (fun () ->
+      ignore (Budget.create ~total_s:0.0 ()))
+
+(* BFI model *)
+
+let test_bfi_mode_class () =
+  Alcotest.(check string) "waypoint collapsed" "Waypoint"
+    (Bfi_model.mode_class_of_label "Waypoint 7");
+  Alcotest.(check string) "others kept" "Land" (Bfi_model.mode_class_of_label "Land")
+
+let test_bfi_model_distribution () =
+  let model = Bfi_model.default () in
+  let features mode whole =
+    { Bfi_model.mode_class = mode; kinds = [ Sensor.Gps ];
+      whole_kind_lost = whole; multiplicity = 1 }
+  in
+  let cruise = Bfi_model.predict model (features "Waypoint" true) in
+  let takeoff = Bfi_model.predict model (features "Takeoff" true) in
+  Alcotest.(check bool) "cruise scored higher" true (cruise > takeoff);
+  Alcotest.(check bool) "cruise approved" true (cruise > 0.5);
+  Alcotest.(check bool) "takeoff rejected" true (takeoff < 0.5);
+  let multi =
+    Bfi_model.predict model
+      { Bfi_model.mode_class = "Waypoint"; kinds = [ Sensor.Gps; Sensor.Battery ];
+        whole_kind_lost = true; multiplicity = 2 }
+  in
+  Alcotest.(check bool) "multi-failure rejected" true (multi < 0.5)
+
+let test_bfi_predict_probability_range () =
+  let model = Bfi_model.default () in
+  List.iter
+    (fun mode ->
+      let p =
+        Bfi_model.predict model
+          { Bfi_model.mode_class = mode; kinds = [ Sensor.Compass ];
+            whole_kind_lost = false; multiplicity = 1 }
+      in
+      Alcotest.(check bool) "in (0,1)" true (p > 0.0 && p < 1.0))
+    [ "Takeoff"; "Waypoint"; "Manual"; "Land" ]
+
+let test_bfi_train_empty () =
+  Alcotest.check_raises "empty corpus"
+    (Invalid_argument "Bfi_model.train: empty corpus") (fun () ->
+      ignore (Bfi_model.train []))
+
+(* Report buckets *)
+
+let test_report_buckets () =
+  Alcotest.(check string) "waypoint" "Waypoint"
+    (Report.bucket_label (Report.bucket_of_mode "Waypoint 2"));
+  Alcotest.(check string) "preflight folds to takeoff" "Takeoff"
+    (Report.bucket_label (Report.bucket_of_mode "Pre-Flight"));
+  Alcotest.(check string) "rtl folds to land" "Land"
+    (Report.bucket_label (Report.bucket_of_mode "Return To Launch"))
+
+let test_report_mode_at () =
+  let transitions =
+    [
+      { Avis_hinj.Hinj.time = 2.0; from_mode = "Pre-Flight"; to_mode = "Takeoff" };
+      { Avis_hinj.Hinj.time = 10.0; from_mode = "Takeoff"; to_mode = "Waypoint 1" };
+    ]
+  in
+  Alcotest.(check string) "before all" "Pre-Flight"
+    (Report.mode_at_from_transitions transitions 1.0);
+  Alcotest.(check string) "mid" "Takeoff"
+    (Report.mode_at_from_transitions transitions 5.0);
+  (* A transition at exactly the query time is attributed to the mode
+     before it. *)
+  Alcotest.(check string) "boundary" "Takeoff"
+    (Report.mode_at_from_transitions transitions 10.0)
+
+(* Bug study *)
+
+let test_bugstudy_totals () =
+  Alcotest.(check int) "215 records" 215 Avis_bugstudy.Bugstudy.total;
+  Alcotest.(check int) "44 sensor bugs" 44
+    (List.length Avis_bugstudy.Bugstudy.sensor_bugs)
+
+let test_bugstudy_findings () =
+  let open Avis_bugstudy.Bugstudy in
+  Alcotest.(check bool) "finding 1: ~20% sensor" true
+    (Float.abs (fraction_by_cause Sensor_fault -. 0.20) < 0.015);
+  Alcotest.(check bool) "finding 1: ~40% of crashes" true
+    (Float.abs (crash_fraction_by_cause Sensor_fault -. 0.40) < 0.02);
+  Alcotest.(check bool) "finding 2: ~47% default-reproducible" true
+    (Float.abs (sensor_default_reproducible_fraction -. 0.47) < 0.02);
+  Alcotest.(check bool) "finding 3: ~34% serious" true
+    (Float.abs (sensor_serious_fraction -. 0.34) < 0.02);
+  Alcotest.(check bool) "semantic ~90% asymptomatic" true
+    (Float.abs (semantic_asymptomatic_fraction -. 0.90) < 0.02)
+
+let test_bugstudy_symptom_breakdown_sums () =
+  let open Avis_bugstudy.Bugstudy in
+  let total_sensor =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (symptom_breakdown sensor_bugs)
+  in
+  Alcotest.(check int) "breakdown covers all" 44 total_sensor
+
+let q = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "avis_core"
+    [
+      ( "mode graph",
+        [
+          Alcotest.test_case "nodes" `Quick test_graph_nodes;
+          Alcotest.test_case "distances" `Quick test_graph_distances;
+          Alcotest.test_case "diameter" `Quick test_graph_diameter;
+          Alcotest.test_case "merges runs" `Quick test_graph_merges_runs;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "canonical" `Quick test_scenario_canonical;
+          Alcotest.test_case "role key" `Quick test_scenario_role_key;
+          Alcotest.test_case "subsumes" `Quick test_scenario_subsumes;
+          Alcotest.test_case "first injection" `Quick test_scenario_first_injection;
+        ] );
+      ( "prune",
+        [
+          Alcotest.test_case "dedup" `Quick test_prune_dedup;
+          Alcotest.test_case "symmetry" `Quick test_prune_symmetry;
+          Alcotest.test_case "found bug" `Quick test_prune_found_bug;
+          Alcotest.test_case "formulas" `Quick test_prune_formulas;
+          q prop_symmetry_saves;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "accounting" `Quick test_budget_accounting;
+          Alcotest.test_case "rejects nonpositive" `Quick test_budget_rejects_nonpositive;
+        ] );
+      ( "bfi model",
+        [
+          Alcotest.test_case "mode class" `Quick test_bfi_mode_class;
+          Alcotest.test_case "distribution" `Quick test_bfi_model_distribution;
+          Alcotest.test_case "probability range" `Quick test_bfi_predict_probability_range;
+          Alcotest.test_case "train empty" `Quick test_bfi_train_empty;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "buckets" `Quick test_report_buckets;
+          Alcotest.test_case "mode at" `Quick test_report_mode_at;
+        ] );
+      ( "bug study",
+        [
+          Alcotest.test_case "totals" `Quick test_bugstudy_totals;
+          Alcotest.test_case "findings" `Quick test_bugstudy_findings;
+          Alcotest.test_case "breakdown sums" `Quick test_bugstudy_symptom_breakdown_sums;
+        ] );
+    ]

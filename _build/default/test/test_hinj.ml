@@ -1,0 +1,84 @@
+(* Tests for avis_hinj: the clean-failure fault model and the
+   mode-transition log. *)
+
+open Avis_sensors
+open Avis_hinj
+
+let gps0 = { Sensor.kind = Sensor.Gps; index = 0 }
+let gps1 = { Sensor.kind = Sensor.Gps; index = 1 }
+
+let test_healthy_without_plan () =
+  let h = Hinj.create () in
+  Alcotest.(check bool) "healthy" true
+    (Hinj.sensor_read h ~time:1.0 gps0 = Hinj.Healthy)
+
+let test_failure_starts_at_time () =
+  let h = Hinj.create ~plan:[ { Hinj.sensor = gps0; at = 5.0 } ] () in
+  Alcotest.(check bool) "before" true (Hinj.sensor_read h ~time:4.99 gps0 = Hinj.Healthy);
+  Alcotest.(check bool) "at" true (Hinj.sensor_read h ~time:5.0 gps0 = Hinj.Failed);
+  Alcotest.(check bool) "after (no recovery)" true
+    (Hinj.sensor_read h ~time:100.0 gps0 = Hinj.Failed)
+
+let test_failure_is_per_instance () =
+  let h = Hinj.create ~plan:[ { Hinj.sensor = gps0; at = 0.0 } ] () in
+  Alcotest.(check bool) "other instance fine" true
+    (Hinj.sensor_read h ~time:10.0 gps1 = Hinj.Healthy)
+
+let test_read_count () =
+  let h = Hinj.create () in
+  for _ = 1 to 7 do
+    ignore (Hinj.sensor_read h ~time:0.0 gps0)
+  done;
+  Alcotest.(check int) "counted" 7 (Hinj.read_count h);
+  ignore (Hinj.is_failed h ~time:0.0 gps0);
+  Alcotest.(check int) "is_failed does not count" 7 (Hinj.read_count h)
+
+let test_mode_transitions () =
+  let h = Hinj.create () in
+  Hinj.update_mode h ~time:0.0 "Pre-Flight";
+  Hinj.update_mode h ~time:2.0 "Takeoff";
+  Hinj.update_mode h ~time:2.5 "Takeoff";
+  Hinj.update_mode h ~time:10.0 "Waypoint 1";
+  let transitions = Hinj.transitions h in
+  Alcotest.(check int) "two transitions" 2 (List.length transitions);
+  let first = List.hd transitions in
+  Alcotest.(check string) "from" "Pre-Flight" first.Hinj.from_mode;
+  Alcotest.(check string) "to" "Takeoff" first.Hinj.to_mode;
+  Alcotest.(check (float 1e-9)) "time" 2.0 first.Hinj.time
+
+let test_mode_at () =
+  let h = Hinj.create () in
+  Hinj.update_mode h ~time:0.0 "Pre-Flight";
+  Hinj.update_mode h ~time:2.0 "Takeoff";
+  Hinj.update_mode h ~time:10.0 "Waypoint 1";
+  Alcotest.(check (option string)) "initial" (Some "Pre-Flight") (Hinj.mode_at h 1.0);
+  Alcotest.(check (option string)) "mid" (Some "Takeoff") (Hinj.mode_at h 5.0);
+  Alcotest.(check (option string)) "late" (Some "Waypoint 1") (Hinj.mode_at h 99.0)
+
+let test_injected_so_far () =
+  let h =
+    Hinj.create
+      ~plan:[ { Hinj.sensor = gps0; at = 5.0 }; { Hinj.sensor = gps1; at = 9.0 } ]
+      ()
+  in
+  Alcotest.(check int) "none yet" 0 (List.length (Hinj.injected_so_far h ~time:1.0));
+  Alcotest.(check int) "one" 1 (List.length (Hinj.injected_so_far h ~time:6.0));
+  Alcotest.(check int) "both" 2 (List.length (Hinj.injected_so_far h ~time:20.0))
+
+let () =
+  Alcotest.run "avis_hinj"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "healthy without plan" `Quick test_healthy_without_plan;
+          Alcotest.test_case "failure timing" `Quick test_failure_starts_at_time;
+          Alcotest.test_case "per instance" `Quick test_failure_is_per_instance;
+          Alcotest.test_case "read count" `Quick test_read_count;
+          Alcotest.test_case "injected so far" `Quick test_injected_so_far;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "transitions" `Quick test_mode_transitions;
+          Alcotest.test_case "mode_at" `Quick test_mode_at;
+        ] );
+    ]

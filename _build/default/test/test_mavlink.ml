@@ -1,0 +1,302 @@
+(* Tests for avis_mavlink: checksum, payload codec, framing (including
+   resynchronisation over garbage), the in-memory link, and the GCS-side
+   mission-upload transaction. *)
+
+open Avis_mavlink
+
+(* Crc *)
+
+let test_crc_known_properties () =
+  (* X25 over the empty string is the seed. *)
+  Alcotest.(check int) "empty" 0xFFFF (Crc.of_string "");
+  (* Deterministic and byte-order sensitive. *)
+  Alcotest.(check int) "stable" (Crc.of_string "hello") (Crc.of_string "hello");
+  Alcotest.(check bool) "order matters" true
+    (Crc.of_string "ab" <> Crc.of_string "ba")
+
+let test_crc_incremental () =
+  let whole = Crc.of_string "avis-checker" in
+  let acc = Crc.accumulate_string (Crc.init ()) "avis-" in
+  let acc = Crc.accumulate_string acc "checker" in
+  Alcotest.(check int) "incremental equals one-shot" whole (Crc.value acc)
+
+(* Buf *)
+
+let test_buf_roundtrip () =
+  let w = Buf.writer () in
+  Buf.put_u8 w 0xAB;
+  Buf.put_u16 w 0xBEEF;
+  Buf.put_i32 w (-123456);
+  Buf.put_f32 w 3.25;
+  Buf.put_string w ~len:8 "hey";
+  let r = Buf.reader (Buf.contents w) in
+  Alcotest.(check int) "u8" 0xAB (Buf.get_u8 r);
+  Alcotest.(check int) "u16" 0xBEEF (Buf.get_u16 r);
+  Alcotest.(check int) "i32" (-123456) (Buf.get_i32 r);
+  Alcotest.(check (float 1e-9)) "f32" 3.25 (Buf.get_f32 r);
+  Alcotest.(check string) "string" "hey" (Buf.get_string r ~len:8);
+  Alcotest.(check int) "drained" 0 (Buf.remaining r)
+
+let test_buf_truncated () =
+  let r = Buf.reader "\x01" in
+  ignore (Buf.get_u8 r);
+  Alcotest.check_raises "truncated" Buf.Truncated (fun () -> ignore (Buf.get_u8 r))
+
+let prop_buf_i32_roundtrip =
+  QCheck.Test.make ~name:"i32 roundtrip" ~count:500
+    (QCheck.int_range (-0x40000000) 0x3FFFFFFF)
+    (fun v ->
+      let w = Buf.writer () in
+      Buf.put_i32 w v;
+      Buf.get_i32 (Buf.reader (Buf.contents w)) = v)
+
+let prop_buf_f32_roundtrip =
+  QCheck.Test.make ~name:"f32 roundtrip (single precision)" ~count:500
+    (QCheck.float_range (-1e6) 1e6)
+    (fun v ->
+      let w = Buf.writer () in
+      Buf.put_f32 w v;
+      let back = Buf.get_f32 (Buf.reader (Buf.contents w)) in
+      Float.abs (back -. v) <= Float.abs v *. 1e-6 +. 1e-6)
+
+(* Messages + frames *)
+
+let sample_messages =
+  [
+    Msg.Heartbeat { custom_mode = 101; armed = true; system_status = 4 };
+    Msg.Sys_status { voltage_mv = 12400; battery_remaining = 87 };
+    Msg.Set_mode { custom_mode = 3 };
+    Msg.Mission_count { count = 6 };
+    Msg.Mission_request { seq = 2 };
+    Msg.Mission_item
+      { seq = 1; command = Msg.cmd_waypoint; param1 = 0.0; x = 47.39; y = 8.54; z = 20.0 };
+    Msg.Mission_ack { accepted = true };
+    Msg.Mission_current { seq = 3 };
+    Msg.Command_long
+      { command = Msg.cmd_takeoff; param1 = 20.0; param2 = 0.0; param3 = 1.5; param4 = -2.0 };
+    Msg.Command_ack { command = Msg.cmd_takeoff; accepted = false };
+    Msg.Global_position
+      { time_boot_ms = 123456; lat_e7 = 473977420; lon_e7 = 85455940;
+        relative_alt_mm = 20345; vx_cm = -120; vy_cm = 55; vz_cm = 0;
+        heading_cdeg = 27000 };
+    Msg.Statustext { severity = Msg.Critical; text = "failsafe: battery" };
+    Msg.Param_request_list;
+    Msg.Param_value { name = "WPNAV_SPEED"; value = 4.5; index = 0; count = 6 };
+    Msg.Param_set { name = "RTL_ALT"; value = 25.0 };
+  ]
+
+let roundtrip msg =
+  let encoded = Frame.encode ~seq:7 ~sysid:1 ~compid:1 msg in
+  let decoder = Frame.decoder () in
+  match Frame.feed decoder encoded with
+  | [ frame ] -> frame.Frame.message
+  | _ -> Alcotest.fail "expected exactly one frame"
+
+let test_frame_roundtrip_all () =
+  List.iter
+    (fun msg ->
+      let back = roundtrip msg in
+      Alcotest.(check string) "same description" (Msg.describe msg) (Msg.describe back);
+      Alcotest.(check bool) "same payload" true
+        (Msg.encode_payload msg = Msg.encode_payload back))
+    sample_messages
+
+let test_frame_metadata () =
+  let encoded = Frame.encode ~seq:42 ~sysid:9 ~compid:3 (Msg.Mission_count { count = 1 }) in
+  let decoder = Frame.decoder () in
+  match Frame.feed decoder encoded with
+  | [ frame ] ->
+    Alcotest.(check int) "seq" 42 frame.Frame.seq;
+    Alcotest.(check int) "sysid" 9 frame.Frame.sysid;
+    Alcotest.(check int) "compid" 3 frame.Frame.compid
+  | _ -> Alcotest.fail "one frame expected"
+
+let test_decoder_resync_over_garbage () =
+  let encoded = Frame.encode ~seq:1 ~sysid:1 ~compid:1 (Msg.Mission_request { seq = 4 }) in
+  let decoder = Frame.decoder () in
+  let frames = Frame.feed decoder ("garbage!!" ^ encoded ^ "trailing") in
+  Alcotest.(check int) "one frame recovered" 1 (List.length frames)
+
+let test_decoder_rejects_bad_crc () =
+  let encoded = Frame.encode ~seq:1 ~sysid:1 ~compid:1 (Msg.Mission_request { seq = 4 }) in
+  let corrupted = Bytes.of_string encoded in
+  let last = Bytes.length corrupted - 1 in
+  Bytes.set corrupted last (Char.chr (Char.code (Bytes.get corrupted last) lxor 0xFF));
+  let decoder = Frame.decoder () in
+  let frames = Frame.feed decoder (Bytes.to_string corrupted) in
+  Alcotest.(check int) "dropped" 0 (List.length frames);
+  Alcotest.(check bool) "counted" true (Frame.dropped decoder >= 1)
+
+let test_decoder_handles_partial_feeds () =
+  let encoded = Frame.encode ~seq:1 ~sysid:1 ~compid:1 (Msg.Set_mode { custom_mode = 6 }) in
+  let decoder = Frame.decoder () in
+  let mid = String.length encoded / 2 in
+  let first = Frame.feed decoder (String.sub encoded 0 mid) in
+  Alcotest.(check int) "nothing yet" 0 (List.length first);
+  let rest = Frame.feed decoder (String.sub encoded mid (String.length encoded - mid)) in
+  Alcotest.(check int) "completed" 1 (List.length rest)
+
+let prop_frames_concatenate =
+  QCheck.Test.make ~name:"concatenated frames all decode" ~count:100
+    (QCheck.int_range 1 8)
+    (fun n ->
+      let msgs = List.init n (fun i -> Msg.Mission_request { seq = i }) in
+      let stream =
+        String.concat ""
+          (List.mapi (fun i m -> Frame.encode ~seq:i ~sysid:1 ~compid:1 m) msgs)
+      in
+      let decoder = Frame.decoder () in
+      List.length (Frame.feed decoder stream) = n)
+
+(* Link *)
+
+let test_link_delivery () =
+  let link = Link.create () in
+  Link.send link Link.Gcs_end "hello";
+  Alcotest.(check string) "not yet delivered" "" (Link.receive link Link.Vehicle_end);
+  Link.step link;
+  Alcotest.(check string) "delivered next step" "hello" (Link.receive link Link.Vehicle_end);
+  Alcotest.(check string) "only once" "" (Link.receive link Link.Vehicle_end)
+
+let test_link_direction () =
+  let link = Link.create () in
+  Link.send link Link.Gcs_end "to-vehicle";
+  Link.step link;
+  Alcotest.(check string) "wrong end empty" "" (Link.receive link Link.Gcs_end);
+  Alcotest.(check string) "right end" "to-vehicle" (Link.receive link Link.Vehicle_end)
+
+let test_link_jitter_preserves_order () =
+  let rng = Avis_util.Rng.create 3 in
+  let link = Link.create ~jitter:(rng, 3) () in
+  for i = 0 to 9 do
+    Link.send link Link.Gcs_end (Printf.sprintf "%d;" i)
+  done;
+  for _ = 1 to 10 do
+    Link.step link
+  done;
+  let received = Link.receive link Link.Vehicle_end in
+  (* Order within the final drain must be the send order. *)
+  let tokens = String.split_on_char ';' received |> List.filter (( <> ) "") in
+  let sorted = List.sort compare (List.map int_of_string tokens) in
+  Alcotest.(check (list int)) "all arrived in order" sorted
+    (List.map int_of_string tokens)
+
+(* GCS transaction *)
+
+let vehicle_responder link =
+  (* A scripted vehicle end: answers MISSION_COUNT with sequential
+     MISSION_REQUESTs and a final ACK. *)
+  let decoder = Frame.decoder () in
+  let expected = ref 0 in
+  let total = ref 0 in
+  let send msg = Link.send link Link.Vehicle_end (Frame.encode ~seq:0 ~sysid:1 ~compid:1 msg) in
+  fun () ->
+    List.iter
+      (fun frame ->
+        match frame.Frame.message with
+        | Msg.Mission_count { count } ->
+          total := count;
+          expected := 0;
+          send (Msg.Mission_request { seq = 0 })
+        | Msg.Mission_item { seq; _ } when seq = !expected ->
+          incr expected;
+          if !expected >= !total then send (Msg.Mission_ack { accepted = true })
+          else send (Msg.Mission_request { seq = !expected })
+        | _ -> ())
+      (Frame.feed decoder (Link.receive link Link.Vehicle_end))
+
+let test_gcs_mission_upload () =
+  let link = Link.create () in
+  let gcs = Gcs.create link in
+  let responder = vehicle_responder link in
+  let items =
+    List.init 4 (fun seq ->
+        { Msg.seq; command = Msg.cmd_waypoint; param1 = 0.0; x = 0.0; y = 0.0; z = 10.0 })
+  in
+  Gcs.start_mission_upload gcs items;
+  let steps = ref 0 in
+  while Gcs.upload_state gcs = Gcs.Upload_in_progress && !steps < 100 do
+    Link.step link;
+    responder ();
+    ignore (Gcs.poll gcs);
+    incr steps
+  done;
+  Alcotest.(check bool) "upload completed" true (Gcs.upload_state gcs = Gcs.Upload_done)
+
+let test_gcs_upload_busy () =
+  let link = Link.create () in
+  let gcs = Gcs.create link in
+  Gcs.start_mission_upload gcs
+    [ { Msg.seq = 0; command = Msg.cmd_takeoff; param1 = 0.0; x = 0.0; y = 0.0; z = 5.0 } ];
+  Alcotest.check_raises "busy"
+    (Invalid_argument "Gcs.start_mission_upload: upload already in progress")
+    (fun () -> Gcs.start_mission_upload gcs [])
+
+let test_gcs_telemetry_cache () =
+  let link = Link.create () in
+  let gcs = Gcs.create link in
+  let send msg = Link.send link Link.Vehicle_end (Frame.encode ~seq:0 ~sysid:1 ~compid:1 msg) in
+  send (Msg.Heartbeat { custom_mode = 5; armed = true; system_status = 4 });
+  send
+    (Msg.Global_position
+       { time_boot_ms = 1000; lat_e7 = 473977420; lon_e7 = 85455940;
+         relative_alt_mm = 12500; vx_cm = 100; vy_cm = 0; vz_cm = -50;
+         heading_cdeg = 9000 });
+  Link.step link;
+  ignore (Gcs.poll gcs);
+  Alcotest.(check bool) "armed" true (Gcs.armed gcs);
+  Alcotest.(check bool) "mode" true (Gcs.vehicle_mode gcs = Some 5);
+  Alcotest.(check (float 1e-6)) "alt" 12.5 (Gcs.relative_alt gcs);
+  Alcotest.(check (float 1e-4)) "heading" 90.0 (Gcs.heading_deg gcs)
+
+let test_gcs_command_ack () =
+  let link = Link.create () in
+  let gcs = Gcs.create link in
+  Gcs.send_command gcs ~command:400 ~param1:1.0 ();
+  Alcotest.(check bool) "no ack yet" true (Gcs.command_ack gcs ~command:400 = None);
+  Link.send link Link.Vehicle_end
+    (Frame.encode ~seq:0 ~sysid:1 ~compid:1 (Msg.Command_ack { command = 400; accepted = true }));
+  Link.step link;
+  ignore (Gcs.poll gcs);
+  Alcotest.(check bool) "acked" true (Gcs.command_ack gcs ~command:400 = Some true)
+
+let q = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "avis_mavlink"
+    [
+      ( "crc",
+        [
+          Alcotest.test_case "properties" `Quick test_crc_known_properties;
+          Alcotest.test_case "incremental" `Quick test_crc_incremental;
+        ] );
+      ( "buf",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_buf_roundtrip;
+          Alcotest.test_case "truncated" `Quick test_buf_truncated;
+          q prop_buf_i32_roundtrip;
+          q prop_buf_f32_roundtrip;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip all messages" `Quick test_frame_roundtrip_all;
+          Alcotest.test_case "metadata" `Quick test_frame_metadata;
+          Alcotest.test_case "resync over garbage" `Quick test_decoder_resync_over_garbage;
+          Alcotest.test_case "bad crc dropped" `Quick test_decoder_rejects_bad_crc;
+          Alcotest.test_case "partial feeds" `Quick test_decoder_handles_partial_feeds;
+          q prop_frames_concatenate;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "delivery" `Quick test_link_delivery;
+          Alcotest.test_case "direction" `Quick test_link_direction;
+          Alcotest.test_case "jitter keeps order" `Quick test_link_jitter_preserves_order;
+        ] );
+      ( "gcs",
+        [
+          Alcotest.test_case "mission upload" `Quick test_gcs_mission_upload;
+          Alcotest.test_case "upload busy" `Quick test_gcs_upload_busy;
+          Alcotest.test_case "telemetry cache" `Quick test_gcs_telemetry_cache;
+          Alcotest.test_case "command ack" `Quick test_gcs_command_ack;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Tests for avis_sitl: trace recording/padding and the simulation
+   harness (provisioning, determinism, the step loop, outcomes). *)
+
+open Avis_geo
+open Avis_sitl
+open Avis_core
+
+let test_trace_records_at_period () =
+  let trace = Trace.create ~period:0.1 () in
+  let world = Avis_physics.World.create () in
+  for i = 1 to 100 do
+    Trace.record trace ~time:(float_of_int i *. 0.01) world ~mode:"Pre-Flight"
+  done;
+  (* 1 s at 10 Hz -> about 10 samples. *)
+  Alcotest.(check bool) "about ten samples" true
+    (Trace.length trace >= 9 && Trace.length trace <= 11)
+
+let test_trace_padding () =
+  let trace = Trace.create ~period:0.1 () in
+  let world = Avis_physics.World.create () in
+  Trace.record trace ~time:0.0 world ~mode:"A";
+  Trace.record trace ~time:0.2 world ~mode:"B";
+  let last = Trace.nth_padded trace 100 in
+  Alcotest.(check string) "padded with final" "B" last.Trace.mode;
+  Alcotest.check_raises "nth out of range" (Invalid_argument "Trace.nth: out of range")
+    (fun () -> ignore (Trace.nth trace 100))
+
+let test_trace_empty_padding () =
+  let trace = Trace.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Trace.nth_padded: empty trace")
+    (fun () -> ignore (Trace.nth_padded trace 0))
+
+let test_sim_time_advances () =
+  let sim = Sim.create (Sim.default_config Avis_firmware.Policy.apm) in
+  for _ = 1 to 250 do
+    Sim.step sim
+  done;
+  Alcotest.(check (float 1e-9)) "one second" 1.0 (Sim.time sim);
+  Alcotest.(check int) "250 steps" 250 (Sim.steps sim)
+
+let test_sim_duration_cap () =
+  let config = { (Sim.default_config Avis_firmware.Policy.apm) with Sim.max_duration = 0.5 } in
+  let sim = Sim.create config in
+  let reached = Sim.run_until sim (fun s -> Sim.time s > 100.0) in
+  Alcotest.(check bool) "predicate not reached" false reached;
+  Alcotest.(check bool) "finished at cap" true (Sim.finished sim)
+
+let run_quickstart seed =
+  let config =
+    { (Sim.default_config Avis_firmware.Policy.apm) with
+      Sim.seed; max_duration = 75.0 }
+  in
+  let sim = Sim.create config in
+  let passed = Workload.execute Workload.quickstart sim in
+  Sim.outcome sim ~workload_passed:passed
+
+let test_sim_quickstart_passes () =
+  let o = run_quickstart 0 in
+  Alcotest.(check bool) "passed" true o.Sim.workload_passed;
+  Alcotest.(check bool) "no crash" true (o.Sim.crash = None);
+  Alcotest.(check bool) "transitions recorded" true (List.length o.Sim.transitions >= 3)
+
+let test_sim_determinism () =
+  let a = run_quickstart 3 and b = run_quickstart 3 in
+  Alcotest.(check int) "same trace length" (Trace.length a.Sim.trace)
+    (Trace.length b.Sim.trace);
+  let sa = Trace.samples a.Sim.trace and sb = Trace.samples b.Sim.trace in
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check bool) "same positions" true
+        (Vec3.equal_eps ~eps:1e-12 s.Trace.position sb.(i).Trace.position))
+    sa
+
+let test_sim_seed_changes_trace () =
+  let a = run_quickstart 1 and b = run_quickstart 2 in
+  let sa = Trace.samples a.Sim.trace and sb = Trace.samples b.Sim.trace in
+  let n = min (Array.length sa) (Array.length sb) in
+  let differs = ref false in
+  for i = 0 to n - 1 do
+    if not (Vec3.equal_eps ~eps:1e-9 sa.(i).Trace.position sb.(i).Trace.position)
+    then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_sim_sensor_read_rate () =
+  (* The paper's premise: thousands of injection sites per second. *)
+  let o = run_quickstart 0 in
+  let rate = float_of_int o.Sim.sensor_reads /. o.Sim.duration in
+  Alcotest.(check bool) "hundreds of reads per second" true (rate > 400.0)
+
+let test_sim_crash_freezes () =
+  (* Injecting a whole-kind gyro failure mid-climb crashes the vehicle and
+     freezes the world. *)
+  let plan =
+    List.init 2 (fun index ->
+        { Avis_hinj.Hinj.sensor =
+            { Avis_sensors.Sensor.kind = Avis_sensors.Sensor.Gyroscope; index };
+          at = 6.0 })
+  in
+  let config =
+    { (Sim.default_config Avis_firmware.Policy.apm) with Sim.max_duration = 75.0 }
+  in
+  let sim = Sim.create ~plan config in
+  let passed = Workload.execute Workload.quickstart sim in
+  let o = Sim.outcome sim ~workload_passed:passed in
+  Alcotest.(check bool) "did not pass" false o.Sim.workload_passed;
+  Alcotest.(check bool) "crashed" true (o.Sim.crash <> None)
+
+let test_outcome_triggered_bugs_clean () =
+  let o = run_quickstart 0 in
+  Alcotest.(check bool) "no flawed paths in clean flight" true
+    (o.Sim.triggered_bugs = [])
+
+let () =
+  Alcotest.run "avis_sitl"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "records at period" `Quick test_trace_records_at_period;
+          Alcotest.test_case "padding" `Quick test_trace_padding;
+          Alcotest.test_case "empty padding" `Quick test_trace_empty_padding;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "time advances" `Quick test_sim_time_advances;
+          Alcotest.test_case "duration cap" `Quick test_sim_duration_cap;
+          Alcotest.test_case "quickstart passes" `Quick test_sim_quickstart_passes;
+          Alcotest.test_case "deterministic" `Quick test_sim_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_sim_seed_changes_trace;
+          Alcotest.test_case "sensor read rate" `Quick test_sim_sensor_read_rate;
+          Alcotest.test_case "crash freezes" `Quick test_sim_crash_freezes;
+          Alcotest.test_case "clean run triggers nothing" `Quick test_outcome_triggered_bugs_clean;
+        ] );
+    ]

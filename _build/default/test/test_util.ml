@@ -1,0 +1,189 @@
+(* Tests for avis_util: the seeded PRNG, statistics helpers and the table
+   renderer. *)
+
+open Avis_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_copy_independent () =
+  let a = Rng.create 3 in
+  let b = Rng.copy a in
+  let va = Rng.bits64 a in
+  let vb = Rng.bits64 b in
+  Alcotest.(check int64) "copy continues identically" va vb
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split stream differs from parent" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create 17 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.uniform rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 19 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.gaussian rng in
+    sum := !sum +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "variance near 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 23 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+let test_rng_choose_empty () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose rng [||]))
+
+let test_stats_mean () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "empty mean" 0.0 (Stats.mean [])
+
+let test_stats_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [ 4.0; 4.0; 4.0 ]);
+  check_float "single" 0.0 (Stats.stddev [ 4.0 ]);
+  (* population stddev of {1,3} repeated is 1 *)
+  check_float "pair" 1.0 (Stats.stddev [ 1.0; 3.0; 1.0; 3.0 ])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; -1.0; 7.5; 2.0 ] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.5 hi;
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.min_max: empty list")
+    (fun () -> ignore (Stats.min_max []))
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "median" 50.0 (Stats.percentile 50.0 xs);
+  check_float "p100" 100.0 (Stats.percentile 100.0 xs);
+  check_float "p1" 1.0 (Stats.percentile 1.0 xs)
+
+let test_stats_clamp () =
+  check_float "below" 0.0 (Stats.clamp ~lo:0.0 ~hi:1.0 (-5.0));
+  check_float "above" 1.0 (Stats.clamp ~lo:0.0 ~hi:1.0 5.0);
+  check_float "inside" 0.5 (Stats.clamp ~lo:0.0 ~hi:1.0 0.5);
+  Alcotest.(check int) "clampi" 3 (Stats.clampi ~lo:0 ~hi:3 9)
+
+let test_stats_running () =
+  let r = Stats.running_create () in
+  List.iter (Stats.running_add r) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.running_count r);
+  check_float "mean" 2.5 (Stats.running_mean r);
+  check_float "max" 4.0 (Stats.running_max r);
+  Alcotest.(check bool) "stddev positive" true (Stats.running_stddev r > 1.0)
+
+let test_table_render () =
+  let t = Table.create ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_separator t;
+  Table.add_row t [ "333" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "five lines" 5 (List.length lines);
+  Alcotest.(check bool) "first row before separator" true
+    (String.length (List.nth lines 2) > 0);
+  Alcotest.(check string) "header first" "| a   | bb |" (List.hd lines)
+
+let test_table_row_order () =
+  let t = Table.create ~header:[ "x" ] in
+  Table.add_row t [ "first" ];
+  Table.add_row t [ "second" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  let row i = List.nth lines i in
+  Alcotest.(check bool) "order kept" true
+    (String.length (row 2) > 0
+    && String.sub (row 2) 2 5 = "first"
+    && String.sub (row 3) 2 6 = "second")
+
+let test_table_too_many_cells () =
+  let t = Table.create ~header:[ "only" ] in
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Table.add_row: more cells than headers") (fun () ->
+      Table.add_row t [ "a"; "b" ])
+
+let () =
+  Alcotest.run "avis_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejects 0" `Quick test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "choose empty" `Quick test_rng_choose_empty;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "clamp" `Quick test_stats_clamp;
+          Alcotest.test_case "running" `Quick test_stats_running;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "row order" `Quick test_table_row_order;
+          Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+        ] );
+    ]
