@@ -4,7 +4,12 @@
 
    The campaign budget defaults to 7200 s of modelled wall-clock per
    approach; set AVIS_BUDGET=7200 for the paper's full two hours (the
-   comparison shape is the same, the absolute counts grow). *)
+   comparison shape is the same, the absolute counts grow).
+
+   Campaign cells are independent jobs: the matrix, Table V and the
+   search-order ablation all run on a domain pool sized by AVIS_JOBS
+   (default: what the hardware recommends). Results are bit-identical to
+   AVIS_JOBS=1 because every cell derives its own seed and budget. *)
 
 open Avis_util
 open Avis_sensors
@@ -13,8 +18,18 @@ open Avis_core
 
 let budget_s =
   match Sys.getenv_opt "AVIS_BUDGET" with
-  | Some v -> (try float_of_string v with _ -> 7200.0)
   | None -> 7200.0
+  | Some v -> (
+    match float_of_string_opt (String.trim v) with
+    | Some b when b > 0.0 -> b
+    | Some _ | None ->
+      Printf.eprintf
+        "[avis] warning: ignoring malformed AVIS_BUDGET=%S (want a positive \
+         number of seconds); using 7200\n%!"
+        v;
+      7200.0)
+
+let jobs = Pool.jobs_of_env ()
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -42,29 +57,92 @@ type cell = {
   workload : Workload.t;
   approach : string;
   result : Campaign.result;
+  wall_s : float;
 }
+
+let cell_label ~approach ~policy ~workload =
+  (* No spaces, so metrics lines stay grep-able key=value records. *)
+  String.map
+    (function ' ' -> '_' | c -> c)
+    (Printf.sprintf "%s/%s/%s" approach policy workload)
+
+let snapshot_of_cell c =
+  {
+    Metrics.cell =
+      cell_label ~approach:c.approach ~policy:c.policy.Policy.name
+        ~workload:c.workload.Workload.name;
+    simulations = c.result.Campaign.simulations;
+    inferences = c.result.Campaign.inferences;
+    spent_s = c.result.Campaign.wall_clock_spent_s;
+    budget_s;
+    findings = Campaign.unsafe_count c.result;
+    wall_s = c.wall_s;
+  }
+
+(* Emit a metrics line whenever the cell crosses another 10% of its
+   budget, rather than after every simulation: sixteen interleaved cells
+   stay readable. *)
+let decile_progress ~label ~started =
+  let last = ref (-1) in
+  fun (p : Campaign.progress) ->
+    let decile =
+      int_of_float (10.0 *. p.Campaign.spent_s /. Float.max 1e-9 p.Campaign.budget_s)
+    in
+    if decile > !last then begin
+      last := decile;
+      Metrics.emit ~event:"progress"
+        {
+          Metrics.cell = label;
+          simulations = p.Campaign.simulations;
+          inferences = p.Campaign.inferences;
+          spent_s = p.Campaign.spent_s;
+          budget_s = p.Campaign.budget_s;
+          findings = p.Campaign.findings;
+          wall_s = Metrics.now_s () -. started;
+        }
+    end
+
+let run_cell (policy, workload, (name, strategy)) =
+  let label =
+    cell_label ~approach:name ~policy:policy.Policy.name
+      ~workload:workload.Workload.name
+  in
+  let started = Metrics.now_s () in
+  let config =
+    {
+      (Campaign.default_config policy workload) with
+      Campaign.budget_s;
+      seed =
+        Campaign.cell_seed ~policy:policy.Policy.name
+          ~workload:workload.Workload.name ~approach:name ();
+    }
+  in
+  let result =
+    Campaign.run ~progress:(decile_progress ~label ~started) config ~strategy
+  in
+  let cell =
+    { policy; workload; approach = name; result;
+      wall_s = Metrics.now_s () -. started }
+  in
+  Metrics.emit ~event:"done" (snapshot_of_cell cell);
+  cell
 
 let campaign_matrix =
   lazy
-    (List.concat_map
-       (fun policy ->
-         List.concat_map
-           (fun workload ->
-             List.map
-               (fun (name, strategy) ->
-                 Printf.eprintf "[bench] campaign: %s / %s / %s...\n%!"
-                   name policy.Policy.name workload.Workload.name;
-                 let config =
-                   {
-                     (Campaign.default_config policy workload) with
-                     Campaign.budget_s;
-                   }
-                 in
-                 let result = Campaign.run config ~strategy in
-                 { policy; workload; approach = name; result })
-               approaches)
-           workloads)
-       policies)
+    (let specs =
+       List.concat_map
+         (fun policy ->
+           List.concat_map
+             (fun workload ->
+               List.map (fun approach -> (policy, workload, approach)) approaches)
+             workloads)
+         policies
+     in
+     Printf.eprintf "[bench] campaign matrix: %d cells on %d domain(s)\n%!"
+       (List.length specs) jobs;
+     let cells = Pool.map ~jobs run_cell specs in
+     Metrics.summary (List.map snapshot_of_cell cells);
+     cells)
 
 let cells_for ?approach ?policy () =
   List.filter
@@ -442,42 +520,44 @@ let table5 () =
         [ "Bug ID"; "Avis found"; "Avis sims"; "Strat. BFI found";
           "Strat. BFI sims" ]
   in
-  List.iter
-    (fun bug ->
-      let info = Bug.info bug in
-      if info.Bug.known then begin
-        Printf.eprintf "[bench] Table V campaign for %s...\n%!" info.Bug.report;
-        let policy = Policy.of_firmware info.Bug.firmware in
-        let workload =
-          if bug = Bug.Apm_4455 then Workload.manual_box else Workload.auto_box
-        in
-        let run strategy =
-          let config =
-            {
-              (Campaign.default_config policy workload) with
-              Campaign.budget_s;
-              enabled_bugs = [ bug ];
-            }
-          in
-          let result =
-            Campaign.run
-              ~stop_when:(fun f -> List.mem bug f.Campaign.report.Report.triggered_bugs)
-              config ~strategy
-          in
-          Campaign.simulations_until_bug result bug
-        in
-        let avis = run (fun ctx -> Sabre.make ctx) in
-        let strat = run (fun ctx -> Strat_bfi.make ctx) in
-        let show = function
-          | Some n -> ("found", string_of_int n)
-          | None -> ("missed", "n/a")
-        in
-        let avis_found, avis_sims = show avis in
-        let strat_found, strat_sims = show strat in
-        Table.add_row t
-          [ info.Bug.report; avis_found; avis_sims; strat_found; strat_sims ]
-      end)
-    Bug.all;
+  let known = List.filter (fun bug -> (Bug.info bug).Bug.known) Bug.all in
+  let row_for bug =
+    let info = Bug.info bug in
+    Printf.eprintf "[bench] Table V campaign for %s...\n%!" info.Bug.report;
+    let policy = Policy.of_firmware info.Bug.firmware in
+    let workload =
+      if bug = Bug.Apm_4455 then Workload.manual_box else Workload.auto_box
+    in
+    let run approach strategy =
+      let config =
+        {
+          (Campaign.default_config policy workload) with
+          Campaign.budget_s;
+          enabled_bugs = [ bug ];
+          seed =
+            Campaign.cell_seed ~policy:policy.Policy.name
+              ~workload:workload.Workload.name
+              ~approach:(approach ^ "/" ^ info.Bug.report) ();
+        }
+      in
+      let result =
+        Campaign.run
+          ~stop_when:(fun f -> List.mem bug f.Campaign.report.Report.triggered_bugs)
+          config ~strategy
+      in
+      Campaign.simulations_until_bug result bug
+    in
+    let avis = run "Avis" (fun ctx -> Sabre.make ctx) in
+    let strat = run "Strat. BFI" (fun ctx -> Strat_bfi.make ctx) in
+    let show = function
+      | Some n -> ("found", string_of_int n)
+      | None -> ("missed", "n/a")
+    in
+    let avis_found, avis_sims = show avis in
+    let strat_found, strat_sims = show strat in
+    [ info.Bug.report; avis_found; avis_sims; strat_found; strat_sims ]
+  in
+  List.iter (Table.add_row t) (Pool.map ~jobs row_for known);
   Table.print t
 
 (* ------------------------------------------------------------------ *)
@@ -489,29 +569,30 @@ let ablation_search_order () =
   let t =
     Table.create ~header:[ "Strategy"; "simulations"; "unsafe found" ]
   in
-  List.iter
-    (fun (name, strategy) ->
-      Printf.eprintf "[bench] ablation strategy %s...\n%!" name;
-      let config =
-        {
-          (Campaign.default_config Policy.apm Workload.auto_box) with
-          Campaign.budget_s = Float.min budget_s 1200.0;
-        }
-      in
-      let result = Campaign.run config ~strategy in
-      Table.add_row t
-        [
-          name;
-          string_of_int result.Campaign.simulations;
-          string_of_int (Campaign.unsafe_count result);
-        ])
+  let row_for (name, strategy) =
+    Printf.eprintf "[bench] ablation strategy %s...\n%!" name;
+    let config =
+      {
+        (Campaign.default_config Policy.apm Workload.auto_box) with
+        Campaign.budget_s = Float.min budget_s 1200.0;
+      }
+    in
+    let result = Campaign.run config ~strategy in
     [
-      ("SABRE", fun ctx -> Sabre.make ctx);
-      ("SABRE, no pruning", fun ctx ->
-        Sabre.make ~prune:(Prune.create ~symmetry:false ~found_bug:false ()) ctx);
-      ("plain BFS", fun ctx -> Bfs.make ctx);
-      ("plain DFS", fun ctx -> Dfs.make ctx);
-    ];
+      name;
+      string_of_int result.Campaign.simulations;
+      string_of_int (Campaign.unsafe_count result);
+    ]
+  in
+  List.iter (Table.add_row t)
+    (Pool.map ~jobs row_for
+       [
+         ("SABRE", fun ctx -> Sabre.make ctx);
+         ("SABRE, no pruning", fun ctx ->
+           Sabre.make ~prune:(Prune.create ~symmetry:false ~found_bug:false ()) ctx);
+         ("plain BFS", fun ctx -> Bfs.make ctx);
+         ("plain DFS", fun ctx -> Dfs.make ctx);
+       ]);
   Table.print t
 
 let ablation_liveliness_metric () =
@@ -615,9 +696,10 @@ let simulator_stats () =
     golden.Avis_sitl.Sim.duration golden.Avis_sitl.Sim.sensor_reads
     (float_of_int golden.Avis_sitl.Sim.sensor_reads /. golden.Avis_sitl.Sim.duration)
     (List.length golden.Avis_sitl.Sim.transitions);
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic: a wall-clock step (NTP, DST) must not skew the ratio. *)
+  let t0 = Metrics.now_s () in
   ignore (run_auto_box Policy.apm ~enabled:[] ~plan:[]);
-  let real = Unix.gettimeofday () -. t0 in
+  let real = Metrics.now_s () -. t0 in
   Printf.printf "real-time speed-up on this machine: %.0fx\n"
     (golden.Avis_sitl.Sim.duration /. real)
 
@@ -718,8 +800,9 @@ let micro_benchmarks () =
 let () =
   Printf.printf
     "Avis reproduction benchmarks (budget %.0f s of modelled wall-clock per \
-     approach per workload; override with AVIS_BUDGET)\n"
-    budget_s;
+     approach per workload, %d campaign domain(s); override with AVIS_BUDGET \
+     and AVIS_JOBS)\n"
+    budget_s jobs;
   table1 ();
   fig3 ();
   fig5 ();

@@ -144,63 +144,130 @@ let fly_cmd =
 
 (* hunt *)
 
-let strategy_of_name name ctx =
+(* Resolving the name eagerly (before any campaign starts) lets a typo in
+   a multi-approach hunt fail before budget is spent on the others. *)
+let strategy_of_name name =
   match name with
-  | "avis" | "sabre" -> Sabre.make ctx
-  | "strat-bfi" -> Strat_bfi.make ctx
-  | "bfi" -> Bfi.make ctx
-  | "random" -> Random_search.make ctx
-  | "dfs" -> Dfs.make ctx
-  | "bfs" -> Bfs.make ctx
+  | "avis" | "sabre" -> fun ctx -> Sabre.make ctx
+  | "strat-bfi" -> fun ctx -> Strat_bfi.make ctx
+  | "bfi" -> fun ctx -> Bfi.make ctx
+  | "random" -> fun ctx -> Random_search.make ctx
+  | "dfs" -> fun ctx -> Dfs.make ctx
+  | "bfs" -> fun ctx -> Bfs.make ctx
   | s -> invalid_arg ("unknown approach " ^ s)
 
-let hunt policy workload seed approach budget verbose artefacts =
-  let config =
-    {
-      (Campaign.default_config policy workload) with
-      Campaign.budget_s = budget;
-      seed;
-    }
+let hunt policy workload seed approaches budget jobs verbose artefacts =
+  let approaches =
+    String.split_on_char ',' approaches
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
   in
-  Printf.printf "hunting with %s on %s / %s (budget %.0f s wall-clock)...\n%!"
-    approach policy.Avis_firmware.Policy.name workload.Workload.name budget;
-  let result = Campaign.run config ~strategy:(strategy_of_name approach) in
+  (* Fail on a typo before spending any budget on the other approaches —
+     and as a usage error, not an "internal error" backtrace. *)
+  (try
+     if approaches = [] then invalid_arg "no approach given";
+     List.iter
+       (fun name ->
+         let (_ : Search.context -> Search.t) = strategy_of_name name in
+         ())
+       approaches
+   with Invalid_argument msg ->
+     Printf.eprintf "avis: %s (avis|strat-bfi|bfi|random|dfs|bfs)\n" msg;
+     exit Cmd.Exit.cli_error);
+  let jobs =
+    max 1 (match jobs with Some j -> j | None -> Avis_util.Pool.jobs_of_env ())
+  in
   Printf.printf
-    "%s: %d unsafe conditions in %d simulations (%d inferences, %.0f s spent)\n"
-    result.Campaign.approach
-    (Campaign.unsafe_count result)
-    result.Campaign.simulations result.Campaign.inferences
-    result.Campaign.wall_clock_spent_s;
+    "hunting with %s on %s / %s (budget %.0f s wall-clock each, %d domain(s))...\n%!"
+    (String.concat ", " approaches)
+    policy.Avis_firmware.Policy.name workload.Workload.name budget jobs;
+  let hunt_one name =
+    let label =
+      Printf.sprintf "%s/%s/%s" name policy.Avis_firmware.Policy.name
+        workload.Workload.name
+    in
+    let started = Avis_util.Metrics.now_s () in
+    let config =
+      {
+        (Campaign.default_config policy workload) with
+        Campaign.budget_s = budget;
+        seed =
+          Campaign.cell_seed ~base:seed ~policy:policy.Avis_firmware.Policy.name
+            ~workload:workload.Workload.name ~approach:name ();
+      }
+    in
+    let result = Campaign.run config ~strategy:(strategy_of_name name) in
+    let snapshot =
+      {
+        Avis_util.Metrics.cell = label;
+        simulations = result.Campaign.simulations;
+        inferences = result.Campaign.inferences;
+        spent_s = result.Campaign.wall_clock_spent_s;
+        budget_s = budget;
+        findings = Campaign.unsafe_count result;
+        wall_s = Avis_util.Metrics.now_s () -. started;
+      }
+    in
+    Avis_util.Metrics.emit ~event:"done" snapshot;
+    (name, result, snapshot)
+  in
+  let results = Avis_util.Pool.map ~jobs hunt_one approaches in
   List.iter
-    (fun (bucket, n) ->
-      Printf.printf "  %-8s %d\n" (Report.bucket_label bucket) n)
-    (Campaign.count_by_bucket result);
-  if verbose then
-    List.iteri
-      (fun i f ->
-        Printf.printf "[%02d] sim#%d %s\n" i f.Campaign.simulation_index
-          (Report.describe f.Campaign.report))
-      result.Campaign.findings;
-  match artefacts with
-  | None -> ()
-  | Some dir ->
-    let base = Filename.concat dir (policy.Avis_firmware.Policy.name ^ "-" ^ workload.Workload.name) in
-    Export.write_file ~path:(base ^ "-campaign.json")
-      (Avis_util.Json.to_string_pretty (Export.campaign_to_json result));
-    Export.write_file ~path:(base ^ "-modes.dot")
-      (Export.mode_graph_to_dot (Monitor.graph result.Campaign.profile));
-    Printf.printf "artefacts written under %s\n" dir
+    (fun (name, result, _) ->
+      Printf.printf
+        "%s: %d unsafe conditions in %d simulations (%d inferences, %.0f s spent)\n"
+        result.Campaign.approach
+        (Campaign.unsafe_count result)
+        result.Campaign.simulations result.Campaign.inferences
+        result.Campaign.wall_clock_spent_s;
+      List.iter
+        (fun (bucket, n) ->
+          Printf.printf "  %-8s %d\n" (Report.bucket_label bucket) n)
+        (Campaign.count_by_bucket result);
+      if verbose then
+        List.iteri
+          (fun i f ->
+            Printf.printf "[%02d] sim#%d %s\n" i f.Campaign.simulation_index
+              (Report.describe f.Campaign.report))
+          result.Campaign.findings;
+      match artefacts with
+      | None -> ()
+      | Some dir ->
+        let base =
+          Filename.concat dir
+            (policy.Avis_firmware.Policy.name ^ "-" ^ workload.Workload.name
+           ^ "-" ^ name)
+        in
+        Export.write_file ~path:(base ^ "-campaign.json")
+          (Avis_util.Json.to_string_pretty (Export.campaign_to_json result));
+        Export.write_file ~path:(base ^ "-modes.dot")
+          (Export.mode_graph_to_dot (Monitor.graph result.Campaign.profile));
+        Printf.printf "artefacts written under %s\n" dir)
+    results;
+  match results with
+  | [] | [ _ ] -> ()
+  | _ -> Avis_util.Metrics.summary (List.map (fun (_, _, s) -> s) results)
 
 let hunt_cmd =
   let approach =
     Arg.(value & opt string "avis"
-         & info [ "a"; "approach" ] ~docv:"APPROACH"
-             ~doc:"Search strategy (avis|strat-bfi|bfi|random|dfs|bfs).")
+         & info [ "a"; "approach" ] ~docv:"APPROACHES"
+             ~doc:"Comma-separated search strategies \
+                   (avis|strat-bfi|bfi|random|dfs|bfs). Each runs as its own \
+                   campaign with its own budget and a seed derived from \
+                   --seed and the cell's labels.")
   in
   let budget =
     Arg.(value & opt float 1200.0
          & info [ "b"; "budget" ] ~docv:"SECONDS"
              ~doc:"Wall-clock budget in seconds (the paper uses 7200).")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Campaigns to run in parallel (domains). Defaults to \
+                   \\$AVIS_JOBS, then to the hardware's recommendation. \
+                   Results do not depend on N.")
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every finding.")
@@ -211,8 +278,8 @@ let hunt_cmd =
              ~doc:"Write the campaign result (JSON) and mode graph (DOT) under this directory.")
   in
   Cmd.v
-    (Cmd.info "hunt" ~doc:"Run a model-checking campaign against the firmware.")
-    Term.(const hunt $ firmware_arg $ workload_arg $ seed_arg $ approach $ budget $ verbose $ artefacts)
+    (Cmd.info "hunt" ~doc:"Run model-checking campaigns against the firmware.")
+    Term.(const hunt $ firmware_arg $ workload_arg $ seed_arg $ approach $ budget $ jobs $ verbose $ artefacts)
 
 (* replay *)
 

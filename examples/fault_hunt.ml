@@ -1,35 +1,77 @@
-(* Hunt for sensor bugs with Avis/SABRE against the ArduPilot personality
-   on the auto-box mission — a small-budget version of the paper's main
-   experiment. Each finding shows the injected scenario, the violated
-   invariant, and (ground truth, for the demo) which reproduced bug the
-   flawed code path corresponds to.
+(* Hunt for sensor bugs against the ArduPilot personality on the auto-box
+   mission — a small-budget version of the paper's main experiment, with
+   all four approaches of Table III racing in parallel on a domain pool.
+   Each campaign is an independent cell with its own seed and budget, so
+   the findings are identical whatever AVIS_JOBS is set to.
 
-   Run with: dune exec examples/fault_hunt.exe *)
+   Run with: AVIS_JOBS=4 dune exec examples/fault_hunt.exe *)
 
+open Avis_util
 open Avis_core
 
-let () =
+let budget_s = 1500.0
+let policy = Avis_firmware.Policy.apm
+let workload = Workload.auto_box
+
+let approaches =
+  [
+    ("Avis", fun ctx -> Sabre.make ctx);
+    ("Strat-BFI", fun ctx -> Strat_bfi.make ctx);
+    ("BFI", fun ctx -> Bfi.make ctx);
+    ("Random", fun ctx -> Random_search.make ctx);
+  ]
+
+let hunt (name, strategy) =
+  let started = Metrics.now_s () in
   let config =
     {
-      (Campaign.default_config Avis_firmware.Policy.apm Workload.auto_box) with
-      Campaign.budget_s = 1500.0;
+      (Campaign.default_config policy workload) with
+      Campaign.budget_s;
+      seed =
+        Campaign.cell_seed ~policy:policy.Avis_firmware.Policy.name
+          ~workload:workload.Workload.name ~approach:name ();
     }
   in
+  let result = Campaign.run config ~strategy in
+  let snapshot =
+    {
+      Metrics.cell =
+        Printf.sprintf "%s/%s/%s" name policy.Avis_firmware.Policy.name
+          workload.Workload.name;
+      simulations = result.Campaign.simulations;
+      inferences = result.Campaign.inferences;
+      spent_s = result.Campaign.wall_clock_spent_s;
+      budget_s;
+      findings = Campaign.unsafe_count result;
+      wall_s = Metrics.now_s () -. started;
+    }
+  in
+  Metrics.emit ~event:"done" snapshot;
+  (name, result, snapshot)
+
+let () =
+  let jobs = Pool.jobs_of_env () in
   Printf.printf
-    "Profiling %s on %s, then hunting with SABRE (%.0f s wall-clock budget)...\n%!"
-    config.Campaign.policy.Avis_firmware.Policy.name
-    config.Campaign.workload.Workload.name config.Campaign.budget_s;
-  let result = Campaign.run config ~strategy:(fun ctx -> Sabre.make ctx) in
-  Printf.printf "\n%d simulations, %d unsafe conditions found:\n\n"
-    result.Campaign.simulations
-    (Campaign.unsafe_count result);
-  List.iteri
-    (fun i f ->
-      Printf.printf "%2d. (simulation #%d)\n    %s\n" (i + 1)
-        f.Campaign.simulation_index
-        (Report.describe f.Campaign.report))
-    result.Campaign.findings;
-  Printf.printf "\nunsafe conditions by operating mode at injection:\n";
+    "Profiling %s on %s, then hunting with %d approaches on %d domain(s) \
+     (%.0f s wall-clock budget each)...\n%!"
+    policy.Avis_firmware.Policy.name workload.Workload.name
+    (List.length approaches) jobs budget_s;
+  let results = Pool.map ~jobs hunt approaches in
   List.iter
-    (fun (bucket, n) -> Printf.printf "  %-8s %d\n" (Report.bucket_label bucket) n)
-    (Campaign.count_by_bucket result)
+    (fun (name, result, _) ->
+      Printf.printf "\n%s: %d simulations, %d unsafe conditions found:\n" name
+        result.Campaign.simulations
+        (Campaign.unsafe_count result);
+      List.iteri
+        (fun i f ->
+          Printf.printf "%2d. (simulation #%d)\n    %s\n" (i + 1)
+            f.Campaign.simulation_index
+            (Report.describe f.Campaign.report))
+        result.Campaign.findings;
+      Printf.printf "unsafe conditions by operating mode at injection:\n";
+      List.iter
+        (fun (bucket, n) ->
+          Printf.printf "  %-8s %d\n" (Report.bucket_label bucket) n)
+        (Campaign.count_by_bucket result))
+    results;
+  Metrics.summary (List.map (fun (_, _, s) -> s) results)

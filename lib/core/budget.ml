@@ -6,18 +6,25 @@ type t = {
   mutable inferences : int;
 }
 
+let min_inference_s = 0.01
+
 let create ?(speedup = 5.0) ~total_s () =
   if total_s <= 0.0 then invalid_arg "Budget.create: non-positive budget";
   { total_s; speedup; spent_s = 0.0; simulations = 0; inferences = 0 }
 
 let two_hours () = create ~total_s:7200.0 ()
 
+(* The ledger never records more than the budget: once the clock would
+   run past [total_s] the campaign is over, and whatever tail the last
+   activity had would not have been wall-clock spent. *)
+let charge t seconds = t.spent_s <- Float.min t.total_s (t.spent_s +. seconds)
+
 let charge_simulation t ~sim_seconds =
-  t.spent_s <- t.spent_s +. (sim_seconds /. t.speedup);
+  charge t (sim_seconds /. t.speedup);
   t.simulations <- t.simulations + 1
 
 let charge_inference t seconds =
-  t.spent_s <- t.spent_s +. seconds;
+  charge t (Float.max seconds min_inference_s);
   t.inferences <- t.inferences + 1
 
 let spent_s t = t.spent_s

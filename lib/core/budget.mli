@@ -10,6 +10,12 @@
 
 type t
 
+val min_inference_s : float
+(** The floor on any inference charge (0.01 s): even a candidate the
+    model rejects outright costs a feature lookup. Without the floor a
+    searcher that keeps answering [Think 0.0] (e.g. a gate rejecting at
+    zero cost) never advances [spent_s] and the campaign loop live-locks. *)
+
 val create : ?speedup:float -> total_s:float -> unit -> t
 (** [speedup] is simulated-seconds per wall-second (default 5). *)
 
@@ -17,10 +23,14 @@ val two_hours : unit -> t
 (** The paper's 7200 s budget with the default speed-up. *)
 
 val charge_simulation : t -> sim_seconds:float -> unit
-(** Account a simulated run. *)
+(** Account a simulated run. The recorded spend saturates at [total_s]:
+    a campaign is cut off when the budget clock runs out, so no ledger
+    ever reports more wall-clock than it was given. *)
 
 val charge_inference : t -> float -> unit
-(** Account model-inference wall time (BFI variants). *)
+(** Account model-inference wall time (BFI variants). At least
+    {!min_inference_s} is charged; saturates at [total_s] like
+    {!charge_simulation}. *)
 
 val spent_s : t -> float
 val remaining_s : t -> float

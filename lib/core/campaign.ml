@@ -26,6 +26,14 @@ let default_config policy workload =
 
 type finding = { report : Report.t; simulation_index : int }
 
+type progress = {
+  simulations : int;
+  inferences : int;
+  spent_s : float;
+  budget_s : float;
+  findings : int;
+}
+
 type result = {
   approach : string;
   findings : finding list;
@@ -35,6 +43,12 @@ type result = {
   profile : Monitor.profile;
 }
 
+(* The simulator's hard cap on one run, and therefore the most any run
+   can charge to the budget. The affordability check below uses the same
+   bound, so a run that starts is guaranteed to fit. *)
+let max_sim_duration (config : config) =
+  config.workload.Workload.nominal_duration +. 60.0
+
 let sim_config (config : config) ~seed ~plan =
   let base = Sim.default_config config.policy in
   let sim_cfg =
@@ -42,7 +56,7 @@ let sim_config (config : config) ~seed ~plan =
       base with
       Sim.enabled_bugs = config.enabled_bugs;
       seed;
-      max_duration = config.workload.Workload.nominal_duration +. 60.0;
+      max_duration = max_sim_duration config;
       link_jitter_steps = config.link_jitter_steps;
       environment = config.workload.Workload.environment ();
     }
@@ -76,12 +90,23 @@ let profile_and_context config =
   in
   (profile, ctx, first)
 
-let run ?(stop_when = fun _ -> false) config ~strategy =
+let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
+    config ~strategy =
   let profile, ctx, _first = profile_and_context config in
   let searcher = strategy ctx in
   let budget = Budget.create ~speedup:config.speedup ~total_s:config.budget_s () in
   let findings = ref [] in
   let stopped = ref false in
+  let report_progress () =
+    progress
+      {
+        simulations = Budget.simulations_run budget;
+        inferences = Budget.inferences_run budget;
+        spent_s = Budget.spent_s budget;
+        budget_s = config.budget_s;
+        findings = List.length !findings;
+      }
+  in
   (* Test runs are deterministic: a fixed seed distinct from profiling. *)
   let test_seed = config.seed + 1000 in
   while (not !stopped) && not (Budget.exhausted budget) do
@@ -91,9 +116,12 @@ let run ?(stop_when = fun _ -> false) config ~strategy =
     | Search.Run (scenario, inference_cost) ->
       if inference_cost > 0.0 then Budget.charge_inference budget inference_cost;
       if
+        (* Check against the worst case the simulator could actually
+           charge (its max_duration cap), not an optimistic estimate:
+           any run that starts is then guaranteed to fit the budget. *)
         not
           (Budget.can_afford_run budget
-             ~sim_seconds:(config.workload.Workload.nominal_duration /. 2.0))
+             ~sim_seconds:(max_sim_duration config))
       then stopped := true
       else begin
         let outcome =
@@ -118,9 +146,11 @@ let run ?(stop_when = fun _ -> false) config ~strategy =
             }
           in
           findings := finding :: !findings;
-          if stop_when finding then stopped := true)
+          if stop_when finding then stopped := true);
+        report_progress ()
       end
   done;
+  report_progress ();
   {
     approach = searcher.Search.name;
     findings = List.rev !findings;
@@ -129,6 +159,20 @@ let run ?(stop_when = fun _ -> false) config ~strategy =
     wall_clock_spent_s = Budget.spent_s budget;
     profile;
   }
+
+(* A stable, platform-independent seed for one (policy, workload,
+   approach) cell of a campaign matrix: FNV-1a over the labels, folded
+   into a positive int. Sequential and parallel runners derive the same
+   seed for the same cell, which is what makes their results
+   bit-identical. *)
+let cell_seed ?(base = 1) ~policy ~workload ~approach () =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    (Printf.sprintf "%d|%s|%s|%s" base policy workload approach);
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFL)
 
 let unsafe_count result = List.length result.findings
 

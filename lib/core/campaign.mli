@@ -27,6 +27,16 @@ val default_config : Policy.t -> Workload.t -> config
 
 type finding = { report : Report.t; simulation_index : int }
 
+type progress = {
+  simulations : int;
+  inferences : int;
+  spent_s : float;
+  budget_s : float;
+  findings : int;
+}
+(** A snapshot of the search loop's counters, handed to the [progress]
+    callback of {!run} after every simulated scenario. *)
+
 type result = {
   approach : string;
   findings : finding list;  (** Oldest first. *)
@@ -43,10 +53,23 @@ val profile_and_context :
     if a profiling run does not complete cleanly. *)
 
 val run :
-  ?stop_when:(finding -> bool) -> config ->
+  ?stop_when:(finding -> bool) -> ?progress:(progress -> unit) -> config ->
   strategy:(Search.context -> Search.t) -> result
 (** Run a full campaign. [stop_when] ends the campaign early when a
-    finding satisfies it (used by the Table V until-found experiments). *)
+    finding satisfies it (used by the Table V until-found experiments).
+    [progress] is invoked after every simulated scenario and once more on
+    completion; campaign runners use it to emit live metrics. The
+    campaign never spends past [budget_s]: affordability is checked
+    against the simulator's duration cap before each run, and the ledger
+    saturates at the budget. *)
+
+val cell_seed :
+  ?base:int -> policy:string -> workload:string -> approach:string -> unit -> int
+(** A deterministic positive seed for one cell of a campaign matrix,
+    derived (FNV-1a) from the cell's labels and the [base] seed
+    (default 1). Both the sequential and the parallel matrix runners use
+    this, so a cell's campaign is identical no matter where or in what
+    order it executes. *)
 
 val unsafe_count : result -> int
 

@@ -8,8 +8,6 @@ type state = {
   queue : site Queue.t;
   seen_sites : (string, unit) Hashtbl.t;
   mutable current : (site * Scenario.t list) option;
-  mutable pending : (Scenario.t * site) list;
-      (* scenario -> site it came from, for observe-time bookkeeping *)
 }
 
 let site_key s =
@@ -35,7 +33,6 @@ let make ?(shift_s = 0.5) ?prune ?gate ctx =
       queue = Queue.create ();
       seen_sites = Hashtbl.create 1024;
       current = None;
-      pending = [];
     }
   in
   (* Line 1: seed the queue with the profiling run's transitions. *)
@@ -48,18 +45,15 @@ let make ?(shift_s = 0.5) ?prune ?gate ctx =
       st.current <- Some (site, rest);
       if Prune.should_prune st.prune scenario then next ()
       else begin
-        st.pending <- (scenario, site) :: st.pending;
         match st.gate with
         | None -> Search.Run (scenario, 0.0)
         | Some gate ->
           let cost, approved = gate scenario in
           if approved then Search.Run (scenario, cost)
-          else begin
-            (* Skipped by the model; record so symmetry pruning does not
-               retest an equivalent candidate, and surface the cost. *)
-            st.pending <- List.tl st.pending;
+          else
+            (* Skipped by the model; surface the cost so the campaign
+               still charges the inference. *)
             Search.Think cost
-          end
       end
     | Some (site, []) ->
       (* Line 20: revisit this site a little later. *)
@@ -78,7 +72,6 @@ let make ?(shift_s = 0.5) ?prune ?gate ctx =
       end
   in
   let observe scenario (result : Search.run_result) =
-    st.pending <- List.filter (fun (s, _) -> s != scenario) st.pending;
     Prune.note_run st.prune scenario;
     if result.Search.unsafe then Prune.note_bug st.prune scenario
     else

@@ -1,0 +1,76 @@
+type snapshot = {
+  cell : string;
+  simulations : int;
+  inferences : int;
+  spent_s : float;
+  budget_s : float;
+  findings : int;
+  wall_s : float;
+}
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let line ~event s =
+  Printf.sprintf
+    "[avis] event=%s cell=%s sims=%d infs=%d spent_s=%.1f budget_s=%.1f findings=%d wall_s=%.1f"
+    event s.cell s.simulations s.inferences s.spent_s s.budget_s s.findings
+    s.wall_s
+
+(* One mutex for every channel: emission is rare (campaign granularity),
+   and a single lock keeps interleaved stderr/file output ordered too. *)
+let emit_mutex = Mutex.create ()
+
+let emit ?(oc = stderr) ~event s =
+  let text = line ~event s ^ "\n" in
+  Mutex.lock emit_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock emit_mutex)
+    (fun () ->
+      output_string oc text;
+      flush oc)
+
+let summary ?(oc = stderr) snapshots =
+  let t =
+    Table.create
+      ~header:
+        [ "cell"; "sims"; "infs"; "spent (s)"; "budget (s)"; "findings";
+          "wall (s)" ]
+  in
+  let row s =
+    [
+      s.cell; string_of_int s.simulations; string_of_int s.inferences;
+      Printf.sprintf "%.1f" s.spent_s; Printf.sprintf "%.0f" s.budget_s;
+      string_of_int s.findings; Printf.sprintf "%.1f" s.wall_s;
+    ]
+  in
+  List.iter (fun s -> Table.add_row t (row s)) snapshots;
+  (match snapshots with
+  | [] | [ _ ] -> ()
+  | _ ->
+    Table.add_separator t;
+    let total =
+      List.fold_left
+        (fun acc s ->
+          {
+            acc with
+            simulations = acc.simulations + s.simulations;
+            inferences = acc.inferences + s.inferences;
+            spent_s = acc.spent_s +. s.spent_s;
+            budget_s = acc.budget_s +. s.budget_s;
+            findings = acc.findings + s.findings;
+            wall_s = Float.max acc.wall_s s.wall_s;
+          })
+        {
+          cell = "TOTAL (wall = max)"; simulations = 0; inferences = 0;
+          spent_s = 0.0; budget_s = 0.0; findings = 0; wall_s = 0.0;
+        }
+        snapshots
+    in
+    Table.add_row t (row total));
+  Mutex.lock emit_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock emit_mutex)
+    (fun () ->
+      output_string oc (Table.render t);
+      output_char oc '\n';
+      flush oc)

@@ -1,0 +1,32 @@
+(** Structured campaign progress lines and the end-of-run summary.
+
+    A 16-way parallel campaign matrix interleaves the output of every
+    cell, so progress is reported as single-line [key=value] records on
+    stderr that are emitted atomically (one [output_string] under a
+    global mutex) and are grep-able by cell label:
+
+    {v [avis] event=progress cell=Avis/apm/auto-box sims=41 infs=0 spent_s=612.0 budget_s=7200.0 findings=3 wall_s=0.8 v} *)
+
+type snapshot = {
+  cell : string;  (** [approach/policy/workload], no spaces. *)
+  simulations : int;
+  inferences : int;
+  spent_s : float;  (** Modelled wall-clock charged to the budget. *)
+  budget_s : float;
+  findings : int;
+  wall_s : float;  (** Real (monotonic) seconds since the cell started. *)
+}
+
+val now_s : unit -> float
+(** Monotonic clock reading in seconds. Only differences are meaningful;
+    immune to wall-clock steps (NTP, DST) unlike [Unix.gettimeofday]. *)
+
+val line : event:string -> snapshot -> string
+(** Render one record (no trailing newline). *)
+
+val emit : ?oc:out_channel -> event:string -> snapshot -> unit
+(** Write [line] atomically to [oc] (default stderr) and flush. Safe to
+    call concurrently from worker domains. *)
+
+val summary : ?oc:out_channel -> snapshot list -> unit
+(** Print an aligned per-cell table plus a totals row (default stderr). *)

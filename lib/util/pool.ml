@@ -1,0 +1,123 @@
+type shared = {
+  queue : (unit -> unit) Queue.t;
+  capacity : int;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+}
+
+type t =
+  | Inline of { mutable closed : bool }
+  | Crew of { shared : shared; workers : unit Domain.t list; njobs : int }
+
+let worker shared () =
+  let rec loop () =
+    Mutex.lock shared.mutex;
+    while Queue.is_empty shared.queue && not shared.closed do
+      Condition.wait shared.not_empty shared.mutex
+    done;
+    match Queue.take_opt shared.queue with
+    | None ->
+      (* Closed and drained. *)
+      Mutex.unlock shared.mutex
+    | Some job ->
+      Condition.signal shared.not_full;
+      Mutex.unlock shared.mutex;
+      (try job ()
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock shared.mutex;
+         if shared.failure = None then shared.failure <- Some (e, bt);
+         Mutex.unlock shared.mutex);
+      loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs <= 1 then Inline { closed = false }
+  else begin
+    let shared =
+      {
+        queue = Queue.create ();
+        capacity = 2 * jobs;
+        mutex = Mutex.create ();
+        not_empty = Condition.create ();
+        not_full = Condition.create ();
+        closed = false;
+        failure = None;
+      }
+    in
+    let workers = List.init jobs (fun _ -> Domain.spawn (worker shared)) in
+    Crew { shared; workers; njobs = jobs }
+  end
+
+let jobs = function Inline _ -> 1 | Crew { njobs; _ } -> njobs
+
+let submit t job =
+  match t with
+  | Inline i ->
+    if i.closed then invalid_arg "Pool.submit: pool is closed";
+    job ()
+  | Crew { shared; _ } ->
+    Mutex.lock shared.mutex;
+    if shared.closed then begin
+      Mutex.unlock shared.mutex;
+      invalid_arg "Pool.submit: pool is closed"
+    end;
+    while Queue.length shared.queue >= shared.capacity && not shared.closed do
+      Condition.wait shared.not_full shared.mutex
+    done;
+    Queue.push job shared.queue;
+    Condition.signal shared.not_empty;
+    Mutex.unlock shared.mutex
+
+let close_and_wait t =
+  match t with
+  | Inline i -> i.closed <- true
+  | Crew { shared; workers; _ } ->
+    Mutex.lock shared.mutex;
+    let already = shared.closed in
+    shared.closed <- true;
+    Condition.broadcast shared.not_empty;
+    Condition.broadcast shared.not_full;
+    Mutex.unlock shared.mutex;
+    if not already then List.iter Domain.join workers;
+    (match shared.failure with
+    | Some (e, bt) ->
+      shared.failure <- None;
+      Printexc.raise_with_backtrace e bt
+    | None -> ())
+
+let map ~jobs f items =
+  match items with
+  | [] -> []
+  | items ->
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let pool = create ~jobs:(min jobs n) in
+    Array.iteri
+      (fun i item -> submit pool (fun () -> results.(i) <- Some (f item)))
+      arr;
+    close_and_wait pool;
+    Array.to_list results
+    |> List.map (function
+         | Some r -> r
+         | None ->
+           (* Only reachable when a sibling job raised first. *)
+           failwith "Pool.map: job did not complete")
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let jobs_of_env ?(var = "AVIS_JOBS") () =
+  match Sys.getenv_opt var with
+  | None -> default_jobs ()
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      Printf.eprintf "[avis] warning: ignoring malformed %s=%S (want a positive integer); using %d\n%!"
+        var v (default_jobs ());
+      default_jobs ())

@@ -1,0 +1,39 @@
+(** A small bounded work-queue over OCaml 5 domains.
+
+    Jobs are closures; a fixed crew of worker domains drains a bounded
+    queue (submission blocks when the queue is full, so a fast producer
+    cannot build an unbounded backlog). With [jobs <= 1] everything runs
+    inline on the calling domain in submission order, which is the
+    determinism baseline the campaign runner is checked against: a job
+    must not depend on which domain runs it or on completion order. *)
+
+type t
+
+val create : jobs:int -> t
+(** Start a pool of [max 1 jobs] workers. [jobs <= 1] creates an inline
+    pool that runs each job during {!submit}. *)
+
+val jobs : t -> int
+(** The worker count the pool was created with (at least 1). *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Queue a job. Blocks while the queue is full. Raises [Invalid_argument]
+    if the pool is already closed. *)
+
+val close_and_wait : t -> unit
+(** Stop accepting jobs, run everything queued, join the workers. If any
+    job raised, the first exception (in completion order) is re-raised
+    here with its backtrace. Idempotent. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item on a fresh pool and
+    returns results in input order regardless of completion order.
+    Exceptions propagate as in {!close_and_wait}. *)
+
+val default_jobs : unit -> int
+(** What the hardware suggests: [Domain.recommended_domain_count ()]. *)
+
+val jobs_of_env : ?var:string -> unit -> int
+(** Read the worker count from the environment ([AVIS_JOBS] by default).
+    Unset means {!default_jobs}; a malformed or non-positive value warns
+    on stderr and falls back to {!default_jobs}. *)

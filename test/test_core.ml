@@ -150,6 +150,42 @@ let test_budget_rejects_nonpositive () =
     (Invalid_argument "Budget.create: non-positive budget") (fun () ->
       ignore (Budget.create ~total_s:0.0 ()))
 
+let test_budget_overshoot_clamped () =
+  let b = Budget.create ~speedup:1.0 ~total_s:10.0 () in
+  Budget.charge_simulation b ~sim_seconds:25.0;
+  Alcotest.(check (float 1e-9)) "simulation saturates at total" 10.0
+    (Budget.spent_s b);
+  Alcotest.(check bool) "exhausted" true (Budget.exhausted b);
+  Alcotest.(check (float 1e-9)) "nothing left" 0.0 (Budget.remaining_s b);
+  let b' = Budget.create ~speedup:1.0 ~total_s:10.0 () in
+  Budget.charge_inference b' 9.0;
+  Budget.charge_inference b' 9.0;
+  Alcotest.(check (float 1e-9)) "inference saturates at total" 10.0
+    (Budget.spent_s b')
+
+let test_budget_zero_cost_inference_floored () =
+  let b = Budget.create ~speedup:1.0 ~total_s:1.0 () in
+  Budget.charge_inference b 0.0;
+  Alcotest.(check (float 1e-12)) "zero cost still charged"
+    Budget.min_inference_s (Budget.spent_s b);
+  Budget.charge_inference b (-5.0);
+  Alcotest.(check (float 1e-12)) "negative cost floored too"
+    (2.0 *. Budget.min_inference_s) (Budget.spent_s b);
+  Alcotest.(check int) "both counted" 2 (Budget.inferences_run b)
+
+let test_budget_afford_matches_charge () =
+  (* What can_afford_run approves must be exactly what charge_simulation
+     books: an exact fit drains the budget to zero, not past it. *)
+  let b = Budget.create ~speedup:2.0 ~total_s:10.0 () in
+  Alcotest.(check bool) "exact fit affordable" true
+    (Budget.can_afford_run b ~sim_seconds:20.0);
+  Budget.charge_simulation b ~sim_seconds:20.0;
+  Alcotest.(check (float 1e-9)) "charged what was approved" 10.0
+    (Budget.spent_s b);
+  Alcotest.(check bool) "now exhausted" true (Budget.exhausted b);
+  Alcotest.(check bool) "nothing further affordable" false
+    (Budget.can_afford_run b ~sim_seconds:0.1)
+
 (* BFI model *)
 
 let test_bfi_mode_class () =
@@ -276,6 +312,9 @@ let () =
         [
           Alcotest.test_case "accounting" `Quick test_budget_accounting;
           Alcotest.test_case "rejects nonpositive" `Quick test_budget_rejects_nonpositive;
+          Alcotest.test_case "overshoot clamped" `Quick test_budget_overshoot_clamped;
+          Alcotest.test_case "zero-cost inference floored" `Quick test_budget_zero_cost_inference_floored;
+          Alcotest.test_case "afford matches charge" `Quick test_budget_afford_matches_charge;
         ] );
       ( "bfi model",
         [

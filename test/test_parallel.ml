@@ -1,0 +1,204 @@
+(* Parallel campaign execution: the domain pool, the structured metrics
+   lines, the zero-progress guard on the search loop, and the guarantee
+   that a parallel campaign matrix is identical, finding for finding, to
+   the sequential one. *)
+
+open Avis_util
+open Avis_firmware
+open Avis_core
+
+(* Pool *)
+
+let test_pool_map_order () =
+  let items = List.init 50 Fun.id in
+  Alcotest.(check (list int))
+    "order preserved" (List.map (fun x -> 2 * x) items)
+    (Pool.map ~jobs:4 (fun x -> 2 * x) items)
+
+let test_pool_inline_matches_parallel () =
+  let items = List.init 20 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int))
+    "jobs=1 equals jobs=8" (Pool.map ~jobs:1 f items) (Pool.map ~jobs:8 f items)
+
+let test_pool_more_jobs_than_items () =
+  Alcotest.(check (list int)) "2 items on 16 workers" [ 2; 3 ]
+    (Pool.map ~jobs:16 succ [ 1; 2 ])
+
+let test_pool_empty () =
+  Alcotest.(check (list int)) "empty input" [] (Pool.map ~jobs:4 succ [])
+
+exception Boom
+
+let test_pool_propagates_exception () =
+  Alcotest.check_raises "job failure re-raised" Boom (fun () ->
+      ignore
+        (Pool.map ~jobs:4
+           (fun x -> if x = 3 then raise Boom else x)
+           (List.init 8 Fun.id)))
+
+let test_pool_submit_and_close () =
+  let pool = Pool.create ~jobs:3 in
+  Alcotest.(check int) "worker count" 3 (Pool.jobs pool);
+  let counter = Atomic.make 0 in
+  for _ = 1 to 100 do
+    Pool.submit pool (fun () -> Atomic.incr counter)
+  done;
+  Pool.close_and_wait pool;
+  Alcotest.(check int) "all jobs ran" 100 (Atomic.get counter);
+  Alcotest.check_raises "submit after close"
+    (Invalid_argument "Pool.submit: pool is closed") (fun () ->
+      Pool.submit pool (fun () -> ()))
+
+let test_pool_inline_close () =
+  let pool = Pool.create ~jobs:1 in
+  let ran = ref false in
+  Pool.submit pool (fun () -> ran := true);
+  Alcotest.(check bool) "inline job ran at submit" true !ran;
+  Pool.close_and_wait pool;
+  Alcotest.check_raises "inline submit after close"
+    (Invalid_argument "Pool.submit: pool is closed") (fun () ->
+      Pool.submit pool (fun () -> ()))
+
+let test_pool_env_defaults () =
+  Alcotest.(check int) "unset variable falls back to the hardware"
+    (Pool.default_jobs ())
+    (Pool.jobs_of_env ~var:"AVIS_TEST_SURELY_UNSET_JOBS" ())
+
+(* Metrics *)
+
+let test_metrics_line_format () =
+  let s =
+    {
+      Metrics.cell = "Avis/apm/auto-box"; simulations = 41; inferences = 7;
+      spent_s = 612.04; budget_s = 7200.0; findings = 3; wall_s = 0.84;
+    }
+  in
+  Alcotest.(check string) "grep-able key=value record"
+    "[avis] event=progress cell=Avis/apm/auto-box sims=41 infs=7 \
+     spent_s=612.0 budget_s=7200.0 findings=3 wall_s=0.8"
+    (Metrics.line ~event:"progress" s)
+
+let test_metrics_clock_monotonic () =
+  let a = Metrics.now_s () in
+  let b = Metrics.now_s () in
+  Alcotest.(check bool) "non-decreasing" true (b >= a)
+
+(* The zero-progress guard: a searcher that keeps thinking at zero cost
+   must still drain the budget and terminate. *)
+
+let spinner _ctx =
+  {
+    Search.name = "spinner";
+    next = (fun () -> Search.Think 0.0);
+    observe = (fun _ _ -> ());
+  }
+
+let test_zero_cost_think_terminates () =
+  let config =
+    {
+      (Campaign.default_config Policy.apm Workload.auto_box) with
+      Campaign.budget_s = 2.0;
+    }
+  in
+  let result = Campaign.run config ~strategy:spinner in
+  Alcotest.(check int) "no simulations" 0 result.Campaign.simulations;
+  Alcotest.(check (float 1e-9)) "budget fully drained, never exceeded" 2.0
+    result.Campaign.wall_clock_spent_s;
+  Alcotest.(check bool) "bounded think count" true
+    (result.Campaign.inferences
+    <= int_of_float (2.0 /. Budget.min_inference_s) + 1)
+
+(* Determinism: the parallel matrix equals the sequential matrix. *)
+
+let matrix_budget_s = 120.0
+
+let matrix_approaches =
+  [
+    ("Avis", fun ctx -> Sabre.make ctx);
+    ("Random", fun ctx -> Random_search.make ctx);
+  ]
+
+let run_matrix ~jobs =
+  let cells =
+    List.concat_map
+      (fun policy ->
+        List.map (fun approach -> (policy, approach)) matrix_approaches)
+      [ Policy.apm; Policy.px4 ]
+  in
+  Pool.map ~jobs
+    (fun (policy, (name, strategy)) ->
+      let config =
+        {
+          (Campaign.default_config policy Workload.auto_box) with
+          Campaign.budget_s = matrix_budget_s;
+          seed =
+            Campaign.cell_seed ~policy:policy.Policy.name
+              ~workload:Workload.auto_box.Workload.name ~approach:name ();
+        }
+      in
+      (name, policy.Policy.name, Campaign.run config ~strategy))
+    cells
+
+let fingerprint (result : Campaign.result) =
+  ( result.Campaign.approach,
+    result.Campaign.simulations,
+    result.Campaign.inferences,
+    result.Campaign.wall_clock_spent_s,
+    List.map
+      (fun f -> (f.Campaign.simulation_index, Report.describe f.Campaign.report))
+      result.Campaign.findings )
+
+let test_parallel_matrix_matches_sequential () =
+  let sequential = run_matrix ~jobs:1 in
+  let parallel = run_matrix ~jobs:4 in
+  List.iter2
+    (fun (name, policy, seq) (name', policy', par) ->
+      Alcotest.(check string) "same cell approach" name name';
+      Alcotest.(check string) "same cell policy" policy policy';
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s identical finding-for-finding" name policy)
+        true
+        (fingerprint seq = fingerprint par);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s stays within budget" name policy)
+        true
+        (seq.Campaign.wall_clock_spent_s <= matrix_budget_s))
+    sequential parallel
+
+let test_cell_seed_stable_and_distinct () =
+  let seed ?base approach =
+    Campaign.cell_seed ?base ~policy:"apm" ~workload:"auto-box" ~approach ()
+  in
+  Alcotest.(check int) "stable across calls" (seed "Avis") (seed "Avis");
+  Alcotest.(check bool) "distinct per approach" true (seed "Avis" <> seed "BFI");
+  Alcotest.(check bool) "distinct per base seed" true
+    (seed ~base:1 "Avis" <> seed ~base:2 "Avis");
+  Alcotest.(check bool) "positive" true (seed "Avis" > 0)
+
+let () =
+  Alcotest.run "avis_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map keeps order" `Quick test_pool_map_order;
+          Alcotest.test_case "inline = parallel" `Quick test_pool_inline_matches_parallel;
+          Alcotest.test_case "more workers than items" `Quick test_pool_more_jobs_than_items;
+          Alcotest.test_case "empty input" `Quick test_pool_empty;
+          Alcotest.test_case "exception propagates" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "submit and close" `Quick test_pool_submit_and_close;
+          Alcotest.test_case "inline close" `Quick test_pool_inline_close;
+          Alcotest.test_case "env fallback" `Quick test_pool_env_defaults;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "line format" `Quick test_metrics_line_format;
+          Alcotest.test_case "monotonic clock" `Quick test_metrics_clock_monotonic;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "zero-cost think terminates" `Quick test_zero_cost_think_terminates;
+          Alcotest.test_case "cell seeds" `Quick test_cell_seed_stable_and_distinct;
+          Alcotest.test_case "parallel matrix = sequential" `Slow test_parallel_matrix_matches_sequential;
+        ] );
+    ]
