@@ -684,6 +684,139 @@ let ablation_replay () =
       relative_ok (List.length seeds) absolute_ok (List.length seeds)
 
 (* ------------------------------------------------------------------ *)
+(* Prefix cache: cold vs cached campaign wall-clock                     *)
+(* ------------------------------------------------------------------ *)
+
+let prefix_cache_bench () =
+  section "Prefix cache: cold vs cached campaign wall-clock";
+  let bench_budget = Float.min budget_s 900.0 in
+  let bench_workloads =
+    [ Workload.quickstart; Workload.manual_box; Workload.auto_box ]
+  in
+  let specs =
+    List.concat_map
+      (fun policy ->
+        List.concat_map
+          (fun workload ->
+            List.map (fun approach -> (policy, workload, approach)) approaches)
+          bench_workloads)
+      policies
+  in
+  (* Three campaigns per cell, back to back on the same domain so their
+     wall-clock ratios are insulated from pool scheduling: cold (no cache),
+     cached (fresh cache — the first-run win comes from forking scenarios
+     off the clean run and off earlier scenarios' faulty prefixes), and
+     replay (same cache again — the regression-re-run / finding-reproduction
+     path, where every scenario forks from its last checkpoint and only the
+     tail is simulated). All three must produce identical results. *)
+  let run_cell (policy, workload, (name, strategy)) =
+    let config cached =
+      {
+        (Campaign.default_config policy workload) with
+        Campaign.budget_s = bench_budget;
+        prefix_cache = cached;
+        seed =
+          Campaign.cell_seed ~policy:policy.Policy.name
+            ~workload:workload.Workload.name ~approach:name ();
+      }
+    in
+    let time ?cache cached =
+      let t0 = Metrics.now_s () in
+      let result = Campaign.run ?cache (config cached) ~strategy in
+      (result, Metrics.now_s () -. t0)
+    in
+    let cold, cold_s = time false in
+    let cache = Campaign.make_cache (config true) in
+    let cached, cached_s = time ~cache true in
+    let replay, replay_s = time ~cache true in
+    let same a b =
+      a.Campaign.simulations = b.Campaign.simulations
+      && Campaign.unsafe_count a = Campaign.unsafe_count b
+      && a.Campaign.wall_clock_spent_s = b.Campaign.wall_clock_spent_s
+      && List.map (fun f -> f.Campaign.simulation_index) a.Campaign.findings
+         = List.map (fun f -> f.Campaign.simulation_index) b.Campaign.findings
+    in
+    let identical = same cold cached && same cold replay in
+    (policy, workload, name, cold, cached, cold_s, cached_s, replay_s, identical)
+  in
+  let rows = Pool.map ~jobs run_cell specs in
+  let speedup cold_s s = cold_s /. Float.max 1e-9 s in
+  let t =
+    Table.create
+      ~header:
+        [ "Approach"; "Firmware"; "Workload"; "cold (s)"; "cached (s)";
+          "speedup"; "replay (s)"; "speedup"; "identical" ]
+  in
+  List.iter
+    (fun (policy, workload, name, _, _, cold_s, cached_s, replay_s, identical) ->
+      Table.add_row t
+        [
+          name; policy.Policy.name; workload.Workload.name;
+          Printf.sprintf "%.2f" cold_s;
+          Printf.sprintf "%.2f" cached_s;
+          Printf.sprintf "%.1fx" (speedup cold_s cached_s);
+          Printf.sprintf "%.2f" replay_s;
+          Printf.sprintf "%.1fx" (speedup cold_s replay_s);
+          (if identical then "yes" else "NO");
+        ])
+    rows;
+  Table.print t;
+  List.iter
+    (fun (policy, workload, name, _, _, cold_s, cached_s, replay_s, _) ->
+      if
+        name = "Avis"
+        && workload.Workload.name = Workload.quickstart.Workload.name
+      then
+        Printf.printf
+          "SABRE quickstart (%s): first run %.1fx, campaign replay %.1fx\n"
+          policy.Policy.name
+          (speedup cold_s cached_s)
+          (speedup cold_s replay_s))
+    rows;
+  let json =
+    Json.Assoc
+      [
+        ("budget_s", Json.Number bench_budget);
+        ( "cells",
+          Json.List
+            (List.map
+               (fun ( policy, workload, name, cold, cached,
+                      cold_s, cached_s, replay_s, identical ) ->
+                 let stats =
+                   match cached.Campaign.cache_stats with
+                   | None -> []
+                   | Some s ->
+                     [
+                       ("cache_hits", Json.int s.Prefix_cache.hits);
+                       ("cache_misses", Json.int s.Prefix_cache.misses);
+                       ("saved_sim_s", Json.Number s.Prefix_cache.saved_sim_s);
+                     ]
+                 in
+                 Json.Assoc
+                   ([
+                      ("approach", Json.String name);
+                      ("firmware", Json.String policy.Policy.name);
+                      ("workload", Json.String workload.Workload.name);
+                      ("cold_wall_s", Json.Number cold_s);
+                      ("cached_wall_s", Json.Number cached_s);
+                      ("speedup", Json.Number (speedup cold_s cached_s));
+                      ("replay_wall_s", Json.Number replay_s);
+                      ("replay_speedup", Json.Number (speedup cold_s replay_s));
+                      ("simulations", Json.int cold.Campaign.simulations);
+                      ("findings", Json.int (Campaign.unsafe_count cold));
+                      ("identical", Json.Bool identical);
+                    ]
+                   @ stats))
+               rows) );
+      ]
+  in
+  let path = "BENCH_prefix_cache.json" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_string_pretty json);
+      output_char oc '\n');
+  Printf.printf "wrote %s (%d cells)\n" path (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 (* Simulator characteristics (the paper's slowdown discussion)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -817,5 +950,6 @@ let () =
   ablation_search_order ();
   ablation_liveliness_metric ();
   ablation_replay ();
+  prefix_cache_bench ();
   simulator_stats ();
   micro_benchmarks ()

@@ -10,6 +10,7 @@ type config = {
   seed : int;
   profiling_runs : int;
   link_jitter_steps : int;
+  prefix_cache : bool;
 }
 
 let default_config policy workload =
@@ -22,6 +23,7 @@ let default_config policy workload =
     seed = 1;
     profiling_runs = 8;
     link_jitter_steps = 2;
+    prefix_cache = Prefix_cache.enabled_by_env ();
   }
 
 type finding = { report : Report.t; simulation_index : int }
@@ -41,6 +43,7 @@ type result = {
   inferences : int;
   wall_clock_spent_s : float;
   profile : Monitor.profile;
+  cache_stats : Prefix_cache.stats option;
 }
 
 (* The simulator's hard cap on one run, and therefore the most any run
@@ -90,8 +93,18 @@ let profile_and_context config =
   in
   (profile, ctx, first)
 
+(* A cache bound to [config]'s test runs, shareable across campaigns of the
+   same config: grid checkpoints only, since the profiled transition times
+   are not known until [run] profiles. *)
+let make_cache config =
+  let test_seed = config.seed + 1000 in
+  let dur = max_sim_duration config in
+  Prefix_cache.create ~workload:config.workload
+    ~make_sim:(fun ~plan -> sim_config config ~seed:test_seed ~plan)
+    ~checkpoint_times:(List.init (int_of_float dur) (fun i -> float_of_int (i + 1)))
+
 let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
-    config ~strategy =
+    ?cache config ~strategy =
   let profile, ctx, _first = profile_and_context config in
   let searcher = strategy ctx in
   let budget = Budget.create ~speedup:config.speedup ~total_s:config.budget_s () in
@@ -109,6 +122,40 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
   in
   (* Test runs are deterministic: a fixed seed distinct from profiling. *)
   let test_seed = config.seed + 1000 in
+  (* Checkpoint runs at the profiled mode transitions (where the strategies
+     schedule injections) plus a one-second grid, so faults at observed —
+     not just profiled — transition times also land near a snapshot. The
+     cache provisions with the exact test config, which is what keeps
+     cached outcomes bit-identical to cold ones. *)
+  let cache =
+    if not config.prefix_cache then None
+    else
+      match cache with
+      | Some _ ->
+        (* An externally shared cache (same config, earlier campaign): its
+           checkpoints already cover these runs, so a replayed campaign
+           forks every scenario from its last snapshot and simulates only
+           the tail. *)
+        cache
+      | None ->
+        let dur = max_sim_duration config in
+        let grid =
+          List.init (int_of_float dur) (fun i -> float_of_int (i + 1))
+        in
+        let checkpoint_times =
+          List.map (fun (t, _, _) -> t) ctx.Search.transitions
+          @ List.filter (fun t -> t < dur) grid
+        in
+        Some
+          (Prefix_cache.create ~workload:config.workload
+             ~make_sim:(fun ~plan -> sim_config config ~seed:test_seed ~plan)
+             ~checkpoint_times)
+  in
+  let run_scenario plan =
+    match cache with
+    | Some cache -> Prefix_cache.execute cache ~plan
+    | None -> execute_run config ~seed:test_seed ~plan
+  in
   while (not !stopped) && not (Budget.exhausted budget) do
     match searcher.Search.next () with
     | Search.Exhausted -> stopped := true
@@ -124,9 +171,7 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
              ~sim_seconds:(max_sim_duration config))
       then stopped := true
       else begin
-        let outcome =
-          execute_run config ~seed:test_seed ~plan:(Scenario.to_plan scenario)
-        in
+        let outcome = run_scenario (Scenario.to_plan scenario) in
         Budget.charge_simulation budget ~sim_seconds:outcome.Sim.duration;
         let verdict = Monitor.check profile outcome in
         let unsafe = match verdict with Monitor.Unsafe _ -> true | Monitor.Safe -> false in
@@ -158,6 +203,7 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
     inferences = Budget.inferences_run budget;
     wall_clock_spent_s = Budget.spent_s budget;
     profile;
+    cache_stats = Option.map Prefix_cache.stats cache;
   }
 
 (* A stable, platform-independent seed for one (policy, workload,

@@ -19,11 +19,16 @@ type config = {
   seed : int;
   profiling_runs : int;
   link_jitter_steps : int;
+  prefix_cache : bool;
+      (** Serve test runs from clean-run snapshots ({!Prefix_cache}).
+          Outcomes and budget accounting are bit-identical either way;
+          caching only reduces wall-clock time. *)
 }
 
 val default_config : Policy.t -> Workload.t -> config
 (** 7200 s budget, 6× speed-up, 8 profiling runs, the firmware's unknown
-    bugs enabled. *)
+    bugs enabled; [prefix_cache] follows the [AVIS_PREFIX_CACHE]
+    environment variable (on unless set to an explicit off value). *)
 
 type finding = { report : Report.t; simulation_index : int }
 
@@ -44,6 +49,9 @@ type result = {
   inferences : int;
   wall_clock_spent_s : float;
   profile : Monitor.profile;
+  cache_stats : Prefix_cache.stats option;
+      (** Prefix-cache counters for this campaign's test runs; [None] when
+          the cache was disabled. *)
 }
 
 val profile_and_context :
@@ -52,16 +60,28 @@ val profile_and_context :
     outcome (the one the search context is built from). Raises [Failure]
     if a profiling run does not complete cleanly. *)
 
+val make_cache : config -> Prefix_cache.t
+(** A prefix cache bound to [config]'s test runs (exact seed and sim
+    config), with a one-second checkpoint grid. Pass it to {!run} to share
+    snapshots across campaigns {e of the same config}: replaying a campaign
+    then forks every scenario from its last checkpoint and simulates only
+    the tail, which is the fast path for regression re-runs and finding
+    reproduction. A cache must never be shared across different configs —
+    its snapshots encode that config's flights. *)
+
 val run :
-  ?stop_when:(finding -> bool) -> ?progress:(progress -> unit) -> config ->
+  ?stop_when:(finding -> bool) -> ?progress:(progress -> unit) ->
+  ?cache:Prefix_cache.t -> config ->
   strategy:(Search.context -> Search.t) -> result
 (** Run a full campaign. [stop_when] ends the campaign early when a
     finding satisfies it (used by the Table V until-found experiments).
     [progress] is invoked after every simulated scenario and once more on
-    completion; campaign runners use it to emit live metrics. The
-    campaign never spends past [budget_s]: affordability is checked
-    against the simulator's duration cap before each run, and the ledger
-    saturates at the budget. *)
+    completion; campaign runners use it to emit live metrics. [cache]
+    (used only when [config.prefix_cache] is set) substitutes an external
+    snapshot cache from {!make_cache} for the internally built one — see
+    {!make_cache} for the sharing rules. The campaign never spends past
+    [budget_s]: affordability is checked against the simulator's duration
+    cap before each run, and the ledger saturates at the budget. *)
 
 val cell_seed :
   ?base:int -> policy:string -> workload:string -> approach:string -> unit -> int

@@ -1,0 +1,223 @@
+open Avis_sitl
+
+type entry = {
+  time : float;
+  sim_snap : Sim.snapshot;
+  stepper_snap : Workload.Stepper.snapshot;
+}
+
+(* The clean run being checkpointed. It is advanced lazily — only as far as
+   the scenarios actually executed need — and abandoned once the workload
+   completes (no checkpoint can lie beyond the end of the clean run). *)
+type builder =
+  | Unstarted
+  | Live of Sim.t * Workload.Stepper.stepper
+  | Finished
+
+type t = {
+  workload : Workload.t;
+  make_sim : plan:Avis_hinj.Hinj.plan -> Sim.t;
+  targets : float array;  (** Capture times, ascending. *)
+  mutable clean_pending : float list;
+      (** Targets the clean builder has not reached yet, ascending. *)
+  mutable builder : builder;
+  entries : (string, entry list) Hashtbl.t;
+      (** Active-fault-prefix key -> checkpoints, latest first. *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable saved_sim_s : float;
+}
+
+type stats = { hits : int; misses : int; saved_sim_s : float }
+
+let create ~workload ~make_sim ~checkpoint_times =
+  let ts =
+    List.sort_uniq compare (List.filter (fun t -> t > 0.0) checkpoint_times)
+  in
+  {
+    workload;
+    make_sim;
+    targets = Array.of_list ts;
+    clean_pending = ts;
+    builder = Unstarted;
+    entries = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    saved_sim_s = 0.0;
+  }
+
+(* Fault activation ([Hinj.is_failed]) is judged against the firmware's own
+   accumulated clock ([Vehicle.time]), not the step-derived [Sim.time]; the
+   two drift apart by float rounding. Checkpoint validity must use the same
+   clock the injector sees, or a fault landing exactly on a profiled
+   transition time could already be active at the "clean" checkpoint step. *)
+let injection_clock sim = Avis_firmware.Vehicle.time (Sim.vehicle sim)
+
+(* Checkpoints are keyed by the exact set of faults active when they were
+   taken. Activation times are encoded by their bit pattern, so two runs
+   share a key only when their fault histories agree float-for-float —
+   which, with a fixed test seed, makes their states bit-identical up to
+   the checkpoint. The clean prefix is the special case of the empty key. *)
+let encode_fault (f : Avis_hinj.Hinj.fault) =
+  Printf.sprintf "%s@%Lx"
+    (Avis_sensors.Sensor.id_to_string f.sensor)
+    (Int64.bits_of_float f.at)
+
+let encode_faults faults =
+  String.concat ";" (List.sort compare (List.map encode_fault faults))
+
+let active_key (plan : Avis_hinj.Hinj.plan) ~time =
+  encode_faults
+    (List.filter (fun (f : Avis_hinj.Hinj.fault) -> f.at <= time) plan)
+
+let capture t ~plan sim st =
+  let time = injection_clock sim in
+  if time > 0.0 then begin
+    let key = active_key plan ~time in
+    let existing =
+      Option.value ~default:[] (Hashtbl.find_opt t.entries key)
+    in
+    (* Same key + same time means the frozen state is bit-identical to one
+       already stored; skip the snapshot entirely. *)
+    if not (List.exists (fun e -> e.time = time) existing) then begin
+      let entry =
+        {
+          time;
+          sim_snap = Sim.snapshot sim;
+          stepper_snap = Workload.Stepper.snapshot st;
+        }
+      in
+      let rec insert = function
+        | e :: rest when e.time > time -> e :: insert rest
+        | rest -> entry :: rest
+      in
+      Hashtbl.replace t.entries key (insert existing)
+    end
+  end
+
+let builder_live t =
+  match t.builder with
+  | Live (sim, st) -> Some (sim, st)
+  | Finished -> None
+  | Unstarted ->
+    let sim = t.make_sim ~plan:[] in
+    let st = Workload.Stepper.create t.workload in
+    t.builder <- Live (sim, st);
+    Some (sim, st)
+
+(* Capture every pending clean checkpoint at or before [time]. The stepper
+   pauses strictly before each target, so a checkpoint captured for target T
+   sits at a simulated time < T — which keeps it valid for any fault at T
+   itself. *)
+let rec advance_to t ~time =
+  match t.clean_pending with
+  | target :: rest when target <= time -> (
+    match builder_live t with
+    | None -> t.clean_pending <- []
+    | Some (sim, st) -> (
+      match Workload.Stepper.run st sim ~until:target with
+      | Workload.Stepper.Running ->
+        capture t ~plan:[] sim st;
+        t.clean_pending <- rest;
+        advance_to t ~time
+      | Workload.Stepper.Done _ ->
+        t.builder <- Finished;
+        t.clean_pending <- []))
+  | _ -> ()
+
+(* Run [sim] to completion, pausing at each remaining capture target so the
+   run's own fault prefixes become checkpoints for later scenarios — this is
+   what lets a search that stacks faults onto a safe scenario (SABRE's
+   sites) fork from its base run instead of re-simulating it. Pausing and
+   resuming is bit-identical to an uninterrupted run. *)
+let run_capturing t ~plan sim st =
+  let n = Array.length t.targets in
+  let rec go i =
+    if i >= n then
+      match Workload.Stepper.run st sim ~until:infinity with
+      | Workload.Stepper.Done passed -> passed
+      | Workload.Stepper.Running -> false
+    else begin
+      let target = t.targets.(i) in
+      if target <= Sim.time sim then go (i + 1)
+      else
+        match Workload.Stepper.run st sim ~until:target with
+        | Workload.Stepper.Running ->
+          capture t ~plan sim st;
+          go (i + 1)
+        | Workload.Stepper.Done passed -> passed
+    end
+  in
+  go 0
+
+let earliest_fault (plan : Avis_hinj.Hinj.plan) =
+  match plan with
+  | [] -> infinity
+  | f :: rest ->
+    List.fold_left
+      (fun acc (g : Avis_hinj.Hinj.fault) -> Float.min acc g.at)
+      f.Avis_hinj.Hinj.at rest
+
+let compare_fault (a : Avis_hinj.Hinj.fault) (b : Avis_hinj.Hinj.fault) =
+  match compare a.at b.at with
+  | 0 ->
+    compare
+      (Avis_sensors.Sensor.id_to_string a.sensor)
+      (Avis_sensors.Sensor.id_to_string b.sensor)
+  | c -> c
+
+(* Find the latest checkpoint this plan can fork from. With the plan's
+   faults sorted by activation time, each prefix of j faults is a candidate
+   key; a checkpoint under it is sound iff it was taken strictly before the
+   (j+1)-th fault activates ([Hinj.is_failed] activates at [at <= time], so
+   equality would already differ). Entries under a key necessarily postdate
+   every fault in it, so the window below is the only check needed. *)
+let lookup t ~plan =
+  let faults = Array.of_list (List.sort compare_fault plan) in
+  let k = Array.length faults in
+  let best = ref None in
+  for j = 0 to k do
+    let next_at =
+      if j = k then infinity else faults.(j).Avis_hinj.Hinj.at
+    in
+    let key = encode_faults (Array.to_list (Array.sub faults 0 j)) in
+    match Hashtbl.find_opt t.entries key with
+    | None -> ()
+    | Some es -> (
+      (* [es] is latest-first: the first in-window entry is the best one. *)
+      match List.find_opt (fun e -> e.time < next_at) es with
+      | Some e -> (
+        match !best with
+        | Some b when b.time >= e.time -> ()
+        | _ -> best := Some e)
+      | None -> ())
+  done;
+  !best
+
+let execute t ~plan =
+  advance_to t ~time:(earliest_fault plan);
+  match lookup t ~plan with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    t.saved_sim_s <- t.saved_sim_s +. e.time;
+    let sim = Sim.restore ~plan e.sim_snap in
+    let st = Workload.Stepper.restore e.stepper_snap in
+    let passed = run_capturing t ~plan sim st in
+    Sim.outcome sim ~workload_passed:passed
+  | None ->
+    t.misses <- t.misses + 1;
+    let sim = t.make_sim ~plan in
+    let st = Workload.Stepper.create t.workload in
+    let passed = run_capturing t ~plan sim st in
+    Sim.outcome sim ~workload_passed:passed
+
+let stats (t : t) =
+  { hits = t.hits; misses = t.misses; saved_sim_s = t.saved_sim_s }
+
+let enabled_by_env () =
+  match Sys.getenv_opt "AVIS_PREFIX_CACHE" with
+  | Some v -> (
+    match String.lowercase_ascii (String.trim v) with
+    | "0" | "false" | "off" | "no" -> false
+    | _ -> true)
+  | None -> true

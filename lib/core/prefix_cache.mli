@@ -1,0 +1,55 @@
+(** Snapshot-based prefix caching for campaign test runs.
+
+    Every test run in a campaign replays a shared prefix before diverging:
+    the clean flight — provision, arm, climb — and, for searches that stack
+    faults onto a previously observed scenario (SABRE's sites), the faulty
+    flight of that base scenario too. The cache checkpoints both with
+    {!Avis_sitl.Sim.snapshot} and {!Workload.Stepper.snapshot}:
+
+    - the clean run is simulated {e once} (same config and seed as the test
+      runs) and checkpointed lazily at the requested times, and
+    - every executed scenario is itself checkpointed at those times as it
+      runs, each checkpoint keyed by the exact set of faults already active
+      when it was taken.
+
+    A scenario is then served by restoring the latest checkpoint whose
+    active-fault set is a float-for-float prefix of the scenario's plan and
+    whose time lies strictly before the plan's next injection, substituting
+    the full plan with {!Avis_sitl.Sim.restore}, and simulating only the
+    suffix. Because the fixed test seed makes runs with identical fault
+    histories bit-identical, and the restored simulator keeps its step
+    counter, every outcome — trace, transitions, duration, sensor reads —
+    is bit-identical to a cold run of the same scenario, and budget
+    accounting (which charges the full virtual duration) is unchanged. The
+    win is wall-clock only. *)
+
+type t
+
+val create :
+  workload:Workload.t ->
+  make_sim:(plan:Avis_hinj.Hinj.plan -> Avis_sitl.Sim.t) ->
+  checkpoint_times:float list ->
+  t
+(** [make_sim] must provision a simulator exactly as the campaign's test
+    runs do (same seed, config and environment), differing only in the
+    plan. [checkpoint_times] need not be sorted or unique; non-positive
+    times are dropped. *)
+
+val execute : t -> plan:Avis_hinj.Hinj.plan -> Avis_sitl.Sim.outcome
+(** Run one scenario, forking from the best applicable checkpoint — clean
+    or faulty-prefix — when one exists, and cold otherwise. Either way the
+    run is checkpointed for later scenarios and the outcome is bit-identical
+    to a cold run. *)
+
+type stats = {
+  hits : int;  (** Scenarios served from a checkpoint. *)
+  misses : int;  (** Scenarios simulated cold. *)
+  saved_sim_s : float;
+      (** Simulated seconds skipped by restoring instead of replaying. *)
+}
+
+val stats : t -> stats
+
+val enabled_by_env : unit -> bool
+(** The [AVIS_PREFIX_CACHE] toggle: caching is on unless the variable is
+    set to ["0"], ["false"], ["off"] or ["no"] (case-insensitive). *)

@@ -20,11 +20,27 @@ let context_of_outcome ~rng ~suite_complement (outcome : Avis_sitl.Sim.outcome) 
   let instances_of_kind kind =
     List.length (List.filter (fun id -> id.Sensor.kind = kind) instances)
   in
+  (* The mode in force at a time, precomputed as a time-sorted array and
+     answered by binary search — [mode_at] is called per candidate site by
+     the strategies, and the transition log replay was O(transitions) per
+     query. The stable sort keeps the last-writer-wins order of the old
+     fold for equal timestamps. *)
+  let mode_table =
+    Array.of_list
+      (List.stable_sort (fun (a, _, _) (b, _, _) -> compare a b) transitions)
+  in
   let mode_at time =
-    (* Replay the transition log: the mode in force at [time]. *)
-    List.fold_left
-      (fun acc (t, _, to_mode) -> if t <= time then Some to_mode else acc)
-      (Some "Pre-Flight") transitions
+    (* Rightmost transition with [t <= time]. *)
+    let lo = ref 0 and hi = ref (Array.length mode_table) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let t, _, _ = mode_table.(mid) in
+      if t <= time then lo := mid + 1 else hi := mid
+    done;
+    if !lo = 0 then Some "Pre-Flight"
+    else
+      let _, _, to_mode = mode_table.(!lo - 1) in
+      Some to_mode
   in
   {
     transitions;

@@ -2,138 +2,232 @@ open Avis_geo
 open Avis_mavlink
 open Avis_sitl
 
-exception Workload_failed of string
+(* Mission items as data: converted to geodetic MAVLink items only when the
+   upload starts, using the simulation's local frame. *)
+type mission_step =
+  | Takeoff_item of float
+  | Waypoint_item of { north : float; east : float; alt : float }
+  | Land_item
+  | Rtl_item
 
-type api = { sim : Sim.t; gcs : Gcs.t }
+type step =
+  | Wait_time of float
+  | Upload_mission of mission_step list
+  | Arm
+  | Enter_auto
+  | Takeoff of float
+  | Reposition of { north : float; east : float; alt : float }
+  | Land_now
+  | Return_to_launch
+  | Wait_altitude of { alt : float; tolerance : float; timeout : float }
+  | Wait_mode of int
+  | Wait_disarmed
+  | Wait_near of { north : float; east : float; radius : float; timeout : float }
 
-let sim api = api.sim
-let gcs api = api.gcs
+let wait_altitude ?(tolerance = 0.75) ?(timeout = infinity) alt =
+  Wait_altitude { alt; tolerance; timeout }
 
-let step api =
-  if Sim.finished api.sim then raise (Workload_failed "run ended mid-workload");
-  Sim.step api.sim
-
-let wait_until api ?timeout pred =
-  let deadline =
-    match timeout with Some s -> Sim.time api.sim +. s | None -> infinity
-  in
-  let rec loop () =
-    if pred api then ()
-    else if Sim.time api.sim >= deadline then
-      raise (Workload_failed "wait timed out")
-    else begin
-      step api;
-      loop ()
-    end
-  in
-  loop ()
-
-let wait_time api seconds =
-  let until = Sim.time api.sim +. seconds in
-  wait_until api (fun api -> Sim.time api.sim >= until)
-
-let local_position api =
-  let geo =
-    {
-      Geodesy.lat = Gcs.latitude api.gcs;
-      lon = Gcs.longitude api.gcs;
-      alt = Gcs.relative_alt api.gcs;
-    }
-  in
-  Geodesy.to_local (Sim.frame api.sim) geo
-
-let arm_system_completely api =
-  Gcs.send_command api.gcs ~command:Msg.cmd_arm_disarm ~param1:1.0 ();
-  wait_until api ~timeout:10.0 (fun api ->
-      match Gcs.command_ack api.gcs ~command:Msg.cmd_arm_disarm with
-      | Some true -> true
-      | Some false -> raise (Workload_failed "arming rejected")
-      | None -> false)
-
-let upload_mission api items =
-  Gcs.start_mission_upload api.gcs items;
-  wait_until api ~timeout:30.0 (fun api ->
-      match Gcs.upload_state api.gcs with
-      | Gcs.Upload_done -> true
-      | Gcs.Upload_failed -> raise (Workload_failed "mission upload rejected")
-      | Gcs.Upload_idle | Gcs.Upload_in_progress -> false)
-
-let enter_auto_mode api = Gcs.request_mode api.gcs 3
-
-let takeoff api alt =
-  Gcs.send_command api.gcs ~command:Msg.cmd_takeoff ~param1:alt ();
-  wait_until api ~timeout:10.0 (fun api ->
-      match Gcs.command_ack api.gcs ~command:Msg.cmd_takeoff with
-      | Some true -> true
-      | Some false -> raise (Workload_failed "takeoff rejected")
-      | None -> false)
-
-let reposition api ~north ~east ~alt =
-  Gcs.send_command api.gcs ~command:Msg.cmd_reposition ~param1:north
-    ~param2:east ~param3:alt ()
-
-let land_now api = Gcs.send_command api.gcs ~command:Msg.cmd_land ~param1:0.0 ()
-
-let return_to_launch api =
-  Gcs.send_command api.gcs ~command:Msg.cmd_return_to_launch ~param1:0.0 ()
-
-let wait_altitude api ?(tolerance = 0.75) alt =
-  wait_until api (fun api ->
-      Float.abs (Gcs.relative_alt api.gcs -. alt) <= tolerance)
-
-let wait_mode api code =
-  wait_until api (fun api -> Gcs.vehicle_mode api.gcs = Some code)
-
-let wait_disarmed api =
-  (* Armed state rides on heartbeats (1 Hz); wait for one that says so. *)
-  let seen_armed = ref false in
-  wait_until api (fun api ->
-      let armed = Gcs.armed api.gcs in
-      if armed then seen_armed := true;
-      !seen_armed && not armed)
-
-let takeoff_item ~alt =
-  { Msg.seq = 0; command = Msg.cmd_takeoff; param1 = 0.0; x = 0.0; y = 0.0; z = alt }
-
-let waypoint_item api ~north ~east ~alt =
-  let geo = Geodesy.of_local (Sim.frame api.sim) (Vec3.make north east alt) in
-  {
-    Msg.seq = 0;
-    command = Msg.cmd_waypoint;
-    param1 = 0.0;
-    x = geo.Geodesy.lat;
-    y = geo.Geodesy.lon;
-    z = alt;
-  }
-
-let land_item () =
-  { Msg.seq = 0; command = Msg.cmd_land; param1 = 0.0; x = 0.0; y = 0.0; z = 0.0 }
-
-let rtl_item () =
-  {
-    Msg.seq = 0;
-    command = Msg.cmd_return_to_launch;
-    param1 = 0.0;
-    x = 0.0;
-    y = 0.0;
-    z = 0.0;
-  }
-
-let renumber items = List.mapi (fun i item -> { item with Msg.seq = i }) items
+let wait_near ?(radius = 2.5) ?(timeout = infinity) ~north ~east () =
+  Wait_near { north; east; radius; timeout }
 
 type t = {
   name : string;
   description : string;
   environment : unit -> Avis_physics.Environment.t option;
   nominal_duration : float;
-  run : api -> unit;
+  script : step list;
 }
 
+let mission_items frame steps =
+  List.mapi
+    (fun seq ms ->
+      match ms with
+      | Takeoff_item alt ->
+        { Msg.seq; command = Msg.cmd_takeoff; param1 = 0.0; x = 0.0; y = 0.0;
+          z = alt }
+      | Waypoint_item { north; east; alt } ->
+        let geo = Geodesy.of_local frame (Vec3.make north east alt) in
+        { Msg.seq; command = Msg.cmd_waypoint; param1 = 0.0;
+          x = geo.Geodesy.lat; y = geo.Geodesy.lon; z = alt }
+      | Land_item ->
+        { Msg.seq; command = Msg.cmd_land; param1 = 0.0; x = 0.0; y = 0.0;
+          z = 0.0 }
+      | Rtl_item ->
+        { Msg.seq; command = Msg.cmd_return_to_launch; param1 = 0.0; x = 0.0;
+          y = 0.0; z = 0.0 })
+    steps
+
+module Stepper = struct
+  type status = Running | Done of bool
+
+  type stepper = {
+    script : step array;
+    mutable pc : int;
+    mutable entered : bool;
+    mutable until : float;  (** [Wait_time] target, absolute seconds. *)
+    mutable deadline : float;  (** Current step's timeout, absolute. *)
+    mutable seen_armed : bool;  (** [Wait_disarmed] edge detector. *)
+    mutable status : status;
+  }
+
+  let create (w : t) =
+    {
+      script = Array.of_list w.script;
+      pc = 0;
+      entered = false;
+      until = 0.0;
+      deadline = infinity;
+      seen_armed = false;
+      status = Running;
+    }
+
+  type snapshot = stepper
+
+  (* The program counter is plain data — that is the whole point of the
+     script representation — so the stepper copies in O(1). *)
+  let copy st = { st with pc = st.pc }
+  let snapshot = copy
+  let restore = copy
+
+  let status st = st.status
+
+  (* Entry actions fire once, when the program counter first reaches the
+     step; they run back-to-back at the same simulated time as the previous
+     step's satisfaction, exactly as the old blocking primitives did. *)
+  let enter st sim stp =
+    let gcs = Sim.gcs sim in
+    let now = Sim.time sim in
+    st.deadline <- infinity;
+    match stp with
+    | Wait_time s -> st.until <- now +. s
+    | Upload_mission items ->
+      Gcs.start_mission_upload gcs (mission_items (Sim.frame sim) items);
+      st.deadline <- now +. 30.0
+    | Arm ->
+      Gcs.send_command gcs ~command:Msg.cmd_arm_disarm ~param1:1.0 ();
+      st.deadline <- now +. 10.0
+    | Enter_auto -> Gcs.request_mode gcs 3
+    | Takeoff alt ->
+      Gcs.send_command gcs ~command:Msg.cmd_takeoff ~param1:alt ();
+      st.deadline <- now +. 10.0
+    | Reposition { north; east; alt } ->
+      Gcs.send_command gcs ~command:Msg.cmd_reposition ~param1:north
+        ~param2:east ~param3:alt ()
+    | Land_now -> Gcs.send_command gcs ~command:Msg.cmd_land ~param1:0.0 ()
+    | Return_to_launch ->
+      Gcs.send_command gcs ~command:Msg.cmd_return_to_launch ~param1:0.0 ()
+    | Wait_altitude { timeout; _ } | Wait_near { timeout; _ } ->
+      if timeout < infinity then st.deadline <- now +. timeout
+    | Wait_mode _ -> ()
+    | Wait_disarmed -> st.seen_armed <- false
+
+  type verdict = Sat | Failed | Not_yet
+
+  let local_position sim =
+    let gcs = Sim.gcs sim in
+    let geo =
+      {
+        Geodesy.lat = Gcs.latitude gcs;
+        lon = Gcs.longitude gcs;
+        alt = Gcs.relative_alt gcs;
+      }
+    in
+    Geodesy.to_local (Sim.frame sim) geo
+
+  let check st sim stp =
+    let gcs = Sim.gcs sim in
+    match stp with
+    | Wait_time _ -> if Sim.time sim >= st.until then Sat else Not_yet
+    | Upload_mission _ -> (
+      match Gcs.upload_state gcs with
+      | Gcs.Upload_done -> Sat
+      | Gcs.Upload_failed -> Failed
+      | Gcs.Upload_idle | Gcs.Upload_in_progress -> Not_yet)
+    | Arm -> (
+      match Gcs.command_ack gcs ~command:Msg.cmd_arm_disarm with
+      | Some true -> Sat
+      | Some false -> Failed
+      | None -> Not_yet)
+    | Takeoff _ -> (
+      match Gcs.command_ack gcs ~command:Msg.cmd_takeoff with
+      | Some true -> Sat
+      | Some false -> Failed
+      | None -> Not_yet)
+    | Enter_auto | Reposition _ | Land_now | Return_to_launch ->
+      (* Fire-and-forget: satisfied at entry, so the next step's entry
+         action runs at the same simulated time. *)
+      Sat
+    | Wait_altitude { alt; tolerance; _ } ->
+      if Float.abs (Gcs.relative_alt gcs -. alt) <= tolerance then Sat
+      else Not_yet
+    | Wait_mode code ->
+      if Gcs.vehicle_mode gcs = Some code then Sat else Not_yet
+    | Wait_disarmed ->
+      (* Armed state rides on heartbeats (1 Hz); wait for one that said
+         armed, then for one that says disarmed. *)
+      let armed = Gcs.armed gcs in
+      if armed then st.seen_armed <- true;
+      if st.seen_armed && not armed then Sat else Not_yet
+    | Wait_near { north; east; radius; _ } ->
+      let open Vec3 in
+      let p = local_position sim in
+      if norm (horizontal (sub p (make north east 0.0))) < radius then Sat
+      else Not_yet
+
+  let run st sim ~until =
+    let dt = (Sim.config sim).Sim.dt in
+    let rec loop () =
+      match st.status with
+      | Done _ -> st.status
+      | Running ->
+        if st.pc >= Array.length st.script then begin
+          st.status <- Done true;
+          st.status
+        end
+        else begin
+          let stp = st.script.(st.pc) in
+          if not st.entered then begin
+            enter st sim stp;
+            st.entered <- true
+          end;
+          match check st sim stp with
+          | Sat ->
+            st.pc <- st.pc + 1;
+            st.entered <- false;
+            loop ()
+          | Failed ->
+            st.status <- Done false;
+            st.status
+          | Not_yet ->
+            if Sim.time sim >= st.deadline then begin
+              st.status <- Done false;
+              st.status
+            end
+            else if Sim.finished sim then begin
+              st.status <- Done false;
+              st.status
+            end
+            else begin
+              (* Pause strictly before [until]: computing the next step's
+                 time from the step count (not by accumulation) keeps the
+                 pause point bit-identical to an uninterrupted run. *)
+              let next_time = float_of_int (Sim.steps sim + 1) *. dt in
+              if next_time >= until then st.status
+              else begin
+                Sim.step sim;
+                loop ()
+              end
+            end
+        end
+    in
+    loop ()
+end
+
 let execute w sim =
-  let api = { sim; gcs = Sim.gcs sim } in
-  match w.run api with
-  | () -> true
-  | exception Workload_failed _ -> false
+  let st = Stepper.create w in
+  match Stepper.run st sim ~until:infinity with
+  | Stepper.Done passed -> passed
+  | Stepper.Running -> false (* unreachable: nothing pauses at infinity *)
 
 let no_environment () = None
 
@@ -143,16 +237,16 @@ let quickstart =
     description = "Fig. 8: takeoff to 20 m under the auto mission, then land";
     environment = no_environment;
     nominal_duration = 45.0;
-    run =
-      (fun api ->
-        wait_time api 2.0;
-        upload_mission api
-          (renumber [ takeoff_item ~alt:20.0; land_item () ]);
-        arm_system_completely api;
-        enter_auto_mode api;
-        wait_altitude api 20.0;
-        wait_altitude api 0.0;
-        wait_disarmed api);
+    script =
+      [
+        Wait_time 2.0;
+        Upload_mission [ Takeoff_item 20.0; Land_item ];
+        Arm;
+        Enter_auto;
+        wait_altitude 20.0;
+        wait_altitude 0.0;
+        Wait_disarmed;
+      ];
   }
 
 let box_corners = [ (20.0, 0.0); (20.0, 20.0); (0.0, 20.0); (0.0, 0.0) ]
@@ -165,25 +259,19 @@ let manual_box =
        20 m x 20 m box, land at the launch point";
     environment = no_environment;
     nominal_duration = 75.0;
-    run =
-      (fun api ->
-        wait_time api 2.0;
-        arm_system_completely api;
-        takeoff api 20.0;
-        wait_altitude api 20.0;
+    script =
+      [ Wait_time 2.0; Arm; Takeoff 20.0; wait_altitude 20.0;
         (* The vehicle switches to Manual only after the climb completes;
            repositions sent before that would be rejected. *)
-        wait_mode api 2;
-        List.iter
+        Wait_mode 2 ]
+      @ List.concat_map
           (fun (north, east) ->
-            reposition api ~north ~east ~alt:20.0;
-            wait_until api ~timeout:30.0 (fun api ->
-                let open Vec3 in
-                let p = local_position api in
-                norm (horizontal (sub p (make north east 0.0))) < 2.5))
-          box_corners;
-        land_now api;
-        wait_disarmed api);
+            [
+              Reposition { north; east; alt = 20.0 };
+              wait_near ~timeout:30.0 ~north ~east ();
+            ])
+          box_corners
+      @ [ Land_now; Wait_disarmed ];
   }
 
 let auto_box =
@@ -194,20 +282,20 @@ let auto_box =
        return to launch";
     environment = no_environment;
     nominal_duration = 85.0;
-    run =
-      (fun api ->
-        wait_time api 2.0;
-        upload_mission api
-          (renumber
-             (takeoff_item ~alt:20.0
-             :: List.map
-                  (fun (north, east) -> waypoint_item api ~north ~east ~alt:20.0)
-                  box_corners
-             @ [ rtl_item () ]));
-        arm_system_completely api;
-        enter_auto_mode api;
-        wait_altitude api 20.0;
-        wait_disarmed api);
+    script =
+      [
+        Wait_time 2.0;
+        Upload_mission
+          ((Takeoff_item 20.0
+           :: List.map
+                (fun (north, east) -> Waypoint_item { north; east; alt = 20.0 })
+                box_corners)
+          @ [ Rtl_item ]);
+        Arm;
+        Enter_auto;
+        wait_altitude 20.0;
+        Wait_disarmed;
+      ];
   }
 
 let fence_mission =
@@ -229,22 +317,22 @@ let fence_mission =
                   })
              ()));
     nominal_duration = 70.0;
-    run =
-      (fun api ->
-        wait_time api 2.0;
-        upload_mission api
-          (renumber
-             [
-               takeoff_item ~alt:20.0;
-               waypoint_item api ~north:20.0 ~east:0.0 ~alt:20.0;
-               (* This target lies outside the 30 m fence. *)
-               waypoint_item api ~north:70.0 ~east:0.0 ~alt:20.0;
-               rtl_item ();
-             ]);
-        arm_system_completely api;
-        enter_auto_mode api;
-        wait_altitude api 20.0;
-        wait_disarmed api);
+    script =
+      [
+        Wait_time 2.0;
+        Upload_mission
+          [
+            Takeoff_item 20.0;
+            Waypoint_item { north = 20.0; east = 0.0; alt = 20.0 };
+            (* This target lies outside the 30 m fence. *)
+            Waypoint_item { north = 70.0; east = 0.0; alt = 20.0 };
+            Rtl_item;
+          ];
+        Arm;
+        Enter_auto;
+        wait_altitude 20.0;
+        Wait_disarmed;
+      ];
   }
 
 let defaults = [ manual_box; auto_box ]

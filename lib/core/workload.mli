@@ -1,84 +1,62 @@
-(** The high-level workload framework (§V-A, Fig. 8).
+(** The high-level workload framework (§V-A, Fig. 8), reified as data.
 
-    Raw MAVLink is awkward for building workloads — the mission-upload
-    handshake alone is a multi-message transaction driven by the vehicle —
-    so this framework wraps the ground-control station in blocking-style
-    primitives ([wait_time], [upload_mission], [arm_system_completely],
-    [wait_altitude], …). Each primitive pumps the simulator step by step
-    (the step() RPC of Fig. 7) until its condition holds, and raises
-    {!Workload_failed} if the run ends first, so workloads can never
-    deadlock against the vehicle.
+    A workload used to be an opaque [run : api -> unit] closure built from
+    blocking primitives; its call stack made mid-run state uncapturable. It
+    is now a *script*: a list of explicit {!step} values interpreted by a
+    resumable {!Stepper} whose program counter is plain data. The stepper
+    pumps the simulator step by step (the step() RPC of Fig. 7) until each
+    step's condition holds, can pause at any simulated time, and can be
+    snapshotted and restored together with the simulator — the mechanism
+    the prefix cache forks clean runs with.
 
     Two default workloads mirror the paper's: a *manual box* (position-hold
     mode around a 20 m × 20 m square at 20 m) and an *auto box* mission
     (waypoints, then return to launch); [fence_mission] adds the geofenced
     variant and [quickstart] is Fig. 8's takeoff-and-land verbatim. *)
 
-open Avis_mavlink
 open Avis_sitl
 
-exception Workload_failed of string
-(** The run ended (crash or time-out) before a wait completed, or the
-    vehicle rejected a command. *)
+(** {2 The step DSL} *)
 
-(** Handle passed to a running workload. *)
-type api
+(** Mission items as data; converted to geodetic MAVLink items only when
+    the upload starts, using the simulation's local frame. *)
+type mission_step =
+  | Takeoff_item of float  (** Target altitude, metres. *)
+  | Waypoint_item of { north : float; east : float; alt : float }
+      (** Local offsets from home, metres. *)
+  | Land_item
+  | Rtl_item
 
-val sim : api -> Sim.t
-val gcs : api -> Gcs.t
+(** One step of a workload script. Command steps ([Arm], [Takeoff],
+    [Upload_mission]) send and then wait for the acknowledgement /
+    handshake, failing the workload on rejection; fire-and-forget steps
+    ([Enter_auto], [Reposition], [Land_now], [Return_to_launch]) complete
+    immediately; wait steps block until their condition holds, failing on
+    [timeout] (simulated seconds, [infinity] = no limit). *)
+type step =
+  | Wait_time of float  (** Let the simulation run for this many seconds. *)
+  | Upload_mission of mission_step list
+      (** Run the full COUNT → REQUEST… → ACK handshake (30 s timeout). *)
+  | Arm  (** Arm and wait for a positive acknowledgement (10 s timeout). *)
+  | Enter_auto  (** Request the Auto mission mode. *)
+  | Takeoff of float  (** Direct takeoff command (manual workloads). *)
+  | Reposition of { north : float; east : float; alt : float }
+      (** Position-hold target in local metres (manual mode). *)
+  | Land_now
+  | Return_to_launch
+  | Wait_altitude of { alt : float; tolerance : float; timeout : float }
+  | Wait_mode of int  (** Wait for a heartbeat with this mode code. *)
+  | Wait_disarmed
+      (** Wait for an armed heartbeat followed by a disarmed one. *)
+  | Wait_near of { north : float; east : float; radius : float; timeout : float }
+      (** Wait until the reported position is within [radius] metres
+          (horizontally) of the local-frame target. *)
 
-(** {2 Blocking primitives} *)
+val wait_altitude : ?tolerance:float -> ?timeout:float -> float -> step
+(** [Wait_altitude] with the defaults: tolerance 0.75 m, no timeout. *)
 
-val step : api -> unit
-(** Advance exactly one simulation time-step. *)
-
-val wait_time : api -> float -> unit
-(** Let the simulation run for the given number of seconds. *)
-
-val wait_until : api -> ?timeout:float -> (api -> bool) -> unit
-(** Pump until the predicate holds. [timeout] is in simulated seconds from
-    now (default: until the run's duration cap). *)
-
-val arm_system_completely : api -> unit
-(** Send the arm command and wait for a positive acknowledgement. *)
-
-val upload_mission : api -> Msg.mission_item list -> unit
-(** Run the full COUNT → REQUEST… → ACK handshake to completion. *)
-
-val enter_auto_mode : api -> unit
-(** Request the Auto mission mode. *)
-
-val takeoff : api -> float -> unit
-(** Direct takeoff command to the given altitude (manual workloads). *)
-
-val reposition : api -> north:float -> east:float -> alt:float -> unit
-(** Send a position-hold target in local metres (manual mode). *)
-
-val land_now : api -> unit
-val return_to_launch : api -> unit
-
-val wait_altitude : api -> ?tolerance:float -> float -> unit
-(** Wait until telemetry reports the vehicle within [tolerance] (default
-    0.75 m) of the given relative altitude. *)
-
-val wait_mode : api -> int -> unit
-(** Wait for a heartbeat carrying the given custom mode code. *)
-
-val wait_disarmed : api -> unit
-
-val local_position : api -> Avis_geo.Vec3.t
-(** The vehicle's reported position converted back to local metres. *)
-
-(** {2 Mission builders} *)
-
-val takeoff_item : alt:float -> Msg.mission_item
-val waypoint_item : api -> north:float -> east:float -> alt:float -> Msg.mission_item
-(** Local offsets (metres from home) converted to geodetic coordinates. *)
-
-val land_item : unit -> Msg.mission_item
-val rtl_item : unit -> Msg.mission_item
-val renumber : Msg.mission_item list -> Msg.mission_item list
-(** Assign consecutive sequence numbers. *)
+val wait_near : ?radius:float -> ?timeout:float -> north:float -> east:float -> unit -> step
+(** [Wait_near] with the defaults: radius 2.5 m, no timeout. *)
 
 (** {2 Workloads} *)
 
@@ -88,12 +66,43 @@ type t = {
   environment : unit -> Avis_physics.Environment.t option;
       (** The physical environment this workload needs ([None] = benign). *)
   nominal_duration : float;  (** Simulated seconds a clean run takes. *)
-  run : api -> unit;  (** Raises {!Workload_failed} on failure. *)
+  script : step list;
 }
 
+(** {2 The resumable interpreter} *)
+
+module Stepper : sig
+  type status =
+    | Running  (** Paused at a time limit; resumable. *)
+    | Done of bool  (** Finished; the payload is the pass verdict. *)
+
+  type stepper
+
+  val create : t -> stepper
+
+  val run : stepper -> Sim.t -> until:float -> status
+  (** Pump the simulation, interpreting the script, until the workload
+      completes or fails, the run ends, or the simulation clock is about to
+      reach [until] (the stepper pauses strictly before it; pass
+      [infinity] to run to completion). Resuming a paused stepper with a
+      later [until] continues bit-identically to an uninterrupted run. *)
+
+  val status : stepper -> status
+
+  type snapshot
+  (** The stepper's full execution state — program counter, step-entry
+      flags, timers — frozen in O(1). *)
+
+  val snapshot : stepper -> snapshot
+
+  val restore : snapshot -> stepper
+  (** Each restore yields an independent stepper; pair it with
+      {!Sim.restore} of a simulator snapshot taken at the same moment. *)
+end
+
 val execute : t -> Sim.t -> bool
-(** Run the workload against a provisioned simulation; [true] when it
-    completed (called [pass_test] in the paper's framework). *)
+(** Run the workload script against a provisioned simulation; [true] when
+    it completed (called [pass_test] in the paper's framework). *)
 
 val quickstart : t
 (** Fig. 8: wait, upload takeoff+land, arm, auto, wait up, wait down. *)
@@ -111,5 +120,7 @@ val fence_mission : t
 
 val defaults : t list
 (** The two default workloads used in the evaluation. *)
+
+val all : t list
 
 val by_name : string -> t option

@@ -24,20 +24,21 @@ let auto_polygon ?name ~sides ~radius ~alt () =
         sides radius alt;
     environment = (fun () -> None);
     nominal_duration = polygon_duration ~sides ~radius ~alt;
-    run =
-      (fun api ->
-        Workload.wait_time api 2.0;
-        Workload.upload_mission api
-          (Workload.renumber
-             (Workload.takeoff_item ~alt
-             :: List.map
-                  (fun (north, east) -> Workload.waypoint_item api ~north ~east ~alt)
-                  vertices
-             @ [ Workload.rtl_item () ]));
-        Workload.arm_system_completely api;
-        Workload.enter_auto_mode api;
-        Workload.wait_altitude api alt;
-        Workload.wait_disarmed api);
+    script =
+      [
+        Workload.Wait_time 2.0;
+        Workload.Upload_mission
+          ((Workload.Takeoff_item alt
+           :: List.map
+                (fun (north, east) ->
+                  Workload.Waypoint_item { north; east; alt })
+                vertices)
+          @ [ Workload.Rtl_item ]);
+        Workload.Arm;
+        Workload.Enter_auto;
+        Workload.wait_altitude alt;
+        Workload.Wait_disarmed;
+      ];
   }
 
 let manual_polygon ?name ~sides ~radius ~alt () =
@@ -53,23 +54,22 @@ let manual_polygon ?name ~sides ~radius ~alt () =
         sides radius;
     environment = (fun () -> None);
     nominal_duration = polygon_duration ~sides ~radius ~alt +. 10.0;
-    run =
-      (fun api ->
-        Workload.wait_time api 2.0;
-        Workload.arm_system_completely api;
-        Workload.takeoff api alt;
-        Workload.wait_altitude api alt;
-        Workload.wait_mode api 2;
-        List.iter
+    script =
+      [
+        Workload.Wait_time 2.0;
+        Workload.Arm;
+        Workload.Takeoff alt;
+        Workload.wait_altitude alt;
+        Workload.Wait_mode 2;
+      ]
+      @ List.concat_map
           (fun (north, east) ->
-            Workload.reposition api ~north ~east ~alt;
-            Workload.wait_until api ~timeout:40.0 (fun api ->
-                let open Avis_geo.Vec3 in
-                let p = Workload.local_position api in
-                norm (horizontal (sub p (make north east 0.0))) < 2.5))
-          vertices;
-        Workload.land_now api;
-        Workload.wait_disarmed api);
+            [
+              Workload.Reposition { north; east; alt };
+              Workload.wait_near ~timeout:40.0 ~north ~east ();
+            ])
+          vertices
+      @ [ Workload.Land_now; Workload.Wait_disarmed ];
   }
 
 let altitude_sweep ?name ~levels () =
@@ -91,22 +91,22 @@ let altitude_sweep ?name ~levels () =
     description = "hold position while stepping through altitude levels";
     environment = (fun () -> None);
     nominal_duration = 30.0 +. travel;
-    run =
-      (fun api ->
-        Workload.wait_time api 2.0;
-        Workload.arm_system_completely api;
-        Workload.takeoff api first;
-        Workload.wait_altitude api first;
-        Workload.wait_mode api 2;
-        List.iter
+    script =
+      [
+        Workload.Wait_time 2.0;
+        Workload.Arm;
+        Workload.Takeoff first;
+        Workload.wait_altitude first;
+        Workload.Wait_mode 2;
+      ]
+      @ List.concat_map
           (fun level ->
-            Workload.reposition api ~north:0.0 ~east:0.0 ~alt:level;
-            Workload.wait_until api ~timeout:60.0 (fun api ->
-                Float.abs (Avis_mavlink.Gcs.relative_alt (Workload.gcs api) -. level)
-                < 1.0))
-          (List.tl levels);
-        Workload.land_now api;
-        Workload.wait_disarmed api);
+            [
+              Workload.Reposition { north = 0.0; east = 0.0; alt = level };
+              Workload.wait_altitude ~tolerance:1.0 ~timeout:60.0 level;
+            ])
+          (List.tl levels)
+      @ [ Workload.Land_now; Workload.Wait_disarmed ];
   }
 
 let with_environment w environment = { w with Workload.environment }

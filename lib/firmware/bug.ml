@@ -348,6 +348,8 @@ let registry ?enabled fw =
   | Some ids -> { enabled = ids }
   | None -> { enabled = unknown_bugs fw }
 
+let copy_registry r = { enabled = r.enabled }
+
 let enabled r id = List.mem id r.enabled
 
 let enable r id = if not (List.mem id r.enabled) then r.enabled <- id :: r.enabled

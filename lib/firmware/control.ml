@@ -33,6 +33,8 @@ let create ~params ~airframe () =
         ~i_limit:2.0 ~out_limit:0.6 ();
   }
 
+let copy t = { t with climb_pid = Pid.copy t.climb_pid }
+
 let reset t = Pid.reset t.climb_pid
 
 let step t est demand ~dt =

@@ -55,6 +55,26 @@ let create ?rng ~params ~suite ~hinj () =
   in
   { suite; hinj; rng; kinds }
 
+type snapshot = { snap_rng : Avis_util.Rng.t; snap_kinds : kind_state list }
+
+(* [failed] entries and readings are immutable, so copying the record's
+   mutable slots is a deep copy. *)
+let copy_kind ks = { ks with next_sample = ks.next_sample }
+
+let snapshot t =
+  {
+    snap_rng = Avis_util.Rng.copy t.rng;
+    snap_kinds = List.map copy_kind t.kinds;
+  }
+
+let restore ~suite ~hinj s =
+  {
+    suite;
+    hinj;
+    rng = Avis_util.Rng.copy s.snap_rng;
+    kinds = List.map copy_kind s.snap_kinds;
+  }
+
 let instance_failed ks index = List.mem_assoc index ks.failed
 
 let active_instance ks =

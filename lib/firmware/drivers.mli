@@ -27,6 +27,15 @@ val create :
 (** [rng] seeds the noise used by injected [Extra_noise] degradations
     (default seed 0). *)
 
+type snapshot
+(** Per-kind sampling schedules, failure records, cached readings and the
+    degradation-noise RNG, frozen. *)
+
+val snapshot : t -> snapshot
+
+val restore : suite:Suite.t -> hinj:Avis_hinj.Hinj.t -> snapshot -> t
+(** Rebuild drivers over the restored copies of the suite and injector. *)
+
 val sample : t -> Avis_physics.World.t -> time:float -> unit
 (** Run every driver whose sampling period has elapsed. Call once per
     control cycle before reading statuses. *)

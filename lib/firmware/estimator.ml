@@ -48,6 +48,11 @@ let create ~params () =
     dead_reckon_age = 0.0;
   }
 
+let copy t =
+  (* Every field is a mutable slot holding an immutable value, so a
+     field-wise record copy is a deep copy. *)
+  { t with position = t.position }
+
 let set_alt_mode t m = t.alt_mode <- m
 let set_att_mode t m = t.att_mode <- m
 let set_yaw_mode t m = t.yaw_mode <- m

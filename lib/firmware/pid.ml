@@ -12,6 +12,8 @@ let create ?(kp = 0.0) ?(ki = 0.0) ?(kd = 0.0) ?(i_limit = infinity)
     ?(out_limit = infinity) () =
   { kp; ki; kd; i_limit; out_limit; integral = 0.0; last_error = None }
 
+let copy t = { t with integral = t.integral }
+
 let clamp limit v = Avis_util.Stats.clamp ~lo:(-.limit) ~hi:limit v
 
 let finish t ~error ~derivative ~dt =

@@ -56,6 +56,25 @@ let create ~link ~frame ~params () =
     next_sys_status = 0.0;
   }
 
+type snapshot = t
+
+let copy_upload u = { u with received = u.received }
+
+let snapshot t =
+  {
+    t with
+    decoder = Frame.copy_decoder t.decoder;
+    upload = Option.map copy_upload t.upload;
+  }
+
+let restore ~link s =
+  {
+    s with
+    link;
+    decoder = Frame.copy_decoder s.decoder;
+    upload = Option.map copy_upload s.upload;
+  }
+
 let send t msg =
   let data = Frame.encode ~seq:t.seq ~sysid:1 ~compid:1 msg in
   t.seq <- (t.seq + 1) land 0xFF;

@@ -37,6 +37,14 @@ type t
 
 val create : link:Link.t -> frame:Geodesy.frame -> params:Params.t -> unit -> t
 
+type snapshot
+(** Upload transaction, mission, telemetry schedules and decoder, frozen. *)
+
+val snapshot : t -> snapshot
+
+val restore : link:Link.t -> snapshot -> t
+(** Rebuild the protocol driver over the restored copy of the link. *)
+
 val step : t -> time:float -> telemetry -> request list
 (** Process inbound traffic and emit due telemetry. Returns the pilot
     requests decoded this cycle, in arrival order. *)

@@ -95,6 +95,38 @@ let create ?fence ?(airframe = Avis_physics.Airframe.iris) ~policy ~bugs ~suite
   Avis_hinj.Hinj.update_mode hinj ~time:0.0 (Phase.label Phase.Preflight);
   t
 
+type snapshot = {
+  snap_core : t;  (** A frozen copy; its sub-module references are unused. *)
+  snap_drivers : Drivers.snapshot;
+  snap_protocol : Protocol.snapshot;
+}
+
+let freeze t =
+  {
+    t with
+    params = t.params;
+    bugs = Bug.copy_registry t.bugs;
+    estimator = Estimator.copy t.estimator;
+    control = Control.copy t.control;
+  }
+
+let snapshot t =
+  {
+    snap_core = freeze t;
+    snap_drivers = Drivers.snapshot t.drivers;
+    snap_protocol = Protocol.snapshot t.protocol;
+  }
+
+let restore ~suite ~hinj ~link s =
+  let t = freeze s.snap_core in
+  {
+    t with
+    suite;
+    hinj;
+    drivers = Drivers.restore ~suite ~hinj s.snap_drivers;
+    protocol = Protocol.restore ~link s.snap_protocol;
+  }
+
 let set_phase t phase =
   if not (Phase.equal t.phase phase) then begin
     t.transitions <- (t.time, t.phase, phase) :: t.transitions;

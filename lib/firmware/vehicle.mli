@@ -26,6 +26,21 @@ val create :
 (** [fence] configures the firmware's own geofence (as uploaded by a ground
     station); the vehicle returns to launch rather than cross it. *)
 
+type snapshot
+(** Every mutable layer of the firmware, frozen: estimator, controller,
+    drivers, protocol, mode logic and bug registry. *)
+
+val snapshot : t -> snapshot
+
+val restore :
+  suite:Avis_sensors.Suite.t ->
+  hinj:Avis_hinj.Hinj.t ->
+  link:Link.t ->
+  snapshot ->
+  t
+(** Rebuild the firmware over restored copies of its collaborators (the
+    sensor suite, the fault injector and the MAVLink link). *)
+
 val step : t -> Avis_physics.World.t -> dt:float -> float array
 (** Run one control cycle and return the motor commands for this step. *)
 

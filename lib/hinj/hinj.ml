@@ -34,6 +34,23 @@ let create ?(plan = []) ?(degradations = []) () =
 
 let plan t = t.plan
 
+type snapshot = t
+
+let freeze ?plan t =
+  (* Transition entries are immutable, so sharing the list is safe. *)
+  let plan = match plan with Some p -> p | None -> t.plan in
+  {
+    plan;
+    degradations = t.degradations;
+    mode = t.mode;
+    initial_mode = t.initial_mode;
+    transitions = t.transitions;
+    read_count = t.read_count;
+  }
+
+let snapshot t = freeze t
+let restore ?plan s = freeze ?plan s
+
 let is_failed t ~time id =
   List.exists (fun f -> Sensor.equal_id f.sensor id && f.at <= time) t.plan
 

@@ -45,6 +45,17 @@ val create : ?plan:plan -> ?degradations:degradation list -> unit -> t
 
 val plan : t -> plan
 
+type snapshot
+(** Mode log, read counter and plan, frozen. *)
+
+val snapshot : t -> snapshot
+
+val restore : ?plan:plan -> snapshot -> t
+(** Rebuild an injector from a snapshot. [?plan] substitutes a different
+    injection plan — the prefix cache uses this to fork a clean run into a
+    faulty scenario, which is only sound if no fault in the new plan starts
+    at or before the snapshot time. *)
+
 val sensor_read : t -> time:float -> Sensor.id -> decision
 (** The instrumented driver's question: should this read succeed? Also
     counts reads for throughput statistics. *)

@@ -34,6 +34,8 @@ type decoder = { mutable buffer : string; mutable dropped : int }
 
 let decoder () = { buffer = ""; dropped = 0 }
 
+let copy_decoder d = { buffer = d.buffer; dropped = d.dropped }
+
 let dropped d = d.dropped
 
 (* Attempt to parse one frame at the head of the buffer. Returns

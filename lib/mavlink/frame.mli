@@ -18,6 +18,9 @@ type decoder
 
 val decoder : unit -> decoder
 
+val copy_decoder : decoder -> decoder
+(** An independent copy of the decoder's buffered bytes and drop count. *)
+
 val feed : decoder -> string -> frame list
 (** Push received bytes; returns the frames completed by this chunk, in
     order. Frames with bad checksums or unknown message ids are counted and

@@ -45,6 +45,23 @@ let create ?(sysid = 255) ?(compid = 190) link =
     params = [];
   }
 
+type snapshot = t
+
+let snapshot t =
+  {
+    t with
+    decoder = Frame.copy_decoder t.decoder;
+    upload_items = Array.copy t.upload_items;
+  }
+
+let restore ~link s =
+  {
+    s with
+    link;
+    decoder = Frame.copy_decoder s.decoder;
+    upload_items = Array.copy s.upload_items;
+  }
+
 let send t msg =
   let data = Frame.encode ~seq:t.seq ~sysid:t.sysid ~compid:t.compid msg in
   t.seq <- (t.seq + 1) land 0xFF;

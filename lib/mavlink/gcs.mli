@@ -14,6 +14,15 @@ type t
 val create : ?sysid:int -> ?compid:int -> Link.t -> t
 (** Attach to the GCS end of a link. *)
 
+type snapshot
+(** Telemetry cache, transaction state and decoder, frozen. *)
+
+val snapshot : t -> snapshot
+
+val restore : link:Link.t -> snapshot -> t
+(** Rebuild a GCS attached to [link] (the restored copy of the link the
+    snapshot was taken over). *)
+
 val poll : t -> Msg.t list
 (** Ingest everything that arrived since the last poll, update cached
     telemetry, answer mission-upload requests, and return the decoded

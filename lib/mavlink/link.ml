@@ -15,6 +15,25 @@ let create ?jitter () =
   { jitter; now = 0; to_vehicle = []; to_gcs = []; last_to_vehicle = 0;
     last_to_gcs = 0 }
 
+type snapshot = t
+
+let copy t =
+  (* Chunk records are immutable; the queues can be shared structurally. *)
+  {
+    jitter =
+      (match t.jitter with
+      | None -> None
+      | Some (rng, max_steps) -> Some (Avis_util.Rng.copy rng, max_steps));
+    now = t.now;
+    to_vehicle = t.to_vehicle;
+    to_gcs = t.to_gcs;
+    last_to_vehicle = t.last_to_vehicle;
+    last_to_gcs = t.last_to_gcs;
+  }
+
+let snapshot = copy
+let restore = copy
+
 let delay t =
   match t.jitter with
   | None -> 1

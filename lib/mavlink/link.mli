@@ -16,6 +16,12 @@ val create : ?jitter:Avis_util.Rng.t * int -> unit -> t
     0..max_steps steps. Without [jitter], delivery happens on the next
     step. *)
 
+type snapshot
+(** In-flight chunks, delivery clocks and the jitter RNG, frozen. *)
+
+val snapshot : t -> snapshot
+val restore : snapshot -> t
+
 val send : t -> endpoint -> string -> unit
 (** Queue bytes from the given endpoint towards the other side. *)
 

@@ -22,6 +22,11 @@ let create ?(obstacles = []) ?(fence = None) ?(wind = None) () =
 
 let benign () = create ()
 
+let copy t =
+  (* Obstacles, fence and wind spec are immutable; only the gust state is
+     mutable. *)
+  { obstacles = t.obstacles; fence = t.fence; wind = t.wind; gust = t.gust }
+
 let obstacles t = t.obstacles
 let fence t = t.fence
 

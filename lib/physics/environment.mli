@@ -26,6 +26,9 @@ val benign : unit -> t
 val create :
   ?obstacles:obstacle list -> ?fence:fence option -> ?wind:wind option -> unit -> t
 
+val copy : t -> t
+(** An independent copy, including the current gust state. *)
+
 val obstacles : t -> obstacle list
 val fence : t -> fence option
 

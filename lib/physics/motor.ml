@@ -37,6 +37,10 @@ let create frame =
     actual = Array.make n 0.0;
   }
 
+let copy t =
+  (* [frame] and [layout] are immutable and safely shared. *)
+  { t with commanded = Array.copy t.commanded; actual = Array.copy t.actual }
+
 let command t cmds =
   if Array.length cmds <> Array.length t.commanded then
     invalid_arg "Motor.command: wrong motor count";

@@ -17,6 +17,16 @@ let create ?(position = Vec3.zero) () =
     acceleration = Vec3.zero;
   }
 
+let copy t =
+  (* Vec3/Quat values are immutable, so a field-wise copy is a deep copy. *)
+  {
+    position = t.position;
+    velocity = t.velocity;
+    attitude = t.attitude;
+    angular_velocity = t.angular_velocity;
+    acceleration = t.acceleration;
+  }
+
 let step t ~inertia ~mass ~force ~torque ~dt =
   let accel = Vec3.scale (1.0 /. mass) force in
   t.acceleration <- accel;

@@ -17,6 +17,9 @@ type t = {
 val create : ?position:Vec3.t -> unit -> t
 (** At rest, level, at the given position (origin by default). *)
 
+val copy : t -> t
+(** An independent deep copy; mutating one does not affect the other. *)
+
 val step :
   t -> inertia:Vec3.t -> mass:float -> force:Vec3.t -> torque:Vec3.t -> dt:float -> unit
 (** Advance by [dt] under a world-frame [force] (newtons, gravity included by

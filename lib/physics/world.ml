@@ -44,6 +44,25 @@ let create ?environment ?rng ?(airframe = Airframe.iris) ?(position = Vec3.zero)
     resting = true;
   }
 
+type snapshot = t
+
+let copy t =
+  {
+    airframe = t.airframe;
+    environment = Environment.copy t.environment;
+    rng = Avis_util.Rng.copy t.rng;
+    body = Rigid_body.copy t.body;
+    motors = Motor.copy t.motors;
+    time = t.time;
+    crashed = t.crashed;
+    crash_event = t.crash_event;
+    fence_breached = t.fence_breached;
+    resting = t.resting;
+  }
+
+let snapshot = copy
+let restore = copy
+
 let airframe t = t.airframe
 let environment t = t.environment
 let body t = t.body

@@ -28,6 +28,15 @@ val create :
   unit ->
   t
 
+type snapshot
+(** A frozen deep copy of the whole physical state, including the gust
+    process and the physics RNG. *)
+
+val snapshot : t -> snapshot
+val restore : snapshot -> t
+(** [restore] yields a fresh world; one snapshot may be restored any number
+    of times, each restore independent of the others. *)
+
 val airframe : t -> Airframe.t
 val environment : t -> Environment.t
 val body : t -> Rigid_body.t

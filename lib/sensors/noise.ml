@@ -21,6 +21,8 @@ let channel rng spec =
   let bias = Avis_util.Rng.gaussian_scaled rng ~mean:0.0 ~stddev:spec.bias_stddev in
   { rng; spec; bias; drift = 0.0 }
 
+let copy_channel c = { c with rng = Avis_util.Rng.copy c.rng }
+
 let sample c ~dt ~truth =
   if c.spec.drift_rate > 0.0 then
     c.drift <-

@@ -27,5 +27,9 @@ type channel
 val channel : Avis_util.Rng.t -> spec -> channel
 (** Draw the channel's bias from the spec using the given generator. *)
 
+val copy_channel : channel -> channel
+(** An independent copy: same bias, current drift, and a copied RNG, so the
+    copy produces the same sample stream as the original would have. *)
+
 val sample : channel -> dt:float -> truth:float -> float
 (** Corrupt a true value; advances drift by [dt]. *)

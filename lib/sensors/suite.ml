@@ -86,6 +86,24 @@ let create ?(complement = iris_complement) ~rng () =
     capacity_j = 180_000.0;
   }
 
+type snapshot = t
+
+let copy t =
+  let copy_state (id, s) =
+    ( id,
+      {
+        s with
+        ch1 = Noise.copy_channel s.ch1;
+        ch2 = Noise.copy_channel s.ch2;
+        ch3 = Noise.copy_channel s.ch3;
+        ch_aux = Noise.copy_channel s.ch_aux;
+      } )
+  in
+  { t with states = List.map copy_state t.states }
+
+let snapshot = copy
+let restore = copy
+
 let instances t = List.map fst t.states
 
 let count t kind =

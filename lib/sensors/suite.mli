@@ -28,6 +28,15 @@ type t
 
 val create : ?complement:complement -> rng:Avis_util.Rng.t -> unit -> t
 
+type snapshot
+(** A frozen deep copy of the suite: every noise channel's RNG, bias and
+    drift plus the battery's state of charge. *)
+
+val snapshot : t -> snapshot
+val restore : snapshot -> t
+(** Each restore yields an independent suite; a snapshot may be restored
+    any number of times. *)
+
 val instances : t -> Sensor.id list
 
 val count : t -> Sensor.kind -> int

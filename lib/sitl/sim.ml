@@ -74,6 +74,53 @@ let create ?(plan = []) ?(degradations = []) config =
   { config; frame; world; suite; hinj; vehicle; link; gcs = Gcs.create link;
     trace; steps = 0 }
 
+type snapshot = {
+  snap_config : config;
+  snap_frame : Avis_geo.Geodesy.frame;
+  snap_world : Avis_physics.World.snapshot;
+  snap_suite : Avis_sensors.Suite.snapshot;
+  snap_hinj : Avis_hinj.Hinj.snapshot;
+  snap_vehicle : Vehicle.snapshot;
+  snap_link : Link.snapshot;
+  snap_gcs : Gcs.snapshot;
+  snap_trace : Trace.snapshot;
+  snap_steps : int;
+}
+
+let snapshot t =
+  {
+    snap_config = t.config;
+    snap_frame = t.frame;
+    snap_world = Avis_physics.World.snapshot t.world;
+    snap_suite = Avis_sensors.Suite.snapshot t.suite;
+    snap_hinj = Avis_hinj.Hinj.snapshot t.hinj;
+    snap_vehicle = Vehicle.snapshot t.vehicle;
+    snap_link = Link.snapshot t.link;
+    snap_gcs = Gcs.snapshot t.gcs;
+    snap_trace = Trace.snapshot t.trace;
+    snap_steps = t.steps;
+  }
+
+let restore ?plan s =
+  let world = Avis_physics.World.restore s.snap_world in
+  let suite = Avis_sensors.Suite.restore s.snap_suite in
+  let hinj = Avis_hinj.Hinj.restore ?plan s.snap_hinj in
+  let link = Link.restore s.snap_link in
+  let vehicle = Vehicle.restore ~suite ~hinj ~link s.snap_vehicle in
+  let gcs = Gcs.restore ~link s.snap_gcs in
+  {
+    config = s.snap_config;
+    frame = s.snap_frame;
+    world;
+    suite;
+    hinj;
+    vehicle;
+    link;
+    gcs;
+    trace = Trace.restore s.snap_trace;
+    steps = s.snap_steps;
+  }
+
 let config t = t.config
 let frame t = t.frame
 let gcs t = t.gcs

@@ -42,6 +42,21 @@ val create :
 
 val config : t -> config
 
+type snapshot
+(** The whole harness frozen mid-run: physics, sensors, injector, firmware,
+    link, ground station and trace. Taking a snapshot does not disturb the
+    live run. *)
+
+val snapshot : t -> snapshot
+
+val restore : ?plan:Avis_hinj.Hinj.plan -> snapshot -> t
+(** Rebuild an independent harness from a snapshot; the same snapshot can be
+    restored any number of times. [?plan] substitutes a different injection
+    plan in the restored run (the prefix cache's fork operation) — sound
+    only when no fault in the new plan starts at or before the snapshot
+    time, since the original run must not yet have observed any
+    difference. *)
+
 val frame : t -> Avis_geo.Geodesy.frame
 (** The local tangent frame anchored at the home location. *)
 

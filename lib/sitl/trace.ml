@@ -19,6 +19,15 @@ let create ?(period = 0.1) () =
 
 let period t = t.period
 
+type snapshot = t
+
+(* Samples are immutable and the cached array is only ever replaced, never
+   mutated in place, so sharing both is safe. *)
+let copy t = { t with samples = t.samples }
+
+let snapshot = copy
+let restore = copy
+
 let record t ~time world ~mode =
   if time >= t.next_due then begin
     t.next_due <- t.next_due +. t.period;

@@ -21,6 +21,12 @@ val create : ?period:float -> unit -> t
 
 val period : t -> float
 
+type snapshot
+(** The recorded series and sampling schedule, frozen. *)
+
+val snapshot : t -> snapshot
+val restore : snapshot -> t
+
 val record : t -> time:float -> Avis_physics.World.t -> mode:string -> unit
 (** Append a sample if the period has elapsed since the last one. *)
 

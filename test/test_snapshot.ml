@@ -1,0 +1,214 @@
+(* Snapshot/fork correctness: a snapshot is a deep copy (running the
+   original afterwards does not disturb it), a restore is an independent
+   bit-identical fork, and the prefix cache built on top is
+   outcome-transparent — every cached result equals the cold one, so
+   campaigns produce identical results with caching on or off. *)
+
+open Avis_sensors
+open Avis_firmware
+open Avis_sitl
+open Avis_core
+
+let fail_kind ?(n = 2) kind at =
+  List.init n (fun index -> { Avis_hinj.Hinj.sensor = { Sensor.kind; index }; at })
+
+let sim_config ?(seed = 42) workload policy =
+  let base = Sim.default_config policy in
+  {
+    base with
+    Sim.seed;
+    max_duration = workload.Workload.nominal_duration +. 60.0;
+    environment = workload.Workload.environment ();
+  }
+
+let cold_run ?seed ?(plan = []) workload policy =
+  let sim = Sim.create ~plan (sim_config ?seed workload policy) in
+  let passed = Workload.execute workload sim in
+  Sim.outcome sim ~workload_passed:passed
+
+(* Everything observable about a run. Traces are compared sample by sample
+   (position, acceleration, mode, timestamps), so "equal" here means
+   bit-identical, not merely same verdict. *)
+let fingerprint (o : Sim.outcome) =
+  ( Trace.samples o.Sim.trace,
+    o.Sim.crash,
+    o.Sim.fence_breached,
+    o.Sim.workload_passed,
+    o.Sim.transitions,
+    o.Sim.triggered_bugs,
+    o.Sim.duration,
+    o.Sim.sensor_reads )
+
+let check_same_outcome msg a b =
+  Alcotest.(check bool) msg true (fingerprint a = fingerprint b)
+
+let test_same_seed_same_outcome () =
+  let plan = fail_kind Sensor.Gps 20.0 in
+  let a = cold_run ~plan Workload.quickstart Policy.apm in
+  let b = cold_run ~plan Workload.quickstart Policy.apm in
+  check_same_outcome "identical replays" a b;
+  Alcotest.(check bool) "trace is non-trivial" true
+    (Array.length (Trace.samples a.Sim.trace) > 10)
+
+(* Pause a clean run mid-flight, snapshot, substitute a fault plan on
+   restore, and finish: the outcome must be bit-identical to simulating the
+   faulty run from scratch. *)
+let restore_and_finish ~plan ~(snap : Sim.snapshot)
+    ~(stepper : Workload.Stepper.snapshot) =
+  let sim = Sim.restore ~plan snap in
+  let st = Workload.Stepper.restore stepper in
+  let passed =
+    match Workload.Stepper.run st sim ~until:infinity with
+    | Workload.Stepper.Done p -> p
+    | Workload.Stepper.Running -> false
+  in
+  Sim.outcome sim ~workload_passed:passed
+
+let paused_clean_run workload policy ~until =
+  let sim = Sim.create ~plan:[] (sim_config workload policy) in
+  let st = Workload.Stepper.create workload in
+  (match Workload.Stepper.run st sim ~until with
+  | Workload.Stepper.Running -> ()
+  | Workload.Stepper.Done _ -> Alcotest.fail "clean run finished before pause");
+  (sim, st)
+
+let test_restore_bit_identical () =
+  let workload = Workload.quickstart and policy = Policy.apm in
+  let plan = fail_kind Sensor.Gps 20.0 in
+  let cold = cold_run ~plan workload policy in
+  let sim, st = paused_clean_run workload policy ~until:15.0 in
+  Alcotest.(check bool) "paused strictly before 15 s" true (Sim.time sim < 15.0);
+  let snap = Sim.snapshot sim in
+  let stepper = Workload.Stepper.snapshot st in
+  let warm = restore_and_finish ~plan ~snap ~stepper in
+  check_same_outcome "restored suffix = cold run" cold warm
+
+let test_snapshot_is_deep () =
+  let workload = Workload.quickstart and policy = Policy.apm in
+  let plan = fail_kind Sensor.Gyroscope 20.0 in
+  let cold = cold_run ~plan workload policy in
+  let sim, st = paused_clean_run workload policy ~until:10.0 in
+  let snap = Sim.snapshot sim in
+  let stepper = Workload.Stepper.snapshot st in
+  (* Keep running the original to completion: a shallow snapshot would be
+     corrupted by the shared mutable state advancing underneath it. *)
+  (match Workload.Stepper.run st sim ~until:infinity with
+  | Workload.Stepper.Done passed ->
+    Alcotest.(check bool) "clean original still passes" true passed
+  | Workload.Stepper.Running -> Alcotest.fail "clean run did not finish");
+  let warm1 = restore_and_finish ~plan ~snap ~stepper in
+  check_same_outcome "snapshot survives the original running on" cold warm1;
+  (* And one snapshot restores any number of times. *)
+  let warm2 = restore_and_finish ~plan ~snap ~stepper in
+  check_same_outcome "second restore of the same snapshot" cold warm2
+
+let test_prefix_cache_transparent () =
+  let workload = Workload.auto_box and policy = Policy.apm in
+  let make_sim ~plan = Sim.create ~plan (sim_config workload policy) in
+  let checkpoint_times = List.init 40 (fun i -> 2.0 *. float_of_int (i + 1)) in
+  let cache = Prefix_cache.create ~workload ~make_sim ~checkpoint_times in
+  let plans =
+    [
+      [];
+      fail_kind Sensor.Gps 25.0;
+      fail_kind Sensor.Compass 40.0;
+      fail_kind ~n:1 Sensor.Barometer 12.5;
+      (* Earlier than every checkpoint: must fall back to a cold run. *)
+      fail_kind ~n:1 Sensor.Gps 0.5;
+    ]
+  in
+  List.iter
+    (fun plan ->
+      let cached = Prefix_cache.execute cache ~plan in
+      let sim = make_sim ~plan in
+      let passed = Workload.execute workload sim in
+      let cold = Sim.outcome sim ~workload_passed:passed in
+      check_same_outcome "cached = cold" cold cached)
+    plans;
+  let stats = Prefix_cache.stats cache in
+  Alcotest.(check bool) "served hits" true (stats.Prefix_cache.hits >= 3);
+  Alcotest.(check int) "early fault misses" 1 stats.Prefix_cache.misses;
+  Alcotest.(check bool) "skipped simulated time" true
+    (stats.Prefix_cache.saved_sim_s > 0.0)
+
+let test_campaign_cache_transparent () =
+  let base = Campaign.default_config Policy.apm Workload.auto_box in
+  let run cached =
+    Campaign.run
+      { base with Campaign.budget_s = 200.0; prefix_cache = cached }
+      ~strategy:(fun ctx -> Sabre.make ctx)
+  in
+  let off = run false in
+  let on = run true in
+  Alcotest.(check int) "same simulations" off.Campaign.simulations
+    on.Campaign.simulations;
+  Alcotest.(check int) "same findings" (Campaign.unsafe_count off)
+    (Campaign.unsafe_count on);
+  Alcotest.(check (float 1e-9)) "same budget spent" off.Campaign.wall_clock_spent_s
+    on.Campaign.wall_clock_spent_s;
+  Alcotest.(check bool) "same finding indices" true
+    (List.map
+       (fun f -> f.Campaign.simulation_index)
+       off.Campaign.findings
+    = List.map (fun f -> f.Campaign.simulation_index) on.Campaign.findings)
+
+(* A campaign replayed with a shared cache forks every scenario from its
+   last checkpoint; the result must still be identical to the cold run. *)
+let test_campaign_replay_identical () =
+  let base = Campaign.default_config Policy.apm Workload.auto_box in
+  let config =
+    { base with Campaign.budget_s = 200.0; prefix_cache = true }
+  in
+  let strategy ctx = Sabre.make ctx in
+  let cold =
+    Campaign.run
+      { config with Campaign.prefix_cache = false }
+      ~strategy
+  in
+  let cache = Campaign.make_cache config in
+  let first = Campaign.run ~cache config ~strategy in
+  let replay = Campaign.run ~cache config ~strategy in
+  let check msg (a : Campaign.result) (b : Campaign.result) =
+    Alcotest.(check bool)
+      msg true
+      (a.Campaign.simulations = b.Campaign.simulations
+      && Campaign.unsafe_count a = Campaign.unsafe_count b
+      && a.Campaign.wall_clock_spent_s = b.Campaign.wall_clock_spent_s
+      && List.map (fun f -> f.Campaign.simulation_index) a.Campaign.findings
+         = List.map (fun f -> f.Campaign.simulation_index) b.Campaign.findings)
+  in
+  check "shared-cache first run = cold" cold first;
+  check "shared-cache replay = cold" cold replay;
+  (* The replay really was served from snapshots: every scenario hit. *)
+  let s0 =
+    match first.Campaign.cache_stats with
+    | Some s -> s
+    | None -> Alcotest.fail "cache disabled"
+  in
+  let s1 =
+    match replay.Campaign.cache_stats with
+    | Some s -> s
+    | None -> Alcotest.fail "cache disabled"
+  in
+  Alcotest.(check int) "replay added no misses" s0.Prefix_cache.misses
+    s1.Prefix_cache.misses
+
+let () =
+  Alcotest.run "avis_snapshot"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "same seed, same outcome" `Quick
+            test_same_seed_same_outcome;
+          Alcotest.test_case "restore = cold run" `Quick test_restore_bit_identical;
+          Alcotest.test_case "snapshots are deep" `Quick test_snapshot_is_deep;
+        ] );
+      ( "prefix cache",
+        [
+          Alcotest.test_case "cache transparent" `Slow test_prefix_cache_transparent;
+          Alcotest.test_case "campaign on/off identical" `Slow
+            test_campaign_cache_transparent;
+          Alcotest.test_case "campaign replay identical" `Slow
+            test_campaign_replay_identical;
+        ] );
+    ]
