@@ -242,12 +242,15 @@ let fig5 () =
       let failed =
         List.filter_map
           (fun f ->
-            if f.Scenario.at <= t +. 1e-9 then
+            if Scenario.fault_time f <= t +. 1e-9 then
               Some
-                (match f.Scenario.sensor.Sensor.kind with
-                | Sensor.Gps -> "GPS"
-                | Sensor.Barometer -> "Baro"
-                | _ -> "?")
+                (match f with
+                | Scenario.Link_loss _ -> "Link"
+                | Scenario.Sensor_fault sf -> (
+                  match sf.Scenario.sensor.Sensor.kind with
+                  | Sensor.Gps -> "GPS"
+                  | Sensor.Barometer -> "Baro"
+                  | _ -> "?"))
             else None)
           scenario
       in
@@ -295,7 +298,7 @@ let fig6 () =
     (fun subset ->
       let scenario =
         Scenario.of_faults
-          (List.map (fun i -> { Scenario.sensor = compass i; at = 10.0 }) subset)
+          (List.map (fun i -> Scenario.sensor_fault (compass i) 10.0) subset)
       in
       let name =
         "{"
@@ -817,6 +820,121 @@ let prefix_cache_bench () =
   Printf.printf "wrote %s (%d cells)\n" path (List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* Link faults: campaigns over the link-outage scenario space           *)
+(* ------------------------------------------------------------------ *)
+
+let link_faults_bench () =
+  section "Link faults: GCS-loss findings per personality";
+  let bench_budget = budget_s in
+  (* One cell per personality: a SABRE campaign restricted (via the gate)
+     to the link-outage scenario space — outages at mode boundaries plus
+     the sensor faults SABRE composes onto the failsafe transitions those
+     outages induce — stopped at the first finding whose scenario includes
+     the outage. Each cell runs cold and cached; both must agree on every
+     count, so the outage scenarios fork bit-identically from snapshots. *)
+  let run_cell policy =
+    let config cached =
+      {
+        (Campaign.default_config policy Workload.auto_box) with
+        Campaign.budget_s = bench_budget;
+        prefix_cache = cached;
+        seed =
+          Campaign.cell_seed ~policy:policy.Policy.name
+            ~workload:Workload.auto_box.Workload.name ~approach:"link" ();
+      }
+    in
+    let link_finding f =
+      Scenario.has_link_loss f.Campaign.report.Report.scenario
+    in
+    let gate s = (0.0, Scenario.has_link_loss s) in
+    let time cached =
+      let t0 = Metrics.now_s () in
+      let result =
+        Campaign.run ~stop_when:link_finding (config cached)
+          ~strategy:(fun ctx -> Sabre.make ~gate ctx)
+      in
+      (result, Metrics.now_s () -. t0)
+    in
+    let cold, cold_s = time false in
+    let cached, cached_s = time true in
+    let identical =
+      cold.Campaign.simulations = cached.Campaign.simulations
+      && Campaign.unsafe_count cold = Campaign.unsafe_count cached
+      && cold.Campaign.wall_clock_spent_s = cached.Campaign.wall_clock_spent_s
+      && List.map (fun f -> f.Campaign.simulation_index) cold.Campaign.findings
+         = List.map
+             (fun f -> f.Campaign.simulation_index)
+             cached.Campaign.findings
+    in
+    let found = List.filter link_finding cold.Campaign.findings in
+    (policy, cold, found, cold_s, cached_s, identical)
+  in
+  let rows = Pool.map ~jobs run_cell policies in
+  let t =
+    Table.create
+      ~header:
+        [ "Firmware"; "sims"; "findings"; "link findings"; "cold (s)";
+          "cached (s)"; "identical" ]
+  in
+  List.iter
+    (fun (policy, cold, found, cold_s, cached_s, identical) ->
+      Table.add_row t
+        [
+          policy.Policy.name;
+          string_of_int cold.Campaign.simulations;
+          string_of_int (Campaign.unsafe_count cold);
+          string_of_int (List.length found);
+          Printf.sprintf "%.2f" cold_s;
+          Printf.sprintf "%.2f" cached_s;
+          (if identical then "yes" else "NO");
+        ])
+    rows;
+  Table.print t;
+  List.iter
+    (fun (policy, _, found, _, _, _) ->
+      match found with
+      | f :: _ ->
+        Printf.printf "%s first link finding: %s\n" policy.Policy.name
+          (Report.describe f.Campaign.report)
+      | [] ->
+        Printf.printf
+          "%s: no link finding within the budget (raise AVIS_BUDGET)\n"
+          policy.Policy.name)
+    rows;
+  let json =
+    Json.Assoc
+      [
+        ("budget_s", Json.Number bench_budget);
+        ( "cells",
+          Json.List
+            (List.map
+               (fun (policy, cold, found, cold_s, cached_s, identical) ->
+                 Json.Assoc
+                   [
+                     ("firmware", Json.String policy.Policy.name);
+                     ("workload", Json.String Workload.auto_box.Workload.name);
+                     ("simulations", Json.int cold.Campaign.simulations);
+                     ("findings", Json.int (Campaign.unsafe_count cold));
+                     ("link_findings", Json.int (List.length found));
+                     ( "first_link_finding",
+                       match found with
+                       | [] -> Json.Null
+                       | f :: _ ->
+                         Json.String (Report.describe f.Campaign.report) );
+                     ("cold_wall_s", Json.Number cold_s);
+                     ("cached_wall_s", Json.Number cached_s);
+                     ("identical", Json.Bool identical);
+                   ])
+               rows) );
+      ]
+  in
+  let path = "BENCH_link_faults.json" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_string_pretty json);
+      output_char oc '\n');
+  Printf.printf "wrote %s (%d cells)\n" path (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 (* Simulator characteristics (the paper's slowdown discussion)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -951,5 +1069,6 @@ let () =
   ablation_liveliness_metric ();
   ablation_replay ();
   prefix_cache_bench ();
+  link_faults_bench ();
   simulator_stats ();
   micro_benchmarks ()

@@ -31,7 +31,10 @@ let () =
     List.iter
       (fun rf ->
         Printf.printf "  %s: %.2f s after entering %s\n"
-          (Avis_sensors.Sensor.id_to_string rf.Report.sensor)
+          (match rf.Report.subject with
+          | Report.Subject_sensor id -> Avis_sensors.Sensor.id_to_string id
+          | Report.Subject_link duration ->
+            Printf.sprintf "link outage (%.1f s)" duration)
           rf.Report.offset_s rf.Report.mode)
       report.Report.relative_faults;
     List.iter

@@ -1,4 +1,5 @@
 open Avis_firmware
+open Avis_mavlink
 open Avis_sitl
 
 type config = {
@@ -10,6 +11,7 @@ type config = {
   seed : int;
   profiling_runs : int;
   link_jitter_steps : int;
+  link_faults : Link.fault_profile;
   prefix_cache : bool;
 }
 
@@ -23,6 +25,7 @@ let default_config policy workload =
     seed = 1;
     profiling_runs = 8;
     link_jitter_steps = 2;
+    link_faults = Link.no_faults;
     prefix_cache = Prefix_cache.enabled_by_env ();
   }
 
@@ -52,7 +55,7 @@ type result = {
 let max_sim_duration (config : config) =
   config.workload.Workload.nominal_duration +. 60.0
 
-let sim_config (config : config) ~seed ~plan =
+let sim_config (config : config) ~seed ~scenario =
   let base = Sim.default_config config.policy in
   let sim_cfg =
     {
@@ -61,20 +64,23 @@ let sim_config (config : config) ~seed ~plan =
       seed;
       max_duration = max_sim_duration config;
       link_jitter_steps = config.link_jitter_steps;
+      link_faults = config.link_faults;
       environment = config.workload.Workload.environment ();
     }
   in
-  Sim.create ~plan sim_cfg
+  Sim.create ~plan:(Scenario.to_plan scenario)
+    ~link_outages:(Scenario.link_outages scenario)
+    sim_cfg
 
-let execute_run config ~seed ~plan =
-  let sim = sim_config config ~seed ~plan in
+let execute_run config ~seed ~scenario =
+  let sim = sim_config config ~seed ~scenario in
   let passed = Workload.execute config.workload sim in
   Sim.outcome sim ~workload_passed:passed
 
 let profile_and_context config =
   let outcomes =
     List.init config.profiling_runs (fun i ->
-        execute_run config ~seed:(config.seed + i) ~plan:[])
+        execute_run config ~seed:(config.seed + i) ~scenario:Scenario.empty)
   in
   List.iteri
     (fun i o ->
@@ -100,7 +106,7 @@ let make_cache config =
   let test_seed = config.seed + 1000 in
   let dur = max_sim_duration config in
   Prefix_cache.create ~workload:config.workload
-    ~make_sim:(fun ~plan -> sim_config config ~seed:test_seed ~plan)
+    ~make_sim:(fun ~scenario -> sim_config config ~seed:test_seed ~scenario)
     ~checkpoint_times:(List.init (int_of_float dur) (fun i -> float_of_int (i + 1)))
 
 let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
@@ -148,13 +154,13 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
         in
         Some
           (Prefix_cache.create ~workload:config.workload
-             ~make_sim:(fun ~plan -> sim_config config ~seed:test_seed ~plan)
+             ~make_sim:(fun ~scenario -> sim_config config ~seed:test_seed ~scenario)
              ~checkpoint_times)
   in
-  let run_scenario plan =
+  let run_scenario scenario =
     match cache with
-    | Some cache -> Prefix_cache.execute cache ~plan
-    | None -> execute_run config ~seed:test_seed ~plan
+    | Some cache -> Prefix_cache.execute cache ~scenario
+    | None -> execute_run config ~seed:test_seed ~scenario
   in
   while (not !stopped) && not (Budget.exhausted budget) do
     match searcher.Search.next () with
@@ -171,7 +177,7 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
              ~sim_seconds:(max_sim_duration config))
       then stopped := true
       else begin
-        let outcome = run_scenario (Scenario.to_plan scenario) in
+        let outcome = run_scenario scenario in
         Budget.charge_simulation budget ~sim_seconds:outcome.Sim.duration;
         let verdict = Monitor.check profile outcome in
         let unsafe = match verdict with Monitor.Unsafe _ -> true | Monitor.Safe -> false in

@@ -19,10 +19,17 @@ type config = {
   seed : int;
   profiling_runs : int;
   link_jitter_steps : int;
+  link_faults : Avis_mavlink.Link.fault_profile;
+      (** Probabilistic datalink degradation applied to {e every} run of
+          the campaign (profiling and test alike) — the ambient link
+          quality, distinct from the scheduled outages a {!Scenario} may
+          inject. [Link.no_faults] by default. *)
   prefix_cache : bool;
       (** Serve test runs from clean-run snapshots ({!Prefix_cache}).
           Outcomes and budget accounting are bit-identical either way;
-          caching only reduces wall-clock time. *)
+          caching only reduces wall-clock time. A probabilistic
+          [link_faults] profile makes runs uncacheable; the cache then
+          counts every run as a miss. *)
 }
 
 val default_config : Policy.t -> Workload.t -> config

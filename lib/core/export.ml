@@ -49,11 +49,21 @@ let scenario_to_json scenario =
   Json.List
     (List.map
        (fun f ->
-         Json.Assoc
-           [
-             ("sensor", Json.String (Avis_sensors.Sensor.id_to_string f.Scenario.sensor));
-             ("at_s", Json.Number f.Scenario.at);
-           ])
+         match f with
+         | Scenario.Sensor_fault sf ->
+           Json.Assoc
+             [
+               ( "sensor",
+                 Json.String (Avis_sensors.Sensor.id_to_string sf.Scenario.sensor) );
+               ("at_s", Json.Number sf.Scenario.at);
+             ]
+         | Scenario.Link_loss { at; duration } ->
+           Json.Assoc
+             [
+               ("link_loss", Json.Bool true);
+               ("at_s", Json.Number at);
+               ("duration_s", Json.Number duration);
+             ])
        scenario)
 
 let violation_to_json (v : Monitor.violation) =
@@ -81,10 +91,17 @@ let report_to_json (r : Report.t) =
         Json.List
           (List.map
              (fun rf ->
+               let subject =
+                 match rf.Report.subject with
+                 | Report.Subject_sensor id ->
+                   ( "sensor",
+                     Json.String (Avis_sensors.Sensor.id_to_string id) )
+                 | Report.Subject_link duration ->
+                   ("link_loss_duration_s", Json.Number duration)
+               in
                Json.Assoc
                  [
-                   ( "sensor",
-                     Json.String (Avis_sensors.Sensor.id_to_string rf.Report.sensor) );
+                   subject;
                    ("mode", Json.String rf.Report.mode);
                    ("offset_s", Json.Number rf.Report.offset_s);
                  ])

@@ -1,4 +1,5 @@
 open Avis_sitl
+open Avis_mavlink
 
 type entry = {
   time : float;
@@ -16,7 +17,11 @@ type builder =
 
 type t = {
   workload : Workload.t;
-  make_sim : plan:Avis_hinj.Hinj.plan -> Sim.t;
+  make_sim : scenario:Scenario.t -> Sim.t;
+  bypass : bool;
+      (** The configured runs carry state the cache key cannot encode
+          (sensor degradations, probabilistic link faults): serve every
+          scenario cold and count it as a miss. *)
   targets : float array;  (** Capture times, ascending. *)
   mutable clean_pending : float list;
       (** Targets the clean builder has not reached yet, ascending. *)
@@ -34,9 +39,20 @@ let create ~workload ~make_sim ~checkpoint_times =
   let ts =
     List.sort_uniq compare (List.filter (fun t -> t > 0.0) checkpoint_times)
   in
+  (* Probe the provisioner once: degradations persist mutable per-driver
+     state that [Sim.restore] cannot substitute, and a probabilistic link
+     profile consumes fault randomness per chunk, so a forked run would
+     diverge from a cold one. Neither appears in the cache key, so such
+     configs must bypass the cache entirely. *)
+  let probe = make_sim ~scenario:Scenario.empty in
+  let bypass =
+    Avis_hinj.Hinj.degradations (Sim.hinj probe) <> []
+    || Link.probabilistic (Link.profile (Sim.link probe))
+  in
   {
     workload;
     make_sim;
+    bypass;
     targets = Array.of_list ts;
     clean_pending = ts;
     builder = Unstarted;
@@ -46,6 +62,8 @@ let create ~workload ~make_sim ~checkpoint_times =
     saved_sim_s = 0.0;
   }
 
+let bypassing t = t.bypass
+
 (* Fault activation ([Hinj.is_failed]) is judged against the firmware's own
    accumulated clock ([Vehicle.time]), not the step-derived [Sim.time]; the
    two drift apart by float rounding. Checkpoint validity must use the same
@@ -54,26 +72,34 @@ let create ~workload ~make_sim ~checkpoint_times =
 let injection_clock sim = Avis_firmware.Vehicle.time (Sim.vehicle sim)
 
 (* Checkpoints are keyed by the exact set of faults active when they were
-   taken. Activation times are encoded by their bit pattern, so two runs
-   share a key only when their fault histories agree float-for-float —
-   which, with a fixed test seed, makes their states bit-identical up to
-   the checkpoint. The clean prefix is the special case of the empty key. *)
-let encode_fault (f : Avis_hinj.Hinj.fault) =
-  Printf.sprintf "%s@%Lx"
-    (Avis_sensors.Sensor.id_to_string f.sensor)
-    (Int64.bits_of_float f.at)
+   taken. Times are encoded by their bit pattern, so two runs share a key
+   only when their fault histories agree float-for-float — which, with a
+   fixed test seed, makes their states bit-identical up to the checkpoint.
+   A link outage stays in the key even after its window closes: the dropped
+   traffic leaves the run's state permanently different from a run that
+   never lost the link. The clean prefix is the special case of the empty
+   key. *)
+let encode_fault (f : Scenario.fault) =
+  match f with
+  | Scenario.Sensor_fault sf ->
+    Printf.sprintf "%s@%Lx"
+      (Avis_sensors.Sensor.id_to_string sf.Scenario.sensor)
+      (Int64.bits_of_float sf.Scenario.at)
+  | Scenario.Link_loss { at; duration } ->
+    Printf.sprintf "link@%Lx+%Lx" (Int64.bits_of_float at)
+      (Int64.bits_of_float duration)
 
 let encode_faults faults =
   String.concat ";" (List.sort compare (List.map encode_fault faults))
 
-let active_key (plan : Avis_hinj.Hinj.plan) ~time =
+let active_key (scenario : Scenario.t) ~time =
   encode_faults
-    (List.filter (fun (f : Avis_hinj.Hinj.fault) -> f.at <= time) plan)
+    (List.filter (fun f -> Scenario.fault_time f <= time) scenario)
 
-let capture t ~plan sim st =
+let capture t ~scenario sim st =
   let time = injection_clock sim in
   if time > 0.0 then begin
-    let key = active_key plan ~time in
+    let key = active_key scenario ~time in
     let existing =
       Option.value ~default:[] (Hashtbl.find_opt t.entries key)
     in
@@ -100,7 +126,7 @@ let builder_live t =
   | Live (sim, st) -> Some (sim, st)
   | Finished -> None
   | Unstarted ->
-    let sim = t.make_sim ~plan:[] in
+    let sim = t.make_sim ~scenario:Scenario.empty in
     let st = Workload.Stepper.create t.workload in
     t.builder <- Live (sim, st);
     Some (sim, st)
@@ -117,7 +143,7 @@ let rec advance_to t ~time =
     | Some (sim, st) -> (
       match Workload.Stepper.run st sim ~until:target with
       | Workload.Stepper.Running ->
-        capture t ~plan:[] sim st;
+        capture t ~scenario:Scenario.empty sim st;
         t.clean_pending <- rest;
         advance_to t ~time
       | Workload.Stepper.Done _ ->
@@ -130,7 +156,7 @@ let rec advance_to t ~time =
    what lets a search that stacks faults onto a safe scenario (SABRE's
    sites) fork from its base run instead of re-simulating it. Pausing and
    resuming is bit-identical to an uninterrupted run. *)
-let run_capturing t ~plan sim st =
+let run_capturing t ~scenario sim st =
   let n = Array.length t.targets in
   let rec go i =
     if i >= n then
@@ -143,42 +169,37 @@ let run_capturing t ~plan sim st =
       else
         match Workload.Stepper.run st sim ~until:target with
         | Workload.Stepper.Running ->
-          capture t ~plan sim st;
+          capture t ~scenario sim st;
           go (i + 1)
         | Workload.Stepper.Done passed -> passed
     end
   in
   go 0
 
-let earliest_fault (plan : Avis_hinj.Hinj.plan) =
-  match plan with
-  | [] -> infinity
-  | f :: rest ->
-    List.fold_left
-      (fun acc (g : Avis_hinj.Hinj.fault) -> Float.min acc g.at)
-      f.Avis_hinj.Hinj.at rest
+let earliest_fault (scenario : Scenario.t) =
+  match Scenario.first_injection_time scenario with
+  | Some at -> at
+  | None -> infinity
 
-let compare_fault (a : Avis_hinj.Hinj.fault) (b : Avis_hinj.Hinj.fault) =
-  match compare a.at b.at with
-  | 0 ->
-    compare
-      (Avis_sensors.Sensor.id_to_string a.sensor)
-      (Avis_sensors.Sensor.id_to_string b.sensor)
+let compare_for_prefix a b =
+  match compare (Scenario.fault_time a) (Scenario.fault_time b) with
+  | 0 -> compare (encode_fault a) (encode_fault b)
   | c -> c
 
-(* Find the latest checkpoint this plan can fork from. With the plan's
-   faults sorted by activation time, each prefix of j faults is a candidate
-   key; a checkpoint under it is sound iff it was taken strictly before the
-   (j+1)-th fault activates ([Hinj.is_failed] activates at [at <= time], so
-   equality would already differ). Entries under a key necessarily postdate
-   every fault in it, so the window below is the only check needed. *)
-let lookup t ~plan =
-  let faults = Array.of_list (List.sort compare_fault plan) in
+(* Find the latest checkpoint this scenario can fork from. With the faults
+   sorted by activation time, each prefix of j faults is a candidate key; a
+   checkpoint under it is sound iff it was taken strictly before the
+   (j+1)-th fault activates ([Hinj.is_failed] activates at [at <= time], and
+   an outage opens at the first step of its window, so equality would
+   already differ). Entries under a key necessarily postdate every fault in
+   it, so the window below is the only check needed. *)
+let lookup t ~scenario =
+  let faults = Array.of_list (List.sort compare_for_prefix scenario) in
   let k = Array.length faults in
   let best = ref None in
   for j = 0 to k do
     let next_at =
-      if j = k then infinity else faults.(j).Avis_hinj.Hinj.at
+      if j = k then infinity else Scenario.fault_time faults.(j)
     in
     let key = encode_faults (Array.to_list (Array.sub faults 0 j)) in
     match Hashtbl.find_opt t.entries key with
@@ -194,22 +215,44 @@ let lookup t ~plan =
   done;
   !best
 
-let execute t ~plan =
-  advance_to t ~time:(earliest_fault plan);
-  match lookup t ~plan with
-  | Some e ->
-    t.hits <- t.hits + 1;
-    t.saved_sim_s <- t.saved_sim_s +. e.time;
-    let sim = Sim.restore ~plan e.sim_snap in
-    let st = Workload.Stepper.restore e.stepper_snap in
-    let passed = run_capturing t ~plan sim st in
-    Sim.outcome sim ~workload_passed:passed
-  | None ->
+let cold (t : t) ~scenario =
+  t.misses <- t.misses + 1;
+  let sim = t.make_sim ~scenario in
+  let st = Workload.Stepper.create t.workload in
+  let passed = run_capturing t ~scenario sim st in
+  Sim.outcome sim ~workload_passed:passed
+
+let execute t ~scenario =
+  if t.bypass then begin
+    (* Uncacheable config: cold-run without checkpointing, since no stored
+       entry could ever be sound to serve. *)
     t.misses <- t.misses + 1;
-    let sim = t.make_sim ~plan in
+    let sim = t.make_sim ~scenario in
     let st = Workload.Stepper.create t.workload in
-    let passed = run_capturing t ~plan sim st in
+    let passed =
+      match Workload.Stepper.run st sim ~until:infinity with
+      | Workload.Stepper.Done passed -> passed
+      | Workload.Stepper.Running -> false
+    in
     Sim.outcome sim ~workload_passed:passed
+  end
+  else begin
+    advance_to t ~time:(earliest_fault scenario);
+    match lookup t ~scenario with
+    | Some e ->
+      t.hits <- t.hits + 1;
+      t.saved_sim_s <- t.saved_sim_s +. e.time;
+      let sim =
+        Sim.restore
+          ~plan:(Scenario.to_plan scenario)
+          ~link_outages:(Scenario.link_outages scenario)
+          e.sim_snap
+      in
+      let st = Workload.Stepper.restore e.stepper_snap in
+      let passed = run_capturing t ~scenario sim st in
+      Sim.outcome sim ~workload_passed:passed
+    | None -> cold t ~scenario
+  end
 
 let stats (t : t) =
   { hits = t.hits; misses = t.misses; saved_sim_s = t.saved_sim_s }

@@ -9,37 +9,49 @@
     - the clean run is simulated {e once} (same config and seed as the test
       runs) and checkpointed lazily at the requested times, and
     - every executed scenario is itself checkpointed at those times as it
-      runs, each checkpoint keyed by the exact set of faults already active
-      when it was taken.
+      runs, each checkpoint keyed by the exact set of faults — sensor
+      failures and link outages alike — already active when it was taken
+      (an outage stays in the key after its window closes: the traffic it
+      dropped leaves the run permanently different).
 
     A scenario is then served by restoring the latest checkpoint whose
-    active-fault set is a float-for-float prefix of the scenario's plan and
-    whose time lies strictly before the plan's next injection, substituting
-    the full plan with {!Avis_sitl.Sim.restore}, and simulating only the
-    suffix. Because the fixed test seed makes runs with identical fault
-    histories bit-identical, and the restored simulator keeps its step
-    counter, every outcome — trace, transitions, duration, sensor reads —
-    is bit-identical to a cold run of the same scenario, and budget
+    active-fault set is a float-for-float prefix of the scenario and whose
+    time lies strictly before the scenario's next injection, substituting
+    the full fault schedule with {!Avis_sitl.Sim.restore}, and simulating
+    only the suffix. Because the fixed test seed makes runs with identical
+    fault histories bit-identical, and the restored simulator keeps its
+    step counter, every outcome — trace, transitions, duration, sensor
+    reads — is bit-identical to a cold run of the same scenario, and budget
     accounting (which charges the full virtual duration) is unchanged. The
-    win is wall-clock only. *)
+    win is wall-clock only.
+
+    Configurations the key cannot encode are refused wholesale: if the
+    provisioned runs carry sensor degradations or a probabilistic link
+    fault profile, every scenario is simulated cold and counted as a miss
+    (see {!bypassing}). *)
 
 type t
 
 val create :
   workload:Workload.t ->
-  make_sim:(plan:Avis_hinj.Hinj.plan -> Avis_sitl.Sim.t) ->
+  make_sim:(scenario:Scenario.t -> Avis_sitl.Sim.t) ->
   checkpoint_times:float list ->
   t
 (** [make_sim] must provision a simulator exactly as the campaign's test
     runs do (same seed, config and environment), differing only in the
-    plan. [checkpoint_times] need not be sorted or unique; non-positive
-    times are dropped. *)
+    scenario's fault schedule. [checkpoint_times] need not be sorted or
+    unique; non-positive times are dropped. [create] probes [make_sim]
+    once (with the empty scenario) to detect uncacheable configurations. *)
 
-val execute : t -> plan:Avis_hinj.Hinj.plan -> Avis_sitl.Sim.outcome
+val execute : t -> scenario:Scenario.t -> Avis_sitl.Sim.outcome
 (** Run one scenario, forking from the best applicable checkpoint — clean
     or faulty-prefix — when one exists, and cold otherwise. Either way the
-    run is checkpointed for later scenarios and the outcome is bit-identical
-    to a cold run. *)
+    outcome is bit-identical to a cold run. *)
+
+val bypassing : t -> bool
+(** True when the provisioned runs carry state the cache key cannot encode
+    (sensor degradations, probabilistic link faults); every [execute] is
+    then a cold run counted as a miss. *)
 
 type stats = {
   hits : int;  (** Scenarios served from a checkpoint. *)

@@ -1,24 +1,28 @@
 open Avis_sitl
 
-let reconstruct_plan ~reference relative_faults =
-  List.map
-    (fun rf ->
-      let entered =
-        if rf.Report.mode = "Pre-Flight" then Some 0.0
-        else
-          List.fold_left
-            (fun acc tr ->
-              match acc with
-              | Some _ -> acc
-              | None ->
-                if tr.Avis_hinj.Hinj.to_mode = rf.Report.mode then
-                  Some tr.Avis_hinj.Hinj.time
-                else None)
-            None reference
-      in
-      let base = match entered with Some t -> t | None -> 0.0 in
-      { Avis_hinj.Hinj.sensor = rf.Report.sensor; at = base +. rf.Report.offset_s })
-    relative_faults
+let reconstruct_scenario ~reference relative_faults =
+  Scenario.of_faults
+    (List.map
+       (fun rf ->
+         let entered =
+           if rf.Report.mode = "Pre-Flight" then Some 0.0
+           else
+             List.fold_left
+               (fun acc tr ->
+                 match acc with
+                 | Some _ -> acc
+                 | None ->
+                   if tr.Avis_hinj.Hinj.to_mode = rf.Report.mode then
+                     Some tr.Avis_hinj.Hinj.time
+                   else None)
+               None reference
+         in
+         let base = match entered with Some t -> t | None -> 0.0 in
+         let at = base +. rf.Report.offset_s in
+         match rf.Report.subject with
+         | Report.Subject_sensor sensor -> Scenario.sensor_fault sensor at
+         | Report.Subject_link duration -> Scenario.link_loss ~at ~duration)
+       relative_faults)
 
 type outcome = {
   reproduced : bool;
@@ -27,7 +31,7 @@ type outcome = {
   replay_duration : float;
 }
 
-let execute (config : Campaign.config) ~seed ~plan =
+let execute (config : Campaign.config) ~seed ~scenario =
   let base = Sim.default_config config.Campaign.policy in
   let sim_cfg =
     {
@@ -37,21 +41,26 @@ let execute (config : Campaign.config) ~seed ~plan =
       max_duration =
         config.Campaign.workload.Workload.nominal_duration +. 60.0;
       link_jitter_steps = config.Campaign.link_jitter_steps;
+      link_faults = config.Campaign.link_faults;
       environment = config.Campaign.workload.Workload.environment ();
     }
   in
-  let sim = Sim.create ~plan sim_cfg in
+  let sim =
+    Sim.create ~plan:(Scenario.to_plan scenario)
+      ~link_outages:(Scenario.link_outages scenario)
+      sim_cfg
+  in
   let passed = Workload.execute config.Campaign.workload sim in
   Sim.outcome sim ~workload_passed:passed
 
 let replay ~config ~profile ~seed report =
   (* Probe run: observe this seed's transition timing without faults. *)
-  let probe = execute config ~seed ~plan:[] in
-  let plan =
-    reconstruct_plan ~reference:probe.Sim.transitions
+  let probe = execute config ~seed ~scenario:Scenario.empty in
+  let scenario =
+    reconstruct_scenario ~reference:probe.Sim.transitions
       report.Report.relative_faults
   in
-  let outcome = execute config ~seed ~plan in
+  let outcome = execute config ~seed ~scenario in
   let verdict = Monitor.check profile outcome in
   {
     reproduced = (match verdict with Monitor.Unsafe _ -> true | Monitor.Safe -> false);

@@ -7,13 +7,14 @@
     affect*, which survives the small timing shifts the OS scheduler (our
     link jitter) introduces. *)
 
-val reconstruct_plan :
+val reconstruct_scenario :
   reference:Avis_hinj.Hinj.transition list ->
   Report.relative_fault list ->
-  Avis_hinj.Hinj.plan
-(** Map recorded mode-relative faults onto a (possibly shifted) new run's
-    transition log. Faults whose mode never appears in the reference are
-    scheduled at their recorded offset from the start. *)
+  Scenario.t
+(** Map recorded mode-relative faults (sensor failures and link outages
+    alike) onto a (possibly shifted) new run's transition log. Faults whose
+    mode never appears in the reference are scheduled at their recorded
+    offset from the start. *)
 
 type outcome = {
   reproduced : bool;  (** The replay was also judged unsafe. *)

@@ -1,7 +1,11 @@
 open Avis_sensors
 
+type fault_subject =
+  | Subject_sensor of Sensor.id
+  | Subject_link of float  (** outage duration, seconds *)
+
 type relative_fault = {
-  sensor : Sensor.id;
+  subject : fault_subject;
   mode : string;
   offset_s : float;
 }
@@ -15,27 +19,40 @@ type t = {
   duration : float;
 }
 
-(* Strictly before the fault: a failsafe reaction can change mode in the
-   very step the fault lands, and the injection should be attributed to
-   the mode the vehicle was flying, not the one it fled into. *)
+(* Strictly before the fault: a fault activates at [at <= time], so a
+   transition stamped at or after [at] may already be the failsafe's
+   reaction to it, and the injection should be attributed to the mode the
+   vehicle was flying, not the one it fled into. A transition stamped
+   strictly earlier was decided before the fault existed and is always
+   organic — even one a single step earlier, which matters for replay:
+   faults scheduled at profiled transition times routinely land within a
+   step of the observed transition, and recording them relative to the
+   wrong mode makes the reconstruction schedule them absolutely, where a
+   one-step timing shift under a new seed flips them to the wrong side of
+   the boundary. *)
 let mode_at_from_transitions transitions time =
   List.fold_left
     (fun acc tr ->
-      if tr.Avis_hinj.Hinj.time <= time -. 0.02 then tr.Avis_hinj.Hinj.to_mode
+      if tr.Avis_hinj.Hinj.time < time then tr.Avis_hinj.Hinj.to_mode
       else acc)
     "Pre-Flight" transitions
 
 let relative_fault transitions (fault : Scenario.fault) =
+  let at = Scenario.fault_time fault in
   let entered, mode =
     List.fold_left
       (fun ((entered, _) as acc) tr ->
-        if tr.Avis_hinj.Hinj.time <= fault.Scenario.at -. 0.02
-           && tr.Avis_hinj.Hinj.time >= entered
+        if tr.Avis_hinj.Hinj.time < at && tr.Avis_hinj.Hinj.time >= entered
         then (tr.Avis_hinj.Hinj.time, tr.Avis_hinj.Hinj.to_mode)
         else acc)
       (0.0, "Pre-Flight") transitions
   in
-  { sensor = fault.Scenario.sensor; mode; offset_s = fault.Scenario.at -. entered }
+  let subject =
+    match fault with
+    | Scenario.Sensor_fault f -> Subject_sensor f.Scenario.sensor
+    | Scenario.Link_loss { duration; _ } -> Subject_link duration
+  in
+  { subject; mode; offset_s = at -. entered }
 
 let make (outcome : Avis_sitl.Sim.outcome) scenario violation =
   let transitions = outcome.Avis_sitl.Sim.transitions in

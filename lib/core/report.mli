@@ -9,8 +9,13 @@
 
 open Avis_sensors
 
+type fault_subject =
+  | Subject_sensor of Sensor.id
+  | Subject_link of float
+      (** A datalink outage; the payload is its duration in seconds. *)
+
 type relative_fault = {
-  sensor : Sensor.id;
+  subject : fault_subject;
   mode : string;  (** Mode in force when the fault began. *)
   offset_s : float;  (** Seconds after that mode was entered. *)
 }

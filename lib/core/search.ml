@@ -61,8 +61,13 @@ type t = {
   observe : Scenario.t -> run_result -> unit;
 }
 
+(* Link outages long enough to outlast the GCS-loss timeout (the firmware
+   reacts at ~5 s of silence) and, in the long variant, most of the
+   remaining flight. *)
+let link_loss_durations = [ 15.0; 40.0 ]
+
 let candidate_sets ctx ~at ~base =
-  let fault id = { Scenario.sensor = id; at } in
+  let fault id = Scenario.sensor_fault id at in
   let kinds = List.sort_uniq compare (List.map (fun i -> i.Sensor.kind) ctx.instances) in
   (* Whole-kind outages first: these defeat the redundancy and are the
      scenarios the firmware's failure handling actually has to survive. *)
@@ -70,6 +75,13 @@ let candidate_sets ctx ~at ~base =
     List.filter (fun i -> i.Sensor.kind = kind) ctx.instances |> List.map fault
   in
   let whole_kind = List.map kind_outage kinds in
+  (* Datalink outages are their own whole-kind loss: there is only one
+     link, and silencing it is what exercises the GCS-loss failsafe. *)
+  let link_outages =
+    List.map
+      (fun duration -> [ Scenario.link_loss ~at ~duration ])
+      link_loss_durations
+  in
   (* Pairs of whole-kind outages: the powerset over sensor *types* that the
      paper's Failures set ranges over (multi-type losses like GPS+battery
      are what PX4-13291 needs). *)
@@ -80,7 +92,7 @@ let candidate_sets ctx ~at ~base =
   in
   let whole_kind_pairs = kind_pairs kinds in
   let singles = List.map (fun id -> [ fault id ]) ctx.instances in
-  let all = whole_kind @ whole_kind_pairs @ singles in
+  let all = whole_kind @ link_outages @ whole_kind_pairs @ singles in
   (* Deduplicate (a whole-kind set of a 1-instance kind is also a single;
      a whole-kind set of a 2-instance kind is also a same-kind pair). *)
   let seen = Hashtbl.create 64 in
@@ -100,7 +112,12 @@ let random_scenario ctx =
   let rng = ctx.rng in
   let at = Avis_util.Rng.float rng ctx.mission_duration in
   let all = Array.of_list ctx.instances in
-  let fault () = { Scenario.sensor = Avis_util.Rng.choose rng all; at } in
   let u = Avis_util.Rng.uniform rng in
-  let picks = if u < 0.95 then 1 else if u < 0.995 then 2 else 3 in
-  Scenario.of_faults (List.init picks (fun _ -> fault ()))
+  if u < 0.05 then
+    (* Occasionally schedule a datalink outage instead of sensor faults. *)
+    let duration = 10.0 +. Avis_util.Rng.float rng 40.0 in
+    Scenario.of_faults [ Scenario.link_loss ~at ~duration ]
+  else
+    let fault () = Scenario.sensor_fault (Avis_util.Rng.choose rng all) at in
+    let picks = if u < 0.95 then 1 else if u < 0.995 then 2 else 3 in
+    Scenario.of_faults (List.init picks (fun _ -> fault ()))

@@ -141,18 +141,18 @@ module Stepper = struct
     | Upload_mission _ -> (
       match Gcs.upload_state gcs with
       | Gcs.Upload_done -> Sat
-      | Gcs.Upload_failed -> Failed
+      | Gcs.Upload_failed | Gcs.Upload_timed_out -> Failed
       | Gcs.Upload_idle | Gcs.Upload_in_progress -> Not_yet)
     | Arm -> (
-      match Gcs.command_ack gcs ~command:Msg.cmd_arm_disarm with
-      | Some true -> Sat
-      | Some false -> Failed
-      | None -> Not_yet)
+      match Gcs.command_status gcs ~command:Msg.cmd_arm_disarm with
+      | Gcs.Tx_acked true -> Sat
+      | Gcs.Tx_acked false | Gcs.Tx_timed_out -> Failed
+      | Gcs.Tx_pending -> Not_yet)
     | Takeoff _ -> (
-      match Gcs.command_ack gcs ~command:Msg.cmd_takeoff with
-      | Some true -> Sat
-      | Some false -> Failed
-      | None -> Not_yet)
+      match Gcs.command_status gcs ~command:Msg.cmd_takeoff with
+      | Gcs.Tx_acked true -> Sat
+      | Gcs.Tx_acked false | Gcs.Tx_timed_out -> Failed
+      | Gcs.Tx_pending -> Not_yet)
     | Enter_auto | Reposition _ | Land_now | Return_to_launch ->
       (* Fire-and-forget: satisfied at entry, so the next step's entry
          action runs at the same simulated time. *)

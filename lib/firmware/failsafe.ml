@@ -5,6 +5,7 @@ type flight_context = {
   phase_entered_at : float;
   transitions : (float * Phase.t * Phase.t) list;
   time : float;
+  gcs_lost_at : float option;
 }
 
 type phase_request = Fs_land | Fs_rtl | Fs_altitude_hold
@@ -68,7 +69,7 @@ let stronger a b =
   | Some Fs_altitude_hold, _ | _, Some Fs_altitude_hold -> Some Fs_altitude_hold
   | None, None -> None
 
-let evaluate ~policy ~bugs ~drivers ~ctx ~battery_low =
+let evaluate ~policy ~params ~bugs ~drivers ~ctx ~battery_low =
   let active bug_id failed_at =
     Bug.enabled bugs bug_id
     && bug_window_matches (Bug.info bug_id) ~ctx ~failed_at
@@ -230,6 +231,20 @@ let evaluate ~policy ~bugs ~drivers ~ctx ~battery_low =
     end
     else
       match gps_lost with None -> request Fs_rtl | Some _ -> request Fs_land);
+
+  (* GCS datalink loss: once the ground station's heartbeats have been
+     silent past the timeout, take the personality's link-loss action. *)
+  (match ctx.gcs_lost_at with
+  | None -> ()
+  | Some _ -> (
+    match Policy.gcs_loss_action policy params with
+    | Policy.Gcs_disabled -> ()
+    | Policy.Gcs_altitude_hold -> request Fs_altitude_hold
+    | Policy.Gcs_land -> request Fs_land
+    | Policy.Gcs_rtl -> (
+      (* Returning without a position source would be a blind flight;
+         degrade to a landing, as the battery failsafe does. *)
+      match gps_lost with None -> request Fs_rtl | Some _ -> request Fs_land)));
 
   (* Takeoff gates (PX4): refuse to climb without valid heading/altitude. *)
   if policy.Policy.takeoff_gates then begin

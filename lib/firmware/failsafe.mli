@@ -1,10 +1,11 @@
-(** Sensor-failure handling — the code under test.
+(** Sensor- and datalink-failure handling — the code under test.
 
     Every control cycle this module looks at which sensor kinds have been
-    lost and decides how the firmware responds: which estimator source
-    modes to use, whether to request a failsafe mode change, and whether
-    any of the auxiliary behaviours (touchdown detection, state resets,
-    landing aborts) are affected.
+    lost — and whether the ground station's heartbeats have gone silent —
+    and decides how the firmware responds: which estimator source modes to
+    use, whether to request a failsafe mode change, and whether any of the
+    auxiliary behaviours (touchdown detection, state resets, landing
+    aborts) are affected.
 
     The *guarded* decisions are the safe ones; each reproduced bug replaces
     a guarded decision with the flawed one the paper found, and only fires
@@ -19,6 +20,10 @@ type flight_context = {
       (** Mode-transition history, oldest first, including the initial
           entry into [Preflight] as [(0, Preflight, Preflight)]. *)
   time : float;
+  gcs_lost_at : float option;
+      (** When the ground station's heartbeat silence exceeded the
+          timeout (the deadline itself, not the current time); [None]
+          while the datalink is healthy or before first contact. *)
 }
 
 type phase_request =
@@ -65,8 +70,12 @@ val bug_window_matches :
 
 val evaluate :
   policy:Policy.t ->
+  params:Params.t ->
   bugs:Bug.registry ->
   drivers:Drivers.t ->
   ctx:flight_context ->
   battery_low:bool ->
   directives
+(** [params] is the vehicle's live parameter set (not the policy's
+    defaults), so a GCS-written NAV_DLL_ACT / FS_GCS_TIMEOUT takes effect
+    on the next control cycle. *)

@@ -50,6 +50,22 @@ let all =
       description = "return altitude, m";
     };
     {
+      name = "FS_GCS_TIMEOUT";
+      get = (fun p -> p.Params.gcs_timeout_s);
+      set = (fun p v -> { p with Params.gcs_timeout_s = v });
+      min_value = 1.0;
+      max_value = 30.0;
+      description = "GCS heartbeat loss timeout, s";
+    };
+    {
+      name = "NAV_DLL_ACT";
+      get = (fun p -> p.Params.gcs_loss_action_code);
+      set = (fun p v -> { p with Params.gcs_loss_action_code = v });
+      min_value = 0.0;
+      max_value = 3.0;
+      description = "datalink-loss action (0 off, 1 hold, 2 RTL, 3 land)";
+    };
+    {
       name = "FS_BATT_PCT";
       get = (fun p -> 100.0 *. p.Params.battery_low_fraction);
       set = (fun p v -> { p with Params.battery_low_fraction = v /. 100.0 });

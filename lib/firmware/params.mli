@@ -46,6 +46,13 @@ type t = {
           (mode-change suppression, as in real autopilots). *)
   battery_low_fraction : float;  (** Battery failsafe threshold. *)
   touchdown_speed : float;  (** Climb rates below this count as settled. *)
+  gcs_timeout_s : float;
+      (** Heartbeat silence after which the ground station counts as
+          lost. *)
+  gcs_loss_action_code : float;
+      (** PX4's NAV_DLL_ACT: datalink-loss action for the configurable
+          personality (0 disabled, 1 hold, 2 RTL, 3 land). Ignored by
+          personalities with a fixed GCS-loss action. *)
 }
 
 val default : t

@@ -1,10 +1,15 @@
 type gps_loss_action = Gps_failsafe_land | Gps_altitude_hold
 
+type gcs_loss_action = Gcs_rtl | Gcs_land | Gcs_altitude_hold | Gcs_disabled
+
+type gcs_loss_policy = Gcs_fixed of gcs_loss_action | Gcs_configurable
+
 type t = {
   firmware : Bug.firmware_kind;
   name : string;
   params : Params.t;
   gps_loss_action : gps_loss_action;
+  gcs_loss : gcs_loss_policy;
   takeoff_gates : bool;
 }
 
@@ -14,6 +19,7 @@ let apm =
     name = "ArduPilot";
     params = Params.default;
     gps_loss_action = Gps_failsafe_land;
+    gcs_loss = Gcs_fixed Gcs_rtl;
     takeoff_gates = false;
   }
 
@@ -23,7 +29,18 @@ let px4 =
     name = "PX4";
     params = Params.default;
     gps_loss_action = Gps_altitude_hold;
+    gcs_loss = Gcs_configurable;
     takeoff_gates = true;
   }
 
 let of_firmware = function Bug.Ardupilot -> apm | Bug.Px4 -> px4
+
+let gcs_loss_action policy (params : Params.t) =
+  match policy.gcs_loss with
+  | Gcs_fixed action -> action
+  | Gcs_configurable -> (
+    match int_of_float params.Params.gcs_loss_action_code with
+    | 0 -> Gcs_disabled
+    | 1 -> Gcs_altitude_hold
+    | 3 -> Gcs_land
+    | _ -> Gcs_rtl)

@@ -10,11 +10,25 @@ type gps_loss_action =
   | Gps_altitude_hold
       (** PX4: degrade to an altitude-hold manual mode and keep flying. *)
 
+type gcs_loss_action =
+  | Gcs_rtl  (** Return to launch when the ground station goes silent. *)
+  | Gcs_land
+  | Gcs_altitude_hold
+  | Gcs_disabled  (** Keep flying the mission without a GCS. *)
+
+type gcs_loss_policy =
+  | Gcs_fixed of gcs_loss_action
+      (** ArduPilot: FS_GCS_ENABLE behaviour is effectively RTL. *)
+  | Gcs_configurable
+      (** PX4: the action is read from the NAV_DLL_ACT parameter
+          ([Params.gcs_loss_action_code]) at evaluation time. *)
+
 type t = {
   firmware : Bug.firmware_kind;
   name : string;
   params : Params.t;
   gps_loss_action : gps_loss_action;
+  gcs_loss : gcs_loss_policy;
   takeoff_gates : bool;
       (** PX4 refuses to climb until heading and altitude sources are
           valid; ArduPilot climbs regardless. *)
@@ -27,3 +41,7 @@ val px4 : t
 (** The PX4-like personality. *)
 
 val of_firmware : Bug.firmware_kind -> t
+
+val gcs_loss_action : t -> Params.t -> gcs_loss_action
+(** Resolve the personality's GCS-loss action against the vehicle's live
+    parameter set (PX4 reads NAV_DLL_ACT; ArduPilot is fixed). *)

@@ -40,6 +40,7 @@ type t = {
   mutable next_heartbeat : float;
   mutable next_position : float;
   mutable next_sys_status : float;
+  mutable last_gcs_heartbeat : float option;
 }
 
 let create ~link ~frame ~params () =
@@ -54,6 +55,7 @@ let create ~link ~frame ~params () =
     next_heartbeat = 0.0;
     next_position = 0.0;
     next_sys_status = 0.0;
+    last_gcs_heartbeat = None;
   }
 
 type snapshot = t
@@ -200,9 +202,17 @@ let step t ~time tel =
   let bytes = Link.receive t.link Link.Vehicle_end in
   let frames = Frame.feed t.decoder bytes in
   let requests =
-    List.filter_map (fun f -> handle_message t f.Frame.message) frames
+    List.filter_map
+      (fun f ->
+        (match f.Frame.message with
+        | Msg.Heartbeat _ -> t.last_gcs_heartbeat <- Some time
+        | _ -> ());
+        handle_message t f.Frame.message)
+      frames
   in
   emit_telemetry t ~time tel;
   requests
 
 let mission t = t.mission
+
+let gcs_last_heartbeat t = t.last_gcs_heartbeat

@@ -52,6 +52,11 @@ val step : t -> time:float -> telemetry -> request list
 val mission : t -> Msg.mission_item list
 (** The last fully uploaded mission (empty before any upload). *)
 
+val gcs_last_heartbeat : t -> float option
+(** When the last heartbeat from the ground station arrived — the input to
+    the GCS-loss failsafe. [None] before first contact, so a vehicle that
+    never heard a GCS does not failsafe on the ground. *)
+
 val ack_command : t -> command:int -> accepted:bool -> unit
 (** Send a COMMAND_ACK (the mode logic decides acceptance). *)
 

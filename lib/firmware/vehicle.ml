@@ -195,24 +195,35 @@ let handle_request t req =
   let airborne = Phase.is_airborne t.phase in
   match req with
   | Protocol.Req_arm ->
-    let ok = Phase.equal t.phase Phase.Preflight && not t.armed in
-    if ok then begin
+    let fresh = Phase.equal t.phase Phase.Preflight && not t.armed in
+    if fresh then begin
       t.armed <- true;
       Control.reset t.control
     end;
-    Protocol.ack_command t.protocol ~command:Msg.cmd_arm_disarm ~accepted:ok
+    (* A retransmitted ARM that finds the vehicle already armed succeeded
+       the first time; acknowledge it as such instead of refusing. *)
+    Protocol.ack_command t.protocol ~command:Msg.cmd_arm_disarm
+      ~accepted:(fresh || t.armed)
   | Protocol.Req_disarm ->
     let ok = not airborne in
     if ok then t.armed <- false;
     Protocol.ack_command t.protocol ~command:Msg.cmd_arm_disarm ~accepted:ok
   | Protocol.Req_takeoff alt ->
-    let ok = t.armed && Phase.equal t.phase Phase.Preflight in
-    if ok then begin
+    let fresh = t.armed && Phase.equal t.phase Phase.Preflight in
+    (* A duplicate of a takeoff already under way (same target, climbing
+       or already holding at it) is acknowledged, not refused. *)
+    let duplicate =
+      t.armed && t.takeoff_target = alt
+      && (Phase.equal t.phase Phase.Takeoff
+         || (Phase.equal t.phase Phase.Manual && t.after_takeoff = Hold_manual))
+    in
+    if fresh then begin
       t.takeoff_target <- alt;
       t.after_takeoff <- Hold_manual;
       set_phase t Phase.Takeoff
     end;
-    Protocol.ack_command t.protocol ~command:Msg.cmd_takeoff ~accepted:ok
+    Protocol.ack_command t.protocol ~command:Msg.cmd_takeoff
+      ~accepted:(fresh || duplicate)
   | Protocol.Req_auto ->
     if t.armed && Phase.equal t.phase Phase.Preflight then begin
       let targets = parse_mission t (Protocol.mission t.protocol) in
@@ -223,13 +234,16 @@ let handle_request t req =
       end
     end
   | Protocol.Req_land ->
-    if airborne then begin
+    (* A duplicate while already landing must not recapture the descent
+       point mid-flight. *)
+    if airborne && not (Phase.equal t.phase Phase.Land) then begin
       t.land_capture <- est_pos;
       set_phase t Phase.Land
     end;
     Protocol.ack_command t.protocol ~command:Msg.cmd_land ~accepted:airborne
   | Protocol.Req_rtl ->
-    if airborne then begin
+    (* Likewise, a duplicate must not restart the RTL climb stage. *)
+    if airborne && not (Phase.equal t.phase Phase.Rtl) then begin
       t.rtl_stage <- Rtl_climb;
       t.rtl_capture <- est_pos;
       set_phase t Phase.Rtl
@@ -574,6 +588,13 @@ let step t world ~dt =
    end);
   let voltage, remaining = battery_state t in
   let battery_low = remaining < t.params.Params.battery_low_fraction in
+  let gcs_lost_at =
+    match Protocol.gcs_last_heartbeat t.protocol with
+    | None -> None
+    | Some last ->
+      let deadline = last +. t.params.Params.gcs_timeout_s in
+      if t.time > deadline then Some deadline else None
+  in
   let ctx =
     {
       Failsafe.phase = t.phase;
@@ -581,11 +602,12 @@ let step t world ~dt =
       transitions =
         (0.0, Phase.Preflight, Phase.Preflight) :: List.rev t.transitions;
       time = t.time;
+      gcs_lost_at;
     }
   in
   let dirs =
-    Failsafe.evaluate ~policy:t.policy ~bugs:t.bugs ~drivers:t.drivers ~ctx
-      ~battery_low
+    Failsafe.evaluate ~policy:t.policy ~params:t.params ~bugs:t.bugs
+      ~drivers:t.drivers ~ctx ~battery_low
   in
   List.iter
     (fun b -> if not (List.mem b t.triggered) then t.triggered <- b :: t.triggered)

@@ -34,6 +34,8 @@ let create ?(plan = []) ?(degradations = []) () =
 
 let plan t = t.plan
 
+let degradations t = t.degradations
+
 type snapshot = t
 
 let freeze ?plan t =

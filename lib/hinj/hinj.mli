@@ -45,6 +45,11 @@ val create : ?plan:plan -> ?degradations:degradation list -> unit -> t
 
 val plan : t -> plan
 
+val degradations : t -> degradation list
+(** The degradations this injector was provisioned with. Degradations
+    cannot be substituted on [restore], so forked runs must share them —
+    the prefix cache refuses to serve configurations that carry any. *)
+
 type snapshot
 (** Mode log, read counter and plan, frozen. *)
 

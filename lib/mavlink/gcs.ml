@@ -1,4 +1,38 @@
-type upload_state = Upload_idle | Upload_in_progress | Upload_done | Upload_failed
+type upload_state =
+  | Upload_idle
+  | Upload_in_progress
+  | Upload_done
+  | Upload_failed
+  | Upload_timed_out
+
+type tx_status = Tx_pending | Tx_acked of bool | Tx_timed_out
+
+(* Bounded retransmission with exponential backoff. The records are
+   immutable so snapshots stay O(1) [{t with ...}]. *)
+type retry = { next_at : float; backoff : float; left : int }
+
+let initial_backoff = 0.4
+let backoff_factor = 2.0
+let upload_retries = 5
+let command_retries = 3
+let mode_retries = 3
+
+type pending_command = {
+  cmd : int;
+  p1 : float;
+  p2 : float;
+  p3 : float;
+  p4 : float;
+  cmd_retry : retry;
+}
+
+type pending_mode = {
+  mode : int;
+  baseline : int option;  (** vehicle mode when the request was issued *)
+  mode_retry : retry;
+}
+
+let heartbeat_period = 1.0
 
 type t = {
   link : Link.t;
@@ -6,6 +40,8 @@ type t = {
   compid : int;
   decoder : Frame.decoder;
   mutable seq : int;
+  mutable now : float;
+  mutable next_heartbeat : float;
   (* telemetry cache *)
   mutable relative_alt : float;
   mutable latitude : float;
@@ -19,6 +55,12 @@ type t = {
   (* transactions *)
   mutable upload : upload_state;
   mutable upload_items : Msg.mission_item array;
+  mutable upload_last_seq : int option;  (** last ITEM sent; None = COUNT *)
+  mutable upload_retry : retry option;
+  mutable pending_commands : pending_command list;
+  mutable timed_out_commands : int list;
+  mutable pending_mode : pending_mode option;
+  mutable mode_timed_out : bool;
   mutable command_acks : (int * bool) list;
   mutable params : (string * float) list;
 }
@@ -30,6 +72,8 @@ let create ?(sysid = 255) ?(compid = 190) link =
     compid;
     decoder = Frame.decoder ();
     seq = 0;
+    now = 0.0;
+    next_heartbeat = 0.0;
     relative_alt = 0.0;
     latitude = 0.0;
     longitude = 0.0;
@@ -41,6 +85,12 @@ let create ?(sysid = 255) ?(compid = 190) link =
     statustexts = [];
     upload = Upload_idle;
     upload_items = [||];
+    upload_last_seq = None;
+    upload_retry = None;
+    pending_commands = [];
+    timed_out_commands = [];
+    pending_mode = None;
+    mode_timed_out = false;
     command_acks = [];
     params = [];
   }
@@ -62,6 +112,14 @@ let restore ~link s =
     upload_items = Array.copy s.upload_items;
   }
 
+let fresh_retry t ~retries =
+  { next_at = t.now +. initial_backoff; backoff = initial_backoff;
+    left = retries }
+
+let bumped_retry t (r : retry) =
+  let backoff = r.backoff *. backoff_factor in
+  { next_at = t.now +. backoff; backoff; left = r.left - 1 }
+
 let send t msg =
   let data = Frame.encode ~seq:t.seq ~sysid:t.sysid ~compid:t.compid msg in
   t.seq <- (t.seq + 1) land 0xFF;
@@ -71,7 +129,14 @@ let handle t (msg : Msg.t) =
   match msg with
   | Msg.Heartbeat { custom_mode; armed; _ } ->
     t.vehicle_mode <- Some custom_mode;
-    t.armed <- armed
+    t.armed <- armed;
+    (match t.pending_mode with
+    | Some pm when custom_mode = pm.mode || pm.baseline <> Some custom_mode ->
+      (* The requested mode may never appear verbatim in a heartbeat (AUTO
+         resolves to a mission phase code), so any departure from the mode
+         cached at request time also counts as confirmation. *)
+      t.pending_mode <- None
+    | _ -> ())
   | Msg.Sys_status { battery_remaining; _ } -> t.battery_pct <- battery_remaining
   | Msg.Global_position g ->
     t.relative_alt <- float_of_int g.relative_alt_mm /. 1000.0;
@@ -85,14 +150,26 @@ let handle t (msg : Msg.t) =
   | Msg.Statustext { text; _ } -> t.statustexts <- text :: t.statustexts
   | Msg.Mission_request { seq } ->
     if t.upload = Upload_in_progress then
-      if seq >= 0 && seq < Array.length t.upload_items then
-        send t (Msg.Mission_item t.upload_items.(seq))
-      else t.upload <- Upload_failed
+      if seq >= 0 && seq < Array.length t.upload_items then begin
+        send t (Msg.Mission_item t.upload_items.(seq));
+        t.upload_last_seq <- Some seq;
+        (* A request is progress: the channel works, so the backoff and the
+           retry budget start over. *)
+        t.upload_retry <- Some (fresh_retry t ~retries:upload_retries)
+      end
+      else begin
+        t.upload <- Upload_failed;
+        t.upload_retry <- None
+      end
   | Msg.Mission_ack { accepted } ->
-    if t.upload = Upload_in_progress then
-      t.upload <- (if accepted then Upload_done else Upload_failed)
+    if t.upload = Upload_in_progress then begin
+      t.upload <- (if accepted then Upload_done else Upload_failed);
+      t.upload_retry <- None
+    end
   | Msg.Command_ack { command; accepted } ->
-    t.command_acks <- (command, accepted) :: t.command_acks
+    t.command_acks <- (command, accepted) :: t.command_acks;
+    t.pending_commands <-
+      List.filter (fun p -> p.cmd <> command) t.pending_commands
   | Msg.Param_value { name; value; _ } ->
     t.params <- (name, value) :: List.remove_assoc name t.params
   | Msg.Set_mode _ | Msg.Mission_count _ | Msg.Mission_item _
@@ -106,6 +183,62 @@ let poll t =
   let frames = Frame.feed t.decoder bytes in
   let msgs = List.map (fun f -> f.Frame.message) frames in
   List.iter (handle t) msgs;
+  msgs
+
+let resend_upload t =
+  match t.upload_last_seq with
+  | None ->
+    send t (Msg.Mission_count { count = Array.length t.upload_items })
+  | Some seq -> send t (Msg.Mission_item t.upload_items.(seq))
+
+let drive_retries t =
+  (match t.upload_retry with
+  | Some r when t.upload = Upload_in_progress && t.now >= r.next_at ->
+    if r.left = 0 then begin
+      t.upload <- Upload_timed_out;
+      t.upload_retry <- None
+    end
+    else begin
+      resend_upload t;
+      t.upload_retry <- Some (bumped_retry t r)
+    end
+  | _ -> ());
+  t.pending_commands <-
+    List.filter_map
+      (fun p ->
+        if t.now < p.cmd_retry.next_at then Some p
+        else if p.cmd_retry.left = 0 then begin
+          t.timed_out_commands <- p.cmd :: t.timed_out_commands;
+          None
+        end
+        else begin
+          send t
+            (Msg.Command_long
+               { command = p.cmd; param1 = p.p1; param2 = p.p2; param3 = p.p3;
+                 param4 = p.p4 });
+          Some { p with cmd_retry = bumped_retry t p.cmd_retry }
+        end)
+      t.pending_commands;
+  match t.pending_mode with
+  | Some pm when t.now >= pm.mode_retry.next_at ->
+    if pm.mode_retry.left = 0 then begin
+      t.pending_mode <- None;
+      t.mode_timed_out <- true
+    end
+    else begin
+      send t (Msg.Set_mode { custom_mode = pm.mode });
+      t.pending_mode <- Some { pm with mode_retry = bumped_retry t pm.mode_retry }
+    end
+  | _ -> ()
+
+let tick t ~time =
+  t.now <- time;
+  let msgs = poll t in
+  if t.now >= t.next_heartbeat then begin
+    send t (Msg.Heartbeat { custom_mode = 0; armed = false; system_status = 0 });
+    t.next_heartbeat <- t.next_heartbeat +. heartbeat_period
+  end;
+  drive_retries t;
   msgs
 
 let relative_alt t = t.relative_alt
@@ -123,17 +256,44 @@ let start_mission_upload t items =
     invalid_arg "Gcs.start_mission_upload: upload already in progress";
   t.upload_items <- Array.of_list items;
   t.upload <- Upload_in_progress;
+  t.upload_last_seq <- None;
+  t.upload_retry <- Some (fresh_retry t ~retries:upload_retries);
   send t (Msg.Mission_count { count = List.length items })
 
 let upload_state t = t.upload
 
-let send_command t ~command ?(param2 = 0.0) ?(param3 = 0.0) ?(param4 = 0.0) ~param1 () =
+let send_command t ~command ?(param2 = 0.0) ?(param3 = 0.0) ?(param4 = 0.0)
+    ~param1 () =
   t.command_acks <- List.remove_assoc command t.command_acks;
+  t.timed_out_commands <-
+    List.filter (fun c -> c <> command) t.timed_out_commands;
+  t.pending_commands <-
+    { cmd = command; p1 = param1; p2 = param2; p3 = param3; p4 = param4;
+      cmd_retry = fresh_retry t ~retries:command_retries }
+    :: List.filter (fun p -> p.cmd <> command) t.pending_commands;
   send t (Msg.Command_long { command; param1; param2; param3; param4 })
 
 let command_ack t ~command = List.assoc_opt command t.command_acks
 
-let request_mode t mode = send t (Msg.Set_mode { custom_mode = mode })
+let command_status t ~command =
+  match List.assoc_opt command t.command_acks with
+  | Some accepted -> Tx_acked accepted
+  | None ->
+    if List.exists (fun p -> p.cmd = command) t.pending_commands then Tx_pending
+    else if List.mem command t.timed_out_commands then Tx_timed_out
+    else Tx_pending
+
+let request_mode t mode =
+  t.mode_timed_out <- false;
+  t.pending_mode <-
+    Some
+      { mode; baseline = t.vehicle_mode;
+        mode_retry = fresh_retry t ~retries:mode_retries };
+  send t (Msg.Set_mode { custom_mode = mode })
+
+let mode_status t =
+  if t.mode_timed_out then Tx_timed_out
+  else match t.pending_mode with Some _ -> Tx_pending | None -> Tx_acked true
 
 let set_param t ~name ~value = send t (Msg.Param_set { name; value })
 

@@ -2,63 +2,142 @@ type endpoint = Gcs_end | Vehicle_end
 
 type chunk = { deliver_at : int; data : string }
 
+type fault_profile = { drop : float; corrupt : float; duplicate : float }
+
+let no_faults = { drop = 0.0; corrupt = 0.0; duplicate = 0.0 }
+
+let probabilistic p = p.drop > 0.0 || p.corrupt > 0.0 || p.duplicate > 0.0
+
+type outage = { from_step : int; until_step : int }
+
 type t = {
   jitter : (Avis_util.Rng.t * int) option;
+  faults : (fault_profile * Avis_util.Rng.t) option;
+  mutable outages : outage list;
   mutable now : int;
   mutable to_vehicle : chunk list; (* newest first *)
   mutable to_gcs : chunk list;
   mutable last_to_vehicle : int;
   mutable last_to_gcs : int;
+  mutable dropped : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
 }
 
-let create ?jitter () =
-  { jitter; now = 0; to_vehicle = []; to_gcs = []; last_to_vehicle = 0;
-    last_to_gcs = 0 }
+let create ?jitter ?faults ?(outages = []) () =
+  let faults =
+    match faults with
+    | Some (profile, _) when not (probabilistic profile) -> None
+    | _ -> faults
+  in
+  { jitter; faults; outages; now = 0; to_vehicle = []; to_gcs = [];
+    last_to_vehicle = 0; last_to_gcs = 0; dropped = 0; corrupted = 0;
+    duplicated = 0 }
 
 type snapshot = t
 
-let copy t =
-  (* Chunk records are immutable; the queues can be shared structurally. *)
+let copy ?outages t =
+  (* Chunk and outage records are immutable; the lists can be shared
+     structurally. *)
   {
     jitter =
       (match t.jitter with
       | None -> None
       | Some (rng, max_steps) -> Some (Avis_util.Rng.copy rng, max_steps));
+    faults =
+      (match t.faults with
+      | None -> None
+      | Some (profile, rng) -> Some (profile, Avis_util.Rng.copy rng));
+    outages = (match outages with Some o -> o | None -> t.outages);
     now = t.now;
     to_vehicle = t.to_vehicle;
     to_gcs = t.to_gcs;
     last_to_vehicle = t.last_to_vehicle;
     last_to_gcs = t.last_to_gcs;
+    dropped = t.dropped;
+    corrupted = t.corrupted;
+    duplicated = t.duplicated;
   }
 
-let snapshot = copy
-let restore = copy
+let snapshot t = copy t
+let restore ?outages snap = copy ?outages snap
 
 let delay t =
   match t.jitter with
   | None -> 1
   | Some (rng, max_steps) -> 1 + Avis_util.Rng.int rng (max_steps + 1)
 
+let in_outage t =
+  List.exists (fun o -> o.from_step <= t.now && t.now < o.until_step) t.outages
+
+let corrupt_byte rng data =
+  let i = Avis_util.Rng.int rng (String.length data) in
+  let b = Bytes.of_string data in
+  let flipped = Char.code (Bytes.get b i) lxor (1 + Avis_util.Rng.int rng 255) in
+  Bytes.set b i (Char.chr flipped);
+  Bytes.to_string b
+
+let enqueue t from chunk =
+  match from with
+  | Gcs_end -> t.to_vehicle <- chunk :: t.to_vehicle
+  | Vehicle_end -> t.to_gcs <- chunk :: t.to_gcs
+
 let send t from data =
   if data <> "" then begin
-    (* A byte stream never reorders: each chunk's delivery time is at
-       least the previous chunk's in the same direction. *)
-    let at = t.now + delay t in
-    let at =
-      match from with
-      | Gcs_end ->
-        let at = max at t.last_to_vehicle in
-        t.last_to_vehicle <- at;
-        at
-      | Vehicle_end ->
-        let at = max at t.last_to_gcs in
-        t.last_to_gcs <- at;
-        at
-    in
-    let chunk = { deliver_at = at; data } in
-    match from with
-    | Gcs_end -> t.to_vehicle <- chunk :: t.to_vehicle
-    | Vehicle_end -> t.to_gcs <- chunk :: t.to_gcs
+    (* Scheduled outage windows silence the channel without consuming any
+       randomness, so a fork that substitutes a different outage schedule
+       (Sim.restore ?link_outages) replays the surviving traffic
+       bit-identically. *)
+    if in_outage t then t.dropped <- t.dropped + 1
+    else begin
+      (* The probabilistic path draws a fixed number of variates per chunk
+         (three decisions, plus two more only when corrupting) so the fault
+         RNG stream is a pure function of the traffic that reaches it. *)
+      let data, duplicate =
+        match t.faults with
+        | None -> (Some data, false)
+        | Some (profile, rng) ->
+          let d = Avis_util.Rng.float rng 1.0 in
+          let c = Avis_util.Rng.float rng 1.0 in
+          let u = Avis_util.Rng.float rng 1.0 in
+          if d < profile.drop then begin
+            t.dropped <- t.dropped + 1;
+            (None, false)
+          end
+          else begin
+            let data =
+              if c < profile.corrupt then begin
+                t.corrupted <- t.corrupted + 1;
+                corrupt_byte rng data
+              end
+              else data
+            in
+            let duplicate = u < profile.duplicate in
+            if duplicate then t.duplicated <- t.duplicated + 1;
+            (Some data, duplicate)
+          end
+      in
+      match data with
+      | None -> ()
+      | Some data ->
+        (* A byte stream never reorders: each chunk's delivery time is at
+           least the previous chunk's in the same direction. *)
+        let at = t.now + delay t in
+        let at =
+          match from with
+          | Gcs_end ->
+            let at = max at t.last_to_vehicle in
+            t.last_to_vehicle <- at;
+            at
+          | Vehicle_end ->
+            let at = max at t.last_to_gcs in
+            t.last_to_gcs <- at;
+            at
+        in
+        let chunk = { deliver_at = at; data } in
+        enqueue t from chunk;
+        if duplicate then enqueue t from chunk
+    end
   end
 
 let step t = t.now <- t.now + 1
@@ -77,3 +156,9 @@ let receive t at =
   String.concat "" (List.map (fun c -> c.data) ordered)
 
 let in_flight t = List.length t.to_vehicle + List.length t.to_gcs
+
+let profile t = match t.faults with None -> no_faults | Some (p, _) -> p
+let outages t = t.outages
+let dropped t = t.dropped
+let corrupted t = t.corrupted
+let duplicated t = t.duplicated

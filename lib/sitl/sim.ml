@@ -8,6 +8,7 @@ type config = {
   dt : float;
   max_duration : float;
   link_jitter_steps : int;
+  link_faults : Link.fault_profile;
   environment : Avis_physics.Environment.t option;
   airframe : Avis_physics.Airframe.t;
 }
@@ -20,6 +21,7 @@ let default_config policy =
     dt = 0.004;
     max_duration = 120.0;
     link_jitter_steps = 2;
+    link_faults = Link.no_faults;
     environment = None;
     airframe = Avis_physics.Airframe.iris;
   }
@@ -41,11 +43,27 @@ type t = {
    default near Zurich); all workloads use coordinates relative to it. *)
 let home_geodetic = { Avis_geo.Geodesy.lat = 47.397742; lon = 8.545594; alt = 0.0 }
 
-let create ?(plan = []) ?(degradations = []) config =
+(* Seconds to the step whose send window covers that instant; the small
+   epsilon keeps times that land exactly on a step boundary on that step. *)
+let steps_of_time ~dt at = int_of_float (Float.ceil ((at /. dt) -. 1e-6))
+
+let outage_windows ~dt spans =
+  List.map
+    (fun (at, duration) ->
+      {
+        Link.from_step = steps_of_time ~dt at;
+        until_step = steps_of_time ~dt (at +. duration);
+      })
+    spans
+
+let create ?(plan = []) ?(degradations = []) ?(link_outages = []) config =
   let rng = Avis_util.Rng.create config.seed in
   let env_rng = Avis_util.Rng.split rng in
   let suite_rng = Avis_util.Rng.split rng in
   let jitter_rng = Avis_util.Rng.split rng in
+  (* Split unconditionally so the env/suite/jitter streams stay where they
+     were before channel faults existed, whatever the profile. *)
+  let link_fault_rng = Avis_util.Rng.split rng in
   let environment =
     match config.environment with
     | Some e -> e
@@ -58,9 +76,12 @@ let create ?(plan = []) ?(degradations = []) config =
   let suite = Avis_sensors.Suite.create ~rng:suite_rng () in
   let hinj = Avis_hinj.Hinj.create ~plan ~degradations () in
   let link =
+    let outages = outage_windows ~dt:config.dt link_outages in
+    let faults = (config.link_faults, link_fault_rng) in
     if config.link_jitter_steps > 0 then
-      Link.create ~jitter:(jitter_rng, config.link_jitter_steps) ()
-    else Link.create ()
+      Link.create ~jitter:(jitter_rng, config.link_jitter_steps) ~faults
+        ~outages ()
+    else Link.create ~faults ~outages ()
   in
   let frame = Avis_geo.Geodesy.frame_at home_geodetic in
   let bugs = Bug.registry ~enabled:config.enabled_bugs config.policy.Policy.firmware in
@@ -101,11 +122,14 @@ let snapshot t =
     snap_steps = t.steps;
   }
 
-let restore ?plan s =
+let restore ?plan ?link_outages s =
   let world = Avis_physics.World.restore s.snap_world in
   let suite = Avis_sensors.Suite.restore s.snap_suite in
   let hinj = Avis_hinj.Hinj.restore ?plan s.snap_hinj in
-  let link = Link.restore s.snap_link in
+  let outages =
+    Option.map (outage_windows ~dt:s.snap_config.dt) link_outages
+  in
+  let link = Link.restore ?outages s.snap_link in
   let vehicle = Vehicle.restore ~suite ~hinj ~link s.snap_vehicle in
   let gcs = Gcs.restore ~link s.snap_gcs in
   {
@@ -124,6 +148,7 @@ let restore ?plan s =
 let config t = t.config
 let frame t = t.frame
 let gcs t = t.gcs
+let link t = t.link
 let world t = t.world
 let vehicle t = t.vehicle
 let hinj t = t.hinj
@@ -145,7 +170,7 @@ let step t =
     Avis_sensors.Suite.tick t.suite t.world ~dt:t.config.dt;
     Trace.record t.trace ~time:(time t) t.world
       ~mode:(Phase.label (Vehicle.phase t.vehicle));
-    ignore (Gcs.poll t.gcs)
+    ignore (Gcs.tick t.gcs ~time:(time t))
   end
 
 let run_until t pred =

@@ -20,6 +20,10 @@ type config = {
   link_jitter_steps : int;
       (** Maximum extra delivery delay per message chunk, in steps —
           the scheduler nondeterminism the monitor must tolerate. *)
+  link_faults : Link.fault_profile;
+      (** Probabilistic datalink degradation (drop/corrupt/duplicate),
+          driven by a dedicated RNG split off the run seed. [no_faults] by
+          default. *)
   environment : Avis_physics.Environment.t option;
       (** Defaults to the paper's benign evaluation environment. *)
   airframe : Avis_physics.Airframe.t;
@@ -35,10 +39,12 @@ type t
 val create :
   ?plan:Avis_hinj.Hinj.plan ->
   ?degradations:Avis_hinj.Hinj.degradation list ->
+  ?link_outages:(float * float) list ->
   config ->
   t
-(** Provision a run with the given fault-injection plan and optional sensor
-    degradations (none by default). *)
+(** Provision a run with the given fault-injection plan, optional sensor
+    degradations, and optional scheduled datalink outages (each
+    [(at, duration)] in simulated seconds; none by default). *)
 
 val config : t -> config
 
@@ -49,13 +55,17 @@ type snapshot
 
 val snapshot : t -> snapshot
 
-val restore : ?plan:Avis_hinj.Hinj.plan -> snapshot -> t
+val restore :
+  ?plan:Avis_hinj.Hinj.plan ->
+  ?link_outages:(float * float) list ->
+  snapshot ->
+  t
 (** Rebuild an independent harness from a snapshot; the same snapshot can be
     restored any number of times. [?plan] substitutes a different injection
-    plan in the restored run (the prefix cache's fork operation) — sound
-    only when no fault in the new plan starts at or before the snapshot
-    time, since the original run must not yet have observed any
-    difference. *)
+    plan and [?link_outages] a different outage schedule in the restored run
+    (the prefix cache's fork operation) — sound only when no fault in the
+    new plan (sensor or outage) starts at or before the snapshot time, since
+    the original run must not yet have observed any difference. *)
 
 val frame : t -> Avis_geo.Geodesy.frame
 (** The local tangent frame anchored at the home location. *)
@@ -64,6 +74,7 @@ val home_geodetic : Avis_geo.Geodesy.geodetic
 (** The fixed home location all runs are anchored at. *)
 
 val gcs : t -> Gcs.t
+val link : t -> Link.t
 val world : t -> Avis_physics.World.t
 val vehicle : t -> Vehicle.t
 val hinj : t -> Avis_hinj.Hinj.t

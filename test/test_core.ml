@@ -48,7 +48,7 @@ let test_graph_merges_runs () =
 
 let id kind index = { Sensor.kind; index }
 
-let fault kind index at = { Scenario.sensor = id kind index; at }
+let fault kind index at = Scenario.sensor_fault (id kind index) at
 
 let test_scenario_canonical () =
   let a = Scenario.of_faults [ fault Sensor.Gps 1 5.0; fault Sensor.Gps 0 2.0 ] in
@@ -83,7 +83,52 @@ let test_scenario_first_injection () =
   Alcotest.(check (option (float 1e-9))) "earliest" (Some 3.0)
     (Scenario.first_injection_time s);
   Alcotest.(check (option (float 1e-9))) "empty" None
-    (Scenario.first_injection_time Scenario.empty)
+    (Scenario.first_injection_time Scenario.empty);
+  let with_link =
+    Scenario.of_faults
+      [ fault Sensor.Gps 0 7.0; Scenario.link_loss ~at:2.0 ~duration:15.0 ]
+  in
+  Alcotest.(check (option (float 1e-9))) "link counted" (Some 2.0)
+    (Scenario.first_injection_time with_link)
+
+let smaller_sensor_only = Scenario.of_faults [ fault Sensor.Gps 0 2.0 ]
+
+let test_scenario_link_faults () =
+  let l = Scenario.link_loss ~at:5.0 ~duration:15.0 in
+  let s = Scenario.of_faults [ l; fault Sensor.Gps 0 2.0 ] in
+  (* Canonical key is insensitive to listing order and names the outage. *)
+  let s' = Scenario.of_faults [ fault Sensor.Gps 0 2.0; l ] in
+  Alcotest.(check string) "same key" (Scenario.key s) (Scenario.key s');
+  Alcotest.(check bool) "key names link" true
+    (let rec contains i =
+       i + 4 <= String.length (Scenario.key s)
+       && (String.sub (Scenario.key s) i 4 = "link" || contains (i + 1))
+     in
+     contains 0);
+  (* Link losses dedupe like any other fault and have no instance symmetry:
+     the role key keeps them verbatim. *)
+  Alcotest.(check int) "dedup" 1
+    (Scenario.cardinality (Scenario.of_faults [ l; Scenario.link_loss ~at:5.0 ~duration:15.0 ]));
+  Alcotest.(check string) "role key verbatim"
+    (Scenario.role_key (Scenario.of_faults [ l ]))
+    (Scenario.role_key (Scenario.of_faults [ Scenario.link_loss ~at:5.0 ~duration:15.0 ]));
+  (* Durations distinguish outages even at the same start time. *)
+  Alcotest.(check bool) "duration matters" true
+    (Scenario.key (Scenario.of_faults [ l ])
+    <> Scenario.key (Scenario.of_faults [ Scenario.link_loss ~at:5.0 ~duration:30.0 ]));
+  (* Subsumption sees link faults like sensor faults. *)
+  let smaller = Scenario.of_faults [ l ] in
+  Alcotest.(check bool) "link subset" true
+    (Scenario.subsumes ~smaller ~larger:s);
+  Alcotest.(check bool) "not superset" false
+    (Scenario.subsumes ~smaller:s ~larger:smaller);
+  (* Only sensor faults become injector plans; outages go to the link. *)
+  Alcotest.(check int) "plan excludes link" 1 (List.length (Scenario.to_plan s));
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9)))) "outages" [ (5.0, 15.0) ]
+    (Scenario.link_outages s);
+  Alcotest.(check bool) "has link loss" true (Scenario.has_link_loss s);
+  Alcotest.(check bool) "sensor-only has none" false
+    (Scenario.has_link_loss smaller_sensor_only)
 
 (* Prune *)
 
@@ -299,6 +344,7 @@ let () =
           Alcotest.test_case "role key" `Quick test_scenario_role_key;
           Alcotest.test_case "subsumes" `Quick test_scenario_subsumes;
           Alcotest.test_case "first injection" `Quick test_scenario_first_injection;
+          Alcotest.test_case "link faults" `Quick test_scenario_link_faults;
         ] );
       ( "prune",
         [

@@ -108,7 +108,8 @@ let test_bug_registry_defaults () =
   Alcotest.(check bool) "disable works" false (Bug.enabled r Bug.Apm_4455)
 
 let ctx_with_transitions transitions time =
-  { Failsafe.phase = Phase.Land; phase_entered_at = 0.0; transitions; time }
+  { Failsafe.phase = Phase.Land; phase_entered_at = 0.0; transitions; time;
+    gcs_lost_at = None }
 
 let test_bug_window_matching () =
   let info = Bug.info Bug.Apm_16682 in
@@ -181,11 +182,14 @@ let test_drivers_kind_loss () =
 
 let directives_for ?(bugs = Bug.registry ~enabled:[] Bug.Ardupilot)
     ?(policy = Policy.apm) ?(transitions = [ (2.0, Phase.Preflight, Phase.Takeoff) ])
-    ?(phase = Phase.Takeoff) plan time =
+    ?(phase = Phase.Takeoff) ?gcs_lost_at ?(params = params) plan time =
   let drivers, world = make_drivers plan in
   sample_until drivers world time;
-  let ctx = { Failsafe.phase; phase_entered_at = 2.0; transitions; time } in
-  Failsafe.evaluate ~policy ~bugs ~drivers ~ctx ~battery_low:false
+  let ctx =
+    { Failsafe.phase; phase_entered_at = 2.0; transitions; time;
+      gcs_lost_at }
+  in
+  Failsafe.evaluate ~policy ~params ~bugs ~drivers ~ctx ~battery_low:false
 
 let fail_kind ?(n = 2) kind at =
   List.init n (fun index -> { Avis_hinj.Hinj.sensor = { Sensor.kind; index }; at })
@@ -268,6 +272,45 @@ let test_failsafe_px4_takeoff_gates () =
   let bugs_apm = Bug.registry ~enabled:[] Bug.Ardupilot in
   let d' = directives_for ~bugs:bugs_apm (fail_kind Sensor.Barometer 2.2) 3.0 in
   Alcotest.(check bool) "apm gate open" true d'.Failsafe.takeoff_gate_open
+
+(* GCS datalink loss: ArduPilot's action is fixed (RTL), PX4 resolves
+   NAV_DLL_ACT from the live parameter set every cycle. *)
+
+let test_failsafe_gcs_loss_apm_rtl () =
+  let d = directives_for ~gcs_lost_at:8.0 [] 10.0 in
+  Alcotest.(check bool) "apm returns to launch" true
+    (d.Failsafe.phase_request = Some Failsafe.Fs_rtl);
+  (* Healthy link: no request. *)
+  let d' = directives_for [] 10.0 in
+  Alcotest.(check bool) "healthy link flies on" true
+    (d'.Failsafe.phase_request = None)
+
+let test_failsafe_gcs_loss_without_gps_lands () =
+  (* Blind RTL is never taken: with the whole GPS kind also lost the RTL
+     degrades to a landing, exactly like the battery failsafe. *)
+  let d = directives_for ~gcs_lost_at:8.0 (fail_kind Sensor.Gps 0.1) 10.0 in
+  Alcotest.(check bool) "land, not blind RTL" true
+    (d.Failsafe.phase_request = Some Failsafe.Fs_land)
+
+let test_failsafe_gcs_loss_px4_nav_dll_act () =
+  let with_code code =
+    directives_for ~policy:Policy.px4
+      ~bugs:(Bug.registry ~enabled:[] Bug.Px4)
+      ~gcs_lost_at:8.0
+      ~params:{ params with Params.gcs_loss_action_code = code }
+      [] 10.0
+  in
+  Alcotest.(check bool) "default (2) RTL" true
+    ((directives_for ~policy:Policy.px4
+        ~bugs:(Bug.registry ~enabled:[] Bug.Px4)
+        ~gcs_lost_at:8.0 [] 10.0)
+       .Failsafe.phase_request = Some Failsafe.Fs_rtl);
+  Alcotest.(check bool) "0 disabled" true
+    ((with_code 0.0).Failsafe.phase_request = None);
+  Alcotest.(check bool) "1 altitude hold" true
+    ((with_code 1.0).Failsafe.phase_request = Some Failsafe.Fs_altitude_hold);
+  Alcotest.(check bool) "3 land" true
+    ((with_code 3.0).Failsafe.phase_request = Some Failsafe.Fs_land)
 
 (* Control *)
 
@@ -352,6 +395,11 @@ let () =
           Alcotest.test_case "battery+gps guarded" `Quick test_failsafe_battery_and_gps_guarded;
           Alcotest.test_case "13291 flawed" `Quick test_failsafe_13291_flawed;
           Alcotest.test_case "px4 takeoff gates" `Quick test_failsafe_px4_takeoff_gates;
+          Alcotest.test_case "gcs loss apm rtl" `Quick test_failsafe_gcs_loss_apm_rtl;
+          Alcotest.test_case "gcs loss without gps lands" `Quick
+            test_failsafe_gcs_loss_without_gps_lands;
+          Alcotest.test_case "gcs loss px4 nav_dll_act" `Quick
+            test_failsafe_gcs_loss_px4_nav_dll_act;
         ] );
       ( "control",
         [

@@ -136,6 +136,67 @@ let test_decoder_handles_partial_feeds () =
   let rest = Frame.feed decoder (String.sub encoded mid (String.length encoded - mid)) in
   Alcotest.(check int) "completed" 1 (List.length rest)
 
+(* The decoder must survive arbitrary line noise: any byte soup interleaved
+   with real frames may desynchronise it temporarily, but it must never
+   raise, and once clean traffic resumes it must recover. The zero-byte
+   flush forces any half-parsed false header (a stray 0xFE in the noise
+   with a large length byte) through its CRC check before the final frame
+   arrives. *)
+let prop_decoder_never_raises_and_resyncs =
+  QCheck.Test.make ~name:"decoder survives noise and resyncs" ~count:300
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 0 40) (int_range 0 255))
+        (int_range 1 16))
+    (fun (noise, chunk) ->
+      let noise = String.init (List.length noise)
+          (fun i -> Char.chr (List.nth noise i)) in
+      let final = Msg.Mission_current { seq = 9 } in
+      let stream =
+        noise ^ String.make 300 '\x00'
+        ^ Frame.encode ~seq:5 ~sysid:1 ~compid:1 final
+      in
+      let decoder = Frame.decoder () in
+      let frames = ref [] in
+      let i = ref 0 in
+      while !i < String.length stream do
+        let n = min chunk (String.length stream - !i) in
+        frames := !frames @ Frame.feed decoder (String.sub stream !i n);
+        i := !i + n
+      done;
+      match List.rev !frames with
+      | last :: _ -> last.Frame.message = final
+      | [] -> false)
+
+(* Between frames, garbage that cannot alias a frame start (no 0xFE) is
+   always skipped cleanly: every framed message is recovered, in order. *)
+let prop_decoder_recovers_between_garbage =
+  let non_stx = QCheck.Gen.(map Char.chr (int_range 0 0xFD)) in
+  QCheck.Test.make ~name:"frames recovered around garbage" ~count:300
+    QCheck.(
+      triple
+        (string_gen_of_size (QCheck.Gen.int_range 0 30) non_stx)
+        (string_gen_of_size (QCheck.Gen.int_range 0 30) non_stx)
+        (int_range 1 16))
+    (fun (g1, g2, chunk) ->
+      let m1 = Msg.Mission_request { seq = 3 }
+      and m2 = Msg.Set_mode { custom_mode = 6 } in
+      let stream =
+        g1
+        ^ Frame.encode ~seq:1 ~sysid:1 ~compid:1 m1
+        ^ g2
+        ^ Frame.encode ~seq:2 ~sysid:1 ~compid:1 m2
+      in
+      let decoder = Frame.decoder () in
+      let frames = ref [] in
+      let i = ref 0 in
+      while !i < String.length stream do
+        let n = min chunk (String.length stream - !i) in
+        frames := !frames @ Frame.feed decoder (String.sub stream !i n);
+        i := !i + n
+      done;
+      List.map (fun f -> f.Frame.message) !frames = [ m1; m2 ])
+
 let prop_frames_concatenate =
   QCheck.Test.make ~name:"concatenated frames all decode" ~count:100
     (QCheck.int_range 1 8)
@@ -180,6 +241,122 @@ let test_link_jitter_preserves_order () =
   let sorted = List.sort compare (List.map int_of_string tokens) in
   Alcotest.(check (list int)) "all arrived in order" sorted
     (List.map int_of_string tokens)
+
+(* Link faults *)
+
+let drain_both link steps =
+  let got = Buffer.create 64 in
+  for _ = 1 to steps do
+    Link.step link;
+    Buffer.add_string got (Link.receive link Link.Vehicle_end)
+  done;
+  Buffer.contents got
+
+let test_link_faults_deterministic () =
+  let make () =
+    Link.create
+      ~faults:({ Link.drop = 0.3; corrupt = 0.2; duplicate = 0.2 },
+               Avis_util.Rng.create 11)
+      ()
+  in
+  let run link =
+    for i = 0 to 19 do
+      Link.send link Link.Gcs_end (Printf.sprintf "chunk-%02d;" i)
+    done;
+    (drain_both link 5, Link.dropped link, Link.corrupted link,
+     Link.duplicated link)
+  in
+  let a = run (make ()) and b = run (make ()) in
+  Alcotest.(check bool) "same seed, same degraded traffic" true (a = b);
+  let _, dropped, corrupted, duplicated = a in
+  Alcotest.(check bool) "faults actually fired" true
+    (dropped > 0 && corrupted > 0 && duplicated > 0)
+
+let test_link_drop_all () =
+  let link =
+    Link.create
+      ~faults:({ Link.no_faults with Link.drop = 1.0 }, Avis_util.Rng.create 1)
+      ()
+  in
+  Link.send link Link.Gcs_end "gone";
+  Alcotest.(check string) "nothing arrives" "" (drain_both link 4);
+  Alcotest.(check int) "counted" 1 (Link.dropped link)
+
+let test_link_corrupt_same_length () =
+  let link =
+    Link.create
+      ~faults:({ Link.no_faults with Link.corrupt = 1.0 }, Avis_util.Rng.create 2)
+      ()
+  in
+  Link.send link Link.Gcs_end "payload";
+  let got = drain_both link 4 in
+  Alcotest.(check int) "same length" 7 (String.length got);
+  Alcotest.(check bool) "one byte flipped" true (got <> "payload");
+  Alcotest.(check int) "counted" 1 (Link.corrupted link)
+
+let test_link_duplicate () =
+  let link =
+    Link.create
+      ~faults:({ Link.no_faults with Link.duplicate = 1.0 }, Avis_util.Rng.create 3)
+      ()
+  in
+  Link.send link Link.Gcs_end "twice;";
+  Alcotest.(check string) "delivered twice" "twice;twice;" (drain_both link 4);
+  Alcotest.(check int) "counted" 1 (Link.duplicated link)
+
+let test_link_outage_window () =
+  (* Outages are judged at send time: chunks sent inside the window vanish,
+     chunks sent after it flow again. *)
+  let link = Link.create ~outages:[ { Link.from_step = 0; until_step = 3 } ] () in
+  Link.send link Link.Gcs_end "silenced";
+  for _ = 1 to 3 do
+    Link.step link
+  done;
+  Alcotest.(check string) "in-window chunk dropped" ""
+    (Link.receive link Link.Vehicle_end);
+  Link.send link Link.Gcs_end "audible";
+  Link.step link;
+  Alcotest.(check string) "post-window chunk delivered" "audible"
+    (Link.receive link Link.Vehicle_end);
+  Alcotest.(check int) "outage drop counted" 1 (Link.dropped link)
+
+let test_link_snapshot_restores_fault_stream () =
+  (* A probabilistic link forked mid-run must replay the identical fault
+     decisions: both RNGs are part of the snapshot. *)
+  let link =
+    Link.create
+      ~jitter:(Avis_util.Rng.create 4, 2)
+      ~faults:({ Link.drop = 0.4; corrupt = 0.3; duplicate = 0.2 },
+               Avis_util.Rng.create 5)
+      ()
+  in
+  for i = 0 to 9 do
+    Link.send link Link.Gcs_end (Printf.sprintf "pre-%d;" i)
+  done;
+  ignore (drain_both link 2);
+  let snap = Link.snapshot link in
+  let fork = Link.restore snap in
+  let tail l =
+    for i = 0 to 9 do
+      Link.send l Link.Gcs_end (Printf.sprintf "post-%d;" i)
+    done;
+    (drain_both l 6, Link.dropped l, Link.corrupted l, Link.duplicated l)
+  in
+  Alcotest.(check bool) "fork replays the original's future" true
+    (tail fork = tail link)
+
+let test_link_restore_substitutes_outage () =
+  (* The fork operation: same snapshot, different outage schedule. Traffic
+     already in flight still arrives; only post-fork sends are silenced. *)
+  let link = Link.create () in
+  Link.send link Link.Gcs_end "inflight;";
+  let snap = Link.snapshot link in
+  let fork =
+    Link.restore ~outages:[ { Link.from_step = 0; until_step = 1000 } ] snap
+  in
+  Link.send fork Link.Gcs_end "suppressed;";
+  Alcotest.(check string) "in-flight survives, new send dropped" "inflight;"
+    (drain_both fork 4)
 
 (* GCS transaction *)
 
@@ -260,6 +437,136 @@ let test_gcs_command_ack () =
   ignore (Gcs.poll gcs);
   Alcotest.(check bool) "acked" true (Gcs.command_ack gcs ~command:400 = Some true)
 
+(* GCS retransmission: transactions over lossy and dead links *)
+
+let test_gcs_upload_retries_after_loss () =
+  (* The first MISSION_COUNT is swallowed by a brief outage; the upload
+     must complete anyway via backoff retransmission. *)
+  let link = Link.create ~outages:[ { Link.from_step = 0; until_step = 2 } ] () in
+  let gcs = Gcs.create link in
+  let responder = vehicle_responder link in
+  let items =
+    List.init 3 (fun seq ->
+        { Msg.seq; command = Msg.cmd_waypoint; param1 = 0.0; x = 0.0; y = 0.0; z = 10.0 })
+  in
+  Gcs.start_mission_upload gcs items;
+  let i = ref 0 in
+  while Gcs.upload_state gcs = Gcs.Upload_in_progress && !i < 400 do
+    incr i;
+    ignore (Gcs.tick gcs ~time:(0.1 *. float_of_int !i));
+    Link.step link;
+    responder ()
+  done;
+  Alcotest.(check bool) "count was lost" true (Link.dropped link >= 1);
+  Alcotest.(check bool) "upload completed via retry" true
+    (Gcs.upload_state gcs = Gcs.Upload_done)
+
+let test_gcs_upload_times_out_on_dead_link () =
+  let link =
+    Link.create ~outages:[ { Link.from_step = 0; until_step = max_int } ] ()
+  in
+  let gcs = Gcs.create link in
+  Gcs.start_mission_upload gcs
+    [ { Msg.seq = 0; command = Msg.cmd_waypoint; param1 = 0.0; x = 0.0; y = 0.0; z = 10.0 } ];
+  let time = ref 0.0 in
+  while Gcs.upload_state gcs = Gcs.Upload_in_progress && !time < 40.0 do
+    time := !time +. 0.05;
+    ignore (Gcs.tick gcs ~time:!time);
+    Link.step link
+  done;
+  Alcotest.(check bool) "explicit timeout" true
+    (Gcs.upload_state gcs = Gcs.Upload_timed_out);
+  (* The workload gives an upload 30 s; the transaction must resolve
+     within that, not hang at the simulator's duration cap. *)
+  Alcotest.(check bool) "inside the stepper deadline" true (!time < 30.0)
+
+let command_responder link =
+  let decoder = Frame.decoder () in
+  let send msg =
+    Link.send link Link.Vehicle_end (Frame.encode ~seq:0 ~sysid:1 ~compid:1 msg)
+  in
+  fun () ->
+    List.iter
+      (fun frame ->
+        match frame.Frame.message with
+        | Msg.Command_long { command; _ } ->
+          send (Msg.Command_ack { command; accepted = true })
+        | _ -> ())
+      (Frame.feed decoder (Link.receive link Link.Vehicle_end))
+
+let test_gcs_command_retries_after_loss () =
+  let link = Link.create ~outages:[ { Link.from_step = 0; until_step = 2 } ] () in
+  let gcs = Gcs.create link in
+  let responder = command_responder link in
+  Gcs.send_command gcs ~command:400 ~param1:1.0 ();
+  let i = ref 0 in
+  while Gcs.command_status gcs ~command:400 = Gcs.Tx_pending && !i < 200 do
+    incr i;
+    ignore (Gcs.tick gcs ~time:(0.1 *. float_of_int !i));
+    Link.step link;
+    responder ()
+  done;
+  Alcotest.(check bool) "first send was lost" true (Link.dropped link >= 1);
+  Alcotest.(check bool) "acked via retry" true
+    (Gcs.command_status gcs ~command:400 = Gcs.Tx_acked true)
+
+let test_gcs_command_times_out_on_dead_link () =
+  let link =
+    Link.create ~outages:[ { Link.from_step = 0; until_step = max_int } ] ()
+  in
+  let gcs = Gcs.create link in
+  Gcs.send_command gcs ~command:400 ~param1:1.0 ();
+  let time = ref 0.0 in
+  while Gcs.command_status gcs ~command:400 = Gcs.Tx_pending && !time < 20.0 do
+    time := !time +. 0.05;
+    ignore (Gcs.tick gcs ~time:!time);
+    Link.step link
+  done;
+  Alcotest.(check bool) "explicit timeout" true
+    (Gcs.command_status gcs ~command:400 = Gcs.Tx_timed_out);
+  (* Commands get 10 s in the workload steppers. *)
+  Alcotest.(check bool) "inside the stepper deadline" true (!time < 10.0)
+
+let test_gcs_mode_confirmed_by_departure () =
+  let link = Link.create () in
+  let gcs = Gcs.create link in
+  let heartbeat mode =
+    Link.send link Link.Vehicle_end
+      (Frame.encode ~seq:0 ~sysid:1 ~compid:1
+         (Msg.Heartbeat { custom_mode = mode; armed = true; system_status = 4 }));
+    Link.step link;
+    ignore (Gcs.poll gcs)
+  in
+  heartbeat 5;
+  Gcs.request_mode gcs 3;
+  Alcotest.(check bool) "pending" true (Gcs.mode_status gcs = Gcs.Tx_pending);
+  (* Still in the baseline mode: AUTO never appears as a heartbeat code, so
+     confirmation means leaving the mode we were in at request time. *)
+  heartbeat 5;
+  Alcotest.(check bool) "same mode, still pending" true
+    (Gcs.mode_status gcs = Gcs.Tx_pending);
+  heartbeat 7;
+  Alcotest.(check bool) "departure confirms" true
+    (Gcs.mode_status gcs = Gcs.Tx_acked true)
+
+let test_gcs_heartbeat_beacon () =
+  let link = Link.create () in
+  let gcs = Gcs.create link in
+  let decoder = Frame.decoder () in
+  let beats = ref 0 in
+  for i = 1 to 35 do
+    ignore (Gcs.tick gcs ~time:(0.1 *. float_of_int i));
+    Link.step link;
+    List.iter
+      (fun f ->
+        match f.Frame.message with
+        | Msg.Heartbeat _ -> incr beats
+        | _ -> ())
+      (Frame.feed decoder (Link.receive link Link.Vehicle_end))
+  done;
+  (* 3.5 simulated seconds at 1 Hz. *)
+  Alcotest.(check bool) "about one per second" true (!beats >= 3 && !beats <= 5)
+
 let q = QCheck_alcotest.to_alcotest
 
 let () =
@@ -285,12 +592,23 @@ let () =
           Alcotest.test_case "bad crc dropped" `Quick test_decoder_rejects_bad_crc;
           Alcotest.test_case "partial feeds" `Quick test_decoder_handles_partial_feeds;
           q prop_frames_concatenate;
+          q prop_decoder_never_raises_and_resyncs;
+          q prop_decoder_recovers_between_garbage;
         ] );
       ( "link",
         [
           Alcotest.test_case "delivery" `Quick test_link_delivery;
           Alcotest.test_case "direction" `Quick test_link_direction;
           Alcotest.test_case "jitter keeps order" `Quick test_link_jitter_preserves_order;
+          Alcotest.test_case "faults deterministic" `Quick test_link_faults_deterministic;
+          Alcotest.test_case "drop all" `Quick test_link_drop_all;
+          Alcotest.test_case "corrupt keeps length" `Quick test_link_corrupt_same_length;
+          Alcotest.test_case "duplicate" `Quick test_link_duplicate;
+          Alcotest.test_case "outage window" `Quick test_link_outage_window;
+          Alcotest.test_case "snapshot restores fault stream" `Quick
+            test_link_snapshot_restores_fault_stream;
+          Alcotest.test_case "restore substitutes outage" `Quick
+            test_link_restore_substitutes_outage;
         ] );
       ( "gcs",
         [
@@ -298,5 +616,16 @@ let () =
           Alcotest.test_case "upload busy" `Quick test_gcs_upload_busy;
           Alcotest.test_case "telemetry cache" `Quick test_gcs_telemetry_cache;
           Alcotest.test_case "command ack" `Quick test_gcs_command_ack;
+          Alcotest.test_case "upload retries after loss" `Quick
+            test_gcs_upload_retries_after_loss;
+          Alcotest.test_case "upload times out on dead link" `Quick
+            test_gcs_upload_times_out_on_dead_link;
+          Alcotest.test_case "command retries after loss" `Quick
+            test_gcs_command_retries_after_loss;
+          Alcotest.test_case "command times out on dead link" `Quick
+            test_gcs_command_times_out_on_dead_link;
+          Alcotest.test_case "mode confirmed by departure" `Quick
+            test_gcs_mode_confirmed_by_departure;
+          Alcotest.test_case "heartbeat beacon" `Quick test_gcs_heartbeat_beacon;
         ] );
     ]

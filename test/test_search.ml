@@ -74,10 +74,21 @@ let test_candidates_whole_kind_first () =
     List.length ids = 1
     && ctx.Search.instances_of_kind (List.hd ids).Sensor.kind = 1)
 
+let test_candidates_include_link_loss () =
+  let ctx = make_ctx () in
+  let candidates = Search.candidate_sets ctx ~at:5.0 ~base:Scenario.empty in
+  let outages = List.filter Scenario.has_link_loss candidates in
+  Alcotest.(check bool) "link outages offered" true (outages <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 1e-9)) "scheduled at the site" 5.0
+        (injection_time s))
+    outages
+
 let test_candidates_compose_base () =
   let ctx = make_ctx () in
   let base =
-    Scenario.of_faults [ { Scenario.sensor = { Sensor.kind = Sensor.Gps; index = 0 }; at = 3.0 } ]
+    Scenario.of_faults [ Scenario.sensor_fault { Sensor.kind = Sensor.Gps; index = 0 } 3.0 ]
   in
   let candidates = Search.candidate_sets ctx ~at:8.0 ~base in
   List.iter
@@ -246,6 +257,8 @@ let () =
           Alcotest.test_case "whole kinds covered" `Quick test_candidates_cover_whole_kinds;
           Alcotest.test_case "whole kinds first" `Quick test_candidates_whole_kind_first;
           Alcotest.test_case "compose base" `Quick test_candidates_compose_base;
+          Alcotest.test_case "link loss offered" `Quick
+            test_candidates_include_link_loss;
         ] );
       ( "sabre",
         [

@@ -102,34 +102,96 @@ let test_snapshot_is_deep () =
   let warm2 = restore_and_finish ~plan ~snap ~stepper in
   check_same_outcome "second restore of the same snapshot" cold warm2
 
+let scen_kind ?(n = 2) kind at =
+  Scenario.of_faults
+    (List.init n (fun index -> Scenario.sensor_fault { Sensor.kind; index } at))
+
 let test_prefix_cache_transparent () =
   let workload = Workload.auto_box and policy = Policy.apm in
-  let make_sim ~plan = Sim.create ~plan (sim_config workload policy) in
+  let make_sim ~scenario =
+    Sim.create
+      ~plan:(Scenario.to_plan scenario)
+      ~link_outages:(Scenario.link_outages scenario)
+      (sim_config workload policy)
+  in
   let checkpoint_times = List.init 40 (fun i -> 2.0 *. float_of_int (i + 1)) in
   let cache = Prefix_cache.create ~workload ~make_sim ~checkpoint_times in
-  let plans =
+  Alcotest.(check bool) "cacheable config" false (Prefix_cache.bypassing cache);
+  let scenarios =
     [
-      [];
-      fail_kind Sensor.Gps 25.0;
-      fail_kind Sensor.Compass 40.0;
-      fail_kind ~n:1 Sensor.Barometer 12.5;
+      Scenario.empty;
+      scen_kind Sensor.Gps 25.0;
+      scen_kind Sensor.Compass 40.0;
+      scen_kind ~n:1 Sensor.Barometer 12.5;
+      (* A scheduled link outage forks bit-identically too... *)
+      Scenario.of_faults [ Scenario.link_loss ~at:25.0 ~duration:10.0 ];
+      (* ...including stacked on a sensor fault. *)
+      Scenario.of_faults
+        [
+          Scenario.sensor_fault { Sensor.kind = Sensor.Barometer; index = 0 } 12.5;
+          Scenario.link_loss ~at:30.0 ~duration:8.0;
+        ];
       (* Earlier than every checkpoint: must fall back to a cold run. *)
-      fail_kind ~n:1 Sensor.Gps 0.5;
+      scen_kind ~n:1 Sensor.Gps 0.5;
     ]
   in
   List.iter
-    (fun plan ->
-      let cached = Prefix_cache.execute cache ~plan in
-      let sim = make_sim ~plan in
+    (fun scenario ->
+      let cached = Prefix_cache.execute cache ~scenario in
+      let sim = make_sim ~scenario in
       let passed = Workload.execute workload sim in
       let cold = Sim.outcome sim ~workload_passed:passed in
       check_same_outcome "cached = cold" cold cached)
-    plans;
+    scenarios;
   let stats = Prefix_cache.stats cache in
-  Alcotest.(check bool) "served hits" true (stats.Prefix_cache.hits >= 3);
+  Alcotest.(check bool) "served hits" true (stats.Prefix_cache.hits >= 4);
   Alcotest.(check int) "early fault misses" 1 stats.Prefix_cache.misses;
   Alcotest.(check bool) "skipped simulated time" true
     (stats.Prefix_cache.saved_sim_s > 0.0)
+
+(* Satellite regression: configurations whose runs carry state the cache
+   key cannot encode — sensor degradations, probabilistic link faults —
+   must be refused outright, every execution a cold run counted as a
+   miss, never a served hit that could silently diverge. *)
+let test_prefix_cache_bypasses_unencodable () =
+  let workload = Workload.quickstart and policy = Policy.apm in
+  let check_bypassed name make_sim =
+    let cache =
+      Prefix_cache.create ~workload ~make_sim
+        ~checkpoint_times:(List.init 30 (fun i -> float_of_int (i + 1)))
+    in
+    Alcotest.(check bool) (name ^ " bypassing") true
+      (Prefix_cache.bypassing cache);
+    let scenario = scen_kind Sensor.Gps 25.0 in
+    let a = Prefix_cache.execute cache ~scenario in
+    let b = Prefix_cache.execute cache ~scenario in
+    check_same_outcome (name ^ " deterministic cold runs") a b;
+    let stats = Prefix_cache.stats cache in
+    Alcotest.(check int) (name ^ " no hits") 0 stats.Prefix_cache.hits;
+    Alcotest.(check int) (name ^ " all misses") 2 stats.Prefix_cache.misses
+  in
+  check_bypassed "degradations" (fun ~scenario ->
+      Sim.create
+        ~plan:(Scenario.to_plan scenario)
+        ~link_outages:(Scenario.link_outages scenario)
+        ~degradations:
+          [
+            {
+              Avis_hinj.Hinj.target = { Sensor.kind = Sensor.Barometer; index = 0 };
+              from_time = 10.0;
+              kind = Avis_hinj.Hinj.Constant_bias 0.5;
+            };
+          ]
+        (sim_config workload policy));
+  check_bypassed "probabilistic link" (fun ~scenario ->
+      Sim.create
+        ~plan:(Scenario.to_plan scenario)
+        ~link_outages:(Scenario.link_outages scenario)
+        {
+          (sim_config workload policy) with
+          Sim.link_faults =
+            { Avis_mavlink.Link.no_faults with Avis_mavlink.Link.drop = 0.05 };
+        })
 
 let test_campaign_cache_transparent () =
   let base = Campaign.default_config Policy.apm Workload.auto_box in
@@ -206,6 +268,8 @@ let () =
       ( "prefix cache",
         [
           Alcotest.test_case "cache transparent" `Slow test_prefix_cache_transparent;
+          Alcotest.test_case "cache bypasses unencodable configs" `Slow
+            test_prefix_cache_bypasses_unencodable;
           Alcotest.test_case "campaign on/off identical" `Slow
             test_campaign_cache_transparent;
           Alcotest.test_case "campaign replay identical" `Slow
