@@ -31,6 +31,17 @@ let budget_s =
 
 let jobs = Pool.jobs_of_env ()
 
+(* AVIS_TRACE=1 records every campaign cell, simulation, cache serve and
+   search decision as spans; the run then writes a Chrome-trace JSON
+   artefact (open in Perfetto) and prints the per-phase summary. Off by
+   default: tracing disabled costs one branch per span site, keeping the
+   bench comparable with untraced baselines. *)
+let tracing = Trace.enabled_by_env ()
+
+let () = Trace.set_enabled tracing
+
+let trace_path = "BENCH_evaluation.trace.json"
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -1052,23 +1063,35 @@ let () =
   Printf.printf
     "Avis reproduction benchmarks (budget %.0f s of modelled wall-clock per \
      approach per workload, %d campaign domain(s); override with AVIS_BUDGET \
-     and AVIS_JOBS)\n"
-    budget_s jobs;
-  table1 ();
-  fig3 ();
-  fig5 ();
-  fig6 ();
-  fig1 ();
-  fig9 ();
-  fig10 ();
-  table2 ();
-  table3 ();
-  table4 ();
-  table5 ();
-  ablation_search_order ();
-  ablation_liveliness_metric ();
-  ablation_replay ();
-  prefix_cache_bench ();
-  link_faults_bench ();
-  simulator_stats ();
-  micro_benchmarks ()
+     and AVIS_JOBS%s)\n"
+    budget_s jobs
+    (if tracing then "; tracing ON (AVIS_TRACE)" else "");
+  let part name f = Trace.span ~cat:"bench" ("bench." ^ name) f in
+  part "table1" table1;
+  part "fig3" fig3;
+  part "fig5" fig5;
+  part "fig6" fig6;
+  part "fig1" fig1;
+  part "fig9" fig9;
+  part "fig10" fig10;
+  part "table2" table2;
+  part "table3" table3;
+  part "table4" table4;
+  part "table5" table5;
+  part "ablation_search_order" ablation_search_order;
+  part "ablation_liveliness_metric" ablation_liveliness_metric;
+  part "ablation_replay" ablation_replay;
+  part "prefix_cache" prefix_cache_bench;
+  part "link_faults" link_faults_bench;
+  part "simulator_stats" simulator_stats;
+  part "micro" micro_benchmarks;
+  if tracing then begin
+    Trace.write_chrome ~path:trace_path;
+    section "Trace: per-phase wall-clock attribution";
+    Printf.printf
+      "wrote %s (%d events; open in https://ui.perfetto.dev or \
+       chrome://tracing)\n"
+      trace_path (Trace.event_count ());
+    print_string (Table.render (Trace.summary_table ()));
+    print_newline ()
+  end

@@ -156,7 +156,10 @@ let strategy_of_name name =
   | "bfs" -> fun ctx -> Bfs.make ctx
   | s -> invalid_arg ("unknown approach " ^ s)
 
-let hunt policy workload seed approaches budget jobs verbose artefacts =
+let hunt policy workload seed approaches budget jobs verbose artefacts trace =
+  (* Tracing spans every campaign, simulation, cache serve and search
+     decision; the file is Chrome trace format (open in Perfetto). *)
+  if trace <> None then Avis_util.Trace.set_enabled true;
   let approaches =
     String.split_on_char ',' approaches
     |> List.map String.trim
@@ -244,9 +247,20 @@ let hunt policy workload seed approaches budget jobs verbose artefacts =
           (Export.mode_graph_to_dot (Monitor.graph result.Campaign.profile));
         Printf.printf "artefacts written under %s\n" dir)
     results;
-  match results with
+  (match results with
   | [] | [ _ ] -> ()
-  | _ -> Avis_util.Metrics.summary (List.map (fun (_, _, s) -> s) results)
+  | _ -> Avis_util.Metrics.summary (List.map (fun (_, _, s) -> s) results));
+  match trace with
+  | None -> ()
+  | Some path ->
+    Avis_util.Trace.write_chrome ~path;
+    Printf.printf
+      "trace: wrote %s (%d events; open in https://ui.perfetto.dev or \
+       chrome://tracing)\n"
+      path
+      (Avis_util.Trace.event_count ());
+    print_string (Avis_util.Table.render (Avis_util.Trace.summary_table ()));
+    print_newline ()
 
 let hunt_cmd =
   let approach =
@@ -277,9 +291,18 @@ let hunt_cmd =
          & info [ "artefacts" ] ~docv:"DIR"
              ~doc:"Write the campaign result (JSON) and mode graph (DOT) under this directory.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record every campaign, simulation, cache serve and \
+                   search decision as spans, and write them to FILE in \
+                   Chrome trace format (open in chrome://tracing or \
+                   https://ui.perfetto.dev); a per-span summary table is \
+                   printed too.")
+  in
   Cmd.v
     (Cmd.info "hunt" ~doc:"Run model-checking campaigns against the firmware.")
-    Term.(const hunt $ firmware_arg $ workload_arg $ seed_arg $ approach $ budget $ jobs $ verbose $ artefacts)
+    Term.(const hunt $ firmware_arg $ workload_arg $ seed_arg $ approach $ budget $ jobs $ verbose $ artefacts $ trace)
 
 (* replay *)
 

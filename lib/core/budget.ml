@@ -17,7 +17,9 @@ let two_hours () = create ~total_s:7200.0 ()
 (* The ledger never records more than the budget: once the clock would
    run past [total_s] the campaign is over, and whatever tail the last
    activity had would not have been wall-clock spent. *)
-let charge t seconds = t.spent_s <- Float.min t.total_s (t.spent_s +. seconds)
+let charge t seconds =
+  t.spent_s <- Float.min t.total_s (t.spent_s +. seconds);
+  Avis_util.Trace.counter "budget.spent_s" t.spent_s
 
 let charge_simulation t ~sim_seconds =
   charge t (sim_seconds /. t.speedup);

@@ -78,6 +78,7 @@ let execute_run config ~seed ~scenario =
   Sim.outcome sim ~workload_passed:passed
 
 let profile_and_context config =
+  Avis_util.Trace.span ~cat:"campaign" "campaign.profile" @@ fun () ->
   let outcomes =
     List.init config.profiling_runs (fun i ->
         execute_run config ~seed:(config.seed + i) ~scenario:Scenario.empty)
@@ -111,6 +112,10 @@ let make_cache config =
 
 let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
     ?cache config ~strategy =
+  (* One span per campaign: everything a cell does (profiling, search
+     decisions, simulation, monitoring) nests under it, which is what lets
+     a trace attribute a cell's wall time phase by phase. *)
+  Avis_util.Trace.span ~cat:"campaign" "campaign.cell" @@ fun () ->
   let profile, ctx, _first = profile_and_context config in
   let searcher = strategy ctx in
   let budget = Budget.create ~speedup:config.speedup ~total_s:config.budget_s () in
@@ -158,12 +163,15 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
              ~checkpoint_times)
   in
   let run_scenario scenario =
+    Avis_util.Trace.span ~cat:"sim" "campaign.run_scenario" @@ fun () ->
     match cache with
     | Some cache -> Prefix_cache.execute cache ~scenario
     | None -> execute_run config ~seed:test_seed ~scenario
   in
   while (not !stopped) && not (Budget.exhausted budget) do
-    match searcher.Search.next () with
+    match
+      Avis_util.Trace.span ~cat:"search" "search.next" searcher.Search.next
+    with
     | Search.Exhausted -> stopped := true
     | Search.Think cost -> Budget.charge_inference budget cost
     | Search.Run (scenario, inference_cost) ->
@@ -179,17 +187,22 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
       else begin
         let outcome = run_scenario scenario in
         Budget.charge_simulation budget ~sim_seconds:outcome.Sim.duration;
-        let verdict = Monitor.check profile outcome in
+        let verdict =
+          Avis_util.Trace.span ~cat:"campaign" "monitor.check" @@ fun () ->
+          Monitor.check profile outcome
+        in
         let unsafe = match verdict with Monitor.Unsafe _ -> true | Monitor.Safe -> false in
-        searcher.Search.observe scenario
-          {
-            Search.unsafe;
-            observed_transitions =
-              List.map (fun tr -> tr.Avis_hinj.Hinj.time) outcome.Sim.transitions;
-          };
+        (Avis_util.Trace.span ~cat:"search" "search.observe" @@ fun () ->
+         searcher.Search.observe scenario
+           {
+             Search.unsafe;
+             observed_transitions =
+               List.map (fun tr -> tr.Avis_hinj.Hinj.time) outcome.Sim.transitions;
+           });
         (match verdict with
         | Monitor.Safe -> ()
         | Monitor.Unsafe violation ->
+          Avis_util.Trace.instant ~cat:"campaign" "finding";
           let finding =
             {
               report = Report.make outcome scenario violation;

@@ -30,6 +30,7 @@ type t = {
       (** Active-fault-prefix key -> checkpoints, latest first. *)
   mutable hits : int;
   mutable misses : int;
+  mutable bypasses : int;
   mutable saved_sim_s : float;
 }
 
@@ -59,6 +60,7 @@ let create ~workload ~make_sim ~checkpoint_times =
     entries = Hashtbl.create 64;
     hits = 0;
     misses = 0;
+    bypasses = 0;
     saved_sim_s = 0.0;
   }
 
@@ -97,6 +99,7 @@ let active_key (scenario : Scenario.t) ~time =
     (List.filter (fun f -> Scenario.fault_time f <= time) scenario)
 
 let capture t ~scenario sim st =
+  Avis_util.Trace.span ~cat:"cache" "cache.checkpoint" @@ fun () ->
   let time = injection_clock sim in
   if time > 0.0 then begin
     let key = active_key scenario ~time in
@@ -194,6 +197,7 @@ let compare_for_prefix a b =
    already differ). Entries under a key necessarily postdate every fault in
    it, so the window below is the only check needed. *)
 let lookup t ~scenario =
+  Avis_util.Trace.span ~cat:"cache" "cache.lookup" @@ fun () ->
   let faults = Array.of_list (List.sort compare_for_prefix scenario) in
   let k = Array.length faults in
   let best = ref None in
@@ -217,6 +221,7 @@ let lookup t ~scenario =
 
 let cold (t : t) ~scenario =
   t.misses <- t.misses + 1;
+  Avis_util.Trace.counter "cache.misses" (float_of_int t.misses);
   let sim = t.make_sim ~scenario in
   let st = Workload.Stepper.create t.workload in
   let passed = run_capturing t ~scenario sim st in
@@ -227,6 +232,8 @@ let execute t ~scenario =
     (* Uncacheable config: cold-run without checkpointing, since no stored
        entry could ever be sound to serve. *)
     t.misses <- t.misses + 1;
+    t.bypasses <- t.bypasses + 1;
+    Avis_util.Trace.counter "cache.bypasses" (float_of_int t.bypasses);
     let sim = t.make_sim ~scenario in
     let st = Workload.Stepper.create t.workload in
     let passed =
@@ -241,6 +248,7 @@ let execute t ~scenario =
     match lookup t ~scenario with
     | Some e ->
       t.hits <- t.hits + 1;
+      Avis_util.Trace.counter "cache.hits" (float_of_int t.hits);
       t.saved_sim_s <- t.saved_sim_s +. e.time;
       let sim =
         Sim.restore

@@ -65,6 +65,7 @@ let make ?(shift_s = 0.5) ?prune ?gate ctx =
       else begin
         let site = Queue.pop st.queue in
         let candidates =
+          Avis_util.Trace.span ~cat:"search" "sabre.candidates" @@ fun () ->
           Search.candidate_sets st.ctx ~at:site.at ~base:site.base
         in
         st.current <- Some (site, candidates);

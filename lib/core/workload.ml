@@ -174,7 +174,11 @@ module Stepper = struct
       if norm (horizontal (sub p (make north east 0.0))) < radius then Sat
       else Not_yet
 
+  (* One span per pumped segment: between two pauses, this loop is where
+     the simulated world actually advances, so these spans are the "sim
+     steps" share of a cell's wall time. *)
   let run st sim ~until =
+    Avis_util.Trace.span ~cat:"sim" "sim.steps" @@ fun () ->
     let dt = (Sim.config sim).Sim.dt in
     let rec loop () =
       match st.status with

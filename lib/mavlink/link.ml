@@ -88,7 +88,10 @@ let send t from data =
        randomness, so a fork that substitutes a different outage schedule
        (Sim.restore ?link_outages) replays the surviving traffic
        bit-identically. *)
-    if in_outage t then t.dropped <- t.dropped + 1
+    if in_outage t then begin
+      t.dropped <- t.dropped + 1;
+      Avis_util.Trace.counter "link.dropped" (float_of_int t.dropped)
+    end
     else begin
       (* The probabilistic path draws a fixed number of variates per chunk
          (three decisions, plus two more only when corrupting) so the fault
@@ -102,18 +105,25 @@ let send t from data =
           let u = Avis_util.Rng.float rng 1.0 in
           if d < profile.drop then begin
             t.dropped <- t.dropped + 1;
+            Avis_util.Trace.counter "link.dropped" (float_of_int t.dropped);
             (None, false)
           end
           else begin
             let data =
               if c < profile.corrupt then begin
                 t.corrupted <- t.corrupted + 1;
+                Avis_util.Trace.counter "link.corrupted"
+                  (float_of_int t.corrupted);
                 corrupt_byte rng data
               end
               else data
             in
             let duplicate = u < profile.duplicate in
-            if duplicate then t.duplicated <- t.duplicated + 1;
+            if duplicate then begin
+              t.duplicated <- t.duplicated + 1;
+              Avis_util.Trace.counter "link.duplicated"
+                (float_of_int t.duplicated)
+            end;
             (Some data, duplicate)
           end
       in

@@ -57,6 +57,7 @@ let outage_windows ~dt spans =
     spans
 
 let create ?(plan = []) ?(degradations = []) ?(link_outages = []) config =
+  Avis_util.Trace.span ~cat:"sim" "sim.create" @@ fun () ->
   let rng = Avis_util.Rng.create config.seed in
   let env_rng = Avis_util.Rng.split rng in
   let suite_rng = Avis_util.Rng.split rng in
@@ -109,6 +110,7 @@ type snapshot = {
 }
 
 let snapshot t =
+  Avis_util.Trace.span ~cat:"sim" "sim.snapshot" @@ fun () ->
   {
     snap_config = t.config;
     snap_frame = t.frame;
@@ -123,6 +125,9 @@ let snapshot t =
   }
 
 let restore ?plan ?link_outages s =
+  (* A restore with a substituted plan or outage schedule is the fork
+     operation, the span every prefix-cache hit hangs off. *)
+  Avis_util.Trace.span ~cat:"sim" "sim.restore" @@ fun () ->
   let world = Avis_physics.World.restore s.snap_world in
   let suite = Avis_sensors.Suite.restore s.snap_suite in
   let hinj = Avis_hinj.Hinj.restore ?plan s.snap_hinj in

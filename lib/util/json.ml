@@ -97,3 +97,182 @@ let to_string_pretty ?(indent = 2) t =
   let buf = Buffer.create 512 in
   write_pretty buf ~indent ~level:0 t;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse_error pos msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" pos msg))
+
+(* A plain recursive-descent parser over the string; [pos] is the cursor.
+   Strict enough for round-tripping our own artefacts: no trailing commas,
+   no comments, numbers via [float_of_string]. *)
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> parse_error !pos (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else parse_error !pos (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then parse_error !pos "truncated \\u escape";
+    let h = String.sub s !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ h) with
+    | Some v -> v
+    | None -> parse_error (!pos - 4) "bad \\u escape"
+  in
+  let add_utf8 buf code =
+    (* Encode the scalar value as UTF-8 bytes (surrogates are kept as the
+       replacement-free raw value; our own emitter never produces them). *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then parse_error !pos "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+        advance ();
+        Buffer.contents buf
+      | '\\' ->
+        advance ();
+        (if !pos >= n then parse_error !pos "unterminated escape"
+         else
+           match s.[!pos] with
+           | '"' -> Buffer.add_char buf '"'; advance ()
+           | '\\' -> Buffer.add_char buf '\\'; advance ()
+           | '/' -> Buffer.add_char buf '/'; advance ()
+           | 'b' -> Buffer.add_char buf '\b'; advance ()
+           | 'f' -> Buffer.add_char buf '\012'; advance ()
+           | 'n' -> Buffer.add_char buf '\n'; advance ()
+           | 'r' -> Buffer.add_char buf '\r'; advance ()
+           | 't' -> Buffer.add_char buf '\t'; advance ()
+           | 'u' ->
+             advance ();
+             add_utf8 buf (hex4 ())
+           | c -> parse_error !pos (Printf.sprintf "bad escape \\%C" c));
+        loop ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && number_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Number f
+    | None -> parse_error start "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_error !pos "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> parse_error !pos "expected ',' or ']'"
+        in
+        List (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Assoc []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (key, v)
+        in
+        let rec fields acc =
+          let f = field () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields (f :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev (f :: acc)
+          | _ -> parse_error !pos "expected ',' or '}'"
+        in
+        Assoc (fields [])
+      end
+    | Some _ -> parse_number ()
+  in
+  match parse_value () with
+  | v ->
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "at offset %d: trailing input" !pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+let member key = function
+  | Assoc fields -> List.assoc_opt key fields
+  | _ -> None

@@ -1,8 +1,9 @@
-(** A minimal JSON value and serialiser.
+(** A minimal JSON value, serialiser and parser.
 
     Findings, traces and flight logs are exported as JSON artefacts (the
     paper publishes the system logs behind each report); this is a
-    dependency-free emitter, with a parser deliberately out of scope. *)
+    dependency-free emitter plus a small strict parser, enough to
+    round-trip and schema-check our own artefacts. *)
 
 type t =
   | Null
@@ -21,3 +22,12 @@ val to_string : t -> string
 
 val to_string_pretty : ?indent:int -> t -> string
 (** Multi-line rendering (default 2-space indent). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (strict: no trailing commas or comments; the
+    whole input must be consumed). [\uXXXX] escapes decode to UTF-8.
+    Errors carry the byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** [member key json] is the field [key] of an [Assoc], [None] otherwise
+    (including on non-objects). *)

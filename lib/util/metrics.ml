@@ -29,7 +29,28 @@ let emit ?(oc = stderr) ~event s =
       output_string oc text;
       flush oc)
 
-let summary ?(oc = stderr) snapshots =
+(* The TOTAL row sums the additive columns (simulations, inferences,
+   modelled spend, budget, findings) but takes the max of [wall_s]: cells
+   run concurrently, so their real elapsed times overlap rather than add. *)
+let total snapshots =
+  List.fold_left
+    (fun acc s ->
+      {
+        acc with
+        simulations = acc.simulations + s.simulations;
+        inferences = acc.inferences + s.inferences;
+        spent_s = acc.spent_s +. s.spent_s;
+        budget_s = acc.budget_s +. s.budget_s;
+        findings = acc.findings + s.findings;
+        wall_s = Float.max acc.wall_s s.wall_s;
+      })
+    {
+      cell = "TOTAL (wall = max)"; simulations = 0; inferences = 0;
+      spent_s = 0.0; budget_s = 0.0; findings = 0; wall_s = 0.0;
+    }
+    snapshots
+
+let summary_table snapshots =
   let t =
     Table.create
       ~header:
@@ -48,25 +69,11 @@ let summary ?(oc = stderr) snapshots =
   | [] | [ _ ] -> ()
   | _ ->
     Table.add_separator t;
-    let total =
-      List.fold_left
-        (fun acc s ->
-          {
-            acc with
-            simulations = acc.simulations + s.simulations;
-            inferences = acc.inferences + s.inferences;
-            spent_s = acc.spent_s +. s.spent_s;
-            budget_s = acc.budget_s +. s.budget_s;
-            findings = acc.findings + s.findings;
-            wall_s = Float.max acc.wall_s s.wall_s;
-          })
-        {
-          cell = "TOTAL (wall = max)"; simulations = 0; inferences = 0;
-          spent_s = 0.0; budget_s = 0.0; findings = 0; wall_s = 0.0;
-        }
-        snapshots
-    in
-    Table.add_row t (row total));
+    Table.add_row t (row (total snapshots)));
+  t
+
+let summary ?(oc = stderr) snapshots =
+  let t = summary_table snapshots in
   Mutex.lock emit_mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock emit_mutex)

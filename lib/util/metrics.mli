@@ -28,5 +28,14 @@ val emit : ?oc:out_channel -> event:string -> snapshot -> unit
 (** Write [line] atomically to [oc] (default stderr) and flush. Safe to
     call concurrently from worker domains. *)
 
+val total : snapshot list -> snapshot
+(** The summary's TOTAL row: sums simulations, inferences, spend, budget
+    and findings, but takes the {e max} of [wall_s] — concurrent cells'
+    elapsed times overlap rather than add. *)
+
+val summary_table : snapshot list -> Table.t
+(** The per-cell table, with a separator and {!total} row appended when
+    there are at least two snapshots. *)
+
 val summary : ?oc:out_channel -> snapshot list -> unit
-(** Print an aligned per-cell table plus a totals row (default stderr). *)
+(** Print {!summary_table} atomically (default stderr). *)

@@ -9,8 +9,19 @@ type shared = {
 }
 
 type t =
-  | Inline of { mutable closed : bool }
+  | Inline of {
+      mutable closed : bool;
+      mutable failure : (exn * Printexc.raw_backtrace) option;
+    }
   | Crew of { shared : shared; workers : unit Domain.t list; njobs : int }
+
+let run_job shared job =
+  try Trace.span ~cat:"pool" "pool.job" job
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Mutex.lock shared.mutex;
+    if shared.failure = None then shared.failure <- Some (e, bt);
+    Mutex.unlock shared.mutex
 
 let worker shared () =
   let rec loop () =
@@ -25,18 +36,13 @@ let worker shared () =
     | Some job ->
       Condition.signal shared.not_full;
       Mutex.unlock shared.mutex;
-      (try job ()
-       with e ->
-         let bt = Printexc.get_raw_backtrace () in
-         Mutex.lock shared.mutex;
-         if shared.failure = None then shared.failure <- Some (e, bt);
-         Mutex.unlock shared.mutex);
+      run_job shared job;
       loop ()
   in
   loop ()
 
 let create ~jobs =
-  if jobs <= 1 then Inline { closed = false }
+  if jobs <= 1 then Inline { closed = false; failure = None }
   else begin
     let shared =
       {
@@ -59,7 +65,12 @@ let submit t job =
   match t with
   | Inline i ->
     if i.closed then invalid_arg "Pool.submit: pool is closed";
-    job ()
+    (* Capture instead of raising here: [jobs = 1] must behave like
+       [jobs > 1], where a failure only surfaces at [close_and_wait]. *)
+    (try Trace.span ~cat:"pool" "pool.job" job
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       if i.failure = None then i.failure <- Some (e, bt))
   | Crew { shared; _ } ->
     Mutex.lock shared.mutex;
     if shared.closed then begin
@@ -69,26 +80,49 @@ let submit t job =
     while Queue.length shared.queue >= shared.capacity && not shared.closed do
       Condition.wait shared.not_full shared.mutex
     done;
+    (* The pool may have been closed while we were blocked on [not_full]:
+       enqueueing now could land the job after the workers have drained the
+       queue and exited, silently dropping it (and starving [Pool.map] of a
+       result). Refuse, exactly as if the submit had arrived late. *)
+    if shared.closed then begin
+      Mutex.unlock shared.mutex;
+      invalid_arg "Pool.submit: pool is closed"
+    end;
     Queue.push job shared.queue;
+    Trace.counter "pool.queue_depth" (float_of_int (Queue.length shared.queue));
     Condition.signal shared.not_empty;
     Mutex.unlock shared.mutex
 
 let close_and_wait t =
   match t with
-  | Inline i -> i.closed <- true
+  | Inline i ->
+    i.closed <- true;
+    let failure = i.failure in
+    i.failure <- None;
+    (match failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ())
   | Crew { shared; workers; _ } ->
     Mutex.lock shared.mutex;
-    let already = shared.closed in
+    let first = not shared.closed in
     shared.closed <- true;
     Condition.broadcast shared.not_empty;
     Condition.broadcast shared.not_full;
     Mutex.unlock shared.mutex;
-    if not already then List.iter Domain.join workers;
-    (match shared.failure with
-    | Some (e, bt) ->
+    (* Only the close that flipped [closed] joins the workers and may
+       re-raise; every later close is a no-op. The failure is consumed
+       under the mutex and only after the join, so a concurrent second
+       close can neither steal it nor observe a half-written one. *)
+    if first then begin
+      List.iter Domain.join workers;
+      Mutex.lock shared.mutex;
+      let failure = shared.failure in
       shared.failure <- None;
-      Printexc.raise_with_backtrace e bt
-    | None -> ())
+      Mutex.unlock shared.mutex;
+      match failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
 
 let map ~jobs f items =
   match items with

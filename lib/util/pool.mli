@@ -18,12 +18,18 @@ val jobs : t -> int
 
 val submit : t -> (unit -> unit) -> unit
 (** Queue a job. Blocks while the queue is full. Raises [Invalid_argument]
-    if the pool is already closed. *)
+    if the pool is already closed — including when the close happened while
+    this submit was blocked on a full queue (enqueueing then could land the
+    job after the workers exited, silently dropping it). A failing job
+    never raises here, whatever the backend: the first failure is deferred
+    to {!close_and_wait}, so [jobs = 1] and [jobs > 1] behave identically. *)
 
 val close_and_wait : t -> unit
 (** Stop accepting jobs, run everything queued, join the workers. If any
     job raised, the first exception (in completion order) is re-raised
-    here with its backtrace. Idempotent. *)
+    here with its backtrace. Idempotent: only the first close joins and
+    may re-raise (the failure is consumed under the pool lock); every
+    later close is a no-op. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f items] applies [f] to every item on a fresh pool and

@@ -65,6 +65,90 @@ let test_pool_env_defaults () =
     (Pool.default_jobs ())
     (Pool.jobs_of_env ~var:"AVIS_TEST_SURELY_UNSET_JOBS" ())
 
+let spin_until cond =
+  while not (cond ()) do
+    Domain.cpu_relax ()
+  done
+
+(* Regression for the shutdown race: a submitter blocked on a full queue
+   must be woken and refused when the pool closes, never allowed to
+   enqueue into a dead pool (which silently dropped the job and later
+   surfaced as an opaque "job did not complete"). *)
+let test_pool_close_while_submitter_blocked () =
+  let pool = Pool.create ~jobs:2 in
+  (* Park both workers on [gate] so nothing drains the queue. *)
+  let gate = Atomic.make false in
+  let running = Atomic.make 0 in
+  for _ = 1 to 2 do
+    Pool.submit pool (fun () ->
+        Atomic.incr running;
+        spin_until (fun () -> Atomic.get gate))
+  done;
+  spin_until (fun () -> Atomic.get running = 2);
+  (* Fill the queue to capacity (2 * jobs) so the next submit blocks. *)
+  let queued_ran = Atomic.make 0 in
+  for _ = 1 to 4 do
+    Pool.submit pool (fun () -> Atomic.incr queued_ran)
+  done;
+  let late_ran = Atomic.make false in
+  let entered = Atomic.make false in
+  let submitter =
+    Domain.spawn (fun () ->
+        Atomic.set entered true;
+        match Pool.submit pool (fun () -> Atomic.set late_ran true) with
+        | () -> `Accepted
+        | exception Invalid_argument _ -> `Refused)
+  in
+  spin_until (fun () -> Atomic.get entered);
+  (* Give the submitter time to block inside [not_full] before closing;
+     if the close still wins the race, the entry check refuses it too,
+     so the assertion below holds either way. *)
+  let t0 = Metrics.now_s () in
+  spin_until (fun () -> Metrics.now_s () -. t0 > 0.05);
+  let closer = Domain.spawn (fun () -> Pool.close_and_wait pool) in
+  let verdict = Domain.join submitter in
+  Atomic.set gate true;
+  Domain.join closer;
+  Alcotest.(check bool) "blocked submit refused, not dropped" true
+    (verdict = `Refused);
+  Alcotest.(check bool) "refused job never ran" false (Atomic.get late_ran);
+  Alcotest.(check int) "jobs accepted before close all ran" 4
+    (Atomic.get queued_ran)
+
+(* Inline (jobs=1) parity with Crew: a job failure is captured at submit
+   and re-raised at close, and later jobs still run. *)
+let test_pool_inline_defers_exception () =
+  let pool = Pool.create ~jobs:1 in
+  let ran_after = ref false in
+  Pool.submit pool (fun () -> raise Boom);
+  Pool.submit pool (fun () -> ran_after := true);
+  Alcotest.(check bool) "jobs after a failure still run" true !ran_after;
+  Alcotest.check_raises "failure deferred to close" Boom (fun () ->
+      Pool.close_and_wait pool);
+  (* The failure was consumed by the first close; closing again is a
+     no-op. *)
+  Pool.close_and_wait pool
+
+let test_pool_double_close_idempotent () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.submit pool (fun () -> raise Boom);
+  Alcotest.check_raises "first close re-raises the job failure" Boom
+    (fun () -> Pool.close_and_wait pool);
+  (* Second close must neither re-raise nor re-join the workers. *)
+  Pool.close_and_wait pool;
+  Pool.close_and_wait pool
+
+let test_pool_concurrent_close () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.submit pool (fun () -> raise Boom);
+  let close () =
+    match Pool.close_and_wait pool with () -> 0 | exception Boom -> 1
+  in
+  let d1 = Domain.spawn close in
+  let d2 = Domain.spawn close in
+  Alcotest.(check int) "exactly one closer observes the failure" 1
+    (Domain.join d1 + Domain.join d2)
+
 (* Metrics *)
 
 let test_metrics_line_format () =
@@ -83,6 +167,40 @@ let test_metrics_clock_monotonic () =
   let a = Metrics.now_s () in
   let b = Metrics.now_s () in
   Alcotest.(check bool) "non-decreasing" true (b >= a)
+
+let snap cell ~sims ~infs ~spent ~findings ~wall =
+  {
+    Metrics.cell; simulations = sims; inferences = infs; spent_s = spent;
+    budget_s = 7200.0; findings; wall_s = wall;
+  }
+
+let test_metrics_total_row () =
+  let a = snap "Avis/apm/auto-box" ~sims:41 ~infs:7 ~spent:612.0 ~findings:3 ~wall:0.8 in
+  let b = snap "Avis/px4/auto-box" ~sims:9 ~infs:2 ~spent:88.5 ~findings:1 ~wall:2.5 in
+  let t = Metrics.total [ a; b ] in
+  Alcotest.(check string) "labelled as the max-wall total" "TOTAL (wall = max)"
+    t.Metrics.cell;
+  Alcotest.(check int) "sims summed" 50 t.Metrics.simulations;
+  Alcotest.(check int) "infs summed" 9 t.Metrics.inferences;
+  Alcotest.(check (float 1e-9)) "spend summed" 700.5 t.Metrics.spent_s;
+  Alcotest.(check int) "findings summed" 4 t.Metrics.findings;
+  (* Concurrent cells overlap in real time: wall is a max, not a sum. *)
+  Alcotest.(check (float 1e-9)) "wall is the max" 2.5 t.Metrics.wall_s
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+let test_metrics_summary_table () =
+  let a = snap "a" ~sims:1 ~infs:0 ~spent:1.0 ~findings:0 ~wall:1.0 in
+  let b = snap "b" ~sims:2 ~infs:0 ~spent:2.0 ~findings:0 ~wall:2.0 in
+  let two = Table.render (Metrics.summary_table [ a; b ]) in
+  Alcotest.(check bool) "TOTAL row present for two cells" true
+    (contains ~needle:"TOTAL (wall = max)" two);
+  let one = Table.render (Metrics.summary_table [ a ]) in
+  Alcotest.(check bool) "no TOTAL row for a single cell" false
+    (contains ~needle:"TOTAL" one)
 
 (* The zero-progress guard: a searcher that keeps thinking at zero cost
    must still drain the budget and terminate. *)
@@ -189,11 +307,21 @@ let () =
           Alcotest.test_case "submit and close" `Quick test_pool_submit_and_close;
           Alcotest.test_case "inline close" `Quick test_pool_inline_close;
           Alcotest.test_case "env fallback" `Quick test_pool_env_defaults;
+          Alcotest.test_case "close refuses blocked submitter" `Quick
+            test_pool_close_while_submitter_blocked;
+          Alcotest.test_case "inline defers exception" `Quick
+            test_pool_inline_defers_exception;
+          Alcotest.test_case "double close idempotent" `Quick
+            test_pool_double_close_idempotent;
+          Alcotest.test_case "concurrent close" `Quick
+            test_pool_concurrent_close;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "line format" `Quick test_metrics_line_format;
           Alcotest.test_case "monotonic clock" `Quick test_metrics_clock_monotonic;
+          Alcotest.test_case "total row" `Quick test_metrics_total_row;
+          Alcotest.test_case "summary table" `Quick test_metrics_summary_table;
         ] );
       ( "campaign",
         [

@@ -154,6 +154,162 @@ let test_table_too_many_cells () =
     (Invalid_argument "Table.add_row: more cells than headers") (fun () ->
       Table.add_row t [ "a"; "b" ])
 
+(* Json parser *)
+
+let parse_ok s =
+  match Json.of_string s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_json_parse_scalars () =
+  Alcotest.(check bool) "null" true (parse_ok "null" = Json.Null);
+  Alcotest.(check bool) "true" true (parse_ok "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (parse_ok " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (parse_ok "42" = Json.Number 42.0);
+  Alcotest.(check bool) "negative exponent" true
+    (parse_ok "-2.5e2" = Json.Number (-250.0));
+  Alcotest.(check bool) "string" true (parse_ok {|"hi"|} = Json.String "hi")
+
+let test_json_parse_escapes () =
+  Alcotest.(check bool) "standard escapes" true
+    (parse_ok {|"a\n\t\"\\b"|} = Json.String "a\n\t\"\\b");
+  Alcotest.(check bool) "\\uXXXX ascii" true
+    (parse_ok {|"\u0041"|} = Json.String "A");
+  (* U+00E9 (e-acute) must decode to two-byte UTF-8. *)
+  Alcotest.(check bool) "\\uXXXX utf-8" true
+    (parse_ok {|"\u00e9"|} = Json.String "\xc3\xa9")
+
+let test_json_roundtrip () =
+  let v =
+    Json.Assoc
+      [
+        ("name", Json.String "sim.restore \"fast\"");
+        ("ts", Json.Number 12.5);
+        ("tags", Json.List [ Json.int 1; Json.Null; Json.Bool true ]);
+        ("args", Json.Assoc [ ("depth", Json.int 3) ]);
+      ]
+  in
+  Alcotest.(check bool) "emit |> parse is the identity" true
+    (parse_ok (Json.to_string v) = v);
+  Alcotest.(check bool) "pretty emit |> parse is the identity" true
+    (parse_ok (Json.to_string_pretty v) = v);
+  Alcotest.(check bool) "member finds a field" true
+    (Json.member "ts" v = Some (Json.Number 12.5));
+  Alcotest.(check bool) "member misses politely" true
+    (Json.member "nope" v = None && Json.member "x" Json.Null = None)
+
+let test_json_parse_errors () =
+  let rejects s =
+    match Json.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+  in
+  List.iter rejects
+    [ "{"; "[1,]"; "{\"a\":}"; "12 tail"; ""; "'single'"; "{\"a\" 1}"; "nul" ]
+
+(* Trace *)
+
+let noop () = ()
+
+let test_trace_disabled_no_alloc () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  let n = 10_000 in
+  Trace.span "warmup" noop;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do
+    Trace.span "off" noop
+  done;
+  let w1 = Gc.minor_words () in
+  (* [Gc.minor_words] itself boxes its result, hence the small slack. *)
+  Alcotest.(check bool) "disabled span allocates nothing" true
+    (w1 -. w0 < 64.0);
+  let w2 = Gc.minor_words () in
+  for _ = 1 to n do
+    Trace.end_span (Trace.begin_span "off")
+  done;
+  let w3 = Gc.minor_words () in
+  Alcotest.(check bool) "disabled begin/end allocates nothing" true
+    (w3 -. w2 < 64.0);
+  Alcotest.(check int) "nothing was recorded" 0 (Trace.event_count ())
+
+let test_trace_chrome_roundtrip () =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Trace.span "outer" (fun () ->
+      Trace.span ~cat:"sim" "inner" noop;
+      Trace.counter "pool.queue_depth" 3.0;
+      Trace.instant ~cat:"campaign" "finding");
+  Trace.set_enabled false;
+  Alcotest.(check int) "four events buffered" 4 (Trace.event_count ());
+  let text = Json.to_string (Trace.to_chrome_json ()) in
+  let parsed = parse_ok text in
+  let events =
+    match Json.member "traceEvents" parsed with
+    | Some (Json.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let field k ev = Json.member k ev in
+  let named name ph =
+    List.exists
+      (fun ev ->
+        field "name" ev = Some (Json.String name)
+        && field "ph" ev = Some (Json.String ph))
+      events
+  in
+  Alcotest.(check bool) "outer span" true (named "outer" "X");
+  Alcotest.(check bool) "inner span" true (named "inner" "X");
+  Alcotest.(check bool) "counter" true (named "pool.queue_depth" "C");
+  Alcotest.(check bool) "instant" true (named "finding" "i");
+  List.iter
+    (fun ev ->
+      if field "ph" ev = Some (Json.String "X") then begin
+        (match field "ts" ev with
+        | Some (Json.Number ts) ->
+          Alcotest.(check bool) "ts non-negative" true (ts >= 0.0)
+        | _ -> Alcotest.fail "span without numeric ts");
+        match field "dur" ev with
+        | Some (Json.Number d) ->
+          Alcotest.(check bool) "dur non-negative" true (d >= 0.0)
+        | _ -> Alcotest.fail "span without numeric dur"
+      end)
+    events;
+  Trace.reset ()
+
+let test_trace_summary () =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Trace.span "outer" (fun () -> Trace.span "inner" noop);
+  Trace.span "outer" noop;
+  Trace.set_enabled false;
+  let rows = Trace.summary () in
+  let row name =
+    match List.find_opt (fun r -> r.Trace.span_name = name) rows with
+    | Some r -> r
+    | None -> Alcotest.failf "no summary row for %s" name
+  in
+  Alcotest.(check int) "outer counted twice" 2 (row "outer").Trace.count;
+  Alcotest.(check int) "inner counted once" 1 (row "inner").Trace.count;
+  Alcotest.(check bool) "nested total bounded by parent" true
+    ((row "inner").Trace.total_s <= (row "outer").Trace.total_s);
+  Alcotest.(check bool) "wall covers the outer spans" true
+    (Trace.wall_s () >= (row "outer").Trace.max_s);
+  (* Spans that raise are still recorded. *)
+  (try Trace.set_enabled true; Trace.span "boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  Trace.set_enabled false;
+  Alcotest.(check bool) "raising span recorded" true
+    (List.exists
+       (fun r -> r.Trace.span_name = "boom")
+       (Trace.summary ()));
+  Trace.reset ();
+  Alcotest.(check int) "reset drops everything" 0 (Trace.event_count ())
+
+let test_trace_env () =
+  (* No process-global env mutation: just the unset default. *)
+  Alcotest.(check bool) "unset means disabled" false
+    (Trace.enabled_by_env ~var:"AVIS_TEST_SURELY_UNSET_TRACE" ())
+
 let () =
   Alcotest.run "avis_util"
     [
@@ -185,5 +341,21 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "row order" `Quick test_table_row_order;
           Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_parse_scalars;
+          Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors" `Quick test_json_parse_errors;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled costs nothing" `Quick
+            test_trace_disabled_no_alloc;
+          Alcotest.test_case "chrome round-trip" `Quick
+            test_trace_chrome_roundtrip;
+          Alcotest.test_case "summary" `Quick test_trace_summary;
+          Alcotest.test_case "env gate" `Quick test_trace_env;
         ] );
     ]
