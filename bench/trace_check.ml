@@ -19,6 +19,16 @@ let string_ = function Some (Json.String s) -> Some s | _ -> None
 
 type span = { name : string; tid : int; ts : float; dur : float }
 
+(* Every counter track the library emits. A counter name outside this set
+   is a schema violation: either a typo at the emission site or a new
+   counter that was not added here (and to the docs) when introduced. *)
+let known_counters =
+  [
+    "cache.hits"; "cache.misses"; "cache.bypasses"; "cache.evictions";
+    "cache.resident_bytes"; "snapshot.bytes"; "pool.queue_depth";
+    "budget.spent_s"; "link.dropped"; "link.corrupted"; "link.duplicated";
+  ]
+
 let check_event ~path i ev =
   let get k = Json.member k ev in
   let name =
@@ -52,6 +62,10 @@ let check_event ~path i ev =
     Some { name; tid; ts; dur }
   | "C" ->
     let (_ : float) = ts () in
+    if not (List.mem name known_counters) then
+      fail "%s: counter %d has unknown name %S (add new counters to \
+            trace_check's known set)"
+        path i name;
     (match Json.member "args" ev with
     | Some (Json.Assoc _) -> None
     | _ -> fail "%s: counter %d (%s) has no \"args\" object" path i name)

@@ -209,6 +209,8 @@ let hunt policy workload seed approaches budget jobs verbose artefacts trace =
         budget_s = budget;
         findings = Campaign.unsafe_count result;
         wall_s = Avis_util.Metrics.now_s () -. started;
+        minor_words = result.Campaign.minor_words;
+        major_collections = result.Campaign.major_collections;
       }
     in
     Avis_util.Metrics.emit ~event:"done" snapshot;

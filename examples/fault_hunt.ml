@@ -44,6 +44,8 @@ let hunt (name, strategy) =
       budget_s;
       findings = Campaign.unsafe_count result;
       wall_s = Metrics.now_s () -. started;
+      minor_words = result.Campaign.minor_words;
+      major_collections = result.Campaign.major_collections;
     }
   in
   Metrics.emit ~event:"done" snapshot;

@@ -37,6 +37,8 @@ type progress = {
   spent_s : float;
   budget_s : float;
   findings : int;
+  minor_words : float;
+  major_collections : int;
 }
 
 type result = {
@@ -47,6 +49,8 @@ type result = {
   wall_clock_spent_s : float;
   profile : Monitor.profile;
   cache_stats : Prefix_cache.stats option;
+  minor_words : float;
+  major_collections : int;
 }
 
 (* The simulator's hard cap on one run, and therefore the most any run
@@ -109,6 +113,7 @@ let make_cache config =
   Prefix_cache.create ~workload:config.workload
     ~make_sim:(fun ~scenario -> sim_config config ~seed:test_seed ~scenario)
     ~checkpoint_times:(List.init (int_of_float dur) (fun i -> float_of_int (i + 1)))
+    ()
 
 let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
     ?cache config ~strategy =
@@ -116,6 +121,19 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
      decisions, simulation, monitoring) nests under it, which is what lets
      a trace attribute a cell's wall time phase by phase. *)
   Avis_util.Trace.span ~cat:"campaign" "campaign.cell" @@ fun () ->
+  (* GC baseline for the cell: progress and result report allocation as
+     deltas from here, so cells are comparable regardless of what ran
+     before them in the process. Baseline and reading must come from the
+     same primitive — [Gc.minor_words] is domain-local while
+     [Gc.quick_stat]'s word counts aggregate promoted words across
+     domains, and mixing them makes deltas go negative on a parallel
+     matrix. *)
+  let minor0 = Gc.minor_words () in
+  let gc0 = Gc.quick_stat () in
+  let gc_minor_words () = Gc.minor_words () -. minor0 in
+  let gc_majors () =
+    (Gc.quick_stat ()).Gc.major_collections - gc0.Gc.major_collections
+  in
   let profile, ctx, _first = profile_and_context config in
   let searcher = strategy ctx in
   let budget = Budget.create ~speedup:config.speedup ~total_s:config.budget_s () in
@@ -129,6 +147,8 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
         spent_s = Budget.spent_s budget;
         budget_s = config.budget_s;
         findings = List.length !findings;
+        minor_words = gc_minor_words ();
+        major_collections = gc_majors ();
       }
   in
   (* Test runs are deterministic: a fixed seed distinct from profiling. *)
@@ -160,7 +180,7 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
         Some
           (Prefix_cache.create ~workload:config.workload
              ~make_sim:(fun ~scenario -> sim_config config ~seed:test_seed ~scenario)
-             ~checkpoint_times)
+             ~checkpoint_times ())
   in
   let run_scenario scenario =
     Avis_util.Trace.span ~cat:"sim" "campaign.run_scenario" @@ fun () ->
@@ -223,6 +243,8 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
     wall_clock_spent_s = Budget.spent_s budget;
     profile;
     cache_stats = Option.map Prefix_cache.stats cache;
+    minor_words = gc_minor_words ();
+    major_collections = gc_majors ();
   }
 
 (* A stable, platform-independent seed for one (policy, workload,

@@ -45,9 +45,15 @@ type progress = {
   spent_s : float;
   budget_s : float;
   findings : int;
+  minor_words : float;
+      (** Minor-heap words allocated since the cell started. *)
+  major_collections : int;
+      (** Major GC cycles completed since the cell started. *)
 }
 (** A snapshot of the search loop's counters, handed to the [progress]
-    callback of {!run} after every simulated scenario. *)
+    callback of {!run} after every simulated scenario. The GC fields are
+    deltas from the start of the cell, so cells are comparable no matter
+    what ran before them in the process. *)
 
 type result = {
   approach : string;
@@ -59,6 +65,8 @@ type result = {
   cache_stats : Prefix_cache.stats option;
       (** Prefix-cache counters for this campaign's test runs; [None] when
           the cache was disabled. *)
+  minor_words : float;  (** Minor-heap words allocated by the cell. *)
+  major_collections : int;  (** Major GC cycles during the cell. *)
 }
 
 val profile_and_context :

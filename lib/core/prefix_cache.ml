@@ -5,6 +5,8 @@ type entry = {
   time : float;
   sim_snap : Sim.snapshot;
   stepper_snap : Workload.Stepper.snapshot;
+  bytes : int;  (** Accounted size of both snapshots at capture time. *)
+  mutable last_used : int;  (** Logical clock tick of last capture or hit. *)
 }
 
 (* The clean run being checkpointed. It is advanced lazily — only as far as
@@ -32,11 +34,40 @@ type t = {
   mutable misses : int;
   mutable bypasses : int;
   mutable saved_sim_s : float;
+  budget_bytes : int;  (** Resident-set ceiling; never exceeded. *)
+  mutable resident_bytes : int;
+  mutable use_tick : int;  (** Logical clock for LRU ordering. *)
+  mutable evictions : int;
 }
 
-type stats = { hits : int; misses : int; saved_sim_s : float }
+type stats = {
+  hits : int;
+  misses : int;
+  saved_sim_s : float;
+  evictions : int;
+  resident_bytes : int;
+}
 
-let create ~workload ~make_sim ~checkpoint_times =
+let default_cache_mb = 1024
+
+(* The byte budget comes from [?cache_mb], else the [AVIS_CACHE_MB]
+   environment variable, else 1 GiB. Zero and negative values are allowed
+   and make the cache effectively stateless (every capture immediately
+   evicts itself). *)
+let budget_bytes_of ?cache_mb () =
+  let mb =
+    match cache_mb with
+    | Some mb -> mb
+    | None -> (
+      match Sys.getenv_opt "AVIS_CACHE_MB" with
+      | Some v -> ( match int_of_string_opt (String.trim v) with
+        | Some mb -> mb
+        | None -> default_cache_mb)
+      | None -> default_cache_mb)
+  in
+  mb * 1024 * 1024
+
+let create ?cache_mb ~workload ~make_sim ~checkpoint_times () =
   let ts =
     List.sort_uniq compare (List.filter (fun t -> t > 0.0) checkpoint_times)
   in
@@ -62,6 +93,10 @@ let create ~workload ~make_sim ~checkpoint_times =
     misses = 0;
     bypasses = 0;
     saved_sim_s = 0.0;
+    budget_bytes = budget_bytes_of ?cache_mb ();
+    resident_bytes = 0;
+    use_tick = 0;
+    evictions = 0;
   }
 
 let bypassing t = t.bypass
@@ -98,7 +133,50 @@ let active_key (scenario : Scenario.t) ~time =
   encode_faults
     (List.filter (fun f -> Scenario.fault_time f <= time) scenario)
 
-let capture t ~scenario sim st =
+let word_bytes = Sys.word_size / 8
+
+(* Accounted size of a checkpoint: the simulator snapshot's exact byte
+   size (dominated by the world's float blob and the trace columns) plus
+   the reachable size of the stepper snapshot. *)
+let entry_bytes ~sim_snap ~stepper_snap =
+  Sim.snapshot_bytes sim_snap
+  + (Obj.reachable_words (Obj.repr stepper_snap) * word_bytes)
+
+let note_resident (t : t) =
+  Avis_util.Trace.counter "cache.resident_bytes"
+    (float_of_int t.resident_bytes)
+
+(* Drop the globally least-recently-used checkpoint (capture and hit both
+   count as uses). Linear in the entry count, which the byte budget keeps
+   small relative to snapshot cost. *)
+let evict_lru (t : t) =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key es ->
+      List.iter
+        (fun e ->
+          match !victim with
+          | Some (_, v) when v.last_used <= e.last_used -> ()
+          | _ -> victim := Some (key, e))
+        es)
+    t.entries;
+  match !victim with
+  | None -> false
+  | Some (key, v) ->
+    let es = Option.value ~default:[] (Hashtbl.find_opt t.entries key) in
+    (match List.filter (fun e -> e != v) es with
+    | [] -> Hashtbl.remove t.entries key
+    | remaining -> Hashtbl.replace t.entries key remaining);
+    t.resident_bytes <- t.resident_bytes - v.bytes;
+    t.evictions <- t.evictions + 1;
+    Avis_util.Trace.counter "cache.evictions" (float_of_int t.evictions);
+    true
+
+let enforce_budget (t : t) =
+  while t.resident_bytes > t.budget_bytes && evict_lru t do () done;
+  note_resident t
+
+let capture (t : t) ~scenario sim st =
   Avis_util.Trace.span ~cat:"cache" "cache.checkpoint" @@ fun () ->
   let time = injection_clock sim in
   if time > 0.0 then begin
@@ -109,18 +187,24 @@ let capture t ~scenario sim st =
     (* Same key + same time means the frozen state is bit-identical to one
        already stored; skip the snapshot entirely. *)
     if not (List.exists (fun e -> e.time = time) existing) then begin
+      let sim_snap = Sim.snapshot sim in
+      let stepper_snap = Workload.Stepper.snapshot st in
+      let bytes = entry_bytes ~sim_snap ~stepper_snap in
+      Avis_util.Trace.counter "snapshot.bytes" (float_of_int bytes);
+      t.use_tick <- t.use_tick + 1;
       let entry =
-        {
-          time;
-          sim_snap = Sim.snapshot sim;
-          stepper_snap = Workload.Stepper.snapshot st;
-        }
+        { time; sim_snap; stepper_snap; bytes; last_used = t.use_tick }
       in
       let rec insert = function
         | e :: rest when e.time > time -> e :: insert rest
         | rest -> entry :: rest
       in
-      Hashtbl.replace t.entries key (insert existing)
+      Hashtbl.replace t.entries key (insert existing);
+      t.resident_bytes <- t.resident_bytes + bytes;
+      (* A lone checkpoint larger than the whole budget evicts itself, so
+         the resident set never exceeds the budget even transiently past
+         this point. *)
+      enforce_budget t
     end
   end
 
@@ -249,6 +333,8 @@ let execute t ~scenario =
     | Some e ->
       t.hits <- t.hits + 1;
       Avis_util.Trace.counter "cache.hits" (float_of_int t.hits);
+      t.use_tick <- t.use_tick + 1;
+      e.last_used <- t.use_tick;
       t.saved_sim_s <- t.saved_sim_s +. e.time;
       let sim =
         Sim.restore
@@ -263,7 +349,13 @@ let execute t ~scenario =
   end
 
 let stats (t : t) =
-  { hits = t.hits; misses = t.misses; saved_sim_s = t.saved_sim_s }
+  {
+    hits = t.hits;
+    misses = t.misses;
+    saved_sim_s = t.saved_sim_s;
+    evictions = t.evictions;
+    resident_bytes = t.resident_bytes;
+  }
 
 let enabled_by_env () =
   match Sys.getenv_opt "AVIS_PREFIX_CACHE" with

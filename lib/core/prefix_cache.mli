@@ -33,15 +33,26 @@
 type t
 
 val create :
+  ?cache_mb:int ->
   workload:Workload.t ->
   make_sim:(scenario:Scenario.t -> Avis_sitl.Sim.t) ->
   checkpoint_times:float list ->
+  unit ->
   t
 (** [make_sim] must provision a simulator exactly as the campaign's test
     runs do (same seed, config and environment), differing only in the
     scenario's fault schedule. [checkpoint_times] need not be sorted or
     unique; non-positive times are dropped. [create] probes [make_sim]
-    once (with the empty scenario) to detect uncacheable configurations. *)
+    once (with the empty scenario) to detect uncacheable configurations.
+
+    [cache_mb] bounds the resident checkpoint bytes; it defaults to the
+    [AVIS_CACHE_MB] environment variable, else 1024 MiB. When a capture
+    would push the resident set past the budget, whole checkpoints are
+    evicted in global least-recently-used order (hits and captures both
+    count as uses) until it fits; a lone checkpoint larger than the whole
+    budget is itself evicted, so the bound holds unconditionally. Eviction
+    only costs future wall-clock (the evicted prefix re-simulates cold) —
+    outcomes are unaffected. *)
 
 val execute : t -> scenario:Scenario.t -> Avis_sitl.Sim.outcome
 (** Run one scenario, forking from the best applicable checkpoint — clean
@@ -58,6 +69,8 @@ type stats = {
   misses : int;  (** Scenarios simulated cold. *)
   saved_sim_s : float;
       (** Simulated seconds skipped by restoring instead of replaying. *)
+  evictions : int;  (** Checkpoints dropped to stay within the budget. *)
+  resident_bytes : int;  (** Current accounted checkpoint bytes. *)
 }
 
 val stats : t -> stats

@@ -21,6 +21,8 @@ type t = {
   airframe : Avis_physics.Airframe.t;
   hover : float;
   climb_pid : Pid.t;
+  layout : (Vec3.t * float) array; (* immutable mix layout, hoisted *)
+  output : float array; (* reused across steps; consumers copy *)
 }
 
 let create ~params ~airframe () =
@@ -31,15 +33,21 @@ let create ~params ~airframe () =
     climb_pid =
       Pid.create ~kp:params.Params.climb_vel_p ~ki:params.Params.climb_vel_i
         ~i_limit:2.0 ~out_limit:0.6 ();
+    layout = Avis_physics.Motor.mix_layout airframe;
+    output = Array.make airframe.Avis_physics.Airframe.motor_count 0.0;
   }
 
-let copy t = { t with climb_pid = Pid.copy t.climb_pid }
+let copy t =
+  { t with climb_pid = Pid.copy t.climb_pid; output = Array.copy t.output }
 
 let reset t = Pid.reset t.climb_pid
 
 let step t est demand ~dt =
   let p = t.params in
-  if demand.idle then Array.make t.airframe.Avis_physics.Airframe.motor_count 0.0
+  if demand.idle then begin
+    Array.fill t.output 0 (Array.length t.output) 0.0;
+    t.output
+  end
   else begin
     let pos = Estimator.position est in
     let vel = Estimator.velocity est in
@@ -167,16 +175,18 @@ let step t est demand ~dt =
         (p.Params.rate_p *. (rate_demand.Vec3.y -. rate.Vec3.y))
         (p.Params.yaw_rate_p *. (rate_demand.Vec3.z -. rate.Vec3.z))
     in
-    (* Mix thrust and torque demands onto the motors. *)
-    let layout = Avis_physics.Motor.mix_layout t.airframe in
+    (* Mix thrust and torque demands onto the motors, into the reused
+       output buffer (the simulator's motor model copies it). *)
     let arm = t.airframe.Avis_physics.Airframe.arm_length_m in
-    Array.map
-      (fun (mpos, spin) ->
-        let open Vec3 in
-        let roll_term = torque_cmd.x *. (mpos.y /. arm) in
-        let pitch_term = torque_cmd.y *. (-.mpos.x /. arm) in
-        let yaw_term = torque_cmd.z *. spin in
-        Avis_util.Stats.clamp ~lo:0.0 ~hi:1.0
-          (thrust +. roll_term +. pitch_term +. yaw_term))
-      layout
+    for i = 0 to Array.length t.layout - 1 do
+      let mpos, spin = t.layout.(i) in
+      let open Vec3 in
+      let roll_term = torque_cmd.x *. (mpos.y /. arm) in
+      let pitch_term = torque_cmd.y *. (-.mpos.x /. arm) in
+      let yaw_term = torque_cmd.z *. spin in
+      t.output.(i) <-
+        Float.max 0.0
+          (Float.min 1.0 (thrust +. roll_term +. pitch_term +. yaw_term))
+    done;
+    t.output
   end

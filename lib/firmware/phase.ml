@@ -7,10 +7,18 @@ type t =
   | Land
   | Landed
 
+(* Labels are recorded into the trace every sample; memoise the waypoint
+   labels so steady flight stores a shared string instead of sprintf-ing a
+   fresh one per sample. *)
+let waypoint_labels =
+  Array.init 64 (fun i -> Printf.sprintf "Waypoint %d" i)
+
 let label = function
   | Preflight -> "Pre-Flight"
   | Takeoff -> "Takeoff"
-  | Waypoint i -> Printf.sprintf "Waypoint %d" i
+  | Waypoint i ->
+    if i >= 0 && i < Array.length waypoint_labels then waypoint_labels.(i)
+    else Printf.sprintf "Waypoint %d" i
   | Manual -> "Manual"
   | Rtl -> "Return To Launch"
   | Land -> "Land"

@@ -1,3 +1,7 @@
+(* All fields are floats so the record stays flat and the per-step stores
+   into [integral]/[last_error] are unboxed; [has_last] is a 0.0/1.0 flag
+   for the same reason (a bool field would force the boxed mixed-record
+   layout). *)
 type t = {
   kp : float;
   ki : float;
@@ -5,16 +9,18 @@ type t = {
   i_limit : float;
   out_limit : float;
   mutable integral : float;
-  mutable last_error : float option;
+  mutable last_error : float;
+  mutable has_last : float; (* 0.0 = no previous error recorded *)
 }
 
 let create ?(kp = 0.0) ?(ki = 0.0) ?(kd = 0.0) ?(i_limit = infinity)
     ?(out_limit = infinity) () =
-  { kp; ki; kd; i_limit; out_limit; integral = 0.0; last_error = None }
+  { kp; ki; kd; i_limit; out_limit; integral = 0.0; last_error = 0.0;
+    has_last = 0.0 }
 
 let copy t = { t with integral = t.integral }
 
-let clamp limit v = Avis_util.Stats.clamp ~lo:(-.limit) ~hi:limit v
+let clamp limit v = Float.max (-.limit) (Float.min limit v)
 
 let finish t ~error ~derivative ~dt =
   t.integral <- clamp t.i_limit (t.integral +. (error *. dt));
@@ -23,17 +29,19 @@ let finish t ~error ~derivative ~dt =
 
 let update t ~error ~dt =
   let derivative =
-    match t.last_error with
-    | Some prev when dt > 0.0 -> (error -. prev) /. dt
-    | Some _ | None -> 0.0
+    if t.has_last <> 0.0 && dt > 0.0 then (error -. t.last_error) /. dt
+    else 0.0
   in
-  t.last_error <- Some error;
+  t.last_error <- error;
+  t.has_last <- 1.0;
   finish t ~error ~derivative ~dt
 
 let update_with_rate t ~error ~rate ~dt =
-  t.last_error <- Some error;
+  t.last_error <- error;
+  t.has_last <- 1.0;
   finish t ~error ~derivative:(-.rate) ~dt
 
 let reset t =
   t.integral <- 0.0;
-  t.last_error <- None
+  t.last_error <- 0.0;
+  t.has_last <- 0.0

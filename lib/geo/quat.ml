@@ -114,3 +114,98 @@ let tilt q =
   acos c
 
 let pp ppf q = Format.fprintf ppf "(w=%.4f x=%.4f y=%.4f z=%.4f)" q.w q.x q.y q.z
+
+(* In-place kernels over a mutable all-float quaternion. As with
+   [Vec3.Mut], each operation reproduces the pure version's arithmetic
+   expression for expression so results are bit-identical; the rotation
+   kernels read the quaternion and vector into locals before storing, so a
+   destination may alias the input vector. *)
+module Mut = struct
+  type quat = {
+    mutable w : float;
+    mutable x : float;
+    mutable y : float;
+    mutable z : float;
+  }
+
+  let create () = { w = 1.0; x = 0.0; y = 0.0; z = 0.0 }
+
+  let[@inline] set q ~w ~x ~y ~z =
+    q.w <- w;
+    q.x <- x;
+    q.y <- y;
+    q.z <- z
+
+  let[@inline] of_t (a : t) = { w = a.w; x = a.x; y = a.y; z = a.z }
+  let[@inline] to_t q : t = { w = q.w; x = q.x; y = q.y; z = q.z }
+
+  let[@inline] blit_t (a : t) dst =
+    dst.w <- a.w;
+    dst.x <- a.x;
+    dst.y <- a.y;
+    dst.z <- a.z
+
+  let copy q = { w = q.w; x = q.x; y = q.y; z = q.z }
+
+  let[@inline] norm q =
+    sqrt ((q.w *. q.w) +. (q.x *. q.x) +. (q.y *. q.y) +. (q.z *. q.z))
+
+  let normalize q =
+    let n = norm q in
+    if n = 0.0 then set q ~w:1.0 ~x:0.0 ~y:0.0 ~z:0.0
+    else begin
+      q.w <- q.w /. n;
+      q.x <- q.x /. n;
+      q.y <- q.y /. n;
+      q.z <- q.z /. n
+    end
+
+  (* [rotate dst q v]: the same expansion as the pure [rotate], with the
+     intermediate cross products inlined into locals. *)
+  let[@inline] rotate_comp ~qw ~qx ~qy ~qz (v : Vec3.Mut.vec)
+      (dst : Vec3.Mut.vec) =
+    let vx = v.Vec3.Mut.x and vy = v.Vec3.Mut.y and vz = v.Vec3.Mut.z in
+    let tx = 2.0 *. ((qy *. vz) -. (qz *. vy)) in
+    let ty = 2.0 *. ((qz *. vx) -. (qx *. vz)) in
+    let tz = 2.0 *. ((qx *. vy) -. (qy *. vx)) in
+    let rx = vx +. ((qw *. tx) +. ((qy *. tz) -. (qz *. ty))) in
+    let ry = vy +. ((qw *. ty) +. ((qz *. tx) -. (qx *. tz))) in
+    let rz = vz +. ((qw *. tz) +. ((qx *. ty) -. (qy *. tx))) in
+    dst.Vec3.Mut.x <- rx;
+    dst.Vec3.Mut.y <- ry;
+    dst.Vec3.Mut.z <- rz
+
+  let[@inline] rotate dst q v =
+    rotate_comp ~qw:q.w ~qx:q.x ~qy:q.y ~qz:q.z v dst
+
+  let[@inline] rotate_inv dst q v =
+    rotate_comp ~qw:q.w ~qx:(-.q.x) ~qy:(-.q.y) ~qz:(-.q.z) v dst
+
+  let integrate q (omega : Vec3.Mut.vec) dt =
+    let ox = omega.Vec3.Mut.x
+    and oy = omega.Vec3.Mut.y
+    and oz = omega.Vec3.Mut.z in
+    let half_dt = dt /. 2.0 in
+    let dw = 0.0 -. (half_dt *. ((ox *. q.x) +. (oy *. q.y) +. (oz *. q.z))) in
+    let dx = half_dt *. ((ox *. q.w) +. (oz *. q.y) -. (oy *. q.z)) in
+    let dy = half_dt *. ((oy *. q.w) +. (ox *. q.z) -. (oz *. q.x)) in
+    let dz = half_dt *. ((oz *. q.w) +. (oy *. q.x) -. (ox *. q.y)) in
+    q.w <- q.w +. dw;
+    q.x <- q.x +. dx;
+    q.y <- q.y +. dy;
+    q.z <- q.z +. dz;
+    normalize q
+
+  let[@inline] tilt q =
+    (* [rotate q unit_z] with the zero terms kept so the float expression
+       matches the pure [tilt] exactly. *)
+    let tx = 2.0 *. ((q.y *. 1.0) -. (q.z *. 0.0)) in
+    let ty = 2.0 *. ((q.z *. 0.0) -. (q.x *. 1.0)) in
+    let tz = 2.0 *. ((q.x *. 0.0) -. (q.y *. 0.0)) in
+    let bx = 0.0 +. ((q.w *. tx) +. ((q.y *. tz) -. (q.z *. ty))) in
+    let by = 0.0 +. ((q.w *. ty) +. ((q.z *. tx) -. (q.x *. tz))) in
+    let bz = 1.0 +. ((q.w *. tz) +. ((q.x *. ty) -. (q.y *. tx))) in
+    let d = (bx *. 0.0) +. (by *. 0.0) +. (bz *. 1.0) in
+    let c = Stdlib.max (-1.0) (Stdlib.min 1.0 d) in
+    acos c
+end

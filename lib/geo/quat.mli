@@ -52,3 +52,41 @@ val tilt : t -> float
     level the vehicle is, in radians. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** In-place kernels over a mutable all-float quaternion, bit-identical to
+    the pure operations above (property-tested). Used by the physics step
+    kernel so steady-state integration allocates nothing. *)
+module Mut : sig
+  type quat = {
+    mutable w : float;
+    mutable x : float;
+    mutable y : float;
+    mutable z : float;
+  }
+
+  val create : unit -> quat
+  (** A fresh identity quaternion. *)
+
+  val set : quat -> w:float -> x:float -> y:float -> z:float -> unit
+  val of_t : t -> quat
+  val to_t : quat -> t
+  val blit_t : t -> quat -> unit
+  val copy : quat -> quat
+  val norm : quat -> float
+
+  val normalize : quat -> unit
+  (** In place; the identity if the norm is zero, like the pure version. *)
+
+  val rotate : Vec3.Mut.vec -> quat -> Vec3.Mut.vec -> unit
+  (** [rotate dst q v] stores the world-frame image of body vector [v] in
+      [dst]; [dst] may alias [v]. *)
+
+  val rotate_inv : Vec3.Mut.vec -> quat -> Vec3.Mut.vec -> unit
+
+  val integrate : quat -> Vec3.Mut.vec -> float -> unit
+  (** [integrate q omega dt] advances [q] in place and renormalises,
+      matching the pure [integrate] float for float. *)
+
+  val tilt : quat -> float
+  (** Angle between body z and world vertical, without allocating. *)
+end

@@ -50,3 +50,47 @@ val equal_eps : ?eps:float -> t -> t -> bool
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Destination-passing variants over a mutable all-float record.
+
+    [vec] is stored flat (an OCaml float record), so component reads and
+    writes never allocate — the simulator's step kernel keeps its whole
+    working set in preallocated [vec]s. Every kernel is float-for-float
+    identical to its pure counterpart above (property-tested); in
+    particular [normalize] maps the zero vector to zero and [clamp_norm]
+    rejects negative limits and leaves short vectors untouched.
+    Component-wise kernels tolerate [dst] aliasing an argument; [cross]
+    reads its inputs before the first store, so aliasing is safe there
+    too. *)
+module Mut : sig
+  type vec = { mutable x : float; mutable y : float; mutable z : float }
+
+  val create : unit -> vec
+  (** A fresh zero vector. *)
+
+  val set : vec -> x:float -> y:float -> z:float -> unit
+  val of_t : t -> vec
+  val to_t : vec -> t
+
+  val blit_t : t -> vec -> unit
+  (** Overwrite [vec] with an immutable vector's components. *)
+
+  val copy_into : vec -> vec -> unit
+  (** [copy_into src dst] overwrites [dst] with [src]. *)
+
+  val copy : vec -> vec
+
+  val add : vec -> vec -> vec -> unit
+  (** [add dst a b] stores [a + b] in [dst]. Same convention below. *)
+
+  val sub : vec -> vec -> vec -> unit
+  val neg : vec -> vec -> unit
+  val scale : vec -> float -> vec -> unit
+  val dot : vec -> vec -> float
+  val cross : vec -> vec -> vec -> unit
+  val norm : vec -> float
+  val norm_sq : vec -> float
+  val normalize : vec -> vec -> unit
+  val horizontal : vec -> vec -> unit
+  val clamp_norm : vec -> float -> vec -> unit
+end

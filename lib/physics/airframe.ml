@@ -52,7 +52,7 @@ let hexa =
 let by_name name =
   List.find_opt (fun frame -> frame.name = name) [ iris; hexa ]
 
-let max_total_thrust_n t =
+let[@inline] max_total_thrust_n t =
   float_of_int t.motor_count *. t.max_thrust_per_motor_n
 
-let hover_throttle t = t.mass_kg *. gravity /. max_total_thrust_n t
+let[@inline] hover_throttle t = t.mass_kg *. gravity /. max_total_thrust_n t

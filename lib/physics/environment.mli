@@ -36,11 +36,35 @@ val wind_at : t -> Avis_util.Rng.t -> float -> Vec3.t
 (** [wind_at t rng dt] advances the gust process by [dt] and returns the
     current wind vector. Calm environments always return zero. *)
 
+val wind_into : t -> Avis_util.Rng.t -> float -> Vec3.Mut.vec -> unit
+(** [wind_at] into preallocated scratch — the same implementation (same
+    RNG draws, same floats); allocation-free, and calm environments also
+    draw no randomness. *)
+
 val ground_altitude : t -> Vec3.t -> float
 (** Terrain height under a position; the default world is flat at 0. *)
+
+val ground_altitude_xyz : t -> x:float -> y:float -> float
+(** [ground_altitude] from raw components (hot path). *)
+
+val ground_altitude_into : t -> pos:Vec3.Mut.vec -> float array -> unit
+(** Write the ground level under [pos] into the single-cell destination;
+    only pointers cross the call, so the step kernel stays allocation-free
+    without relying on cross-module inlining. *)
+
+val has_obstacles : t -> bool
+val has_fence : t -> bool
+(** Allocation-free guards so the step kernel can skip the obstacle/fence
+    probes entirely in environments without them. *)
 
 val inside_obstacle : t -> Vec3.t -> obstacle option
 (** The first obstacle containing the point, if any. *)
 
+val obstacle_at : t -> x:float -> y:float -> z:float -> obstacle option
+(** [inside_obstacle] from raw components; allocates only on a hit. *)
+
 val breaches_fence : t -> Vec3.t -> bool
 (** True when a fence exists and the point lies outside it. *)
+
+val breaches_fence_xyz : t -> x:float -> y:float -> z:float -> bool
+(** [breaches_fence] from raw components, allocation-free. *)

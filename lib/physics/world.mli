@@ -5,7 +5,13 @@
     state comes out, and any contact events are recorded. The contact model
     distinguishes a gentle touchdown (the vehicle comes to rest) from a hard
     impact or an obstacle strike, which is what the invariant monitor's
-    crash detector consumes. *)
+    crash detector consumes.
+
+    [step] runs against preallocated scratch and performs no minor-heap
+    allocation in steady flight or steady rest (events allocate, but fire
+    at most once per contact). [step_reference] is the pre-optimisation
+    allocating implementation, kept as the bench baseline and the identity
+    oracle — the two produce bit-identical trajectories. *)
 
 open Avis_geo
 
@@ -28,14 +34,23 @@ val create :
   unit ->
   t
 
+val copy : t -> t
+(** An independent deep copy: shared immutable structure, copied mutable
+    state, fresh scratch. *)
+
 type snapshot
-(** A frozen deep copy of the whole physical state, including the gust
-    process and the physics RNG. *)
+(** A frozen copy of the whole physical state: the numeric state (body,
+    motors, clock, latched flags) flattened into one float blob, plus the
+    gust process and physics RNG. Immutable structure is shared with the
+    live world. *)
 
 val snapshot : t -> snapshot
 val restore : snapshot -> t
 (** [restore] yields a fresh world; one snapshot may be restored any number
     of times, each restore independent of the others. *)
+
+val snapshot_bytes : snapshot -> int
+(** Exact size in bytes of the snapshot's numeric payload. *)
 
 val airframe : t -> Airframe.t
 val environment : t -> Environment.t
@@ -51,6 +66,12 @@ val step : t -> motor_commands:float array -> dt:float -> contact_event option
     step, if any. After a [Ground_impact], [Obstacle_strike] or [Tipover]
     the world latches [crashed] and further steps keep the vehicle where it
     stopped. *)
+
+val step_reference :
+  t -> motor_commands:float array -> dt:float -> contact_event option
+(** The pre-optimisation allocating [step], preserved verbatim: same float
+    expressions, same RNG draws, bit-identical trajectory. Cold baseline for
+    the hot-loop bench and oracle for the identity tests. *)
 
 val crashed : t -> bool
 

@@ -45,7 +45,8 @@ type instance_state = {
 type t = {
   complement : complement;
   states : (Sensor.id * instance_state) list;
-  mutable charge : float; (* state of charge, 0..1 *)
+  charge : float array; (* single cell: state of charge, 0..1 — flat so the
+                           per-tick store stays unboxed *)
   full_voltage : float;
   empty_voltage : float;
   capacity_j : float;
@@ -80,7 +81,7 @@ let create ?(complement = iris_complement) ~rng () =
   {
     complement;
     states = List.map make_state (instances_of_complement complement);
-    charge = 1.0;
+    charge = [| 1.0 |];
     full_voltage = 12.6;
     empty_voltage = 10.2;
     capacity_j = 180_000.0;
@@ -99,7 +100,7 @@ let copy t =
         ch_aux = Noise.copy_channel s.ch_aux;
       } )
   in
-  { t with states = List.map copy_state t.states }
+  { t with states = List.map copy_state t.states; charge = Array.copy t.charge }
 
 let snapshot = copy
 let restore = copy
@@ -116,19 +117,23 @@ let count t kind =
   | Sensor.Battery -> t.complement.batteries
 
 let tick t world ~dt =
-  (* Electrical power rises with thrust; hovering the Iris draws ~180 W. *)
-  let thrust_fraction =
-    let frame = World.airframe world in
-    let hover = Airframe.hover_throttle frame in
-    Float.max 0.05 hover
+  (* Electrical power rises with thrust; hovering the Iris draws ~180 W.
+     [Airframe.hover_throttle] spelled out from the airframe fields so the
+     per-step tick allocates no boxed return. *)
+  let frame = World.airframe world in
+  let hover =
+    frame.Airframe.mass_kg *. Airframe.gravity
+    /. (float_of_int frame.Airframe.motor_count
+       *. frame.Airframe.max_thrust_per_motor_n)
   in
-  let power_w = 180.0 *. (thrust_fraction /. Airframe.hover_throttle (World.airframe world)) in
-  t.charge <- Float.max 0.0 (t.charge -. (power_w *. dt /. t.capacity_j))
+  let thrust_fraction = Float.max 0.05 hover in
+  let power_w = 180.0 *. (thrust_fraction /. hover) in
+  t.charge.(0) <- Float.max 0.0 (t.charge.(0) -. (power_w *. dt /. t.capacity_j))
 
-let battery_remaining t = t.charge
+let battery_remaining t = t.charge.(0)
 
 let drain_battery_to t level =
-  t.charge <- Avis_util.Stats.clamp ~lo:0.0 ~hi:1.0 level
+  t.charge.(0) <- Avis_util.Stats.clamp ~lo:0.0 ~hi:1.0 level
 
 let state_for t id =
   match List.assoc_opt id t.states with
@@ -151,9 +156,9 @@ let read t world id =
     let w = b.Avis_physics.Rigid_body.angular_velocity in
     Sensor.Gyro
       (Vec3.make
-         (Noise.sample s.ch1 ~dt ~truth:w.Vec3.x)
-         (Noise.sample s.ch2 ~dt ~truth:w.Vec3.y)
-         (Noise.sample s.ch3 ~dt ~truth:w.Vec3.z))
+         (Noise.sample s.ch1 ~dt ~truth:w.Vec3.Mut.x)
+         (Noise.sample s.ch2 ~dt ~truth:w.Vec3.Mut.y)
+         (Noise.sample s.ch3 ~dt ~truth:w.Vec3.Mut.z))
   | Sensor.Gps ->
     let p = b.Avis_physics.Rigid_body.position in
     let v = b.Avis_physics.Rigid_body.velocity in
@@ -161,28 +166,28 @@ let read t world id =
       {
         position =
           Vec3.make
-            (Noise.sample s.ch1 ~dt ~truth:p.Vec3.x)
-            (Noise.sample s.ch2 ~dt ~truth:p.Vec3.y)
-            (Noise.sample s.ch3 ~dt ~truth:p.Vec3.z);
+            (Noise.sample s.ch1 ~dt ~truth:p.Vec3.Mut.x)
+            (Noise.sample s.ch2 ~dt ~truth:p.Vec3.Mut.y)
+            (Noise.sample s.ch3 ~dt ~truth:p.Vec3.Mut.z);
         velocity =
           Vec3.make
-            (Noise.sample s.ch_aux ~dt ~truth:v.Vec3.x)
-            (Noise.sample s.ch_aux ~dt ~truth:v.Vec3.y)
-            (Noise.sample s.ch_aux ~dt ~truth:v.Vec3.z);
+            (Noise.sample s.ch_aux ~dt ~truth:v.Vec3.Mut.x)
+            (Noise.sample s.ch_aux ~dt ~truth:v.Vec3.Mut.y)
+            (Noise.sample s.ch_aux ~dt ~truth:v.Vec3.Mut.z);
         hdop = 0.8;
       }
   | Sensor.Compass ->
-    let _, _, yaw = Quat.to_euler b.Avis_physics.Rigid_body.attitude in
+    let _, _, yaw = Quat.to_euler (Avis_physics.Rigid_body.attitude_q b) in
     Sensor.Heading (Noise.sample s.ch1 ~dt ~truth:yaw)
   | Sensor.Barometer ->
-    let alt = b.Avis_physics.Rigid_body.position.Vec3.z in
+    let alt = b.Avis_physics.Rigid_body.position.Vec3.Mut.z in
     Sensor.Pressure_alt (Noise.sample s.ch1 ~dt:0.004 ~truth:alt)
   | Sensor.Battery ->
     let truth_v =
-      t.empty_voltage +. ((t.full_voltage -. t.empty_voltage) *. t.charge)
+      t.empty_voltage +. ((t.full_voltage -. t.empty_voltage) *. t.charge.(0))
     in
     Sensor.Battery_state
       {
         voltage = Noise.sample s.ch1 ~dt ~truth:truth_v;
-        remaining = t.charge;
+        remaining = t.charge.(0);
       }

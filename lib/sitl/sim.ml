@@ -124,6 +124,9 @@ let snapshot t =
     snap_steps = t.steps;
   }
 
+let snapshot_bytes s =
+  Obj.reachable_words (Obj.repr s) * (Sys.word_size / 8)
+
 let restore ?plan ?link_outages s =
   (* A restore with a substituted plan or outage schedule is the fork
      operation, the span every prefix-cache hit hangs off. *)
@@ -173,7 +176,10 @@ let step t =
       Avis_physics.World.step t.world ~motor_commands:motors ~dt:t.config.dt
     in
     Avis_sensors.Suite.tick t.suite t.world ~dt:t.config.dt;
-    Trace.record t.trace ~time:(time t) t.world
+    (* Pass steps and dt rather than a freshly computed time: [record]
+       rebuilds the identical float internally, and the call site stays
+       free of a boxed-float argument. *)
+    Trace.record t.trace ~steps:t.steps ~dt:t.config.dt t.world
       ~mode:(Phase.label (Vehicle.phase t.vehicle));
     ignore (Gcs.tick t.gcs ~time:(time t))
   end

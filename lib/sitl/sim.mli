@@ -55,6 +55,10 @@ type snapshot
 
 val snapshot : t -> snapshot
 
+val snapshot_bytes : snapshot -> int
+(** Total heap footprint of a snapshot in bytes (words reachable from it,
+    including structure shared with the live run), for cache accounting. *)
+
 val restore :
   ?plan:Avis_hinj.Hinj.plan ->
   ?link_outages:(float * float) list ->

@@ -7,68 +7,151 @@ type sample = {
   mode : string;
 }
 
+(* Samples live in fixed-size columnar chunks: float columns for the numeric
+   state and a string column for the mode label. Recording a sample is a
+   handful of unboxed stores into the current chunk — no list cons, no
+   re-materialisation — and a full chunk is never written again, so
+   snapshots share every chunk except the partial tail. *)
+
+let chunk_bits = 8
+let chunk_cap = 1 lsl chunk_bits (* 256 samples = 25.6 s at 10 Hz *)
+let chunk_mask = chunk_cap - 1
+
+type chunk = {
+  c_time : float array;
+  c_px : float array;
+  c_py : float array;
+  c_pz : float array;
+  c_ax : float array;
+  c_ay : float array;
+  c_az : float array;
+  c_mode : string array;
+}
+
+let fresh_chunk () =
+  {
+    c_time = Array.make chunk_cap 0.0;
+    c_px = Array.make chunk_cap 0.0;
+    c_py = Array.make chunk_cap 0.0;
+    c_pz = Array.make chunk_cap 0.0;
+    c_ax = Array.make chunk_cap 0.0;
+    c_ay = Array.make chunk_cap 0.0;
+    c_az = Array.make chunk_cap 0.0;
+    c_mode = Array.make chunk_cap "";
+  }
+
+let copy_chunk c =
+  {
+    c_time = Array.copy c.c_time;
+    c_px = Array.copy c.c_px;
+    c_py = Array.copy c.c_py;
+    c_pz = Array.copy c.c_pz;
+    c_ax = Array.copy c.c_ax;
+    c_ay = Array.copy c.c_ay;
+    c_az = Array.copy c.c_az;
+    c_mode = Array.copy c.c_mode;
+  }
+
 type t = {
   period : float;
-  mutable samples : sample list; (* newest first *)
-  mutable next_due : float;
+  mutable chunks : chunk array; (* exactly the chunks created so far *)
+  mutable len : int; (* total recorded samples *)
+  sched : float array; (* single cell: next sample due time (unboxed) *)
   mutable cache : sample array option;
 }
 
 let create ?(period = 0.1) () =
-  { period; samples = []; next_due = 0.0; cache = None }
+  { period; chunks = [||]; len = 0; sched = [| 0.0 |]; cache = None }
 
 let period t = t.period
 
 type snapshot = t
 
-(* Samples are immutable and the cached array is only ever replaced, never
-   mutated in place, so sharing both is safe. *)
-let copy t = { t with samples = t.samples }
+let copy t =
+  let chunks = Array.copy t.chunks in
+  (* Full chunks are frozen and shared; only the chunk still being appended
+     to must be detached so the two sides' future writes don't alias. *)
+  if t.len land chunk_mask <> 0 then begin
+    let tail = t.len lsr chunk_bits in
+    chunks.(tail) <- copy_chunk chunks.(tail)
+  end;
+  {
+    period = t.period;
+    chunks;
+    len = t.len;
+    sched = Array.copy t.sched;
+    cache = t.cache;
+  }
 
 let snapshot = copy
 let restore = copy
 
-let record t ~time world ~mode =
-  if time >= t.next_due then begin
-    t.next_due <- t.next_due +. t.period;
-    if t.next_due <= time then t.next_due <- time +. t.period;
+(* Appending a chunk copies the (tiny) chunk-pointer array; it happens once
+   per [chunk_cap] samples. *)
+let add_chunk t =
+  let c = fresh_chunk () in
+  t.chunks <- Array.append t.chunks [| c |];
+  c
+
+let record t ~steps ~dt world ~mode =
+  let time = float_of_int steps *. dt in
+  if time >= t.sched.(0) then begin
+    t.sched.(0) <- t.sched.(0) +. t.period;
+    if t.sched.(0) <= time then t.sched.(0) <- time +. t.period;
     let body = Avis_physics.World.body world in
-    t.samples <-
-      {
-        time;
-        position = body.Avis_physics.Rigid_body.position;
-        acceleration = body.Avis_physics.Rigid_body.acceleration;
-        mode;
-      }
-      :: t.samples;
+    let i = t.len in
+    let ci = i lsr chunk_bits and off = i land chunk_mask in
+    let c = if ci < Array.length t.chunks then t.chunks.(ci) else add_chunk t in
+    c.c_time.(off) <- time;
+    let p = body.Avis_physics.Rigid_body.position in
+    c.c_px.(off) <- p.Vec3.Mut.x;
+    c.c_py.(off) <- p.Vec3.Mut.y;
+    c.c_pz.(off) <- p.Vec3.Mut.z;
+    let a = body.Avis_physics.Rigid_body.acceleration in
+    c.c_ax.(off) <- a.Vec3.Mut.x;
+    c.c_ay.(off) <- a.Vec3.Mut.y;
+    c.c_az.(off) <- a.Vec3.Mut.z;
+    c.c_mode.(off) <- mode;
+    t.len <- i + 1;
     t.cache <- None
   end
+
+let[@inline] length t = t.len
+
+let sample_at t i =
+  let c = t.chunks.(i lsr chunk_bits) and off = i land chunk_mask in
+  {
+    time = c.c_time.(off);
+    position = Vec3.make c.c_px.(off) c.c_py.(off) c.c_pz.(off);
+    acceleration = Vec3.make c.c_ax.(off) c.c_ay.(off) c.c_az.(off);
+    mode = c.c_mode.(off);
+  }
 
 let samples t =
   match t.cache with
   | Some a -> a
   | None ->
-    let a = Array.of_list (List.rev t.samples) in
+    let a = Array.init t.len (fun i -> sample_at t i) in
     t.cache <- Some a;
     a
 
-let length t = List.length t.samples
-
 let nth t i =
-  let a = samples t in
-  if i < 0 || i >= Array.length a then invalid_arg "Trace.nth: out of range";
-  a.(i)
+  if i < 0 || i >= t.len then invalid_arg "Trace.nth: out of range";
+  match t.cache with Some a -> a.(i) | None -> sample_at t i
 
 let nth_padded t i =
-  let a = samples t in
-  let n = Array.length a in
+  let n = t.len in
   if n = 0 then invalid_arg "Trace.nth_padded: empty trace";
   if i < 0 then invalid_arg "Trace.nth_padded: negative index";
-  a.(min i (n - 1))
+  let i = min i (n - 1) in
+  match t.cache with Some a -> a.(i) | None -> sample_at t i
 
 let altitude_series t =
   Array.to_list
     (Array.map (fun s -> (s.time, s.position.Vec3.z)) (samples t))
 
 let final_mode t =
-  match t.samples with [] -> None | s :: _ -> Some s.mode
+  if t.len = 0 then None
+  else
+    let i = t.len - 1 in
+    Some t.chunks.(i lsr chunk_bits).c_mode.(i land chunk_mask)

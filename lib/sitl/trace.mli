@@ -3,7 +3,12 @@
     The invariant monitor compares runs by the state tuple (P, α, M) —
     position, acceleration, mode — sampled at a fixed period; the trace is
     exactly that series, taken from the simulator's ground truth (the
-    monitor observes physics, not the firmware's beliefs). *)
+    monitor observes physics, not the firmware's beliefs).
+
+    Samples are stored in fixed-size columnar chunks: [record] is a few
+    unboxed stores (O(1) amortised, allocation-free between chunk
+    boundaries), [length]/[nth] are O(1), and snapshots share every full
+    chunk with the live trace. *)
 
 open Avis_geo
 
@@ -22,21 +27,27 @@ val create : ?period:float -> unit -> t
 val period : t -> float
 
 type snapshot
-(** The recorded series and sampling schedule, frozen. *)
+(** The recorded series and sampling schedule, frozen. Full chunks are
+    shared with the live trace; the partial tail chunk is detached. *)
 
 val snapshot : t -> snapshot
 val restore : snapshot -> t
 
-val record : t -> time:float -> Avis_physics.World.t -> mode:string -> unit
-(** Append a sample if the period has elapsed since the last one. *)
+val record :
+  t -> steps:int -> dt:float -> Avis_physics.World.t -> mode:string -> unit
+(** Append a sample if the period has elapsed since the last one. The
+    sample time is [steps * dt] — computed here from the simulator's step
+    counter so the call site passes no freshly boxed float. *)
 
 val samples : t -> sample array
-(** All samples, oldest first. *)
+(** All samples, oldest first. The array is materialised from the columns
+    on first call and cached until the next [record]. *)
 
 val length : t -> int
+(** O(1), allocation-free. *)
 
 val nth : t -> int -> sample
-(** Raises [Invalid_argument] when out of range. *)
+(** O(1). Raises [Invalid_argument] when out of range. *)
 
 val nth_padded : t -> int -> sample
 (** Like [nth] but repeats the final sample beyond the end — the paper's

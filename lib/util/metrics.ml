@@ -6,15 +6,17 @@ type snapshot = {
   budget_s : float;
   findings : int;
   wall_s : float;
+  minor_words : float;
+  major_collections : int;
 }
 
 let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 let line ~event s =
   Printf.sprintf
-    "[avis] event=%s cell=%s sims=%d infs=%d spent_s=%.1f budget_s=%.1f findings=%d wall_s=%.1f"
+    "[avis] event=%s cell=%s sims=%d infs=%d spent_s=%.1f budget_s=%.1f findings=%d wall_s=%.1f minor_mw=%.2f majors=%d"
     event s.cell s.simulations s.inferences s.spent_s s.budget_s s.findings
-    s.wall_s
+    s.wall_s (s.minor_words /. 1e6) s.major_collections
 
 (* One mutex for every channel: emission is rare (campaign granularity),
    and a single lock keeps interleaved stderr/file output ordered too. *)
@@ -30,8 +32,10 @@ let emit ?(oc = stderr) ~event s =
       flush oc)
 
 (* The TOTAL row sums the additive columns (simulations, inferences,
-   modelled spend, budget, findings) but takes the max of [wall_s]: cells
-   run concurrently, so their real elapsed times overlap rather than add. *)
+   modelled spend, budget, findings, GC work) but takes the max of
+   [wall_s]: cells run concurrently, so their real elapsed times overlap
+   rather than add. Allocation and collections are per-domain work and do
+   add. *)
 let total snapshots =
   List.fold_left
     (fun acc s ->
@@ -43,10 +47,13 @@ let total snapshots =
         budget_s = acc.budget_s +. s.budget_s;
         findings = acc.findings + s.findings;
         wall_s = Float.max acc.wall_s s.wall_s;
+        minor_words = acc.minor_words +. s.minor_words;
+        major_collections = acc.major_collections + s.major_collections;
       })
     {
       cell = "TOTAL (wall = max)"; simulations = 0; inferences = 0;
       spent_s = 0.0; budget_s = 0.0; findings = 0; wall_s = 0.0;
+      minor_words = 0.0; major_collections = 0;
     }
     snapshots
 
@@ -55,13 +62,15 @@ let summary_table snapshots =
     Table.create
       ~header:
         [ "cell"; "sims"; "infs"; "spent (s)"; "budget (s)"; "findings";
-          "wall (s)" ]
+          "wall (s)"; "minor (Mw)"; "majors" ]
   in
   let row s =
     [
       s.cell; string_of_int s.simulations; string_of_int s.inferences;
       Printf.sprintf "%.1f" s.spent_s; Printf.sprintf "%.0f" s.budget_s;
       string_of_int s.findings; Printf.sprintf "%.1f" s.wall_s;
+      Printf.sprintf "%.2f" (s.minor_words /. 1e6);
+      string_of_int s.major_collections;
     ]
   in
   List.iter (fun s -> Table.add_row t (row s)) snapshots;

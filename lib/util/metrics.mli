@@ -5,7 +5,7 @@
     stderr that are emitted atomically (one [output_string] under a
     global mutex) and are grep-able by cell label:
 
-    {v [avis] event=progress cell=Avis/apm/auto-box sims=41 infs=0 spent_s=612.0 budget_s=7200.0 findings=3 wall_s=0.8 v} *)
+    {v [avis] event=progress cell=Avis/apm/auto-box sims=41 infs=0 spent_s=612.0 budget_s=7200.0 findings=3 wall_s=0.8 minor_mw=12.50 majors=2 v} *)
 
 type snapshot = {
   cell : string;  (** [approach/policy/workload], no spaces. *)
@@ -15,6 +15,10 @@ type snapshot = {
   budget_s : float;
   findings : int;
   wall_s : float;  (** Real (monotonic) seconds since the cell started. *)
+  minor_words : float;
+      (** Minor-heap words allocated by the cell so far (rendered in
+          megawords as [minor_mw]). *)
+  major_collections : int;  (** Major GC cycles during the cell. *)
 }
 
 val now_s : unit -> float
@@ -29,9 +33,10 @@ val emit : ?oc:out_channel -> event:string -> snapshot -> unit
     call concurrently from worker domains. *)
 
 val total : snapshot list -> snapshot
-(** The summary's TOTAL row: sums simulations, inferences, spend, budget
-    and findings, but takes the {e max} of [wall_s] — concurrent cells'
-    elapsed times overlap rather than add. *)
+(** The summary's TOTAL row: sums simulations, inferences, spend, budget,
+    findings and GC work, but takes the {e max} of [wall_s] — concurrent
+    cells' elapsed times overlap rather than add, while their allocation
+    and collections are real per-domain work and do add. *)
 
 val summary_table : snapshot list -> Table.t
 (** The per-cell table, with a separator and {!total} row appended when

@@ -53,16 +53,16 @@ let test_alt_frozen_stops_updating () =
   let before = Estimator.altitude rig.est in
   Estimator.set_alt_mode rig.est Estimator.Alt_frozen;
   (* Move the world upward; the frozen estimate must not follow. *)
-  (Avis_physics.World.body rig.world).Avis_physics.Rigid_body.position <-
-    Vec3.make 0.0 0.0 50.0;
+  Avis_physics.Rigid_body.set_position
+    (Avis_physics.World.body rig.world) (Vec3.make 0.0 0.0 50.0);
   step_rig rig 2.0;
   Alcotest.(check (float 1e-6)) "frozen" before (Estimator.altitude rig.est)
 
 let test_alt_fused_tracks_world () =
   let rig = make_rig () in
   step_rig rig 3.0;
-  (Avis_physics.World.body rig.world).Avis_physics.Rigid_body.position <-
-    Vec3.make 0.0 0.0 30.0;
+  Avis_physics.Rigid_body.set_position
+    (Avis_physics.World.body rig.world) (Vec3.make 0.0 0.0 30.0);
   step_rig rig 3.0;
   Alcotest.(check bool) "tracks" true
     (Float.abs (Estimator.altitude rig.est -. 30.0) < 2.0)
@@ -90,8 +90,9 @@ let test_att_frozen () =
   step_rig rig 2.0;
   Estimator.set_att_mode rig.est Estimator.Att_frozen;
   let before = Estimator.attitude rig.est in
-  (Avis_physics.World.body rig.world).Avis_physics.Rigid_body.attitude <-
-    Quat.of_euler ~roll:0.5 ~pitch:0.0 ~yaw:0.0;
+  Avis_physics.Rigid_body.set_attitude
+    (Avis_physics.World.body rig.world)
+    (Quat.of_euler ~roll:0.5 ~pitch:0.0 ~yaw:0.0);
   step_rig rig 1.0;
   Alcotest.(check (float 1e-6)) "attitude frozen" 0.0
     (Quat.angle_between before (Estimator.attitude rig.est))
@@ -105,11 +106,11 @@ let test_yaw_stale_compass_pins_heading () =
     step_rig rig 3.0;
     Estimator.set_yaw_mode rig.est mode;
     (* Rotate the true vehicle by 0.8 rad over a second; the gyro sees it. *)
-    (Avis_physics.World.body rig.world).Avis_physics.Rigid_body.angular_velocity <-
-      Vec3.make 0.0 0.0 0.8;
+    Avis_physics.Rigid_body.set_angular_velocity
+      (Avis_physics.World.body rig.world) (Vec3.make 0.0 0.0 0.8);
     step_rig rig 1.0;
-    (Avis_physics.World.body rig.world).Avis_physics.Rigid_body.angular_velocity <-
-      Vec3.zero;
+    Avis_physics.Rigid_body.set_angular_velocity
+      (Avis_physics.World.body rig.world) Vec3.zero;
     step_rig rig 4.0;
     Estimator.yaw rig.est
   in
@@ -124,11 +125,11 @@ let test_yaw_flipped_diverges () =
   Estimator.set_yaw_mode rig.est Estimator.Yaw_flipped;
   (* Nudge the estimate away from the stale heading; the flipped correction
      must amplify the error instead of closing it. *)
-  (Avis_physics.World.body rig.world).Avis_physics.Rigid_body.angular_velocity <-
-    Vec3.make 0.0 0.0 0.3;
+  Avis_physics.Rigid_body.set_angular_velocity
+    (Avis_physics.World.body rig.world) (Vec3.make 0.0 0.0 0.3);
   step_rig rig 1.0;
-  (Avis_physics.World.body rig.world).Avis_physics.Rigid_body.angular_velocity <-
-    Vec3.zero;
+  Avis_physics.Rigid_body.set_angular_velocity
+    (Avis_physics.World.body rig.world) Vec3.zero;
   let early = Float.abs (Estimator.yaw rig.est) in
   step_rig rig 1.0;
   let late = Float.abs (Estimator.yaw rig.est) in

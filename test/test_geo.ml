@@ -143,6 +143,110 @@ let test_normalize_zero () =
   let z = Quat.make ~w:0.0 ~x:0.0 ~y:0.0 ~z:0.0 in
   Alcotest.(check (float 1e-9)) "identity fallback" 1.0 (Quat.normalize z).Quat.w
 
+(* Mut kernels: the destination-passing variants used by the physics hot
+   loop must match the pure operations bit for bit, not merely within an
+   epsilon — campaign determinism (cached vs cold runs, parallel vs
+   sequential matrices) depends on the kernels being interchangeable. *)
+
+let bits = Int64.bits_of_float
+
+let same_vec (v : Vec3.t) (m : Vec3.Mut.vec) =
+  bits v.Vec3.x = bits m.Vec3.Mut.x
+  && bits v.Vec3.y = bits m.Vec3.Mut.y
+  && bits v.Vec3.z = bits m.Vec3.Mut.z
+
+let same_quat (q : Quat.t) (m : Quat.Mut.quat) =
+  bits q.Quat.w = bits m.Quat.Mut.w
+  && bits q.Quat.x = bits m.Quat.Mut.x
+  && bits q.Quat.y = bits m.Quat.Mut.y
+  && bits q.Quat.z = bits m.Quat.Mut.z
+
+let prop_mut_vec_bit_identical =
+  QCheck.Test.make ~name:"Mut vector kernels bit-identical to pure"
+    ~count:500
+    (QCheck.triple arb_vec arb_vec (QCheck.float_range (-10.0) 10.0))
+    (fun (a, b, s) ->
+      let ma = Vec3.Mut.of_t a and mb = Vec3.Mut.of_t b in
+      let dst = Vec3.Mut.create () in
+      let into pure op =
+        op ();
+        same_vec pure dst
+      in
+      into (Vec3.add a b) (fun () -> Vec3.Mut.add dst ma mb)
+      && into (Vec3.sub a b) (fun () -> Vec3.Mut.sub dst ma mb)
+      && into (Vec3.cross a b) (fun () -> Vec3.Mut.cross dst ma mb)
+      && into (Vec3.scale s a) (fun () -> Vec3.Mut.scale dst s ma)
+      && into (Vec3.neg a) (fun () -> Vec3.Mut.neg dst ma)
+      && into (Vec3.horizontal a) (fun () -> Vec3.Mut.horizontal dst ma)
+      && into (Vec3.normalize a) (fun () -> Vec3.Mut.normalize dst ma)
+      && into (Vec3.clamp_norm (Float.abs s) a) (fun () ->
+             Vec3.Mut.clamp_norm dst (Float.abs s) ma)
+      && bits (Vec3.dot a b) = bits (Vec3.Mut.dot ma mb)
+      && bits (Vec3.norm a) = bits (Vec3.Mut.norm ma)
+      && bits (Vec3.norm_sq a) = bits (Vec3.Mut.norm_sq ma)
+      (* The inputs must never be disturbed. *)
+      && same_vec a ma
+      && same_vec b mb)
+
+(* Aliasing: the kernels advertise [dst] may be an operand. *)
+let prop_mut_vec_alias_safe =
+  QCheck.Test.make ~name:"Mut kernels alias-safe (dst = operand)" ~count:200
+    (QCheck.pair arb_vec arb_vec)
+    (fun (a, b) ->
+      let d1 = Vec3.Mut.of_t a and mb = Vec3.Mut.of_t b in
+      Vec3.Mut.cross d1 d1 mb;
+      let d2 = Vec3.Mut.of_t a in
+      Vec3.Mut.normalize d2 d2;
+      same_vec (Vec3.cross a b) d1 && same_vec (Vec3.normalize a) d2)
+
+let test_mut_vec_edges () =
+  (* normalize of the zero vector stays zero in both worlds. *)
+  let z = Vec3.Mut.create () in
+  Vec3.Mut.normalize z z;
+  Alcotest.(check bool) "normalize zero = zero" true
+    (same_vec (Vec3.normalize Vec3.zero) z);
+  (* clamp_norm at the boundary and below it. *)
+  let v = Vec3.make 3.0 4.0 0.0 in
+  let m = Vec3.Mut.of_t v in
+  let dst = Vec3.Mut.create () in
+  Vec3.Mut.clamp_norm dst 5.0 m;
+  Alcotest.(check bool) "limit = norm leaves v" true
+    (same_vec (Vec3.clamp_norm 5.0 v) dst);
+  Vec3.Mut.clamp_norm dst 0.0 m;
+  Alcotest.(check bool) "limit 0 matches pure" true
+    (same_vec (Vec3.clamp_norm 0.0 v) dst);
+  (* A negative limit is invalid in both, with the same message. *)
+  Alcotest.check_raises "negative limit (Mut)"
+    (Invalid_argument "Vec3.clamp_norm: negative limit") (fun () ->
+      Vec3.Mut.clamp_norm dst (-1.0) m)
+
+let prop_mut_quat_bit_identical =
+  QCheck.Test.make ~name:"Mut quaternion kernels bit-identical to pure"
+    ~count:500
+    (QCheck.triple arb_unit_quat arb_vec (QCheck.float_range 0.0 0.05))
+    (fun (q, v, dt) ->
+      let mq = Quat.Mut.of_t q and mv = Vec3.Mut.of_t v in
+      let dst = Vec3.Mut.create () in
+      Quat.Mut.rotate dst mq mv;
+      let rot_ok = same_vec (Quat.rotate q v) dst in
+      Quat.Mut.rotate_inv dst mq mv;
+      let inv_ok = same_vec (Quat.rotate_inv q v) dst in
+      (* rotate with dst aliasing the input vector. *)
+      let aliased = Vec3.Mut.of_t v in
+      Quat.Mut.rotate aliased mq aliased;
+      let alias_ok = same_vec (Quat.rotate q v) aliased in
+      let tilt_ok = bits (Quat.tilt q) = bits (Quat.Mut.tilt mq) in
+      let norm_ok = bits (Quat.norm q) = bits (Quat.Mut.norm mq) in
+      Quat.Mut.integrate mq mv dt;
+      let int_ok = same_quat (Quat.integrate q v dt) mq in
+      rot_ok && inv_ok && alias_ok && tilt_ok && norm_ok && int_ok)
+
+let test_mut_quat_normalize_zero () =
+  let z = Quat.Mut.of_t (Quat.make ~w:0.0 ~x:0.0 ~y:0.0 ~z:0.0) in
+  Quat.Mut.normalize z;
+  Alcotest.(check bool) "identity fallback matches pure" true
+    (same_quat (Quat.normalize (Quat.make ~w:0.0 ~x:0.0 ~y:0.0 ~z:0.0)) z)
+
 (* Geodesy *)
 
 let test_geodesy_roundtrip () =
@@ -207,6 +311,15 @@ let () =
           q prop_rotate_inverse;
           q prop_mul_composes;
           q prop_integrate_body_frame;
+        ] );
+      ( "mut",
+        [
+          Alcotest.test_case "vec edge cases" `Quick test_mut_vec_edges;
+          Alcotest.test_case "quat normalize zero" `Quick
+            test_mut_quat_normalize_zero;
+          q prop_mut_vec_bit_identical;
+          q prop_mut_vec_alias_safe;
+          q prop_mut_quat_bit_identical;
         ] );
       ( "geodesy",
         [

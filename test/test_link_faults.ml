@@ -157,6 +157,7 @@ let stacked_gcs_loss_finding policy bug ~boundary ~offset ~check_cache =
     let cache =
       Prefix_cache.create ~workload:Workload.auto_box ~make_sim
         ~checkpoint_times:(List.init 40 (fun i -> 2.0 *. float_of_int (i + 1)))
+        ()
     in
     let first = Prefix_cache.execute cache ~scenario in
     let second = Prefix_cache.execute cache ~scenario in

@@ -156,11 +156,13 @@ let test_metrics_line_format () =
     {
       Metrics.cell = "Avis/apm/auto-box"; simulations = 41; inferences = 7;
       spent_s = 612.04; budget_s = 7200.0; findings = 3; wall_s = 0.84;
+      minor_words = 12_500_000.0; major_collections = 2;
     }
   in
   Alcotest.(check string) "grep-able key=value record"
     "[avis] event=progress cell=Avis/apm/auto-box sims=41 infs=7 \
-     spent_s=612.0 budget_s=7200.0 findings=3 wall_s=0.8"
+     spent_s=612.0 budget_s=7200.0 findings=3 wall_s=0.8 minor_mw=12.50 \
+     majors=2"
     (Metrics.line ~event:"progress" s)
 
 let test_metrics_clock_monotonic () =
@@ -168,15 +170,22 @@ let test_metrics_clock_monotonic () =
   let b = Metrics.now_s () in
   Alcotest.(check bool) "non-decreasing" true (b >= a)
 
-let snap cell ~sims ~infs ~spent ~findings ~wall =
+let snap ?(minor = 0.0) ?(majors = 0) cell ~sims ~infs ~spent ~findings ~wall =
   {
     Metrics.cell; simulations = sims; inferences = infs; spent_s = spent;
-    budget_s = 7200.0; findings; wall_s = wall;
+    budget_s = 7200.0; findings; wall_s = wall; minor_words = minor;
+    major_collections = majors;
   }
 
 let test_metrics_total_row () =
-  let a = snap "Avis/apm/auto-box" ~sims:41 ~infs:7 ~spent:612.0 ~findings:3 ~wall:0.8 in
-  let b = snap "Avis/px4/auto-box" ~sims:9 ~infs:2 ~spent:88.5 ~findings:1 ~wall:2.5 in
+  let a =
+    snap "Avis/apm/auto-box" ~sims:41 ~infs:7 ~spent:612.0 ~findings:3
+      ~wall:0.8 ~minor:1.5e6 ~majors:2
+  in
+  let b =
+    snap "Avis/px4/auto-box" ~sims:9 ~infs:2 ~spent:88.5 ~findings:1 ~wall:2.5
+      ~minor:0.5e6 ~majors:1
+  in
   let t = Metrics.total [ a; b ] in
   Alcotest.(check string) "labelled as the max-wall total" "TOTAL (wall = max)"
     t.Metrics.cell;
@@ -184,8 +193,11 @@ let test_metrics_total_row () =
   Alcotest.(check int) "infs summed" 9 t.Metrics.inferences;
   Alcotest.(check (float 1e-9)) "spend summed" 700.5 t.Metrics.spent_s;
   Alcotest.(check int) "findings summed" 4 t.Metrics.findings;
-  (* Concurrent cells overlap in real time: wall is a max, not a sum. *)
-  Alcotest.(check (float 1e-9)) "wall is the max" 2.5 t.Metrics.wall_s
+  (* Concurrent cells overlap in real time: wall is a max, not a sum —
+     but allocation and collections are per-domain work, so they add. *)
+  Alcotest.(check (float 1e-9)) "wall is the max" 2.5 t.Metrics.wall_s;
+  Alcotest.(check (float 1e-9)) "minor words summed" 2.0e6 t.Metrics.minor_words;
+  Alcotest.(check int) "majors summed" 3 t.Metrics.major_collections
 
 let contains ~needle haystack =
   let n = String.length needle and h = String.length haystack in

@@ -84,17 +84,20 @@ let test_flapping_damps_rates () =
 let test_free_fall () =
   let body = Rigid_body.create ~position:(Vec3.make 0.0 0.0 100.0) () in
   let dt = 0.004 in
+  let force =
+    Vec3.Mut.of_t (Vec3.make 0.0 0.0 (-.frame.Airframe.mass_kg *. Airframe.gravity))
+  in
+  let torque = Vec3.Mut.create () in
   for _ = 1 to 250 do
     Rigid_body.step body ~inertia:frame.Airframe.inertia
-      ~mass:frame.Airframe.mass_kg
-      ~force:(Vec3.make 0.0 0.0 (-.frame.Airframe.mass_kg *. Airframe.gravity))
-      ~torque:Vec3.zero ~dt
+      ~mass:frame.Airframe.mass_kg ~force ~torque ~dt
   done;
   (* After 1 s of free fall: v = -g, z ≈ 100 - g/2. *)
   Alcotest.(check bool) "velocity" true
-    (Float.abs (body.Rigid_body.velocity.Vec3.z +. Airframe.gravity) < 0.1);
+    (Float.abs (body.Rigid_body.velocity.Vec3.Mut.z +. Airframe.gravity) < 0.1);
   Alcotest.(check bool) "position" true
-    (Float.abs (body.Rigid_body.position.Vec3.z -. (100.0 -. (Airframe.gravity /. 2.0)))
+    (Float.abs
+       (body.Rigid_body.position.Vec3.Mut.z -. (100.0 -. (Airframe.gravity /. 2.0)))
     < 0.5)
 
 let test_specific_force_at_rest () =
@@ -108,7 +111,7 @@ let test_world_hover_stays () =
   ignore (step_world world (Array.make 4 hover) 3.0);
   let b = World.body world in
   Alcotest.(check bool) "altitude held within 2 m" true
-    (Float.abs (b.Rigid_body.position.Vec3.z -. 10.0) < 2.0);
+    (Float.abs (b.Rigid_body.position.Vec3.Mut.z -. 10.0) < 2.0);
   Alcotest.(check bool) "no crash" true (not (World.crashed world))
 
 let test_world_hard_impact () =
@@ -130,10 +133,10 @@ let test_world_gentle_touchdown () =
 let test_world_frozen_after_crash () =
   let world = World.create ~position:(Vec3.make 0.0 0.0 15.0) () in
   ignore (step_world world (Array.make 4 0.0) 5.0);
-  let pos = (World.body world).Rigid_body.position in
+  let pos = Rigid_body.position_v (World.body world) in
   ignore (step_world world (Array.make 4 1.0) 1.0);
   Alcotest.(check bool) "position frozen" true
-    (Vec3.equal_eps pos (World.body world).Rigid_body.position)
+    (Vec3.equal_eps pos (Rigid_body.position_v (World.body world)))
 
 let test_environment_obstacle () =
   let env =
@@ -193,6 +196,77 @@ let test_fence_breach_latched () =
   ignore (step_world world (Array.make 4 hover) 0.1);
   Alcotest.(check bool) "breached" true (World.fence_breached world)
 
+(* The optimised step and the allocating reference step must be
+   interchangeable bit for bit, over a profile that exercises ground
+   contact, climb, asymmetric thrust and descent, in calm and windy air. *)
+
+let fingerprint w =
+  let b = World.body w in
+  let p = Rigid_body.position_v b
+  and v = Rigid_body.velocity_v b
+  and q = Rigid_body.attitude_q b
+  and o = Rigid_body.angular_velocity_v b in
+  List.map Int64.bits_of_float
+    [ p.Vec3.x; p.y; p.z; v.x; v.y; v.z; q.Quat.w; q.Quat.x; q.Quat.y;
+      q.Quat.z; o.Vec3.x; o.y; o.z; World.time w ]
+
+let flight_profile i =
+  if i < 200 then Array.make 4 (hover *. 1.2)
+  else if i < 1200 then [| hover *. 1.02; hover *. 0.98; hover; hover |]
+  else Array.make 4 (hover *. 0.9)
+
+let fly stepf ~windy =
+  let environment =
+    if windy then
+      Environment.create
+        ~wind:
+          (Some
+             { Environment.steady = Vec3.make 3.0 1.0 0.0;
+               gust_stddev = 1.0; gust_correlation_s = 1.0 })
+        ()
+    else Environment.benign ()
+  in
+  let w = World.create ~environment ~rng:(Avis_util.Rng.create 7) () in
+  for i = 0 to 2999 do
+    ignore (stepf w ~motor_commands:(flight_profile i) ~dt:0.004)
+  done;
+  fingerprint w
+
+let test_step_matches_reference () =
+  List.iter
+    (fun windy ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical flight (windy=%b)" windy)
+        true
+        (fly World.step ~windy = fly World.step_reference ~windy))
+    [ false; true ]
+
+(* The zero-allocation contract: once warm, the full kernel — physics
+   step, sensor tick, trace record — must not allocate on the minor heap
+   in steady flight. The 64-word slack absorbs the trace's occasional
+   chunk-directory growth (a few pointer words every 256 records); a
+   single boxed float per step would show up as 2000 words. *)
+let test_steady_step_allocation_free () =
+  let w = World.create ~position:(Vec3.make 0.0 0.0 100.0) () in
+  let suite = Avis_sensors.Suite.create ~rng:(Avis_util.Rng.create 1) () in
+  let trace = Avis_sitl.Trace.create () in
+  let cmds = Array.make 4 hover in
+  let steps = ref 0 in
+  let kernel () =
+    ignore (World.step w ~motor_commands:cmds ~dt:0.004);
+    Avis_sensors.Suite.tick suite w ~dt:0.004;
+    incr steps;
+    Avis_sitl.Trace.record trace ~steps:!steps ~dt:0.004 w ~mode:"Manual"
+  in
+  for _ = 1 to 2000 do kernel () done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do kernel () done;
+  let allocated = Gc.minor_words () -. w0 in
+  Alcotest.(check bool) "vehicle still flying" false (World.crashed w);
+  if allocated >= 64.0 then
+    Alcotest.failf "steady kernel allocated %.0f minor words over 1000 steps"
+      allocated
+
 let () =
   Alcotest.run "avis_physics"
     [
@@ -217,6 +291,10 @@ let () =
           Alcotest.test_case "gentle touchdown" `Quick test_world_gentle_touchdown;
           Alcotest.test_case "frozen after crash" `Quick test_world_frozen_after_crash;
           Alcotest.test_case "fence breach latched" `Quick test_fence_breach_latched;
+          Alcotest.test_case "step = reference step" `Quick
+            test_step_matches_reference;
+          Alcotest.test_case "steady step allocation-free" `Quick
+            test_steady_step_allocation_free;
         ] );
       ( "environment",
         [

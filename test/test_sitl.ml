@@ -9,7 +9,7 @@ let test_trace_records_at_period () =
   let trace = Trace.create ~period:0.1 () in
   let world = Avis_physics.World.create () in
   for i = 1 to 100 do
-    Trace.record trace ~time:(float_of_int i *. 0.01) world ~mode:"Pre-Flight"
+    Trace.record trace ~steps:i ~dt:0.01 world ~mode:"Pre-Flight"
   done;
   (* 1 s at 10 Hz -> about 10 samples. *)
   Alcotest.(check bool) "about ten samples" true
@@ -18,8 +18,8 @@ let test_trace_records_at_period () =
 let test_trace_padding () =
   let trace = Trace.create ~period:0.1 () in
   let world = Avis_physics.World.create () in
-  Trace.record trace ~time:0.0 world ~mode:"A";
-  Trace.record trace ~time:0.2 world ~mode:"B";
+  Trace.record trace ~steps:0 ~dt:0.01 world ~mode:"A";
+  Trace.record trace ~steps:20 ~dt:0.01 world ~mode:"B";
   let last = Trace.nth_padded trace 100 in
   Alcotest.(check string) "padded with final" "B" last.Trace.mode;
   Alcotest.check_raises "nth out of range" (Invalid_argument "Trace.nth: out of range")
@@ -29,6 +29,77 @@ let test_trace_empty_padding () =
   let trace = Trace.create () in
   Alcotest.check_raises "empty" (Invalid_argument "Trace.nth_padded: empty trace")
     (fun () -> ignore (Trace.nth_padded trace 0))
+
+(* Record every step (period 0) so the indices below are exact. *)
+let recorded_trace n =
+  let trace = Trace.create ~period:0.0 () in
+  let world = Avis_physics.World.create () in
+  for i = 1 to n do
+    Trace.record trace ~steps:i ~dt:0.01 world
+      ~mode:(if i mod 2 = 0 then "Even" else "Odd")
+  done;
+  trace
+
+(* The columnar store freezes a chunk every 256 records; indices around
+   that boundary are where an off-by-one in the chunk arithmetic would
+   land. *)
+let test_trace_chunk_boundaries () =
+  let n = 600 in
+  let trace = recorded_trace n in
+  Alcotest.(check int) "every record kept" n (Trace.length trace);
+  List.iter
+    (fun i ->
+      let s = Trace.nth trace i in
+      let expected = float_of_int (i + 1) *. 0.01 in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "time at %d" i)
+        expected s.Trace.time;
+      Alcotest.(check string)
+        (Printf.sprintf "mode at %d" i)
+        (if (i + 1) mod 2 = 0 then "Even" else "Odd")
+        s.Trace.mode)
+    [ 0; 1; 254; 255; 256; 257; 511; 512; n - 1 ]
+
+(* A snapshot must be isolated from the live trace in both directions:
+   recording into the original must not leak into the snapshot's shared
+   chunks, and restoring must rewind the length. *)
+let test_trace_snapshot_isolation () =
+  let trace = recorded_trace 300 in
+  let snap = Trace.snapshot trace in
+  let world = Avis_physics.World.create () in
+  for i = 301 to 700 do
+    Trace.record trace ~steps:i ~dt:0.01 world ~mode:"After"
+  done;
+  let restored = Trace.restore snap in
+  Alcotest.(check int) "snapshot length preserved" 300 (Trace.length restored);
+  Alcotest.(check string) "tail record untouched" "Even"
+    (Trace.nth restored 299).Trace.mode;
+  Alcotest.(check string) "original kept recording" "After"
+    (Trace.nth trace 699).Trace.mode;
+  (* And the restored copy can diverge without disturbing the original. *)
+  Trace.record restored ~steps:301 ~dt:0.01 world ~mode:"Fork";
+  Alcotest.(check string) "fork stays local" "Fork"
+    (Trace.nth restored 300).Trace.mode;
+  Alcotest.(check string) "original unaffected" "After"
+    (Trace.nth trace 300).Trace.mode
+
+(* [length] is O(1) state, not a walk: reading it — warm, on a trace of
+   any shape — must not allocate at all. *)
+let test_trace_length_allocation_free () =
+  let trace = recorded_trace 700 in
+  let acc = ref 0 in
+  for _ = 1 to 100 do
+    acc := !acc + Trace.length trace
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    acc := !acc + Trace.length trace
+  done;
+  let allocated = Gc.minor_words () -. w0 in
+  Alcotest.(check int) "length stable" (700 * 1100) !acc;
+  if allocated > 0.0 then
+    Alcotest.failf "Trace.length allocated %.0f minor words over 1000 calls"
+      allocated
 
 let test_sim_time_advances () =
   let sim = Sim.create (Sim.default_config Avis_firmware.Policy.apm) in
@@ -119,6 +190,10 @@ let () =
           Alcotest.test_case "records at period" `Quick test_trace_records_at_period;
           Alcotest.test_case "padding" `Quick test_trace_padding;
           Alcotest.test_case "empty padding" `Quick test_trace_empty_padding;
+          Alcotest.test_case "chunk boundaries" `Quick test_trace_chunk_boundaries;
+          Alcotest.test_case "snapshot isolation" `Quick test_trace_snapshot_isolation;
+          Alcotest.test_case "length allocation-free" `Quick
+            test_trace_length_allocation_free;
         ] );
       ( "sim",
         [

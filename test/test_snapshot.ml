@@ -115,7 +115,7 @@ let test_prefix_cache_transparent () =
       (sim_config workload policy)
   in
   let checkpoint_times = List.init 40 (fun i -> 2.0 *. float_of_int (i + 1)) in
-  let cache = Prefix_cache.create ~workload ~make_sim ~checkpoint_times in
+  let cache = Prefix_cache.create ~workload ~make_sim ~checkpoint_times () in
   Alcotest.(check bool) "cacheable config" false (Prefix_cache.bypassing cache);
   let scenarios =
     [
@@ -159,6 +159,7 @@ let test_prefix_cache_bypasses_unencodable () =
     let cache =
       Prefix_cache.create ~workload ~make_sim
         ~checkpoint_times:(List.init 30 (fun i -> float_of_int (i + 1)))
+        ()
     in
     Alcotest.(check bool) (name ^ " bypassing") true
       (Prefix_cache.bypassing cache);
@@ -192,6 +193,55 @@ let test_prefix_cache_bypasses_unencodable () =
           Sim.link_faults =
             { Avis_mavlink.Link.no_faults with Avis_mavlink.Link.drop = 0.05 };
         })
+
+(* Satellite regression: the byte budget is a hard ceiling. With a tiny
+   budget the cache must evict checkpoints, yet the accounted resident
+   bytes may never exceed the budget and every outcome must still equal
+   the cold run — eviction costs wall-clock, never correctness. *)
+let test_prefix_cache_eviction_bounded () =
+  let workload = Workload.quickstart and policy = Policy.apm in
+  let make_sim ~scenario =
+    Sim.create
+      ~plan:(Scenario.to_plan scenario)
+      ~link_outages:(Scenario.link_outages scenario)
+      (sim_config workload policy)
+  in
+  let budget_mb = 1 in
+  let cache =
+    Prefix_cache.create ~cache_mb:budget_mb ~workload ~make_sim
+      ~checkpoint_times:(List.init 30 (fun i -> float_of_int (i + 1)))
+      ()
+  in
+  let budget_bytes = budget_mb * 1024 * 1024 in
+  let check_resident () =
+    let s = Prefix_cache.stats cache in
+    Alcotest.(check bool) "resident within budget" true
+      (s.Prefix_cache.resident_bytes <= budget_bytes
+      && s.Prefix_cache.resident_bytes >= 0)
+  in
+  check_resident ();
+  let scenarios =
+    [
+      Scenario.empty;
+      scen_kind Sensor.Gps 25.0;
+      scen_kind Sensor.Compass 40.0;
+      scen_kind ~n:1 Sensor.Barometer 12.5;
+      (* Repeat: either a hit or a re-simulated cold run post-eviction. *)
+      scen_kind Sensor.Gps 25.0;
+    ]
+  in
+  List.iter
+    (fun scenario ->
+      let cached = Prefix_cache.execute cache ~scenario in
+      check_resident ();
+      let sim = make_sim ~scenario in
+      let passed = Workload.execute workload sim in
+      let cold = Sim.outcome sim ~workload_passed:passed in
+      check_same_outcome "evicting cache = cold" cold cached)
+    scenarios;
+  let s = Prefix_cache.stats cache in
+  Alcotest.(check bool) "budget forced evictions" true
+    (s.Prefix_cache.evictions > 0)
 
 let test_campaign_cache_transparent () =
   let base = Campaign.default_config Policy.apm Workload.auto_box in
@@ -270,6 +320,8 @@ let () =
           Alcotest.test_case "cache transparent" `Slow test_prefix_cache_transparent;
           Alcotest.test_case "cache bypasses unencodable configs" `Slow
             test_prefix_cache_bypasses_unencodable;
+          Alcotest.test_case "eviction keeps bytes bounded" `Slow
+            test_prefix_cache_eviction_bounded;
           Alcotest.test_case "campaign on/off identical" `Slow
             test_campaign_cache_transparent;
           Alcotest.test_case "campaign replay identical" `Slow
