@@ -78,6 +78,11 @@ let cell_label ~approach ~policy ~workload =
     (Printf.sprintf "%s/%s/%s" approach policy workload)
 
 let snapshot_of_cell c =
+  let store_hits, store_misses, store_bytes =
+    match c.result.Campaign.cache_stats with
+    | Some s -> Prefix_cache.(s.store_hits, s.store_misses, s.store_bytes)
+    | None -> (0, 0, 0)
+  in
   {
     Metrics.cell =
       cell_label ~approach:c.approach ~policy:c.policy.Policy.name
@@ -90,6 +95,9 @@ let snapshot_of_cell c =
     wall_s = c.wall_s;
     minor_words = c.result.Campaign.minor_words;
     major_collections = c.result.Campaign.major_collections;
+    store_hits;
+    store_misses;
+    store_bytes;
   }
 
 (* Emit a metrics line whenever the cell crosses another 10% of its
@@ -114,6 +122,9 @@ let decile_progress ~label ~started =
           wall_s = Metrics.now_s () -. started;
           minor_words = p.Campaign.minor_words;
           major_collections = p.Campaign.major_collections;
+          store_hits = p.Campaign.store_hits;
+          store_misses = p.Campaign.store_misses;
+          store_bytes = p.Campaign.store_bytes;
         }
     end
 
@@ -835,6 +846,118 @@ let prefix_cache_bench () =
   Printf.printf "wrote %s (%d cells)\n" path (List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint store: cold vs warm-process campaign wall-clock           *)
+(* ------------------------------------------------------------------ *)
+
+let store_bench () =
+  section "Checkpoint store: cold vs warm-process campaign wall-clock";
+  let bench_budget = Float.min budget_s 300.0 in
+  let policy = Policy.apm and workload = Workload.quickstart in
+  let name, strategy = List.hd approaches in
+  let store_dir =
+    match Sys.getenv_opt "AVIS_STORE_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> Filename.concat (Filename.get_temp_dir_name ()) "avis-bench-store"
+  in
+  (* Did a previous *process* leave checkpoints behind? When CI runs this
+     section twice against one store dir, the second pass must start warm
+     and be served from disk. *)
+  let warm_start =
+    Sys.file_exists store_dir
+    && (try
+          Array.exists
+            (fun f -> Filename.check_suffix f ".ckpt")
+            (Sys.readdir store_dir)
+        with Sys_error _ -> false)
+  in
+  let config cached =
+    {
+      (Campaign.default_config policy workload) with
+      Campaign.budget_s = bench_budget;
+      prefix_cache = cached;
+      seed =
+        Campaign.cell_seed ~policy:policy.Policy.name
+          ~workload:workload.Workload.name ~approach:name ();
+    }
+  in
+  let time ?cache cached =
+    let t0 = Metrics.now_s () in
+    let result = Campaign.run ?cache (config cached) ~strategy in
+    (result, Metrics.now_s () -. t0)
+  in
+  (* Three campaigns: cold (no cache, no store), then two with *fresh*
+     prefix-cache instances sharing the store directory. The second
+     instance starts with empty memory, so everything it restores comes
+     off disk — the same path a brand-new process takes. *)
+  let cold, cold_s = time false in
+  let first, first_s = time ~cache:(Campaign.make_cache ~store_dir (config true)) true in
+  let second, second_s =
+    time ~cache:(Campaign.make_cache ~store_dir (config true)) true
+  in
+  let same a b =
+    a.Campaign.simulations = b.Campaign.simulations
+    && Campaign.unsafe_count a = Campaign.unsafe_count b
+    && a.Campaign.wall_clock_spent_s = b.Campaign.wall_clock_spent_s
+    && List.map (fun f -> f.Campaign.simulation_index) a.Campaign.findings
+       = List.map (fun f -> f.Campaign.simulation_index) b.Campaign.findings
+  in
+  let identical = same cold first && same cold second in
+  let store_counters (r : Campaign.result) =
+    match r.Campaign.cache_stats with
+    | Some s -> Prefix_cache.(s.store_hits, s.store_misses, s.store_bytes)
+    | None -> (0, 0, 0)
+  in
+  let first_hits, first_misses, _ = store_counters first in
+  let second_hits, second_misses, store_bytes = store_counters second in
+  let t =
+    Table.create
+      ~header:
+        [ "campaign"; "wall (s)"; "store hits"; "store miss"; "identical" ]
+  in
+  let yn b = if b then "yes" else "NO" in
+  Table.add_row t [ "cold (store off)"; Printf.sprintf "%.2f" cold_s; "-"; "-"; "-" ];
+  Table.add_row t
+    [ "first instance"; Printf.sprintf "%.2f" first_s;
+      string_of_int first_hits; string_of_int first_misses;
+      yn (same cold first) ];
+  Table.add_row t
+    [ "second instance"; Printf.sprintf "%.2f" second_s;
+      string_of_int second_hits; string_of_int second_misses;
+      yn (same cold second) ];
+  Table.print t;
+  Printf.printf
+    "store dir %s: %d bytes, warm start %s, second instance served %s\n"
+    store_dir store_bytes (yn warm_start) (yn (second_hits > 0));
+  let json =
+    Json.Assoc
+      [
+        ("budget_s", Json.Number bench_budget);
+        ("approach", Json.String name);
+        ("firmware", Json.String policy.Policy.name);
+        ("workload", Json.String workload.Workload.name);
+        ("store_dir", Json.String store_dir);
+        ("warm_start", Json.Bool warm_start);
+        ("cold_wall_s", Json.Number cold_s);
+        ("first_wall_s", Json.Number first_s);
+        ("second_wall_s", Json.Number second_s);
+        ("first_store_hits", Json.int first_hits);
+        ("first_store_misses", Json.int first_misses);
+        ("second_store_hits", Json.int second_hits);
+        ("second_store_misses", Json.int second_misses);
+        ("store_bytes", Json.int store_bytes);
+        ("store_served", Json.Bool (second_hits > 0));
+        ("simulations", Json.int cold.Campaign.simulations);
+        ("findings", Json.int (Campaign.unsafe_count cold));
+        ("identical", Json.Bool identical);
+      ]
+  in
+  let path = "BENCH_store.json" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_string_pretty json);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Link faults: campaigns over the link-outage scenario space           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1266,7 +1389,19 @@ let () =
      and AVIS_JOBS%s)\n"
     budget_s jobs
     (if tracing then "; tracing ON (AVIS_TRACE)" else "");
-  let part name f = Trace.span ~cat:"bench" ("bench." ^ name) f in
+  (* AVIS_BENCH_ONLY=<part> runs a single section — CI uses it to replay
+     the store section against a persistent store dir without re-running
+     the whole evaluation. *)
+  let only =
+    match Sys.getenv_opt "AVIS_BENCH_ONLY" with
+    | Some v when String.trim v <> "" -> Some (String.trim v)
+    | _ -> None
+  in
+  let part name f =
+    match only with
+    | Some o when o <> name -> ()
+    | _ -> Trace.span ~cat:"bench" ("bench." ^ name) f
+  in
   part "table1" table1;
   part "fig3" fig3;
   part "fig5" fig5;
@@ -1282,6 +1417,7 @@ let () =
   part "ablation_liveliness_metric" ablation_liveliness_metric;
   part "ablation_replay" ablation_replay;
   part "prefix_cache" prefix_cache_bench;
+  part "store" store_bench;
   part "link_faults" link_faults_bench;
   part "hotloop" hotloop_bench;
   part "simulator_stats" simulator_stats;

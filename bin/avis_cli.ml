@@ -29,38 +29,19 @@ let workload_conv =
 
 let fault_conv =
   (* "<kind>[index]@<seconds>", e.g. "gps[0]@12.5"; "<kind>@t" fails every
-     instance of the kind. *)
+     instance of the kind. Parsing and printing live in {!Fault_spec} so
+     the round-trip is testable outside cmdliner. *)
   let parse s =
-    match String.index_opt s '@' with
-    | None -> Error (`Msg "expected <sensor>@<seconds>")
-    | Some i -> (
-      let sensor = String.sub s 0 i in
-      let time = String.sub s (i + 1) (String.length s - i - 1) in
-      match float_of_string_opt time with
-      | None -> Error (`Msg ("bad time " ^ time))
-      | Some at -> (
-        let name, index =
-          match (String.index_opt sensor '[', String.index_opt sensor ']') with
-          | Some l, Some r when r > l ->
-            ( String.sub sensor 0 l,
-              int_of_string_opt (String.sub sensor (l + 1) (r - l - 1)) )
-          | _ -> (sensor, None)
-        in
-        match Avis_sensors.Sensor.kind_of_string name with
-        | None -> Error (`Msg ("unknown sensor kind " ^ name))
-        | Some kind -> Ok (kind, index, at)))
+    match Fault_spec.parse s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
   in
-  let print ppf (kind, index, at) =
-    Format.fprintf ppf "%s%s@%g"
-      (Avis_sensors.Sensor.kind_to_string kind)
-      (match index with Some i -> Printf.sprintf "[%d]" i | None -> "")
-      at
-  in
+  let print ppf f = Format.pp_print_string ppf (Fault_spec.to_string f) in
   Arg.conv (parse, print)
 
 let faults_to_plan faults =
   List.concat_map
-    (fun (kind, index, at) ->
+    (fun { Fault_spec.kind; index; at } ->
       let indices =
         match index with
         | Some i -> [ i ]
@@ -200,6 +181,11 @@ let hunt policy workload seed approaches budget jobs verbose artefacts trace =
       }
     in
     let result = Campaign.run config ~strategy:(strategy_of_name name) in
+    let store_hits, store_misses, store_bytes =
+      match result.Campaign.cache_stats with
+      | Some s -> Prefix_cache.(s.store_hits, s.store_misses, s.store_bytes)
+      | None -> (0, 0, 0)
+    in
     let snapshot =
       {
         Avis_util.Metrics.cell = label;
@@ -211,6 +197,9 @@ let hunt policy workload seed approaches budget jobs verbose artefacts trace =
         wall_s = Avis_util.Metrics.now_s () -. started;
         minor_words = result.Campaign.minor_words;
         major_collections = result.Campaign.major_collections;
+        store_hits;
+        store_misses;
+        store_bytes;
       }
     in
     Avis_util.Metrics.emit ~event:"done" snapshot;

@@ -33,6 +33,11 @@ let hunt (name, strategy) =
     }
   in
   let result = Campaign.run config ~strategy in
+  let store_hits, store_misses, store_bytes =
+    match result.Campaign.cache_stats with
+    | Some s -> Prefix_cache.(s.store_hits, s.store_misses, s.store_bytes)
+    | None -> (0, 0, 0)
+  in
   let snapshot =
     {
       Metrics.cell =
@@ -46,6 +51,9 @@ let hunt (name, strategy) =
       wall_s = Metrics.now_s () -. started;
       minor_words = result.Campaign.minor_words;
       major_collections = result.Campaign.major_collections;
+      store_hits;
+      store_misses;
+      store_bytes;
     }
   in
   Metrics.emit ~event:"done" snapshot;

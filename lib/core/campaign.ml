@@ -39,6 +39,9 @@ type progress = {
   findings : int;
   minor_words : float;
   major_collections : int;
+  store_hits : int;
+  store_misses : int;
+  store_bytes : int;
 }
 
 type result = {
@@ -107,10 +110,10 @@ let profile_and_context config =
 (* A cache bound to [config]'s test runs, shareable across campaigns of the
    same config: grid checkpoints only, since the profiled transition times
    are not known until [run] profiles. *)
-let make_cache config =
+let make_cache ?store_dir config =
   let test_seed = config.seed + 1000 in
   let dur = max_sim_duration config in
-  Prefix_cache.create ~workload:config.workload
+  Prefix_cache.create ?store_dir ~workload:config.workload
     ~make_sim:(fun ~scenario -> sim_config config ~seed:test_seed ~scenario)
     ~checkpoint_times:(List.init (int_of_float dur) (fun i -> float_of_int (i + 1)))
     ()
@@ -139,18 +142,6 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
   let budget = Budget.create ~speedup:config.speedup ~total_s:config.budget_s () in
   let findings = ref [] in
   let stopped = ref false in
-  let report_progress () =
-    progress
-      {
-        simulations = Budget.simulations_run budget;
-        inferences = Budget.inferences_run budget;
-        spent_s = Budget.spent_s budget;
-        budget_s = config.budget_s;
-        findings = List.length !findings;
-        minor_words = gc_minor_words ();
-        major_collections = gc_majors ();
-      }
-  in
   (* Test runs are deterministic: a fixed seed distinct from profiling. *)
   let test_seed = config.seed + 1000 in
   (* Checkpoint runs at the profiled mode transitions (where the strategies
@@ -187,6 +178,28 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
     match cache with
     | Some cache -> Prefix_cache.execute cache ~scenario
     | None -> execute_run config ~seed:test_seed ~scenario
+  in
+  let report_progress () =
+    let store_hits, store_misses, store_bytes =
+      match cache with
+      | None -> (0, 0, 0)
+      | Some c ->
+        let s = Prefix_cache.stats c in
+        Prefix_cache.(s.store_hits, s.store_misses, s.store_bytes)
+    in
+    progress
+      {
+        simulations = Budget.simulations_run budget;
+        inferences = Budget.inferences_run budget;
+        spent_s = Budget.spent_s budget;
+        budget_s = config.budget_s;
+        findings = List.length !findings;
+        minor_words = gc_minor_words ();
+        major_collections = gc_majors ();
+        store_hits;
+        store_misses;
+        store_bytes;
+      }
   in
   while (not !stopped) && not (Budget.exhausted budget) do
     match

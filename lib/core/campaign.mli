@@ -49,6 +49,11 @@ type progress = {
       (** Minor-heap words allocated since the cell started. *)
   major_collections : int;
       (** Major GC cycles completed since the cell started. *)
+  store_hits : int;
+      (** Persistent-store restores so far; 0 when no store is active. *)
+  store_misses : int;
+      (** Store consultations that fell through to a cold run. *)
+  store_bytes : int;  (** Bytes on disk under the store directory. *)
 }
 (** A snapshot of the search loop's counters, handed to the [progress]
     callback of {!run} after every simulated scenario. The GC fields are
@@ -75,14 +80,18 @@ val profile_and_context :
     outcome (the one the search context is built from). Raises [Failure]
     if a profiling run does not complete cleanly. *)
 
-val make_cache : config -> Prefix_cache.t
+val make_cache : ?store_dir:string -> config -> Prefix_cache.t
 (** A prefix cache bound to [config]'s test runs (exact seed and sim
     config), with a one-second checkpoint grid. Pass it to {!run} to share
     snapshots across campaigns {e of the same config}: replaying a campaign
     then forks every scenario from its last checkpoint and simulates only
     the tail, which is the fast path for regression re-runs and finding
     reproduction. A cache must never be shared across different configs —
-    its snapshots encode that config's flights. *)
+    its snapshots encode that config's flights. [store_dir] (default the
+    [AVIS_STORE_DIR] environment variable) additionally persists the
+    checkpoints to a content-addressed on-disk store shared across
+    processes — see {!Prefix_cache.create}; the content address keys by
+    config, so one store directory can safely serve many configs. *)
 
 val run :
   ?stop_when:(finding -> bool) -> ?progress:(progress -> unit) ->

@@ -1,0 +1,48 @@
+type t = {
+  kind : Avis_sensors.Sensor.kind;
+  index : int option;
+  at : float;
+}
+
+let to_string { kind; index; at } =
+  Printf.sprintf "%s%s@%g"
+    (Avis_sensors.Sensor.kind_to_string kind)
+    (match index with Some i -> Printf.sprintf "[%d]" i | None -> "")
+    at
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* The sensor part is either a bare kind name or "<kind>[<digits>]".
+   Anything bracket-like that is not exactly that form is an error — a
+   malformed index such as "gps[abc]" must not silently degrade to the
+   all-instances fault, which injects into every GPS at once. *)
+let split_sensor sensor =
+  match (String.index_opt sensor '[', String.index_opt sensor ']') with
+  | None, None -> Ok (sensor, None)
+  | Some l, Some r when r = String.length sensor - 1 && r > l + 1 ->
+    let body = String.sub sensor (l + 1) (r - l - 1) in
+    if String.for_all is_digit body then
+      match int_of_string_opt body with
+      | Some index -> Ok (String.sub sensor 0 l, Some index)
+      | None -> Error (Printf.sprintf "sensor index %S out of range" body)
+    else Error (Printf.sprintf "bad sensor index %S (want digits)" body)
+  | _ -> Error (Printf.sprintf "malformed sensor %S (want <kind>[<index>])" sensor)
+
+let parse s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "expected <sensor>[<index>]@<seconds>, got %S" s)
+  | Some i -> (
+    let sensor = String.sub s 0 i in
+    let time = String.sub s (i + 1) (String.length s - i - 1) in
+    match float_of_string_opt time with
+    | None -> Error (Printf.sprintf "bad injection time %S" time)
+    | Some at when Float.is_nan at -> Error "injection time cannot be nan"
+    | Some at when at < 0.0 ->
+      Error (Printf.sprintf "injection time %g is negative" at)
+    | Some at -> (
+      match split_sensor sensor with
+      | Error _ as e -> e
+      | Ok (name, index) -> (
+        match Avis_sensors.Sensor.kind_of_string name with
+        | None -> Error (Printf.sprintf "unknown sensor kind %S" name)
+        | Some kind -> Ok { kind; index; at })))

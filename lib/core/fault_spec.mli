@@ -1,0 +1,20 @@
+(** The CLI's fault syntax: ["<kind>[<index>]@<seconds>"].
+
+    ["gps[0]@12.5"] fails the first GPS 12.5 simulated seconds in;
+    ["gps@12.5"] (no index) fails {e every} instance of the kind. Parsing
+    is strict: a bracketed index must be exactly decimal digits (a typo
+    like ["gps[abc]@5"] is an error, not a silent all-instances fault),
+    and injection times must be finite-or-infinite non-negative numbers —
+    nan and negatives are rejected. *)
+
+type t = {
+  kind : Avis_sensors.Sensor.kind;
+  index : int option;  (** [None] = all instances of the kind. *)
+  at : float;  (** Injection time, simulated seconds. *)
+}
+
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+(** Canonical form; [parse (to_string t)] round-trips for any [t] whose
+    time survives ["%g"] formatting. *)

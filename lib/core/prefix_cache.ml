@@ -20,6 +20,10 @@ type builder =
 type t = {
   workload : Workload.t;
   make_sim : scenario:Scenario.t -> Sim.t;
+  store : Checkpoint_store.t option;
+      (** Persistent overflow/sharing tier: same keys as [entries], files on
+          disk, shared with other processes. [None] when no store directory
+          is configured or the config bypasses caching. *)
   bypass : bool;
       (** The configured runs carry state the cache key cannot encode
           (sensor degradations, probabilistic link faults): serve every
@@ -46,28 +50,45 @@ type stats = {
   saved_sim_s : float;
   evictions : int;
   resident_bytes : int;
+  store_hits : int;
+  store_misses : int;
+  store_bytes : int;
 }
 
 let default_cache_mb = 1024
 
 (* The byte budget comes from [?cache_mb], else the [AVIS_CACHE_MB]
-   environment variable, else 1 GiB. Zero and negative values are allowed
-   and make the cache effectively stateless (every capture immediately
-   evicts itself). *)
+   environment variable, else 1 GiB. Zero, negative and malformed values
+   are rejected with a warning and replaced by the default, like
+   [Pool.jobs_of_env]: a typo'd budget must not silently turn the cache
+   stateless (a zero budget makes every capture evict itself). *)
 let budget_bytes_of ?cache_mb () =
+  let accept ~source v =
+    match v with
+    | Some mb when mb > 0 -> mb
+    | Some _ | None ->
+      Printf.eprintf
+        "[avis] warning: ignoring invalid %s (want a positive integer); \
+         using %d\n\
+         %!"
+        source default_cache_mb;
+      default_cache_mb
+  in
   let mb =
     match cache_mb with
-    | Some mb -> mb
+    | Some mb -> accept ~source:"cache_mb" (Some mb)
     | None -> (
       match Sys.getenv_opt "AVIS_CACHE_MB" with
-      | Some v -> ( match int_of_string_opt (String.trim v) with
-        | Some mb -> mb
-        | None -> default_cache_mb)
+      | Some v ->
+        accept
+          ~source:(Printf.sprintf "AVIS_CACHE_MB=%S" v)
+          (int_of_string_opt (String.trim v))
       | None -> default_cache_mb)
   in
   mb * 1024 * 1024
 
-let create ?cache_mb ~workload ~make_sim ~checkpoint_times () =
+let create ?cache_mb ?store_dir ?store_mb ~workload ~make_sim
+    ~checkpoint_times () =
   let ts =
     List.sort_uniq compare (List.filter (fun t -> t > 0.0) checkpoint_times)
   in
@@ -81,9 +102,28 @@ let create ?cache_mb ~workload ~make_sim ~checkpoint_times () =
     Avis_hinj.Hinj.degradations (Sim.hinj probe) <> []
     || Link.probabilistic (Link.profile (Sim.link probe))
   in
+  let store_dir =
+    match store_dir with
+    | Some _ -> store_dir
+    | None -> Sys.getenv_opt "AVIS_STORE_DIR"
+  in
+  let store =
+    match store_dir with
+    | Some dir when dir <> "" && not bypass ->
+      (* The store's configuration identity: the canonical config bytes
+         plus the workload name — two campaigns whose runs could ever
+         diverge must never share a key. *)
+      let config_key =
+        Sim.config_to_bytes (Sim.config probe)
+        ^ "\x00" ^ workload.Workload.name
+      in
+      Some (Checkpoint_store.create ?store_mb ~dir ~config_key ())
+    | _ -> None
+  in
   {
     workload;
     make_sim;
+    store;
     bypass;
     targets = Array.of_list ts;
     clean_pending = ts;
@@ -146,6 +186,37 @@ let note_resident (t : t) =
   Avis_util.Trace.counter "cache.resident_bytes"
     (float_of_int t.resident_bytes)
 
+(* A stored checkpoint is the two snapshots as independent length-prefixed
+   blobs, so either side can grow its own format version. *)
+let store_payload ~sim_snap ~stepper_snap =
+  let open Avis_util.Codec in
+  to_string
+    (fun b () ->
+      w_bytes b (Sim.to_bytes sim_snap);
+      w_bytes b (Workload.Stepper.to_bytes stepper_snap))
+    ()
+
+let snaps_of_payload payload =
+  let open Avis_util.Codec in
+  of_string
+    (fun r ->
+      let sim_snap = Sim.of_bytes (r_bytes r) in
+      let stepper_snap = Workload.Stepper.of_bytes (r_bytes r) in
+      (sim_snap, stepper_snap))
+    payload
+
+let note_store (t : t) =
+  match t.store with
+  | None -> ()
+  | Some s ->
+    let st = Checkpoint_store.stats s in
+    Avis_util.Trace.counter "store.hits"
+      (float_of_int st.Checkpoint_store.hits);
+    Avis_util.Trace.counter "store.misses"
+      (float_of_int st.Checkpoint_store.misses);
+    Avis_util.Trace.counter "store.bytes"
+      (float_of_int st.Checkpoint_store.bytes)
+
 (* Drop the globally least-recently-used checkpoint (capture and hit both
    count as uses). Linear in the entry count, which the byte budget keeps
    small relative to snapshot cost. *)
@@ -201,6 +272,14 @@ let capture (t : t) ~scenario sim st =
       in
       Hashtbl.replace t.entries key (insert existing);
       t.resident_bytes <- t.resident_bytes + bytes;
+      (* Write-through to the persistent tier. The payload is lazy: when a
+         previous process already stored this exact key and time, nothing
+         is serialised at all. *)
+      (match t.store with
+      | Some store ->
+        Checkpoint_store.put store ~fault_key:key ~time
+          ~payload:(lazy (store_payload ~sim_snap ~stepper_snap))
+      | None -> ());
       (* A lone checkpoint larger than the whole budget evicts itself, so
          the resident set never exceeds the budget even transiently past
          this point. *)
@@ -208,13 +287,56 @@ let capture (t : t) ~scenario sim st =
     end
   end
 
+(* Start the clean builder from the latest clean checkpoint a previous
+   process left in the store, when there is one: a warm-process campaign
+   then never re-simulates the clean prefix it already paid for. A decode
+   failure just falls back to a fresh builder. *)
+let builder_from_store t =
+  match t.store with
+  | None -> None
+  | Some store -> (
+    let miss () =
+      Checkpoint_store.count_miss store;
+      note_store t;
+      None
+    in
+    match Checkpoint_store.lookup store ~fault_key:"" ~before:infinity with
+    | None -> miss ()
+    | Some (time, payload) -> (
+      match snaps_of_payload payload with
+      | exception Avis_util.Codec.Corrupt _ -> miss ()
+      | sim_snap, stepper_snap ->
+        Checkpoint_store.count_hit store;
+        t.saved_sim_s <- t.saved_sim_s +. time;
+        note_store t;
+        let sim =
+          Sim.restore
+            ~plan:(Scenario.to_plan Scenario.empty)
+            ~link_outages:(Scenario.link_outages Scenario.empty)
+            sim_snap
+        in
+        let st = Workload.Stepper.restore stepper_snap in
+        (* Targets at or before the forked time stay served by the store
+           itself; the builder only owes the later ones. *)
+        t.clean_pending <-
+          List.filter (fun target -> target > time) t.clean_pending;
+        (* The forked state is itself the freshest clean checkpoint; keep it
+           in memory so same-process lookups skip the disk. *)
+        capture t ~scenario:Scenario.empty sim st;
+        Some (sim, st)))
+
 let builder_live t =
   match t.builder with
   | Live (sim, st) -> Some (sim, st)
   | Finished -> None
   | Unstarted ->
-    let sim = t.make_sim ~scenario:Scenario.empty in
-    let st = Workload.Stepper.create t.workload in
+    let sim, st =
+      match builder_from_store t with
+      | Some live -> live
+      | None ->
+        ( t.make_sim ~scenario:Scenario.empty,
+          Workload.Stepper.create t.workload )
+    in
     t.builder <- Live (sim, st);
     Some (sim, st)
 
@@ -303,6 +425,57 @@ let lookup t ~scenario =
   done;
   !best
 
+(* The persistent fallback to [lookup]: the same prefix-key scan, against
+   files written by this or any earlier process. A served checkpoint is
+   decoded and re-warmed into memory, so the disk is touched once per
+   prefix, not once per scenario. *)
+let store_lookup t ~scenario =
+  match t.store with
+  | None -> None
+  | Some store ->
+    Avis_util.Trace.span ~cat:"cache" "store.lookup" @@ fun () ->
+    let faults = Array.of_list (List.sort compare_for_prefix scenario) in
+    let k = Array.length faults in
+    let best = ref None in
+    for j = 0 to k do
+      let next_at =
+        if j = k then infinity else Scenario.fault_time faults.(j)
+      in
+      let key = encode_faults (Array.to_list (Array.sub faults 0 j)) in
+      match Checkpoint_store.lookup store ~fault_key:key ~before:next_at with
+      | Some (time, payload) -> (
+        match !best with
+        | Some (best_time, _, _) when best_time >= time -> ()
+        | _ -> best := Some (time, key, payload))
+      | None -> ()
+    done;
+    (match !best with
+    | None -> None
+    | Some (time, key, payload) -> (
+      match snaps_of_payload payload with
+      | exception Avis_util.Codec.Corrupt _ ->
+        (* The frame checksum held but the payload didn't decode (e.g. a
+           foreign format revision): treat as a miss; the fingerprint in
+           the key makes this all but impossible for files we wrote. *)
+        None
+      | sim_snap, stepper_snap ->
+        let bytes = entry_bytes ~sim_snap ~stepper_snap in
+        t.use_tick <- t.use_tick + 1;
+        let entry =
+          { time; sim_snap; stepper_snap; bytes; last_used = t.use_tick }
+        in
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt t.entries key)
+        in
+        let rec insert = function
+          | e :: rest when e.time > time -> e :: insert rest
+          | rest -> entry :: rest
+        in
+        Hashtbl.replace t.entries key (insert existing);
+        t.resident_bytes <- t.resident_bytes + bytes;
+        enforce_budget t;
+        Some entry))
+
 let cold (t : t) ~scenario =
   t.misses <- t.misses + 1;
   Avis_util.Trace.counter "cache.misses" (float_of_int t.misses);
@@ -328,9 +501,7 @@ let execute t ~scenario =
     Sim.outcome sim ~workload_passed:passed
   end
   else begin
-    advance_to t ~time:(earliest_fault scenario);
-    match lookup t ~scenario with
-    | Some e ->
+    let serve e =
       t.hits <- t.hits + 1;
       Avis_util.Trace.counter "cache.hits" (float_of_int t.hits);
       t.use_tick <- t.use_tick + 1;
@@ -345,16 +516,45 @@ let execute t ~scenario =
       let st = Workload.Stepper.restore e.stepper_snap in
       let passed = run_capturing t ~scenario sim st in
       Sim.outcome sim ~workload_passed:passed
-    | None -> cold t ~scenario
+    in
+    advance_to t ~time:(earliest_fault scenario);
+    match lookup t ~scenario with
+    | Some e -> serve e
+    | None -> (
+      match store_lookup t ~scenario with
+      | Some e ->
+        (match t.store with
+        | Some s ->
+          Checkpoint_store.count_hit s;
+          note_store t
+        | None -> ());
+        serve e
+      | None ->
+        (match t.store with
+        | Some s ->
+          Checkpoint_store.count_miss s;
+          note_store t
+        | None -> ());
+        cold t ~scenario)
   end
 
 let stats (t : t) =
+  let store_hits, store_misses, store_bytes =
+    match t.store with
+    | None -> (0, 0, 0)
+    | Some s ->
+      let st = Checkpoint_store.stats s in
+      Checkpoint_store.(st.hits, st.misses, st.bytes)
+  in
   {
     hits = t.hits;
     misses = t.misses;
     saved_sim_s = t.saved_sim_s;
     evictions = t.evictions;
     resident_bytes = t.resident_bytes;
+    store_hits;
+    store_misses;
+    store_bytes;
   }
 
 let enabled_by_env () =

@@ -34,6 +34,8 @@ type t
 
 val create :
   ?cache_mb:int ->
+  ?store_dir:string ->
+  ?store_mb:int ->
   workload:Workload.t ->
   make_sim:(scenario:Scenario.t -> Avis_sitl.Sim.t) ->
   checkpoint_times:float list ->
@@ -46,13 +48,27 @@ val create :
     once (with the empty scenario) to detect uncacheable configurations.
 
     [cache_mb] bounds the resident checkpoint bytes; it defaults to the
-    [AVIS_CACHE_MB] environment variable, else 1024 MiB. When a capture
-    would push the resident set past the budget, whole checkpoints are
-    evicted in global least-recently-used order (hits and captures both
-    count as uses) until it fits; a lone checkpoint larger than the whole
-    budget is itself evicted, so the bound holds unconditionally. Eviction
-    only costs future wall-clock (the evicted prefix re-simulates cold) —
-    outcomes are unaffected. *)
+    [AVIS_CACHE_MB] environment variable, else 1024 MiB (zero, negative
+    and malformed values are warned about and replaced by the default).
+    When a capture would push the resident set past the budget, whole
+    checkpoints are evicted in global least-recently-used order (hits and
+    captures both count as uses) until it fits; a lone checkpoint larger
+    than the whole budget is itself evicted, so the bound holds
+    unconditionally. Eviction only costs future wall-clock (the evicted
+    prefix re-simulates cold) — outcomes are unaffected.
+
+    [store_dir] (default the [AVIS_STORE_DIR] environment variable, else
+    no store) adds a persistent tier behind the in-memory one: a
+    {!Checkpoint_store} rooted there, keyed by the campaign's code
+    fingerprint, canonical configuration bytes, workload and fault
+    history. Captures are written through (lazily — nothing is serialised
+    when the file already exists), memory misses fall back to the store
+    before running cold, and a fresh process forks its clean builder from
+    the best stored clean checkpoint instead of re-simulating it. Stored
+    checkpoints are served only on bit-exact key matches, so outcomes
+    remain bit-identical to cold runs, across processes. [store_mb]
+    bounds the store directory (default [AVIS_STORE_MB], else 1024 MiB);
+    bypassing configurations never open a store. *)
 
 val execute : t -> scenario:Scenario.t -> Avis_sitl.Sim.outcome
 (** Run one scenario, forking from the best applicable checkpoint — clean
@@ -71,6 +87,12 @@ type stats = {
       (** Simulated seconds skipped by restoring instead of replaying. *)
   evictions : int;  (** Checkpoints dropped to stay within the budget. *)
   resident_bytes : int;  (** Current accounted checkpoint bytes. *)
+  store_hits : int;
+      (** Restores served from the persistent store (scenario forks and
+          clean-builder forks alike); 0 when no store is configured. *)
+  store_misses : int;
+      (** Scenarios the store was consulted for but could not serve. *)
+  store_bytes : int;  (** Bytes currently on disk under the store. *)
 }
 
 val stats : t -> stats

@@ -174,6 +174,138 @@ module Stepper = struct
       if norm (horizontal (sub p (make north east 0.0))) < radius then Sat
       else Not_yet
 
+
+  let encode_mission_step b ms =
+    let open Avis_util.Codec in
+    match ms with
+    | Takeoff_item alt ->
+      w_u8 b 0;
+      w_f64 b alt
+    | Waypoint_item { north; east; alt } ->
+      w_u8 b 1;
+      w_f64 b north;
+      w_f64 b east;
+      w_f64 b alt
+    | Land_item -> w_u8 b 2
+    | Rtl_item -> w_u8 b 3
+
+  let decode_mission_step r =
+    let open Avis_util.Codec in
+    match r_u8 r with
+    | 0 -> Takeoff_item (r_f64 r)
+    | 1 ->
+      let north = r_f64 r in
+      let east = r_f64 r in
+      let alt = r_f64 r in
+      Waypoint_item { north; east; alt }
+    | 2 -> Land_item
+    | 3 -> Rtl_item
+    | t -> corrupt "bad mission-step tag %d" t
+
+  let encode_step b stp =
+    let open Avis_util.Codec in
+    match stp with
+    | Wait_time s ->
+      w_u8 b 0;
+      w_f64 b s
+    | Upload_mission items ->
+      w_u8 b 1;
+      w_list b encode_mission_step items
+    | Arm -> w_u8 b 2
+    | Enter_auto -> w_u8 b 3
+    | Takeoff alt ->
+      w_u8 b 4;
+      w_f64 b alt
+    | Reposition { north; east; alt } ->
+      w_u8 b 5;
+      w_f64 b north;
+      w_f64 b east;
+      w_f64 b alt
+    | Land_now -> w_u8 b 6
+    | Return_to_launch -> w_u8 b 7
+    | Wait_altitude { alt; tolerance; timeout } ->
+      w_u8 b 8;
+      w_f64 b alt;
+      w_f64 b tolerance;
+      w_f64 b timeout
+    | Wait_mode code ->
+      w_u8 b 9;
+      w_int b code
+    | Wait_disarmed -> w_u8 b 10
+    | Wait_near { north; east; radius; timeout } ->
+      w_u8 b 11;
+      w_f64 b north;
+      w_f64 b east;
+      w_f64 b radius;
+      w_f64 b timeout
+
+  let decode_step r =
+    let open Avis_util.Codec in
+    match r_u8 r with
+    | 0 -> Wait_time (r_f64 r)
+    | 1 -> Upload_mission (r_list r decode_mission_step)
+    | 2 -> Arm
+    | 3 -> Enter_auto
+    | 4 -> Takeoff (r_f64 r)
+    | 5 ->
+      let north = r_f64 r in
+      let east = r_f64 r in
+      let alt = r_f64 r in
+      Reposition { north; east; alt }
+    | 6 -> Land_now
+    | 7 -> Return_to_launch
+    | 8 ->
+      let alt = r_f64 r in
+      let tolerance = r_f64 r in
+      let timeout = r_f64 r in
+      Wait_altitude { alt; tolerance; timeout }
+    | 9 -> Wait_mode (r_int r)
+    | 10 -> Wait_disarmed
+    | 11 ->
+      let north = r_f64 r in
+      let east = r_f64 r in
+      let radius = r_f64 r in
+      let timeout = r_f64 r in
+      Wait_near { north; east; radius; timeout }
+    | t -> corrupt "bad workload-step tag %d" t
+
+  (* The script itself travels in the snapshot, so a decoded stepper is
+     self-contained: resuming it needs no lookup of the original workload. *)
+  let encode_snapshot b (s : snapshot) =
+    let open Avis_util.Codec in
+    w_version b 1;
+    w_array b encode_step s.script;
+    w_int b s.pc;
+    w_bool b s.entered;
+    w_f64 b s.until;
+    w_f64 b s.deadline;
+    w_bool b s.seen_armed;
+    (match s.status with
+    | Running -> w_u8 b 0
+    | Done passed ->
+      w_u8 b 1;
+      w_bool b passed)
+
+  let decode_snapshot r : snapshot =
+    let open Avis_util.Codec in
+    let (_ : int) = r_version r ~expect:1 in
+    let script = r_array r decode_step in
+    let pc = r_int r in
+    let entered = r_bool r in
+    let until = r_f64 r in
+    let deadline = r_f64 r in
+    let seen_armed = r_bool r in
+    let status =
+      match r_u8 r with
+      | 0 -> Running
+      | 1 -> Done (r_bool r)
+      | t -> corrupt "bad stepper-status tag %d" t
+    in
+    { script; pc; entered; until; deadline; seen_armed; status }
+
+  let to_bytes s = Avis_util.Codec.to_string encode_snapshot s
+  let of_bytes data = Avis_util.Codec.of_string decode_snapshot data
+
   (* One span per pumped segment: between two pauses, this loop is where
      the simulated world actually advances, so these spans are the "sim
      steps" share of a cell's wall time. *)

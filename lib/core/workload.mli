@@ -98,6 +98,20 @@ module Stepper : sig
   val restore : snapshot -> stepper
   (** Each restore yields an independent stepper; pair it with
       {!Sim.restore} of a simulator snapshot taken at the same moment. *)
+
+  val encode_snapshot : Buffer.t -> snapshot -> unit
+  (** Versioned binary layout of the stepper's full execution state,
+      including the script itself, so a decoded stepper is
+      self-contained. *)
+
+  val decode_snapshot : Avis_util.Codec.reader -> snapshot
+  (** Inverse of {!encode_snapshot}. Raises [Avis_util.Codec.Corrupt] on
+      malformed input. *)
+
+  val to_bytes : snapshot -> string
+
+  val of_bytes : string -> snapshot
+  (** Raises [Avis_util.Codec.Corrupt] on malformed input. *)
 end
 
 val execute : t -> Sim.t -> bool

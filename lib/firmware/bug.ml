@@ -357,3 +357,20 @@ let enable r id = if not (List.mem id r.enabled) then r.enabled <- id :: r.enabl
 let disable r id = r.enabled <- List.filter (fun x -> x <> id) r.enabled
 
 let enabled_list r = r.enabled
+
+(* Stable wire ids for snapshots: the position in [all]. Appending new bugs
+   keeps old snapshots decodable; never reorder. *)
+let encode_id b id =
+  let rec index i = function
+    | [] -> invalid_arg "Bug.encode_id: id not in Bug.all"
+    | x :: rest -> if x = id then i else index (i + 1) rest
+  in
+  Avis_util.Codec.w_u8 b (index 0 all)
+
+let decode_id r =
+  let tag = Avis_util.Codec.r_u8 r in
+  let rec nth i = function
+    | [] -> Avis_util.Codec.corrupt "bad bug-id tag %d" tag
+    | x :: rest -> if i = 0 then x else nth (i - 1) rest
+  in
+  nth tag all

@@ -91,3 +91,10 @@ val enabled : registry -> id -> bool
 val enable : registry -> id -> unit
 val disable : registry -> id -> unit
 val enabled_list : registry -> id list
+
+val encode_id : Buffer.t -> id -> unit
+(** One stable byte per bug (its position in {!all}). *)
+
+val decode_id : Avis_util.Codec.reader -> id
+(** Inverse of {!encode_id}. Raises [Avis_util.Codec.Corrupt] on an unknown
+    tag. *)

@@ -190,3 +190,32 @@ let step t est demand ~dt =
     done;
     t.output
   end
+
+(* [hover] and [layout] are pure functions of the airframe, so only the
+   airframe and the mutable state travel in the snapshot. *)
+let encode b (t : t) =
+  let open Avis_util.Codec in
+  w_version b 1;
+  Params.encode b t.params;
+  Avis_physics.Airframe.encode b t.airframe;
+  Pid.encode b t.climb_pid;
+  w_float_array b t.output
+
+let decode r : t =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let params = Params.decode r in
+  let airframe = Avis_physics.Airframe.decode r in
+  let climb_pid = Pid.decode r in
+  let output = r_float_array r in
+  if Array.length output <> airframe.Avis_physics.Airframe.motor_count then
+    corrupt "control output length %d does not match motor count %d"
+      (Array.length output) airframe.Avis_physics.Airframe.motor_count;
+  {
+    params;
+    airframe;
+    hover = Avis_physics.Airframe.hover_throttle airframe;
+    climb_pid;
+    layout = Avis_physics.Motor.mix_layout airframe;
+    output;
+  }

@@ -49,3 +49,11 @@ val step : t -> Estimator.t -> demand -> dt:float -> float array
 
 val reset : t -> unit
 (** Clear integrators (on arming and mode changes). *)
+
+val encode : Buffer.t -> t -> unit
+(** Versioned bit-exact binary layout (params, airframe and mutable
+    controller state; derived fields are recomputed on decode). *)
+
+val decode : Avis_util.Codec.reader -> t
+(** Inverse of {!encode}. Raises [Avis_util.Codec.Corrupt] on malformed
+    input. *)

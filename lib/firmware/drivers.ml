@@ -184,3 +184,46 @@ let failure_start t kind =
   match List.map snd ks.failed with
   | [] -> None
   | times -> Some (List.fold_left Float.min infinity times)
+
+let encode_kind_state b (ks : kind_state) =
+  let open Avis_util.Codec in
+  Sensor.encode_kind b ks.kind;
+  w_int b ks.count;
+  w_f64 b ks.period;
+  w_f64 b ks.next_sample;
+  w_list b
+    (fun b (index, at) ->
+      w_int b index;
+      w_f64 b at)
+    ks.failed;
+  w_option b Sensor.encode_reading ks.fresh;
+  w_option b Sensor.encode_reading ks.stale
+
+let decode_kind_state r : kind_state =
+  let open Avis_util.Codec in
+  let kind = Sensor.decode_kind r in
+  let count = r_int r in
+  let period = r_f64 r in
+  let next_sample = r_f64 r in
+  let failed =
+    r_list r (fun r ->
+        let index = r_int r in
+        let at = r_f64 r in
+        (index, at))
+  in
+  let fresh = r_option r Sensor.decode_reading in
+  let stale = r_option r Sensor.decode_reading in
+  { kind; count; period; next_sample; failed; fresh; stale }
+
+let encode_snapshot b (s : snapshot) =
+  let open Avis_util.Codec in
+  w_version b 1;
+  w_i64 b (Avis_util.Rng.to_bits s.snap_rng);
+  w_list b encode_kind_state s.snap_kinds
+
+let decode_snapshot r : snapshot =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let snap_rng = Avis_util.Rng.of_bits (r_i64 r) in
+  let snap_kinds = r_list r decode_kind_state in
+  { snap_rng; snap_kinds }

@@ -48,3 +48,10 @@ val failure_start : t -> Sensor.kind -> float option
 (** When the kind's health was first degraded (primary or whole kind),
     whichever came first. This is the timestamp bug trigger windows are
     evaluated against. *)
+
+val encode_snapshot : Buffer.t -> snapshot -> unit
+(** Versioned bit-exact binary layout of the frozen driver state. *)
+
+val decode_snapshot : Avis_util.Codec.reader -> snapshot
+(** Inverse of {!encode_snapshot}; pair with {!restore}. Raises
+    [Avis_util.Codec.Corrupt] on malformed input. *)

@@ -352,3 +352,109 @@ let dead_reckon_age t = t.dead_reckon_age
 
 let heading_valid t = t.heading_valid
 let set_heading_valid t v = t.heading_valid <- v
+
+let alt_mode_tag = function
+  | Alt_fused -> 0
+  | Alt_gps_fused -> 1
+  | Alt_gps_raw -> 2
+  | Alt_lagged -> 3
+  | Alt_frozen -> 4
+  | Alt_none -> 5
+
+let alt_mode_of_tag = function
+  | 0 -> Alt_fused
+  | 1 -> Alt_gps_fused
+  | 2 -> Alt_gps_raw
+  | 3 -> Alt_lagged
+  | 4 -> Alt_frozen
+  | 5 -> Alt_none
+  | t -> Avis_util.Codec.corrupt "bad alt-mode tag %d" t
+
+let att_mode_tag = function
+  | Att_normal -> 0
+  | Att_frozen -> 1
+  | Att_accel_only -> 2
+
+let att_mode_of_tag = function
+  | 0 -> Att_normal
+  | 1 -> Att_frozen
+  | 2 -> Att_accel_only
+  | t -> Avis_util.Codec.corrupt "bad att-mode tag %d" t
+
+let yaw_mode_tag = function
+  | Yaw_compass -> 0
+  | Yaw_gyro_only -> 1
+  | Yaw_stale_compass -> 2
+  | Yaw_flipped -> 3
+
+let yaw_mode_of_tag = function
+  | 0 -> Yaw_compass
+  | 1 -> Yaw_gyro_only
+  | 2 -> Yaw_stale_compass
+  | 3 -> Yaw_flipped
+  | t -> Avis_util.Codec.corrupt "bad yaw-mode tag %d" t
+
+let pos_mode_tag = function Pos_gps -> 0 | Pos_dead_reckon -> 1
+
+let pos_mode_of_tag = function
+  | 0 -> Pos_gps
+  | 1 -> Pos_dead_reckon
+  | t -> Avis_util.Codec.corrupt "bad pos-mode tag %d" t
+
+let encode b (t : t) =
+  let open Avis_util.Codec in
+  w_version b 1;
+  Params.encode b t.params;
+  w_option b Vec3.encode t.prev_up_body;
+  Vec3.encode b t.position;
+  Vec3.encode b t.velocity;
+  Quat.encode b t.attitude;
+  Vec3.encode b t.angular_rate;
+  w_u8 b (alt_mode_tag t.alt_mode);
+  w_u8 b (att_mode_tag t.att_mode);
+  w_u8 b (yaw_mode_tag t.yaw_mode);
+  w_u8 b (pos_mode_tag t.pos_mode);
+  w_bool b t.heading_valid;
+  w_option b w_f64 t.last_gps_alt;
+  w_f64 b t.raw_climb;
+  Vec3.encode b t.accel_world;
+  w_bool b t.vertical_degraded;
+  w_f64 b t.dead_reckon_age
+
+let decode r : t =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let params = Params.decode r in
+  let prev_up_body = r_option r Vec3.decode in
+  let position = Vec3.decode r in
+  let velocity = Vec3.decode r in
+  let attitude = Quat.decode r in
+  let angular_rate = Vec3.decode r in
+  let alt_mode = alt_mode_of_tag (r_u8 r) in
+  let att_mode = att_mode_of_tag (r_u8 r) in
+  let yaw_mode = yaw_mode_of_tag (r_u8 r) in
+  let pos_mode = pos_mode_of_tag (r_u8 r) in
+  let heading_valid = r_bool r in
+  let last_gps_alt = r_option r r_f64 in
+  let raw_climb = r_f64 r in
+  let accel_world = Vec3.decode r in
+  let vertical_degraded = r_bool r in
+  let dead_reckon_age = r_f64 r in
+  {
+    params;
+    prev_up_body;
+    position;
+    velocity;
+    attitude;
+    angular_rate;
+    alt_mode;
+    att_mode;
+    yaw_mode;
+    pos_mode;
+    heading_valid;
+    last_gps_alt;
+    raw_climb;
+    accel_world;
+    vertical_degraded;
+    dead_reckon_age;
+  }

@@ -87,3 +87,10 @@ val heading_valid : t -> bool
     personality's takeoff gate checks this (PX4-17192). *)
 
 val set_heading_valid : t -> bool -> unit
+
+val encode : Buffer.t -> t -> unit
+(** Versioned bit-exact binary layout of the whole estimated state. *)
+
+val decode : Avis_util.Codec.reader -> t
+(** Inverse of {!encode}. Raises [Avis_util.Codec.Corrupt] on malformed
+    input. *)

@@ -72,3 +72,113 @@ let default =
     gcs_timeout_s = 5.0;
     gcs_loss_action_code = 2.0;
   }
+
+let encode b (p : t) =
+  let open Avis_util.Codec in
+  w_f64 b p.takeoff_climb_rate;
+  w_f64 b p.land_descent_rate;
+  w_f64 b p.land_fast_descent_rate;
+  w_f64 b p.land_fast_descent_alt;
+  w_f64 b p.land_flare_alt;
+  w_f64 b p.land_flare_rate;
+  w_f64 b p.takeoff_accept_m;
+  w_f64 b p.cruise_speed;
+  w_f64 b p.waypoint_radius;
+  w_f64 b p.rtl_altitude;
+  w_f64 b p.pos_p;
+  w_f64 b p.vel_p;
+  w_f64 b p.max_tilt_rad;
+  w_f64 b p.max_climb_rate;
+  w_f64 b p.climb_pos_p;
+  w_f64 b p.climb_vel_p;
+  w_f64 b p.climb_vel_i;
+  w_f64 b p.att_p;
+  w_f64 b p.rate_p;
+  w_f64 b p.yaw_p;
+  w_f64 b p.yaw_rate_p;
+  w_f64 b p.imu_period;
+  w_f64 b p.gps_period;
+  w_f64 b p.baro_period;
+  w_f64 b p.compass_period;
+  w_f64 b p.battery_period;
+  w_f64 b p.heartbeat_period;
+  w_f64 b p.position_period;
+  w_f64 b p.sys_status_period;
+  w_f64 b p.failsafe_grace_s;
+  w_f64 b p.battery_low_fraction;
+  w_f64 b p.touchdown_speed;
+  w_f64 b p.gcs_timeout_s;
+  w_f64 b p.gcs_loss_action_code
+
+let decode r : t =
+  let open Avis_util.Codec in
+  let takeoff_climb_rate = r_f64 r in
+  let land_descent_rate = r_f64 r in
+  let land_fast_descent_rate = r_f64 r in
+  let land_fast_descent_alt = r_f64 r in
+  let land_flare_alt = r_f64 r in
+  let land_flare_rate = r_f64 r in
+  let takeoff_accept_m = r_f64 r in
+  let cruise_speed = r_f64 r in
+  let waypoint_radius = r_f64 r in
+  let rtl_altitude = r_f64 r in
+  let pos_p = r_f64 r in
+  let vel_p = r_f64 r in
+  let max_tilt_rad = r_f64 r in
+  let max_climb_rate = r_f64 r in
+  let climb_pos_p = r_f64 r in
+  let climb_vel_p = r_f64 r in
+  let climb_vel_i = r_f64 r in
+  let att_p = r_f64 r in
+  let rate_p = r_f64 r in
+  let yaw_p = r_f64 r in
+  let yaw_rate_p = r_f64 r in
+  let imu_period = r_f64 r in
+  let gps_period = r_f64 r in
+  let baro_period = r_f64 r in
+  let compass_period = r_f64 r in
+  let battery_period = r_f64 r in
+  let heartbeat_period = r_f64 r in
+  let position_period = r_f64 r in
+  let sys_status_period = r_f64 r in
+  let failsafe_grace_s = r_f64 r in
+  let battery_low_fraction = r_f64 r in
+  let touchdown_speed = r_f64 r in
+  let gcs_timeout_s = r_f64 r in
+  let gcs_loss_action_code = r_f64 r in
+  {
+    takeoff_climb_rate;
+    land_descent_rate;
+    land_fast_descent_rate;
+    land_fast_descent_alt;
+    land_flare_alt;
+    land_flare_rate;
+    takeoff_accept_m;
+    cruise_speed;
+    waypoint_radius;
+    rtl_altitude;
+    pos_p;
+    vel_p;
+    max_tilt_rad;
+    max_climb_rate;
+    climb_pos_p;
+    climb_vel_p;
+    climb_vel_i;
+    att_p;
+    rate_p;
+    yaw_p;
+    yaw_rate_p;
+    imu_period;
+    gps_period;
+    baro_period;
+    compass_period;
+    battery_period;
+    heartbeat_period;
+    position_period;
+    sys_status_period;
+    failsafe_grace_s;
+    battery_low_fraction;
+    touchdown_speed;
+    gcs_timeout_s;
+    gcs_loss_action_code;
+  }

@@ -19,3 +19,11 @@ val update_with_rate : t -> error:float -> rate:float -> dt:float -> float
 
 val reset : t -> unit
 (** Clear integrator and derivative history. *)
+
+val encode : Buffer.t -> t -> unit
+(** Bit-exact binary layout: gains, limits, integrator and derivative
+    history as IEEE-754 doubles. *)
+
+val decode : Avis_util.Codec.reader -> t
+(** Inverse of {!encode}. Raises [Avis_util.Codec.Corrupt] on truncated
+    input. *)

@@ -216,3 +216,57 @@ let step t ~time tel =
 let mission t = t.mission
 
 let gcs_last_heartbeat t = t.last_gcs_heartbeat
+
+(* As with [Gcs], the [link] field is not serialised: the caller passes the
+   link the decoded snapshot will be restored over. *)
+let encode_snapshot b (s : snapshot) =
+  let open Avis_util.Codec in
+  w_version b 1;
+  Geodesy.encode_frame b s.frame;
+  Params.encode b s.params;
+  Frame.encode_decoder b s.decoder;
+  w_int b s.seq;
+  w_option b
+    (fun b (u : upload) ->
+      w_int b u.expected;
+      w_list b Msg.encode_mission_item u.received;
+      w_int b u.next_seq)
+    s.upload;
+  w_list b Msg.encode_mission_item s.mission;
+  w_f64 b s.next_heartbeat;
+  w_f64 b s.next_position;
+  w_f64 b s.next_sys_status;
+  w_option b w_f64 s.last_gcs_heartbeat
+
+let decode_snapshot ~link r : snapshot =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let frame = Geodesy.decode_frame r in
+  let params = Params.decode r in
+  let decoder = Frame.decode_decoder r in
+  let seq = r_int r in
+  let upload =
+    r_option r (fun r ->
+        let expected = r_int r in
+        let received = r_list r Msg.decode_mission_item in
+        let next_seq = r_int r in
+        { expected; received; next_seq })
+  in
+  let mission = r_list r Msg.decode_mission_item in
+  let next_heartbeat = r_f64 r in
+  let next_position = r_f64 r in
+  let next_sys_status = r_f64 r in
+  let last_gcs_heartbeat = r_option r r_f64 in
+  {
+    link;
+    frame;
+    params;
+    decoder;
+    seq;
+    upload;
+    mission;
+    next_heartbeat;
+    next_position;
+    next_sys_status;
+    last_gcs_heartbeat;
+  }

@@ -45,6 +45,14 @@ val snapshot : t -> snapshot
 val restore : link:Link.t -> snapshot -> t
 (** Rebuild the protocol driver over the restored copy of the link. *)
 
+val encode_snapshot : Buffer.t -> snapshot -> unit
+(** Versioned bit-exact binary layout of the frozen protocol state. *)
+
+val decode_snapshot : link:Link.t -> Avis_util.Codec.reader -> snapshot
+(** Inverse of {!encode_snapshot}; the decoded snapshot is attached to
+    [link] via {!restore}. Raises [Avis_util.Codec.Corrupt] on malformed
+    input. *)
+
 val step : t -> time:float -> telemetry -> request list
 (** Process inbound traffic and emit due telemetry. Returns the pilot
     requests decoded this cycle, in arrival order. *)

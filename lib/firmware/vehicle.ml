@@ -646,3 +646,207 @@ let transitions t = List.rev t.transitions
 let estimator t = t.estimator
 let triggered_bugs t = t.triggered
 let home t = t.home
+
+let encode_phase b phase =
+  let open Avis_util.Codec in
+  match phase with
+  | Phase.Preflight -> w_u8 b 0
+  | Phase.Takeoff -> w_u8 b 1
+  | Phase.Manual -> w_u8 b 2
+  | Phase.Rtl -> w_u8 b 3
+  | Phase.Land -> w_u8 b 4
+  | Phase.Landed -> w_u8 b 5
+  | Phase.Waypoint i ->
+    w_u8 b 6;
+    w_int b i
+
+let decode_phase r =
+  let open Avis_util.Codec in
+  match r_u8 r with
+  | 0 -> Phase.Preflight
+  | 1 -> Phase.Takeoff
+  | 2 -> Phase.Manual
+  | 3 -> Phase.Rtl
+  | 4 -> Phase.Land
+  | 5 -> Phase.Landed
+  | 6 -> Phase.Waypoint (r_int r)
+  | t -> corrupt "bad phase tag %d" t
+
+let encode_target b target =
+  let open Avis_util.Codec in
+  match target with
+  | T_takeoff alt ->
+    w_u8 b 0;
+    w_f64 b alt
+  | T_waypoint (ordinal, p) ->
+    w_u8 b 1;
+    w_int b ordinal;
+    Vec3.encode b p
+  | T_land -> w_u8 b 2
+  | T_rtl -> w_u8 b 3
+
+let decode_target r =
+  let open Avis_util.Codec in
+  match r_u8 r with
+  | 0 -> T_takeoff (r_f64 r)
+  | 1 ->
+    let ordinal = r_int r in
+    let p = Vec3.decode r in
+    T_waypoint (ordinal, p)
+  | 2 -> T_land
+  | 3 -> T_rtl
+  | t -> corrupt "bad mission-target tag %d" t
+
+let encode_fence b (f : Avis_physics.Environment.fence) =
+  Vec3.encode b f.Avis_physics.Environment.centre_xy;
+  Avis_util.Codec.w_f64 b f.Avis_physics.Environment.radius_m;
+  Avis_util.Codec.w_f64 b f.Avis_physics.Environment.max_alt_m
+
+let decode_fence r : Avis_physics.Environment.fence =
+  let centre_xy = Vec3.decode r in
+  let radius_m = Avis_util.Codec.r_f64 r in
+  let max_alt_m = Avis_util.Codec.r_f64 r in
+  { Avis_physics.Environment.centre_xy; radius_m; max_alt_m }
+
+(* The policy is one of the two fixed personalities, so its firmware tag is
+   the whole encoding; the snapshot's live parameter set travels separately
+   (PARAM_SET mutates it away from the policy's defaults). *)
+let encode_snapshot b (s : snapshot) =
+  let open Avis_util.Codec in
+  let c = s.snap_core in
+  w_version b 1;
+  w_u8 b (match c.policy.Policy.firmware with Bug.Ardupilot -> 0 | Bug.Px4 -> 1);
+  w_option b encode_fence c.fence;
+  Params.encode b c.params;
+  w_list b Bug.encode_id (Bug.enabled_list c.bugs);
+  Geodesy.encode_frame b c.frame;
+  Estimator.encode b c.estimator;
+  Control.encode b c.control;
+  w_f64 b c.time;
+  w_bool b c.armed;
+  encode_phase b c.phase;
+  w_f64 b c.phase_entered_at;
+  w_list b
+    (fun b (at, from_p, to_p) ->
+      w_f64 b at;
+      encode_phase b from_p;
+      encode_phase b to_p)
+    c.transitions;
+  w_list b encode_target c.targets;
+  w_int b c.target_index;
+  w_f64 b c.takeoff_target;
+  w_u8 b (match c.after_takeoff with Run_mission -> 0 | Hold_manual -> 1);
+  Vec3.encode b c.manual_target;
+  w_f64 b c.yaw_target;
+  Vec3.encode b c.land_capture;
+  w_u8 b (match c.rtl_stage with Rtl_climb -> 0 | Rtl_return -> 1);
+  Vec3.encode b c.rtl_capture;
+  w_option b w_f64 c.touchdown_since;
+  w_f64 b c.alt_ema_fast;
+  w_f64 b c.alt_ema_slow;
+  w_list b w_f64 c.alt_history;
+  w_f64 b c.alt_history_next;
+  w_bool b c.did_state_reset;
+  w_list b Bug.encode_id c.triggered;
+  Vec3.encode b c.home;
+  Drivers.encode_snapshot b s.snap_drivers;
+  Protocol.encode_snapshot b s.snap_protocol
+
+let decode_snapshot ~suite ~hinj ~link r : snapshot =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let policy =
+    match r_u8 r with
+    | 0 -> Policy.of_firmware Bug.Ardupilot
+    | 1 -> Policy.of_firmware Bug.Px4
+    | t -> corrupt "bad firmware tag %d" t
+  in
+  let fence = r_option r decode_fence in
+  let params = Params.decode r in
+  let bugs = Bug.registry ~enabled:(r_list r Bug.decode_id) policy.Policy.firmware in
+  let frame = Geodesy.decode_frame r in
+  let estimator = Estimator.decode r in
+  let control = Control.decode r in
+  let time = r_f64 r in
+  let armed = r_bool r in
+  let phase = decode_phase r in
+  let phase_entered_at = r_f64 r in
+  let transitions =
+    r_list r (fun r ->
+        let at = r_f64 r in
+        let from_p = decode_phase r in
+        let to_p = decode_phase r in
+        (at, from_p, to_p))
+  in
+  let targets = r_list r decode_target in
+  let target_index = r_int r in
+  let takeoff_target = r_f64 r in
+  let after_takeoff =
+    match r_u8 r with
+    | 0 -> Run_mission
+    | 1 -> Hold_manual
+    | t -> corrupt "bad after-takeoff tag %d" t
+  in
+  let manual_target = Vec3.decode r in
+  let yaw_target = r_f64 r in
+  let land_capture = Vec3.decode r in
+  let rtl_stage =
+    match r_u8 r with
+    | 0 -> Rtl_climb
+    | 1 -> Rtl_return
+    | t -> corrupt "bad rtl-stage tag %d" t
+  in
+  let rtl_capture = Vec3.decode r in
+  let touchdown_since = r_option r r_f64 in
+  let alt_ema_fast = r_f64 r in
+  let alt_ema_slow = r_f64 r in
+  let alt_history = r_list r r_f64 in
+  let alt_history_next = r_f64 r in
+  let did_state_reset = r_bool r in
+  let triggered = r_list r Bug.decode_id in
+  let home = Vec3.decode r in
+  let snap_drivers = Drivers.decode_snapshot r in
+  let snap_protocol = Protocol.decode_snapshot ~link r in
+  let snap_core =
+    {
+      policy;
+      fence;
+      params;
+      bugs;
+      suite;
+      hinj;
+      frame;
+      drivers = Drivers.restore ~suite ~hinj snap_drivers;
+      estimator;
+      control;
+      protocol = Protocol.restore ~link snap_protocol;
+      time;
+      armed;
+      phase;
+      phase_entered_at;
+      transitions;
+      targets;
+      target_index;
+      takeoff_target;
+      after_takeoff;
+      manual_target;
+      yaw_target;
+      land_capture;
+      rtl_stage;
+      rtl_capture;
+      touchdown_since;
+      alt_ema_fast;
+      alt_ema_slow;
+      alt_history;
+      alt_history_next;
+      did_state_reset;
+      triggered;
+      home;
+    }
+  in
+  { snap_core; snap_drivers; snap_protocol }
+
+let to_bytes s = Avis_util.Codec.to_string encode_snapshot s
+
+let of_bytes ~suite ~hinj ~link data =
+  Avis_util.Codec.of_string (decode_snapshot ~suite ~hinj ~link) data

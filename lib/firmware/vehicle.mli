@@ -62,3 +62,28 @@ val triggered_bugs : t -> Bug.id list
 
 val home : t -> Vec3.t
 (** Launch position in the local frame. *)
+
+val encode_snapshot : Buffer.t -> snapshot -> unit
+(** Versioned bit-exact binary layout of the whole frozen firmware
+    (estimator, controller, drivers, protocol, mode logic and bug
+    registry). *)
+
+val decode_snapshot :
+  suite:Avis_sensors.Suite.t ->
+  hinj:Avis_hinj.Hinj.t ->
+  link:Link.t ->
+  Avis_util.Codec.reader ->
+  snapshot
+(** Inverse of {!encode_snapshot}; the decoded snapshot is attached to the
+    given collaborators via {!restore}. Raises [Avis_util.Codec.Corrupt] on
+    malformed input. *)
+
+val to_bytes : snapshot -> string
+
+val of_bytes :
+  suite:Avis_sensors.Suite.t ->
+  hinj:Avis_hinj.Hinj.t ->
+  link:Link.t ->
+  string ->
+  snapshot
+(** Raises [Avis_util.Codec.Corrupt] on malformed input. *)

@@ -209,3 +209,16 @@ module Mut = struct
     let c = Stdlib.max (-1.0) (Stdlib.min 1.0 d) in
     acos c
 end
+
+let encode b q =
+  Avis_util.Codec.w_f64 b q.w;
+  Avis_util.Codec.w_f64 b q.x;
+  Avis_util.Codec.w_f64 b q.y;
+  Avis_util.Codec.w_f64 b q.z
+
+let decode r =
+  let w = Avis_util.Codec.r_f64 r in
+  let x = Avis_util.Codec.r_f64 r in
+  let y = Avis_util.Codec.r_f64 r in
+  let z = Avis_util.Codec.r_f64 r in
+  { w; x; y; z }

@@ -90,3 +90,10 @@ module Mut : sig
   val tilt : quat -> float
   (** Angle between body z and world vertical, without allocating. *)
 end
+
+val encode : Buffer.t -> t -> unit
+(** Bit-exact binary layout (four IEEE-754 doubles). *)
+
+val decode : Avis_util.Codec.reader -> t
+(** Inverse of {!encode}. Raises [Avis_util.Codec.Corrupt] on truncated
+    input. *)

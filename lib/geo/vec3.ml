@@ -43,6 +43,17 @@ let equal_eps ?(eps = 1e-9) a b =
   && Float.abs (a.y -. b.y) <= eps
   && Float.abs (a.z -. b.z) <= eps
 
+let encode b (a : t) =
+  Avis_util.Codec.w_f64 b a.x;
+  Avis_util.Codec.w_f64 b a.y;
+  Avis_util.Codec.w_f64 b a.z
+
+let decode r =
+  let x = Avis_util.Codec.r_f64 r in
+  let y = Avis_util.Codec.r_f64 r in
+  let z = Avis_util.Codec.r_f64 r in
+  { x; y; z }
+
 let pp ppf a = Format.fprintf ppf "(%.4f, %.4f, %.4f)" a.x a.y a.z
 let to_string a = Format.asprintf "%a" pp a
 

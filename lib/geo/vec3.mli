@@ -48,6 +48,12 @@ val is_finite : t -> bool
 val equal_eps : ?eps:float -> t -> t -> bool
 (** Component-wise comparison within [eps] (default [1e-9]). *)
 
+val encode : Buffer.t -> t -> unit
+(** Write the three components by bit pattern (24 bytes). *)
+
+val decode : Avis_util.Codec.reader -> t
+(** Inverse of {!encode}; bit-exact. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -53,6 +53,87 @@ let freeze ?plan t =
 let snapshot t = freeze t
 let restore ?plan s = freeze ?plan s
 
+let encode_fault b f =
+  Sensor.encode_id b f.sensor;
+  Avis_util.Codec.w_f64 b f.at
+
+let decode_fault r =
+  let sensor = Sensor.decode_id r in
+  let at = Avis_util.Codec.r_f64 r in
+  { sensor; at }
+
+let encode_degradation b d =
+  let open Avis_util.Codec in
+  Sensor.encode_id b d.target;
+  w_f64 b d.from_time;
+  match d.kind with
+  | Stuck_at_last -> w_u8 b 0
+  | Extra_noise s ->
+    w_u8 b 1;
+    w_f64 b s
+  | Constant_bias o ->
+    w_u8 b 2;
+    w_f64 b o
+
+let decode_degradation r =
+  let open Avis_util.Codec in
+  let target = Sensor.decode_id r in
+  let from_time = r_f64 r in
+  let kind =
+    match r_u8 r with
+    | 0 -> Stuck_at_last
+    | 1 -> Extra_noise (r_f64 r)
+    | 2 -> Constant_bias (r_f64 r)
+    | t -> corrupt "bad degradation tag %d" t
+  in
+  { target; from_time; kind }
+
+let encode_transition b tr =
+  let open Avis_util.Codec in
+  w_f64 b tr.time;
+  w_string b tr.from_mode;
+  w_string b tr.to_mode
+
+let decode_transition r =
+  let open Avis_util.Codec in
+  let time = r_f64 r in
+  let from_mode = r_string r in
+  let to_mode = r_string r in
+  { time; from_mode; to_mode }
+
+let encode_snapshot b (s : snapshot) =
+  let open Avis_util.Codec in
+  w_version b 1;
+  w_list b encode_fault s.plan;
+  w_list b encode_degradation s.degradations;
+  w_option b w_string s.mode;
+  w_option b
+    (fun b (t, m) ->
+      w_f64 b t;
+      w_string b m)
+    s.initial_mode;
+  w_list b encode_transition s.transitions;
+  w_int b s.read_count
+
+let decode_snapshot r : snapshot =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let plan = r_list r decode_fault in
+  let degradations = r_list r decode_degradation in
+  let mode = r_option r r_string in
+  let initial_mode =
+    r_option r (fun r ->
+        let t = r_f64 r in
+        let m = r_string r in
+        (t, m))
+  in
+  let transitions = r_list r decode_transition in
+  let read_count = r_int r in
+  { plan; degradations; mode; initial_mode; transitions; read_count }
+
+let to_bytes s = Avis_util.Codec.to_string encode_snapshot s
+let of_bytes data = Avis_util.Codec.of_string decode_snapshot data
+
 let is_failed t ~time id =
   List.exists (fun f -> Sensor.equal_id f.sensor id && f.at <= time) t.plan
 

@@ -61,6 +61,17 @@ val restore : ?plan:plan -> snapshot -> t
     faulty scenario, which is only sound if no fault in the new plan starts
     at or before the snapshot time. *)
 
+val encode_snapshot : Buffer.t -> snapshot -> unit
+val decode_snapshot : Avis_util.Codec.reader -> snapshot
+
+val to_bytes : snapshot -> string
+(** Versioned binary form of a snapshot: plan, degradations, mode log and
+    read counter. *)
+
+val of_bytes : string -> snapshot
+(** Inverse of {!to_bytes}; raises [Avis_util.Codec.Corrupt] on malformed
+    input. *)
+
 val sensor_read : t -> time:float -> Sensor.id -> decision
 (** The instrumented driver's question: should this read succeed? Also
     counts reads for throughput statistics. *)

@@ -36,6 +36,15 @@ let decoder () = { buffer = ""; dropped = 0 }
 
 let copy_decoder d = { buffer = d.buffer; dropped = d.dropped }
 
+let encode_decoder b d =
+  Avis_util.Codec.w_string b d.buffer;
+  Avis_util.Codec.w_int b d.dropped
+
+let decode_decoder r =
+  let buffer = Avis_util.Codec.r_string r in
+  let dropped = Avis_util.Codec.r_int r in
+  { buffer; dropped }
+
 let dropped d = d.dropped
 
 (* Attempt to parse one frame at the head of the buffer. Returns

@@ -21,6 +21,13 @@ val decoder : unit -> decoder
 val copy_decoder : decoder -> decoder
 (** An independent copy of the decoder's buffered bytes and drop count. *)
 
+val encode_decoder : Buffer.t -> decoder -> unit
+(** Binary layout: buffered bytes plus the drop counter. *)
+
+val decode_decoder : Avis_util.Codec.reader -> decoder
+(** Inverse of {!encode_decoder}; raises [Avis_util.Codec.Corrupt] on
+    malformed input. *)
+
 val feed : decoder -> string -> frame list
 (** Push received bytes; returns the frames completed by this chunk, in
     order. Frames with bad checksums or unknown message ids are counted and

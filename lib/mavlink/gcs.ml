@@ -112,6 +112,187 @@ let restore ~link s =
     upload_items = Array.copy s.upload_items;
   }
 
+let encode_retry b (r : retry) =
+  let open Avis_util.Codec in
+  w_f64 b r.next_at;
+  w_f64 b r.backoff;
+  w_int b r.left
+
+let decode_retry r : retry =
+  let open Avis_util.Codec in
+  let next_at = r_f64 r in
+  let backoff = r_f64 r in
+  let left = r_int r in
+  { next_at; backoff; left }
+
+let encode_upload_state b u =
+  Avis_util.Codec.w_u8 b
+    (match u with
+    | Upload_idle -> 0
+    | Upload_in_progress -> 1
+    | Upload_done -> 2
+    | Upload_failed -> 3
+    | Upload_timed_out -> 4)
+
+let decode_upload_state r =
+  match Avis_util.Codec.r_u8 r with
+  | 0 -> Upload_idle
+  | 1 -> Upload_in_progress
+  | 2 -> Upload_done
+  | 3 -> Upload_failed
+  | 4 -> Upload_timed_out
+  | t -> Avis_util.Codec.corrupt "bad upload-state tag %d" t
+
+(* The snapshot's [link] field is deliberately not serialised: a decoded
+   snapshot is only usable through [restore ~link], which substitutes the
+   restored link — exactly as [Vehicle.restore] substitutes its
+   collaborators. [of_bytes] takes the link the caller will restore over
+   so the interim record is well-typed. *)
+let encode_snapshot b (s : snapshot) =
+  let open Avis_util.Codec in
+  w_version b 1;
+  w_int b s.sysid;
+  w_int b s.compid;
+  Frame.encode_decoder b s.decoder;
+  w_int b s.seq;
+  w_f64 b s.now;
+  w_f64 b s.next_heartbeat;
+  w_f64 b s.relative_alt;
+  w_f64 b s.latitude;
+  w_f64 b s.longitude;
+  (let vx, vy, vz = s.velocity in
+   w_f64 b vx;
+   w_f64 b vy;
+   w_f64 b vz);
+  w_f64 b s.heading_deg;
+  w_option b w_int s.vehicle_mode;
+  w_bool b s.armed;
+  w_int b s.battery_pct;
+  w_list b w_string s.statustexts;
+  encode_upload_state b s.upload;
+  w_array b Msg.encode_mission_item s.upload_items;
+  w_option b w_int s.upload_last_seq;
+  w_option b encode_retry s.upload_retry;
+  w_list b
+    (fun b p ->
+      w_int b p.cmd;
+      w_f64 b p.p1;
+      w_f64 b p.p2;
+      w_f64 b p.p3;
+      w_f64 b p.p4;
+      encode_retry b p.cmd_retry)
+    s.pending_commands;
+  w_list b w_int s.timed_out_commands;
+  w_option b
+    (fun b pm ->
+      w_int b pm.mode;
+      w_option b w_int pm.baseline;
+      encode_retry b pm.mode_retry)
+    s.pending_mode;
+  w_bool b s.mode_timed_out;
+  w_list b
+    (fun b (cmd, accepted) ->
+      w_int b cmd;
+      w_bool b accepted)
+    s.command_acks;
+  w_list b
+    (fun b (name, value) ->
+      w_string b name;
+      w_f64 b value)
+    s.params
+
+let decode_snapshot ~link r : snapshot =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let sysid = r_int r in
+  let compid = r_int r in
+  let decoder = Frame.decode_decoder r in
+  let seq = r_int r in
+  let now = r_f64 r in
+  let next_heartbeat = r_f64 r in
+  let relative_alt = r_f64 r in
+  let latitude = r_f64 r in
+  let longitude = r_f64 r in
+  let velocity =
+    let vx = r_f64 r in
+    let vy = r_f64 r in
+    let vz = r_f64 r in
+    (vx, vy, vz)
+  in
+  let heading_deg = r_f64 r in
+  let vehicle_mode = r_option r r_int in
+  let armed = r_bool r in
+  let battery_pct = r_int r in
+  let statustexts = r_list r r_string in
+  let upload = decode_upload_state r in
+  let upload_items = r_array r Msg.decode_mission_item in
+  let upload_last_seq = r_option r r_int in
+  let upload_retry = r_option r decode_retry in
+  let pending_commands =
+    r_list r (fun r ->
+        let cmd = r_int r in
+        let p1 = r_f64 r in
+        let p2 = r_f64 r in
+        let p3 = r_f64 r in
+        let p4 = r_f64 r in
+        let cmd_retry = decode_retry r in
+        { cmd; p1; p2; p3; p4; cmd_retry })
+  in
+  let timed_out_commands = r_list r r_int in
+  let pending_mode =
+    r_option r (fun r ->
+        let mode = r_int r in
+        let baseline = r_option r r_int in
+        let mode_retry = decode_retry r in
+        { mode; baseline; mode_retry })
+  in
+  let mode_timed_out = r_bool r in
+  let command_acks =
+    r_list r (fun r ->
+        let cmd = r_int r in
+        let accepted = r_bool r in
+        (cmd, accepted))
+  in
+  let params =
+    r_list r (fun r ->
+        let name = r_string r in
+        let value = r_f64 r in
+        (name, value))
+  in
+  {
+    link;
+    sysid;
+    compid;
+    decoder;
+    seq;
+    now;
+    next_heartbeat;
+    relative_alt;
+    latitude;
+    longitude;
+    velocity;
+    heading_deg;
+    vehicle_mode;
+    armed;
+    battery_pct;
+    statustexts;
+    upload;
+    upload_items;
+    upload_last_seq;
+    upload_retry;
+    pending_commands;
+    timed_out_commands;
+    pending_mode;
+    mode_timed_out;
+    command_acks;
+    params;
+  }
+
+let to_bytes s = Avis_util.Codec.to_string encode_snapshot s
+
+let of_bytes ~link data =
+  Avis_util.Codec.of_string (decode_snapshot ~link) data
+
 let fresh_retry t ~retries =
   { next_at = t.now +. initial_backoff; backoff = initial_backoff;
     left = retries }

@@ -30,6 +30,20 @@ val restore : link:Link.t -> snapshot -> t
 (** Rebuild a GCS attached to [link] (the restored copy of the link the
     snapshot was taken over). *)
 
+val encode_snapshot : Buffer.t -> snapshot -> unit
+(** Versioned binary layout of the full snapshot (telemetry cache,
+    transaction state, decoder). Floats are written bit-exactly. *)
+
+val decode_snapshot : link:Link.t -> Avis_util.Codec.reader -> snapshot
+(** Inverse of {!encode_snapshot}; the decoded snapshot is attached to
+    [link] when passed to {!restore}. Raises [Avis_util.Codec.Corrupt] on
+    malformed input. *)
+
+val to_bytes : snapshot -> string
+
+val of_bytes : link:Link.t -> string -> snapshot
+(** Raises [Avis_util.Codec.Corrupt] on malformed input. *)
+
 val tick : t -> time:float -> Msg.t list
 (** Run one GCS scheduling slice at simulated [time]: ingest everything
     that arrived since the last tick, emit the periodic GCS heartbeat,

@@ -62,6 +62,92 @@ let copy ?outages t =
 let snapshot t = copy t
 let restore ?outages snap = copy ?outages snap
 
+let encode_chunk b c =
+  Avis_util.Codec.w_int b c.deliver_at;
+  Avis_util.Codec.w_string b c.data
+
+let decode_chunk r =
+  let deliver_at = Avis_util.Codec.r_int r in
+  let data = Avis_util.Codec.r_string r in
+  { deliver_at; data }
+
+let encode_snapshot b (s : snapshot) =
+  let open Avis_util.Codec in
+  w_version b 1;
+  w_option b
+    (fun b (rng, max_steps) ->
+      w_i64 b (Avis_util.Rng.to_bits rng);
+      w_int b max_steps)
+    s.jitter;
+  w_option b
+    (fun b (p, rng) ->
+      w_f64 b p.drop;
+      w_f64 b p.corrupt;
+      w_f64 b p.duplicate;
+      w_i64 b (Avis_util.Rng.to_bits rng))
+    s.faults;
+  w_list b
+    (fun b o ->
+      w_int b o.from_step;
+      w_int b o.until_step)
+    s.outages;
+  w_int b s.now;
+  w_list b encode_chunk s.to_vehicle;
+  w_list b encode_chunk s.to_gcs;
+  w_int b s.last_to_vehicle;
+  w_int b s.last_to_gcs;
+  w_int b s.dropped;
+  w_int b s.corrupted;
+  w_int b s.duplicated
+
+let decode_snapshot r : snapshot =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let jitter =
+    r_option r (fun r ->
+        let rng = Avis_util.Rng.of_bits (r_i64 r) in
+        let max_steps = r_int r in
+        (rng, max_steps))
+  in
+  let faults =
+    r_option r (fun r ->
+        let drop = r_f64 r in
+        let corrupt = r_f64 r in
+        let duplicate = r_f64 r in
+        let rng = Avis_util.Rng.of_bits (r_i64 r) in
+        ({ drop; corrupt; duplicate }, rng))
+  in
+  let outages =
+    r_list r (fun r ->
+        let from_step = r_int r in
+        let until_step = r_int r in
+        { from_step; until_step })
+  in
+  let now = r_int r in
+  let to_vehicle = r_list r decode_chunk in
+  let to_gcs = r_list r decode_chunk in
+  let last_to_vehicle = r_int r in
+  let last_to_gcs = r_int r in
+  let dropped = r_int r in
+  let corrupted = r_int r in
+  let duplicated = r_int r in
+  {
+    jitter;
+    faults;
+    outages;
+    now;
+    to_vehicle;
+    to_gcs;
+    last_to_vehicle;
+    last_to_gcs;
+    dropped;
+    corrupted;
+    duplicated;
+  }
+
+let to_bytes s = Avis_util.Codec.to_string encode_snapshot s
+let of_bytes data = Avis_util.Codec.of_string decode_snapshot data
+
 let delay t =
   match t.jitter with
   | None -> 1

@@ -58,6 +58,17 @@ val restore : ?outages:outage list -> snapshot -> t
 (** Rebuild the link; [outages], when given, substitutes the outage
     schedule — the link half of the simulator's fork operation. *)
 
+val encode_snapshot : Buffer.t -> snapshot -> unit
+val decode_snapshot : Avis_util.Codec.reader -> snapshot
+
+val to_bytes : snapshot -> string
+(** Versioned binary form of a snapshot: both RNGs, in-flight chunks,
+    outage schedule, clocks and fault counters. *)
+
+val of_bytes : string -> snapshot
+(** Inverse of {!to_bytes}; raises [Avis_util.Codec.Corrupt] on malformed
+    input. *)
+
 val send : t -> endpoint -> string -> unit
 (** Queue bytes from the given endpoint towards the other side, subject to
     the fault plan. *)

@@ -7,6 +7,25 @@ type mission_item = {
   z : float;
 }
 
+let encode_mission_item b (it : mission_item) =
+  let open Avis_util.Codec in
+  w_int b it.seq;
+  w_int b it.command;
+  w_f64 b it.param1;
+  w_f64 b it.x;
+  w_f64 b it.y;
+  w_f64 b it.z
+
+let decode_mission_item r : mission_item =
+  let open Avis_util.Codec in
+  let seq = r_int r in
+  let command = r_int r in
+  let param1 = r_f64 r in
+  let x = r_f64 r in
+  let y = r_f64 r in
+  let z = r_f64 r in
+  { seq; command; param1; x; y; z }
+
 let cmd_waypoint = 16
 let cmd_takeoff = 22
 let cmd_land = 21

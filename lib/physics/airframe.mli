@@ -36,6 +36,14 @@ val hexa : t
 val by_name : string -> t option
 (** Look up a registered airframe by [name]. *)
 
+val encode : Buffer.t -> t -> unit
+(** Versioned binary layout of the whole record (not just the name, so
+    hand-constructed airframes snapshot too). *)
+
+val decode : Avis_util.Codec.reader -> t
+(** Inverse of {!encode}; raises [Avis_util.Codec.Corrupt] on malformed
+    input. *)
+
 val hover_throttle : t -> float
 (** The per-motor throttle fraction at which total thrust balances gravity. *)
 

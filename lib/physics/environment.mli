@@ -32,6 +32,14 @@ val copy : t -> t
 val obstacles : t -> obstacle list
 val fence : t -> fence option
 
+val encode : Buffer.t -> t -> unit
+(** Versioned binary layout: obstacles, fence, wind spec and the current
+    gust state (so a decoded environment resumes the same gust process). *)
+
+val decode : Avis_util.Codec.reader -> t
+(** Inverse of {!encode}; raises [Avis_util.Codec.Corrupt] on malformed
+    input. *)
+
 val wind_at : t -> Avis_util.Rng.t -> float -> Vec3.t
 (** [wind_at t rng dt] advances the gust process by [dt] and returns the
     current wind vector. Calm environments always return zero. *)

@@ -145,6 +145,59 @@ let restore s =
     scratch = make_scratch ();
   }
 
+let encode_contact b e =
+  let open Avis_util.Codec in
+  match e with
+  | Touchdown { speed } ->
+    w_u8 b 0;
+    w_f64 b speed
+  | Ground_impact { speed } ->
+    w_u8 b 1;
+    w_f64 b speed
+  | Obstacle_strike { label; speed } ->
+    w_u8 b 2;
+    w_string b label;
+    w_f64 b speed
+  | Tipover -> w_u8 b 3
+
+let decode_contact r =
+  let open Avis_util.Codec in
+  match r_u8 r with
+  | 0 -> Touchdown { speed = r_f64 r }
+  | 1 -> Ground_impact { speed = r_f64 r }
+  | 2 ->
+    let label = r_string r in
+    let speed = r_f64 r in
+    Obstacle_strike { label; speed }
+  | 3 -> Tipover
+  | t -> corrupt "bad contact-event tag %d" t
+
+let encode_snapshot b s =
+  let open Avis_util.Codec in
+  w_version b 1;
+  Airframe.encode b s.snap_airframe;
+  Environment.encode b s.snap_environment;
+  w_i64 b (Avis_util.Rng.to_bits s.snap_rng);
+  w_option b encode_contact s.snap_crash_event;
+  w_float_array b s.snap_blob
+
+let decode_snapshot r =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let snap_airframe = Airframe.decode r in
+  let snap_environment = Environment.decode r in
+  let snap_rng = Avis_util.Rng.of_bits (r_i64 r) in
+  let snap_crash_event = r_option r decode_contact in
+  let snap_blob = r_float_array r in
+  let expected =
+    4 + Rigid_body.float_count
+    + Motor.float_count (Motor.create snap_airframe)
+  in
+  if Array.length snap_blob <> expected then
+    corrupt "world blob has %d floats (want %d)" (Array.length snap_blob)
+      expected;
+  { snap_airframe; snap_environment; snap_rng; snap_crash_event; snap_blob }
+
 let airframe t = t.airframe
 let environment t = t.environment
 let body t = t.body

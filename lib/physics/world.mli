@@ -52,6 +52,15 @@ val restore : snapshot -> t
 val snapshot_bytes : snapshot -> int
 (** Exact size in bytes of the snapshot's numeric payload. *)
 
+val encode_snapshot : Buffer.t -> snapshot -> unit
+(** Versioned binary layout: airframe, environment, physics RNG, latched
+    crash event, and the numeric float blob by bit pattern. *)
+
+val decode_snapshot : Avis_util.Codec.reader -> snapshot
+(** Inverse of {!encode_snapshot}; raises [Avis_util.Codec.Corrupt] on
+    malformed input, including a blob whose length disagrees with the
+    airframe's motor count. *)
+
 val airframe : t -> Airframe.t
 val environment : t -> Environment.t
 val body : t -> Rigid_body.t

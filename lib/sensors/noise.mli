@@ -31,5 +31,13 @@ val copy_channel : channel -> channel
 (** An independent copy: same bias, current drift, and a copied RNG, so the
     copy produces the same sample stream as the original would have. *)
 
+val encode_channel : Buffer.t -> channel -> unit
+(** Binary layout: RNG state, spec, bias and drift — everything needed to
+    resume the exact sample stream. *)
+
+val decode_channel : Avis_util.Codec.reader -> channel
+(** Inverse of {!encode_channel}; raises [Avis_util.Codec.Corrupt] on
+    malformed input. *)
+
 val sample : channel -> dt:float -> truth:float -> float
 (** Corrupt a true value; advances drift by [dt]. *)

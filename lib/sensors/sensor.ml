@@ -50,6 +50,80 @@ let reading_kind = function
   | Pressure_alt _ -> Barometer
   | Battery_state _ -> Battery
 
+let kind_tag = function
+  | Accelerometer -> 0
+  | Gyroscope -> 1
+  | Gps -> 2
+  | Compass -> 3
+  | Barometer -> 4
+  | Battery -> 5
+
+let kind_of_tag = function
+  | 0 -> Accelerometer
+  | 1 -> Gyroscope
+  | 2 -> Gps
+  | 3 -> Compass
+  | 4 -> Barometer
+  | 5 -> Battery
+  | t -> Avis_util.Codec.corrupt "bad sensor-kind tag %d" t
+
+let encode_kind b k = Avis_util.Codec.w_u8 b (kind_tag k)
+let decode_kind r = kind_of_tag (Avis_util.Codec.r_u8 r)
+
+let encode_id b id =
+  encode_kind b id.kind;
+  Avis_util.Codec.w_int b id.index
+
+let decode_id r =
+  let kind = decode_kind r in
+  let index = Avis_util.Codec.r_int r in
+  if index < 0 || index > 255 then
+    Avis_util.Codec.corrupt "bad sensor index %d" index;
+  { kind; index }
+
+let encode_reading b reading =
+  let open Avis_util.Codec in
+  match reading with
+  | Accel v ->
+    w_u8 b 0;
+    Vec3.encode b v
+  | Gyro v ->
+    w_u8 b 1;
+    Vec3.encode b v
+  | Gps_fix { position; velocity; hdop } ->
+    w_u8 b 2;
+    Vec3.encode b position;
+    Vec3.encode b velocity;
+    w_f64 b hdop
+  | Heading h ->
+    w_u8 b 3;
+    w_f64 b h
+  | Pressure_alt a ->
+    w_u8 b 4;
+    w_f64 b a
+  | Battery_state { voltage; remaining } ->
+    w_u8 b 5;
+    w_f64 b voltage;
+    w_f64 b remaining
+
+let decode_reading r =
+  let open Avis_util.Codec in
+  match r_u8 r with
+  | 0 -> Accel (Vec3.decode r)
+  | 1 -> Gyro (Vec3.decode r)
+  | 2 ->
+    let position = Vec3.decode r in
+    let velocity = Vec3.decode r in
+    let hdop = r_f64 r in
+    Gps_fix { position; velocity; hdop }
+  | 3 -> Heading (r_f64 r)
+  | 4 -> Pressure_alt (r_f64 r)
+  | 5 ->
+    let voltage = r_f64 r in
+    let remaining = r_f64 r in
+    Battery_state { voltage; remaining }
+  | t -> corrupt "bad reading tag %d" t
+
 let pp_reading ppf = function
   | Accel v -> Format.fprintf ppf "accel %a" Vec3.pp v
   | Gyro v -> Format.fprintf ppf "gyro %a" Vec3.pp v

@@ -38,4 +38,15 @@ type reading =
 
 val reading_kind : reading -> kind
 
+val encode_kind : Buffer.t -> kind -> unit
+val decode_kind : Avis_util.Codec.reader -> kind
+
+val encode_id : Buffer.t -> id -> unit
+val decode_id : Avis_util.Codec.reader -> id
+
+val encode_reading : Buffer.t -> reading -> unit
+val decode_reading : Avis_util.Codec.reader -> reading
+(** Binary layouts for snapshot persistence; decoders raise
+    [Avis_util.Codec.Corrupt] on malformed input. *)
+
 val pp_reading : Format.formatter -> reading -> unit

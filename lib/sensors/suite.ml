@@ -105,6 +105,70 @@ let copy t =
 let snapshot = copy
 let restore = copy
 
+let encode_instance b (id, s) =
+  Sensor.encode_id b id;
+  Noise.encode_channel b s.ch1;
+  Noise.encode_channel b s.ch2;
+  Noise.encode_channel b s.ch3;
+  Noise.encode_channel b s.ch_aux
+
+let decode_instance r =
+  let id = Sensor.decode_id r in
+  let ch1 = Noise.decode_channel r in
+  let ch2 = Noise.decode_channel r in
+  let ch3 = Noise.decode_channel r in
+  let ch_aux = Noise.decode_channel r in
+  (id, { id; ch1; ch2; ch3; ch_aux })
+
+let encode_snapshot b (s : snapshot) =
+  let open Avis_util.Codec in
+  w_version b 1;
+  w_int b s.complement.accelerometers;
+  w_int b s.complement.gyroscopes;
+  w_int b s.complement.compasses;
+  w_int b s.complement.gps_receivers;
+  w_int b s.complement.barometers;
+  w_int b s.complement.batteries;
+  w_list b encode_instance s.states;
+  w_f64 b s.charge.(0);
+  w_f64 b s.full_voltage;
+  w_f64 b s.empty_voltage;
+  w_f64 b s.capacity_j
+
+let decode_snapshot r : snapshot =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let accelerometers = r_int r in
+  let gyroscopes = r_int r in
+  let compasses = r_int r in
+  let gps_receivers = r_int r in
+  let barometers = r_int r in
+  let batteries = r_int r in
+  let states = r_list r decode_instance in
+  let charge = [| r_f64 r |] in
+  let full_voltage = r_f64 r in
+  let empty_voltage = r_f64 r in
+  let capacity_j = r_f64 r in
+  {
+    complement =
+      {
+        accelerometers;
+        gyroscopes;
+        compasses;
+        gps_receivers;
+        barometers;
+        batteries;
+      };
+    states;
+    charge;
+    full_voltage;
+    empty_voltage;
+    capacity_j;
+  }
+
+let to_bytes s = Avis_util.Codec.to_string encode_snapshot s
+let of_bytes data = Avis_util.Codec.of_string decode_snapshot data
+
 let instances t = List.map fst t.states
 
 let count t kind =

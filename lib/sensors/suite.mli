@@ -37,6 +37,18 @@ val restore : snapshot -> t
 (** Each restore yields an independent suite; a snapshot may be restored
     any number of times. *)
 
+val encode_snapshot : Buffer.t -> snapshot -> unit
+val decode_snapshot : Avis_util.Codec.reader -> snapshot
+
+val to_bytes : snapshot -> string
+(** Versioned binary form of a snapshot — complement, every noise
+    channel's RNG/spec/bias/drift and the battery state — bit-exact on
+    round-trip. *)
+
+val of_bytes : string -> snapshot
+(** Inverse of {!to_bytes}; raises [Avis_util.Codec.Corrupt] on malformed
+    input. *)
+
 val instances : t -> Sensor.id list
 
 val count : t -> Sensor.kind -> int

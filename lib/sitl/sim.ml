@@ -65,9 +65,11 @@ let create ?(plan = []) ?(degradations = []) ?(link_outages = []) config =
   (* Split unconditionally so the env/suite/jitter streams stay where they
      were before channel faults existed, whatever the profile. *)
   let link_fault_rng = Avis_util.Rng.split rng in
+  (* Copy the caller's environment: it carries mutable gust state, and two
+     sims built from one config must not couple through it. *)
   let environment =
     match config.environment with
-    | Some e -> e
+    | Some e -> Avis_physics.Environment.copy e
     | None -> Avis_physics.Environment.benign ()
   in
   let world =
@@ -217,3 +219,103 @@ let outcome (t : t) ~workload_passed =
     duration = time t;
     sensor_reads = Avis_hinj.Hinj.read_count t.hinj;
   }
+
+let encode_config b (c : config) =
+  let open Avis_util.Codec in
+  w_version b 1;
+  w_u8 b (match c.policy.Policy.firmware with Bug.Ardupilot -> 0 | Bug.Px4 -> 1);
+  w_list b Bug.encode_id c.enabled_bugs;
+  w_int b c.seed;
+  w_f64 b c.dt;
+  w_f64 b c.max_duration;
+  w_int b c.link_jitter_steps;
+  w_f64 b c.link_faults.Link.drop;
+  w_f64 b c.link_faults.Link.corrupt;
+  w_f64 b c.link_faults.Link.duplicate;
+  w_option b Avis_physics.Environment.encode c.environment;
+  Avis_physics.Airframe.encode b c.airframe
+
+let decode_config r : config =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let policy =
+    match r_u8 r with
+    | 0 -> Policy.of_firmware Bug.Ardupilot
+    | 1 -> Policy.of_firmware Bug.Px4
+    | t -> corrupt "bad firmware tag %d" t
+  in
+  let enabled_bugs = r_list r Bug.decode_id in
+  let seed = r_int r in
+  let dt = r_f64 r in
+  let max_duration = r_f64 r in
+  let link_jitter_steps = r_int r in
+  let drop = r_f64 r in
+  let corrupt_p = r_f64 r in
+  let duplicate = r_f64 r in
+  let environment = r_option r Avis_physics.Environment.decode in
+  let airframe = Avis_physics.Airframe.decode r in
+  {
+    policy;
+    enabled_bugs;
+    seed;
+    dt;
+    max_duration;
+    link_jitter_steps;
+    link_faults = { Link.drop; corrupt = corrupt_p; duplicate };
+    environment;
+    airframe;
+  }
+
+let config_to_bytes c = Avis_util.Codec.to_string encode_config c
+
+(* Each layer travels as a length-prefixed blob so the layers version
+   independently: bumping one codec's version invalidates only its blob's
+   decoding, and the outer layout never changes. *)
+let encode_snapshot b (s : snapshot) =
+  let open Avis_util.Codec in
+  w_version b 1;
+  encode_config b s.snap_config;
+  Avis_geo.Geodesy.encode_frame b s.snap_frame;
+  w_bytes b (to_string Avis_physics.World.encode_snapshot s.snap_world);
+  w_bytes b (Avis_sensors.Suite.to_bytes s.snap_suite);
+  w_bytes b (Avis_hinj.Hinj.to_bytes s.snap_hinj);
+  w_bytes b (Link.to_bytes s.snap_link);
+  w_bytes b (Vehicle.to_bytes s.snap_vehicle);
+  w_bytes b (Gcs.to_bytes s.snap_gcs);
+  w_bytes b (Trace.to_bytes s.snap_trace);
+  w_int b s.snap_steps
+
+let decode_snapshot r : snapshot =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let snap_config = decode_config r in
+  let snap_frame = Avis_geo.Geodesy.decode_frame r in
+  let snap_world = of_string Avis_physics.World.decode_snapshot (r_bytes r) in
+  let snap_suite = Avis_sensors.Suite.of_bytes (r_bytes r) in
+  let snap_hinj = Avis_hinj.Hinj.of_bytes (r_bytes r) in
+  let snap_link = Link.of_bytes (r_bytes r) in
+  (* The vehicle and GCS decoders need live collaborators to attach to;
+     [restore] substitutes its own, so these interim instances only give
+     the decoded records well-typed fields. *)
+  let suite = Avis_sensors.Suite.restore snap_suite in
+  let hinj = Avis_hinj.Hinj.restore snap_hinj in
+  let link = Link.restore snap_link in
+  let snap_vehicle = Vehicle.of_bytes ~suite ~hinj ~link (r_bytes r) in
+  let snap_gcs = Gcs.of_bytes ~link (r_bytes r) in
+  let snap_trace = Trace.of_bytes (r_bytes r) in
+  let snap_steps = r_int r in
+  {
+    snap_config;
+    snap_frame;
+    snap_world;
+    snap_suite;
+    snap_hinj;
+    snap_vehicle;
+    snap_link;
+    snap_gcs;
+    snap_trace;
+    snap_steps;
+  }
+
+let to_bytes s = Avis_util.Codec.to_string encode_snapshot s
+let of_bytes data = Avis_util.Codec.of_string decode_snapshot data

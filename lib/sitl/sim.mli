@@ -110,3 +110,29 @@ type outcome = {
 }
 
 val outcome : t -> workload_passed:bool -> outcome
+
+(** {2 Binary persistence}
+
+    Snapshots serialise to a versioned, self-describing binary form: every
+    float travels as its IEEE-754 bits, so a decoded snapshot restores to a
+    run that is bit-identical to one restored from the in-memory snapshot.
+    Each layer (world, sensors, injector, link, firmware, ground station,
+    trace) is a length-prefixed blob with its own version byte. *)
+
+val encode_config : Buffer.t -> config -> unit
+(** Canonical binary form of a run configuration — the identity half of a
+    checkpoint-store key. *)
+
+val decode_config : Avis_util.Codec.reader -> config
+(** Inverse of {!encode_config}. Raises [Avis_util.Codec.Corrupt] on
+    malformed input. *)
+
+val config_to_bytes : config -> string
+(** [encode_config] as a standalone string. Equal configurations produce
+    equal strings. *)
+
+val to_bytes : snapshot -> string
+
+val of_bytes : string -> snapshot
+(** Inverse of {!to_bytes}. Raises [Avis_util.Codec.Corrupt] on malformed
+    or truncated input (a decoded snapshot is usable with {!restore}). *)

@@ -155,3 +155,51 @@ let final_mode t =
   else
     let i = t.len - 1 in
     Some t.chunks.(i lsr chunk_bits).c_mode.(i land chunk_mask)
+
+(* Only the [len] recorded samples are serialised: cells beyond the write
+   cursor are still at their [fresh_chunk] defaults (writes happen exactly
+   once, at monotonically increasing indices), so rebuilding from fresh
+   chunks reproduces the trace bit-for-bit. *)
+let encode_snapshot b (s : snapshot) =
+  let open Avis_util.Codec in
+  w_version b 1;
+  w_f64 b s.period;
+  w_int b s.len;
+  w_f64 b s.sched.(0);
+  for i = 0 to s.len - 1 do
+    let c = s.chunks.(i lsr chunk_bits) and off = i land chunk_mask in
+    w_f64 b c.c_time.(off);
+    w_f64 b c.c_px.(off);
+    w_f64 b c.c_py.(off);
+    w_f64 b c.c_pz.(off);
+    w_f64 b c.c_ax.(off);
+    w_f64 b c.c_ay.(off);
+    w_f64 b c.c_az.(off);
+    w_string b c.c_mode.(off)
+  done
+
+let decode_snapshot r : snapshot =
+  let open Avis_util.Codec in
+  let (_ : int) = r_version r ~expect:1 in
+  let period = r_f64 r in
+  let len = r_int r in
+  let sched0 = r_f64 r in
+  (* Each sample needs at least 57 bytes; bound [len] before allocating. *)
+  if len < 0 || (len > 0 && len > remaining r) then corrupt "bad trace length %d" len;
+  let nchunks = (len + chunk_cap - 1) lsr chunk_bits in
+  let chunks = Array.init nchunks (fun _ -> fresh_chunk ()) in
+  for i = 0 to len - 1 do
+    let c = chunks.(i lsr chunk_bits) and off = i land chunk_mask in
+    c.c_time.(off) <- r_f64 r;
+    c.c_px.(off) <- r_f64 r;
+    c.c_py.(off) <- r_f64 r;
+    c.c_pz.(off) <- r_f64 r;
+    c.c_ax.(off) <- r_f64 r;
+    c.c_ay.(off) <- r_f64 r;
+    c.c_az.(off) <- r_f64 r;
+    c.c_mode.(off) <- r_string r
+  done;
+  { period; chunks; len; sched = [| sched0 |]; cache = None }
+
+let to_bytes s = Avis_util.Codec.to_string encode_snapshot s
+let of_bytes data = Avis_util.Codec.of_string decode_snapshot data

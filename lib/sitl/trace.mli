@@ -58,3 +58,16 @@ val altitude_series : t -> (float * float) list
 (** (time, altitude) pairs, for figure reproduction. *)
 
 val final_mode : t -> string option
+
+val encode_snapshot : Buffer.t -> snapshot -> unit
+(** Versioned bit-exact binary layout of the recorded series (only the
+    samples actually recorded; chunk padding is reconstructed). *)
+
+val decode_snapshot : Avis_util.Codec.reader -> snapshot
+(** Inverse of {!encode_snapshot}. Raises [Avis_util.Codec.Corrupt] on
+    malformed input. *)
+
+val to_bytes : snapshot -> string
+
+val of_bytes : string -> snapshot
+(** Raises [Avis_util.Codec.Corrupt] on malformed input. *)

@@ -135,13 +135,26 @@ let of_string s =
     end
     else parse_error !pos (Printf.sprintf "expected %s" word)
   in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> -1
+  in
   let hex4 () =
     if !pos + 4 > n then parse_error !pos "truncated \\u escape";
-    let h = String.sub s !pos 4 in
+    (* Each of the four characters must itself be a hex digit — going
+       through [int_of_string] would also accept OCaml numeric-literal
+       syntax like underscores ("\u1_23") or a sign. *)
+    let v = ref 0 in
+    for i = 0 to 3 do
+      let d = hex_digit s.[!pos + i] in
+      if d < 0 then parse_error !pos "bad \\u escape";
+      v := (!v lsl 4) lor d
+    done;
     pos := !pos + 4;
-    match int_of_string_opt ("0x" ^ h) with
-    | Some v -> v
-    | None -> parse_error (!pos - 4) "bad \\u escape"
+    !v
   in
   let add_utf8 buf code =
     (* Encode the scalar value as UTF-8 bytes (surrogates are kept as the

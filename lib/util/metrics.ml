@@ -8,15 +8,19 @@ type snapshot = {
   wall_s : float;
   minor_words : float;
   major_collections : int;
+  store_hits : int;
+  store_misses : int;
+  store_bytes : int;
 }
 
 let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 let line ~event s =
   Printf.sprintf
-    "[avis] event=%s cell=%s sims=%d infs=%d spent_s=%.1f budget_s=%.1f findings=%d wall_s=%.1f minor_mw=%.2f majors=%d"
+    "[avis] event=%s cell=%s sims=%d infs=%d spent_s=%.1f budget_s=%.1f findings=%d wall_s=%.1f minor_mw=%.2f majors=%d store_h=%d store_m=%d store_b=%d"
     event s.cell s.simulations s.inferences s.spent_s s.budget_s s.findings
-    s.wall_s (s.minor_words /. 1e6) s.major_collections
+    s.wall_s (s.minor_words /. 1e6) s.major_collections s.store_hits
+    s.store_misses s.store_bytes
 
 (* One mutex for every channel: emission is rare (campaign granularity),
    and a single lock keeps interleaved stderr/file output ordered too. *)
@@ -49,11 +53,17 @@ let total snapshots =
         wall_s = Float.max acc.wall_s s.wall_s;
         minor_words = acc.minor_words +. s.minor_words;
         major_collections = acc.major_collections + s.major_collections;
+        store_hits = acc.store_hits + s.store_hits;
+        store_misses = acc.store_misses + s.store_misses;
+        (* Cells sharing one store directory would double-count its size;
+           the max is the honest aggregate either way. *)
+        store_bytes = max acc.store_bytes s.store_bytes;
       })
     {
       cell = "TOTAL (wall = max)"; simulations = 0; inferences = 0;
       spent_s = 0.0; budget_s = 0.0; findings = 0; wall_s = 0.0;
-      minor_words = 0.0; major_collections = 0;
+      minor_words = 0.0; major_collections = 0; store_hits = 0;
+      store_misses = 0; store_bytes = 0;
     }
     snapshots
 
@@ -62,7 +72,8 @@ let summary_table snapshots =
     Table.create
       ~header:
         [ "cell"; "sims"; "infs"; "spent (s)"; "budget (s)"; "findings";
-          "wall (s)"; "minor (Mw)"; "majors" ]
+          "wall (s)"; "minor (Mw)"; "majors"; "store hits"; "store miss";
+          "store (MB)" ]
   in
   let row s =
     [
@@ -71,6 +82,8 @@ let summary_table snapshots =
       string_of_int s.findings; Printf.sprintf "%.1f" s.wall_s;
       Printf.sprintf "%.2f" (s.minor_words /. 1e6);
       string_of_int s.major_collections;
+      string_of_int s.store_hits; string_of_int s.store_misses;
+      Printf.sprintf "%.1f" (float_of_int s.store_bytes /. 1e6);
     ]
   in
   List.iter (fun s -> Table.add_row t (row s)) snapshots;

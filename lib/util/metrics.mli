@@ -5,7 +5,7 @@
     stderr that are emitted atomically (one [output_string] under a
     global mutex) and are grep-able by cell label:
 
-    {v [avis] event=progress cell=Avis/apm/auto-box sims=41 infs=0 spent_s=612.0 budget_s=7200.0 findings=3 wall_s=0.8 minor_mw=12.50 majors=2 v} *)
+    {v [avis] event=progress cell=Avis/apm/auto-box sims=41 infs=0 spent_s=612.0 budget_s=7200.0 findings=3 wall_s=0.8 minor_mw=12.50 majors=2 store_h=0 store_m=0 store_b=0 v} *)
 
 type snapshot = {
   cell : string;  (** [approach/policy/workload], no spaces. *)
@@ -19,6 +19,11 @@ type snapshot = {
       (** Minor-heap words allocated by the cell so far (rendered in
           megawords as [minor_mw]). *)
   major_collections : int;  (** Major GC cycles during the cell. *)
+  store_hits : int;
+      (** Restores served from the persistent checkpoint store; 0 when no
+          store is configured. *)
+  store_misses : int;  (** Store consultations that ran cold instead. *)
+  store_bytes : int;  (** Bytes on disk under the store directory. *)
 }
 
 val now_s : unit -> float

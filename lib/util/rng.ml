@@ -6,6 +6,10 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+let to_bits t = t.state
+
+let of_bits state = { state }
+
 (* splitmix64 core: advance by the golden gamma, then mix. *)
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -15,6 +15,13 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] duplicates the state; the copy evolves independently. *)
 
+val to_bits : t -> int64
+(** The raw splitmix64 state, for snapshot serialisation. *)
+
+val of_bits : int64 -> t
+(** Rebuild a generator from {!to_bits} output; the pair round-trips the
+    exact stream position. *)
+
 val split : t -> t
 (** [split t] derives a new, statistically independent generator from [t],
     advancing [t]. Use to give each subsystem its own stream. *)

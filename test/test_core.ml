@@ -301,6 +301,48 @@ let test_report_mode_at () =
 
 (* Bug study *)
 
+(* Fault spec parsing (the CLI's --fault syntax) *)
+
+let test_fault_spec_parses () =
+  let ok s expect =
+    match Fault_spec.parse s with
+    | Ok t ->
+      Alcotest.(check bool) (s ^ " fields") true (t = expect);
+      (* Canonical print round-trips. *)
+      Alcotest.(check bool) (s ^ " round-trips") true
+        (Fault_spec.parse (Fault_spec.to_string t) = Ok t)
+    | Error e -> Alcotest.failf "parse %S failed: %s" s e
+  in
+  ok "gps@12.5" { Fault_spec.kind = Sensor.Gps; index = None; at = 12.5 };
+  ok "gps[0]@12.5" { Fault_spec.kind = Sensor.Gps; index = Some 0; at = 12.5 };
+  ok "barometer[2]@0"
+    { Fault_spec.kind = Sensor.Barometer; index = Some 2; at = 0.0 }
+
+let test_fault_spec_rejects () =
+  let rejects s =
+    match Fault_spec.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+  in
+  List.iter rejects
+    [
+      (* Regression: a malformed index used to degrade silently to an
+         all-instances fault. *)
+      "gps[abc]@5";
+      "gps[]@5";
+      "gps[1@5";
+      "gps[1]]@5";
+      "gps[-1]@5";
+      (* Times must be real and non-negative. *)
+      "gps@nan";
+      "gps@-1";
+      "gps@";
+      "gps";
+      (* Unknown sensor kinds. *)
+      "sonar@5";
+      "@5";
+    ]
+
 let test_bugstudy_totals () =
   Alcotest.(check int) "215 records" 215 Avis_bugstudy.Bugstudy.total;
   Alcotest.(check int) "44 sensor bugs" 44
@@ -373,6 +415,11 @@ let () =
         [
           Alcotest.test_case "buckets" `Quick test_report_buckets;
           Alcotest.test_case "mode at" `Quick test_report_mode_at;
+        ] );
+      ( "fault spec",
+        [
+          Alcotest.test_case "parses" `Quick test_fault_spec_parses;
+          Alcotest.test_case "rejects malformed" `Quick test_fault_spec_rejects;
         ] );
       ( "bug study",
         [

@@ -156,13 +156,14 @@ let test_metrics_line_format () =
     {
       Metrics.cell = "Avis/apm/auto-box"; simulations = 41; inferences = 7;
       spent_s = 612.04; budget_s = 7200.0; findings = 3; wall_s = 0.84;
-      minor_words = 12_500_000.0; major_collections = 2;
+      minor_words = 12_500_000.0; major_collections = 2; store_hits = 5;
+      store_misses = 1; store_bytes = 4096;
     }
   in
   Alcotest.(check string) "grep-able key=value record"
     "[avis] event=progress cell=Avis/apm/auto-box sims=41 infs=7 \
      spent_s=612.0 budget_s=7200.0 findings=3 wall_s=0.8 minor_mw=12.50 \
-     majors=2"
+     majors=2 store_h=5 store_m=1 store_b=4096"
     (Metrics.line ~event:"progress" s)
 
 let test_metrics_clock_monotonic () =
@@ -170,21 +171,23 @@ let test_metrics_clock_monotonic () =
   let b = Metrics.now_s () in
   Alcotest.(check bool) "non-decreasing" true (b >= a)
 
-let snap ?(minor = 0.0) ?(majors = 0) cell ~sims ~infs ~spent ~findings ~wall =
+let snap ?(minor = 0.0) ?(majors = 0) ?(store = (0, 0, 0)) cell ~sims ~infs
+    ~spent ~findings ~wall =
+  let store_hits, store_misses, store_bytes = store in
   {
     Metrics.cell; simulations = sims; inferences = infs; spent_s = spent;
     budget_s = 7200.0; findings; wall_s = wall; minor_words = minor;
-    major_collections = majors;
+    major_collections = majors; store_hits; store_misses; store_bytes;
   }
 
 let test_metrics_total_row () =
   let a =
     snap "Avis/apm/auto-box" ~sims:41 ~infs:7 ~spent:612.0 ~findings:3
-      ~wall:0.8 ~minor:1.5e6 ~majors:2
+      ~wall:0.8 ~minor:1.5e6 ~majors:2 ~store:(4, 2, 9000)
   in
   let b =
     snap "Avis/px4/auto-box" ~sims:9 ~infs:2 ~spent:88.5 ~findings:1 ~wall:2.5
-      ~minor:0.5e6 ~majors:1
+      ~minor:0.5e6 ~majors:1 ~store:(1, 3, 5000)
   in
   let t = Metrics.total [ a; b ] in
   Alcotest.(check string) "labelled as the max-wall total" "TOTAL (wall = max)"
@@ -197,7 +200,11 @@ let test_metrics_total_row () =
      but allocation and collections are per-domain work, so they add. *)
   Alcotest.(check (float 1e-9)) "wall is the max" 2.5 t.Metrics.wall_s;
   Alcotest.(check (float 1e-9)) "minor words summed" 2.0e6 t.Metrics.minor_words;
-  Alcotest.(check int) "majors summed" 3 t.Metrics.major_collections
+  Alcotest.(check int) "majors summed" 3 t.Metrics.major_collections;
+  Alcotest.(check int) "store hits summed" 5 t.Metrics.store_hits;
+  Alcotest.(check int) "store misses summed" 5 t.Metrics.store_misses;
+  (* Cells may share one store directory, so bytes take the max. *)
+  Alcotest.(check int) "store bytes are the max" 9000 t.Metrics.store_bytes
 
 let contains ~needle haystack =
   let n = String.length needle and h = String.length haystack in

@@ -1,0 +1,494 @@
+(* The persistent checkpoint store and the binary snapshot codecs under it.
+
+   Three layers, in dependency order: (1) [Sim.to_bytes]/[of_bytes] and the
+   stepper codec must round-trip float-for-float — calm, windy, and with a
+   fault already active; (2) [Checkpoint_store] must serve exactly what was
+   put, treat every corruption as a miss, respect fingerprints and the byte
+   budget; (3) a fresh [Prefix_cache] sharing a store directory must serve
+   scenarios from disk with outcomes bit-identical to cold runs, even after
+   the directory is vandalised. *)
+
+open Avis_geo
+open Avis_sensors
+open Avis_firmware
+open Avis_sitl
+open Avis_core
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let temp_counter = ref 0
+
+let temp_dir () =
+  incr temp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "avis-test-store-%d-%d" (Unix.getpid ()) !temp_counter)
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let with_temp_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let windy_environment () =
+  Avis_physics.Environment.create
+    ~wind:
+      (Some
+         {
+           Avis_physics.Environment.steady = Vec3.make 2.5 1.0 0.0;
+           gust_stddev = 0.6;
+           gust_correlation_s = 2.0;
+         })
+    ()
+
+let sim_config ?(seed = 42) ?environment workload policy =
+  let base = Sim.default_config policy in
+  {
+    base with
+    Sim.seed;
+    max_duration = workload.Workload.nominal_duration +. 60.0;
+    environment =
+      (match environment with
+      | Some _ as e -> e
+      | None -> workload.Workload.environment ());
+  }
+
+let cold_run ?seed ?environment ?(plan = []) workload policy =
+  let sim = Sim.create ~plan (sim_config ?seed ?environment workload policy) in
+  let passed = Workload.execute workload sim in
+  Sim.outcome sim ~workload_passed:passed
+
+(* The trace compared by IEEE-754 bit patterns: [=] on floats would call
+   0.0 and -0.0 equal and nan unequal to itself; bits are the honest
+   notion of "identical flight". *)
+let trace_bits (o : Sim.outcome) =
+  Array.to_list (Trace.samples o.Sim.trace)
+  |> List.concat_map (fun (s : Trace.sample) ->
+         [
+           Int64.bits_of_float s.Trace.time;
+           Int64.bits_of_float s.Trace.position.Vec3.x;
+           Int64.bits_of_float s.Trace.position.Vec3.y;
+           Int64.bits_of_float s.Trace.position.Vec3.z;
+           Int64.bits_of_float s.Trace.acceleration.Vec3.x;
+           Int64.bits_of_float s.Trace.acceleration.Vec3.y;
+           Int64.bits_of_float s.Trace.acceleration.Vec3.z;
+         ])
+
+let fingerprint (o : Sim.outcome) =
+  ( trace_bits o,
+    Array.to_list (Array.map (fun (s : Trace.sample) -> s.Trace.mode)
+      (Trace.samples o.Sim.trace)),
+    o.Sim.crash,
+    o.Sim.fence_breached,
+    o.Sim.workload_passed,
+    o.Sim.transitions,
+    o.Sim.triggered_bugs,
+    Int64.bits_of_float o.Sim.duration,
+    o.Sim.sensor_reads )
+
+let check_same_outcome msg a b =
+  Alcotest.(check bool) msg true (fingerprint a = fingerprint b)
+
+let fail_kind ?(n = 2) kind at =
+  List.init n (fun index -> { Avis_hinj.Hinj.sensor = { Sensor.kind; index }; at })
+
+let paused_run ?environment ?(plan = []) workload policy ~until =
+  let sim = Sim.create ~plan (sim_config ?environment workload policy) in
+  let st = Workload.Stepper.create workload in
+  (match Workload.Stepper.run st sim ~until with
+  | Workload.Stepper.Running -> ()
+  | Workload.Stepper.Done _ -> Alcotest.fail "run finished before pause");
+  (sim, st)
+
+let finish ~plan sim_snap stepper_snap =
+  let sim = Sim.restore ~plan sim_snap in
+  let st = Workload.Stepper.restore stepper_snap in
+  let passed =
+    match Workload.Stepper.run st sim ~until:infinity with
+    | Workload.Stepper.Done p -> p
+    | Workload.Stepper.Running -> false
+  in
+  Sim.outcome sim ~workload_passed:passed
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot codec round-trips                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Pause mid-flight, push both snapshots through their byte codecs, and
+   finish the flight from the decoded state with the fault plan
+   substituted in. The decoded run must be bit-identical to the cold
+   faulty run, and the codec must be canonical (decode; re-encode yields
+   the same bytes). *)
+let roundtrip_case ?environment ~pause_at ~fault_at workload policy =
+  let plan = fail_kind Sensor.Gps fault_at in
+  let cold = cold_run ?environment ~plan workload policy in
+  let sim, st = paused_run ?environment ~plan workload policy ~until:pause_at in
+  let sim_bytes = Sim.to_bytes (Sim.snapshot sim) in
+  let st_bytes = Workload.Stepper.to_bytes (Workload.Stepper.snapshot st) in
+  let sim_snap = Sim.of_bytes sim_bytes in
+  let st_snap = Workload.Stepper.of_bytes st_bytes in
+  Alcotest.(check bool) "sim codec canonical" true
+    (String.equal (Sim.to_bytes sim_snap) sim_bytes);
+  Alcotest.(check bool) "stepper codec canonical" true
+    (String.equal (Workload.Stepper.to_bytes st_snap) st_bytes);
+  let decoded = finish ~plan sim_snap st_snap in
+  check_same_outcome "decoded snapshot = cold run" cold decoded
+
+let test_roundtrip_calm () =
+  roundtrip_case ~pause_at:12.0 ~fault_at:20.0 Workload.quickstart Policy.apm
+
+let test_roundtrip_windy () =
+  roundtrip_case
+    ~environment:(windy_environment ())
+    ~pause_at:15.0 ~fault_at:25.0 Workload.quickstart Policy.apm
+
+let test_roundtrip_mid_fault () =
+  (* Pause *after* the injection: the snapshot carries a failed sensor,
+     active bug state and a partially degraded estimator. *)
+  roundtrip_case ~pause_at:27.0 ~fault_at:20.0 Workload.quickstart Policy.apm
+
+let test_roundtrip_auto_box_px4 () =
+  roundtrip_case ~pause_at:30.0 ~fault_at:45.0 Workload.auto_box Policy.px4
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~count:6 ~name:"sim+stepper codec round-trips at any pause"
+    QCheck.(pair (float_range 2.0 20.0) (float_range 0.0 1.0))
+    (fun (pause_at, frac) ->
+      let fault_at = pause_at +. ((40.0 -. pause_at) *. frac) +. 1.0 in
+      let workload = Workload.quickstart and policy = Policy.apm in
+      let plan = fail_kind ~n:1 Sensor.Barometer fault_at in
+      let cold = cold_run ~plan workload policy in
+      let sim, st = paused_run ~plan workload policy ~until:pause_at in
+      let sim_bytes = Sim.to_bytes (Sim.snapshot sim) in
+      let st_bytes = Workload.Stepper.to_bytes (Workload.Stepper.snapshot st) in
+      let sim_snap = Sim.of_bytes sim_bytes in
+      let st_snap = Workload.Stepper.of_bytes st_bytes in
+      String.equal (Sim.to_bytes sim_snap) sim_bytes
+      && String.equal (Workload.Stepper.to_bytes st_snap) st_bytes
+      && fingerprint (finish ~plan sim_snap st_snap) = fingerprint cold)
+
+let test_of_bytes_rejects_garbage () =
+  (match Sim.of_bytes "" with
+  | exception Avis_util.Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "empty input decoded");
+  let sim, _ = paused_run Workload.quickstart Policy.apm ~until:5.0 in
+  let bytes = Sim.to_bytes (Sim.snapshot sim) in
+  let truncated = String.sub bytes 0 (String.length bytes / 2) in
+  (match Sim.of_bytes truncated with
+  | exception Avis_util.Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated snapshot decoded")
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint store                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let make_store ?(fingerprint = "fp") ?store_mb ~dir () =
+  Checkpoint_store.create ~fingerprint ?store_mb ~dir ~config_key:"cfg" ()
+
+let put store ~fault_key ~time payload =
+  Checkpoint_store.put store ~fault_key ~time ~payload:(lazy payload)
+
+let test_store_put_lookup () =
+  with_temp_dir @@ fun dir ->
+  let store = make_store ~dir () in
+  put store ~fault_key:"" ~time:10.0 "clean@10";
+  put store ~fault_key:"" ~time:20.0 "clean@20";
+  put store ~fault_key:"gps@x" ~time:15.0 "faulty@15";
+  (match Checkpoint_store.lookup store ~fault_key:"" ~before:15.0 with
+  | Some (t, p) ->
+    Alcotest.(check (float 0.0)) "time" 10.0 t;
+    Alcotest.(check string) "payload" "clean@10" p
+  | None -> Alcotest.fail "expected clean@10");
+  (match Checkpoint_store.lookup store ~fault_key:"" ~before:infinity with
+  | Some (t, _) -> Alcotest.(check (float 0.0)) "latest first" 20.0 t
+  | None -> Alcotest.fail "expected clean@20");
+  (* [before] is strict: a checkpoint at exactly the injection time could
+     already contain the fault's first effects. *)
+  Alcotest.(check bool) "strictly before" true
+    (Checkpoint_store.lookup store ~fault_key:"" ~before:10.0 = None);
+  (match Checkpoint_store.lookup store ~fault_key:"gps@x" ~before:infinity with
+  | Some (_, p) -> Alcotest.(check string) "keys are isolated" "faulty@15" p
+  | None -> Alcotest.fail "expected faulty@15");
+  Alcotest.(check bool) "unknown key" true
+    (Checkpoint_store.lookup store ~fault_key:"other" ~before:infinity = None)
+
+let test_store_put_is_idempotent_and_lazy () =
+  with_temp_dir @@ fun dir ->
+  let store = make_store ~dir () in
+  put store ~fault_key:"" ~time:10.0 "first";
+  let forced = ref false in
+  Checkpoint_store.put store ~fault_key:"" ~time:10.0
+    ~payload:
+      (lazy
+        (forced := true;
+         "second"));
+  Alcotest.(check bool) "existing file skips serialisation" false !forced;
+  match Checkpoint_store.lookup store ~fault_key:"" ~before:infinity with
+  | Some (_, p) -> Alcotest.(check string) "first write wins" "first" p
+  | None -> Alcotest.fail "expected a checkpoint"
+
+let ckpt_files dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.filter (fun f -> Filename.check_suffix f ".ckpt")
+  |> List.map (Filename.concat dir)
+
+let damage_file ~at path =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string data in
+  Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0xFF));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let truncate_file ~len path =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (min len (in_channel_length ic)) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let test_store_corruption_is_a_miss () =
+  let payload = String.init 256 (fun i -> Char.chr (i land 0xFF)) in
+  let check_damaged name damage =
+    with_temp_dir @@ fun dir ->
+    let store = make_store ~dir () in
+    put store ~fault_key:"" ~time:10.0 payload;
+    (match ckpt_files dir with
+    | [ path ] -> damage path
+    | files ->
+      Alcotest.fail (Printf.sprintf "expected 1 file, got %d" (List.length files)));
+    Alcotest.(check bool) (name ^ " is a miss") true
+      (Checkpoint_store.lookup store ~fault_key:"" ~before:infinity = None);
+    (* The damaged file must be gone, not retried forever. *)
+    Alcotest.(check int) (name ^ " deleted") 0 (List.length (ckpt_files dir))
+  in
+  check_damaged "truncated header" (truncate_file ~len:12);
+  check_damaged "truncated payload" (truncate_file ~len:100);
+  check_damaged "bit-flipped payload" (damage_file ~at:60);
+  check_damaged "bit-flipped checksum" (damage_file ~at:8);
+  check_damaged "bad magic" (damage_file ~at:0)
+
+let test_store_corrupt_newest_falls_back_to_older () =
+  with_temp_dir @@ fun dir ->
+  let store = make_store ~dir () in
+  put store ~fault_key:"" ~time:10.0 "older";
+  put store ~fault_key:"" ~time:20.0 "newer";
+  let newer =
+    List.find
+      (fun p ->
+        let ic = open_in_bin p in
+        let d = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        String.length d > 29 && String.sub d 29 (String.length d - 29) = "newer")
+      (ckpt_files dir)
+  in
+  damage_file ~at:30 newer;
+  match Checkpoint_store.lookup store ~fault_key:"" ~before:infinity with
+  | Some (t, p) ->
+    Alcotest.(check (float 0.0)) "older served" 10.0 t;
+    Alcotest.(check string) "older payload" "older" p
+  | None -> Alcotest.fail "expected the older checkpoint"
+
+let test_store_stale_fingerprint_invisible () =
+  with_temp_dir @@ fun dir ->
+  let old_build = make_store ~fingerprint:"build-a" ~dir () in
+  put old_build ~fault_key:"" ~time:10.0 "from build a";
+  let new_build = make_store ~fingerprint:"build-b" ~dir () in
+  Alcotest.(check bool) "other build's checkpoints invisible" true
+    (Checkpoint_store.lookup new_build ~fault_key:"" ~before:infinity = None);
+  Checkpoint_store.count_miss new_build;
+  let s = Checkpoint_store.stats new_build in
+  Alcotest.(check int) "counted as a miss" 1 s.Checkpoint_store.misses;
+  Alcotest.(check int) "no hits" 0 s.Checkpoint_store.hits
+
+let test_store_eviction_bounded () =
+  with_temp_dir @@ fun dir ->
+  let store = make_store ~store_mb:1 ~dir () in
+  let big = String.make 700_000 'x' in
+  put store ~fault_key:"" ~time:10.0 big;
+  put store ~fault_key:"" ~time:20.0 (String.make 700_000 'y');
+  let s = Checkpoint_store.stats store in
+  Alcotest.(check bool) "bytes within budget" true
+    (s.Checkpoint_store.bytes <= 1024 * 1024);
+  Alcotest.(check bool) "evicted something" true
+    (s.Checkpoint_store.evictions > 0)
+
+let test_store_mb_guard () =
+  (* Malformed and non-positive budgets must warn and fall back to the
+     default rather than silently zeroing the store. Observable effect: a
+     store created with store_mb:0 still retains small checkpoints (a zero
+     budget would evict everything on every put). *)
+  with_temp_dir @@ fun dir ->
+  let store = make_store ~store_mb:0 ~dir () in
+  put store ~fault_key:"" ~time:10.0 "kept";
+  (match Checkpoint_store.lookup store ~fault_key:"" ~before:infinity with
+  | Some (_, p) -> Alcotest.(check string) "retained under default budget" "kept" p
+  | None -> Alcotest.fail "zero budget was not replaced by the default");
+  Unix.putenv "AVIS_STORE_MB" "banana";
+  (* putenv can't unset; park the variable on the default so later stores
+     in this process neither warn nor change behaviour. *)
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "AVIS_STORE_MB" "1024")
+    (fun () ->
+      with_temp_dir @@ fun dir2 ->
+      let store2 = make_store ~dir:dir2 () in
+      put store2 ~fault_key:"" ~time:10.0 "kept";
+      Alcotest.(check bool) "malformed env falls back" true
+        (Checkpoint_store.lookup store2 ~fault_key:"" ~before:infinity <> None))
+
+let test_cache_mb_guard () =
+  (* Satellite regression: AVIS_CACHE_MB=0 (or cache_mb:0) used to be
+     accepted, silently making every capture evict itself. With the guard
+     the default budget applies, so a repeated scenario is served from
+     memory. *)
+  let workload = Workload.quickstart and policy = Policy.apm in
+  let make_sim ~scenario =
+    Sim.create
+      ~plan:(Scenario.to_plan scenario)
+      ~link_outages:(Scenario.link_outages scenario)
+      (sim_config workload policy)
+  in
+  let cache =
+    Prefix_cache.create ~cache_mb:0 ~workload ~make_sim
+      ~checkpoint_times:(List.init 30 (fun i -> float_of_int (i + 1)))
+      ()
+  in
+  let scenario =
+    Scenario.of_faults
+      [ Scenario.sensor_fault { Sensor.kind = Sensor.Gps; index = 0 } 25.0 ]
+  in
+  let a = Prefix_cache.execute cache ~scenario in
+  let b = Prefix_cache.execute cache ~scenario in
+  check_same_outcome "deterministic" a b;
+  let s = Prefix_cache.stats cache in
+  Alcotest.(check bool) "default budget kept the checkpoints" true
+    (s.Prefix_cache.hits >= 1);
+  Alcotest.(check int) "no self-evictions" 0 s.Prefix_cache.evictions
+
+(* ------------------------------------------------------------------ *)
+(* Prefix cache over a shared store                                     *)
+(* ------------------------------------------------------------------ *)
+
+let quickstart_cache ~store_dir =
+  let workload = Workload.quickstart and policy = Policy.apm in
+  let make_sim ~scenario =
+    Sim.create
+      ~plan:(Scenario.to_plan scenario)
+      ~link_outages:(Scenario.link_outages scenario)
+      (sim_config workload policy)
+  in
+  ( Prefix_cache.create ~store_dir ~workload ~make_sim
+      ~checkpoint_times:(List.init 30 (fun i -> float_of_int (i + 1)))
+      (),
+    make_sim,
+    workload )
+
+let store_scenarios () =
+  [
+    Scenario.empty;
+    Scenario.of_faults
+      [
+        Scenario.sensor_fault { Sensor.kind = Sensor.Gps; index = 0 } 25.0;
+        Scenario.sensor_fault { Sensor.kind = Sensor.Gps; index = 1 } 25.0;
+      ];
+    Scenario.of_faults
+      [ Scenario.sensor_fault { Sensor.kind = Sensor.Barometer; index = 0 } 12.5 ];
+  ]
+
+let check_cache_against_cold ~msg cache make_sim workload =
+  List.iter
+    (fun scenario ->
+      let served = Prefix_cache.execute cache ~scenario in
+      let sim = make_sim ~scenario in
+      let passed = Workload.execute workload sim in
+      let cold = Sim.outcome sim ~workload_passed:passed in
+      check_same_outcome msg cold served)
+    (store_scenarios ())
+
+let test_store_shared_across_instances () =
+  with_temp_dir @@ fun store_dir ->
+  let cache1, make_sim, workload = quickstart_cache ~store_dir in
+  check_cache_against_cold ~msg:"first instance = cold" cache1 make_sim workload;
+  let s1 = Prefix_cache.stats cache1 in
+  Alcotest.(check bool) "first instance wrote checkpoints" true
+    (s1.Prefix_cache.store_bytes > 0);
+  (* A fresh instance — empty memory, same dir — is the warm-process path:
+     everything it restores comes off disk. *)
+  let cache2, make_sim, workload = quickstart_cache ~store_dir in
+  check_cache_against_cold ~msg:"second instance = cold" cache2 make_sim
+    workload;
+  let s2 = Prefix_cache.stats cache2 in
+  Alcotest.(check bool) "second instance served from the store" true
+    (s2.Prefix_cache.store_hits > 0);
+  Alcotest.(check bool) "second instance skipped simulated time" true
+    (s2.Prefix_cache.saved_sim_s > 0.0)
+
+let test_store_vandalised_dir_still_identical () =
+  with_temp_dir @@ fun store_dir ->
+  let cache1, make_sim1, workload1 = quickstart_cache ~store_dir in
+  check_cache_against_cold ~msg:"populate" cache1 make_sim1 workload1;
+  (* Truncate every checkpoint: the next instance must detect each one,
+     count misses, and run cold with bit-identical outcomes. *)
+  List.iter (fun p -> truncate_file ~len:40 p) (ckpt_files store_dir);
+  let cache2, make_sim, workload = quickstart_cache ~store_dir in
+  check_cache_against_cold ~msg:"vandalised store = cold" cache2 make_sim
+    workload;
+  let s = Prefix_cache.stats cache2 in
+  Alcotest.(check int) "nothing served from disk" 0 s.Prefix_cache.store_hits;
+  Alcotest.(check bool) "misses counted" true (s.Prefix_cache.store_misses > 0)
+
+let () =
+  Alcotest.run "avis_store"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "calm flight round-trips" `Quick test_roundtrip_calm;
+          Alcotest.test_case "windy flight round-trips" `Quick
+            test_roundtrip_windy;
+          Alcotest.test_case "mid-fault snapshot round-trips" `Quick
+            test_roundtrip_mid_fault;
+          Alcotest.test_case "auto-box/px4 round-trips" `Slow
+            test_roundtrip_auto_box_px4;
+          QCheck_alcotest.to_alcotest ~long:false qcheck_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_of_bytes_rejects_garbage;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "put/lookup round-trip" `Quick test_store_put_lookup;
+          Alcotest.test_case "put is idempotent and lazy" `Quick
+            test_store_put_is_idempotent_and_lazy;
+          Alcotest.test_case "corruption is a counted miss" `Quick
+            test_store_corruption_is_a_miss;
+          Alcotest.test_case "corrupt newest falls back to older" `Quick
+            test_store_corrupt_newest_falls_back_to_older;
+          Alcotest.test_case "stale fingerprint invisible" `Quick
+            test_store_stale_fingerprint_invisible;
+          Alcotest.test_case "eviction keeps bytes bounded" `Quick
+            test_store_eviction_bounded;
+          Alcotest.test_case "AVIS_STORE_MB guard" `Quick test_store_mb_guard;
+          Alcotest.test_case "AVIS_CACHE_MB guard" `Slow test_cache_mb_guard;
+        ] );
+      ( "shared store",
+        [
+          Alcotest.test_case "fresh instance serves from disk" `Slow
+            test_store_shared_across_instances;
+          Alcotest.test_case "vandalised store still identical" `Slow
+            test_store_vandalised_dir_still_identical;
+        ] );
+    ]

@@ -207,6 +207,29 @@ let test_json_parse_errors () =
   List.iter rejects
     [ "{"; "[1,]"; "{\"a\":}"; "12 tail"; ""; "'single'"; "{\"a\" 1}"; "nul" ]
 
+let test_json_rejects_malformed_unicode_escapes () =
+  let rejects s =
+    match Json.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+  in
+  (* Regression: the hex digits were once parsed with [int_of_string]
+     ("0x...."), which accepts OCaml underscore and sign syntax, so these
+     all parsed instead of raising. *)
+  List.iter rejects
+    [
+      {|"\u1_23"|};
+      {|"\u-123"|};
+      {|"\u+123"|};
+      {|"\u00g1"|};
+      {|"\u12"|};
+      {|"\u"|};
+      {|"\uxx41"|};
+    ];
+  (* Well-formed escapes still work, including a 3-byte code point. *)
+  Alcotest.(check bool) "valid escapes unaffected" true
+    (parse_ok {|"\u0041\u00e9\u20ac"|} = Json.String "A\xc3\xa9\xe2\x82\xac")
+
 (* Trace *)
 
 let noop () = ()
@@ -348,6 +371,8 @@ let () =
           Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "malformed \\u escapes" `Quick
+            test_json_rejects_malformed_unicode_escapes;
         ] );
       ( "trace",
         [
