@@ -27,6 +27,7 @@ let known_counters =
     "cache.hits"; "cache.misses"; "cache.bypasses"; "cache.evictions";
     "cache.resident_bytes"; "snapshot.bytes"; "pool.queue_depth";
     "budget.spent_s"; "link.dropped"; "link.corrupted"; "link.duplicated";
+    "lanes.active"; "lanes.forks"; "lanes.retired";
   ]
 
 let check_event ~path i ev =

@@ -137,7 +137,7 @@ let strategy_of_name name =
   | "bfs" -> fun ctx -> Bfs.make ctx
   | s -> invalid_arg ("unknown approach " ^ s)
 
-let hunt policy workload seed approaches budget jobs verbose artefacts trace =
+let hunt policy workload seed approaches budget jobs lanes verbose artefacts trace =
   (* Tracing spans every campaign, simulation, cache serve and search
      decision; the file is Chrome trace format (open in Perfetto). *)
   if trace <> None then Avis_util.Trace.set_enabled true;
@@ -180,7 +180,7 @@ let hunt policy workload seed approaches budget jobs verbose artefacts trace =
             ~workload:workload.Workload.name ~approach:name ();
       }
     in
-    let result = Campaign.run config ~strategy:(strategy_of_name name) in
+    let result = Campaign.run ?lanes config ~strategy:(strategy_of_name name) in
     let store_hits, store_misses, store_bytes =
       match result.Campaign.cache_stats with
       | Some s -> Prefix_cache.(s.store_hits, s.store_misses, s.store_bytes)
@@ -274,6 +274,15 @@ let hunt_cmd =
                    \\$AVIS_JOBS, then to the hardware's recommendation. \
                    Results do not depend on N.")
   in
+  let lanes =
+    Arg.(value & opt (some int) None
+         & info [ "lanes" ] ~docv:"N"
+             ~doc:"Scenarios to keep in flight per campaign, stepped \
+                   through a structure-of-arrays lane batch. Defaults to \
+                   \\$AVIS_LANES, then 1 (unbatched). With random search \
+                   the findings and budget ledger are bit-identical to \
+                   --lanes 1.")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every finding.")
   in
@@ -293,7 +302,7 @@ let hunt_cmd =
   in
   Cmd.v
     (Cmd.info "hunt" ~doc:"Run model-checking campaigns against the firmware.")
-    Term.(const hunt $ firmware_arg $ workload_arg $ seed_arg $ approach $ budget $ jobs $ verbose $ artefacts $ trace)
+    Term.(const hunt $ firmware_arg $ workload_arg $ seed_arg $ approach $ budget $ jobs $ lanes $ verbose $ artefacts $ trace)
 
 (* replay *)
 

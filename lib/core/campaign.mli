@@ -95,7 +95,7 @@ val make_cache : ?store_dir:string -> config -> Prefix_cache.t
 
 val run :
   ?stop_when:(finding -> bool) -> ?progress:(progress -> unit) ->
-  ?cache:Prefix_cache.t -> config ->
+  ?cache:Prefix_cache.t -> ?lanes:int -> config ->
   strategy:(Search.context -> Search.t) -> result
 (** Run a full campaign. [stop_when] ends the campaign early when a
     finding satisfies it (used by the Table V until-found experiments).
@@ -105,7 +105,23 @@ val run :
     snapshot cache from {!make_cache} for the internally built one — see
     {!make_cache} for the sharing rules. The campaign never spends past
     [budget_s]: affordability is checked against the simulator's duration
-    cap before each run, and the ledger saturates at the budget. *)
+    cap before each run, and the ledger saturates at the budget.
+
+    [lanes] (default the [AVIS_LANES] environment variable, else 1)
+    selects the driver: 1 keeps the classic one-scenario-at-a-time loop;
+    [n >= 2] schedules up to [n] scenarios in flight at once, each
+    physics-stepped through a lane of a shared structure-of-arrays batch
+    ({!Avis_sitl.Sim.Batch}) and advanced in interleaved slices. Budget
+    charges, affordability gates, observations and findings are applied
+    in strict schedule order, so a batched campaign's findings and budget
+    ledger are bit-identical to the unbatched driver whenever the
+    strategy's proposals don't depend on its observations (random
+    search); adaptive strategies see observations up to [n] proposals
+    late and may schedule differently (still valid searches). *)
+
+val lanes_of_env : unit -> int
+(** The [AVIS_LANES] width: 1 (unbatched) when unset; invalid values are
+    warned about and treated as 1. *)
 
 val cell_seed :
   ?base:int -> policy:string -> workload:string -> approach:string -> unit -> int

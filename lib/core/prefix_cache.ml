@@ -360,31 +360,6 @@ let rec advance_to t ~time =
         t.clean_pending <- []))
   | _ -> ()
 
-(* Run [sim] to completion, pausing at each remaining capture target so the
-   run's own fault prefixes become checkpoints for later scenarios — this is
-   what lets a search that stacks faults onto a safe scenario (SABRE's
-   sites) fork from its base run instead of re-simulating it. Pausing and
-   resuming is bit-identical to an uninterrupted run. *)
-let run_capturing t ~scenario sim st =
-  let n = Array.length t.targets in
-  let rec go i =
-    if i >= n then
-      match Workload.Stepper.run st sim ~until:infinity with
-      | Workload.Stepper.Done passed -> passed
-      | Workload.Stepper.Running -> false
-    else begin
-      let target = t.targets.(i) in
-      if target <= Sim.time sim then go (i + 1)
-      else
-        match Workload.Stepper.run st sim ~until:target with
-        | Workload.Stepper.Running ->
-          capture t ~scenario sim st;
-          go (i + 1)
-        | Workload.Stepper.Done passed -> passed
-    end
-  in
-  go 0
-
 let earliest_fault (scenario : Scenario.t) =
   match Scenario.first_injection_time scenario with
   | Some at -> at
@@ -476,15 +451,25 @@ let store_lookup t ~scenario =
         enforce_budget t;
         Some entry))
 
-let cold (t : t) ~scenario =
-  t.misses <- t.misses + 1;
-  Avis_util.Trace.counter "cache.misses" (float_of_int t.misses);
-  let sim = t.make_sim ~scenario in
-  let st = Workload.Stepper.create t.workload in
-  let passed = run_capturing t ~scenario sim st in
-  Sim.outcome sim ~workload_passed:passed
+(* A scenario mid-execution: the forked (or cold) simulator and stepper
+   plus the index of the next capture target. [begin_run] performs the
+   serve/cold/bypass decision exactly as [execute] always did;
+   [continue_run] is [run_capturing] made resumable, so a batched driver
+   can advance many runs in interleaved slices. Pausing at a slice boundary
+   is bit-identical to running through it (the stepper's contract), so the
+   outcome — and every checkpoint captured along the way — is the same
+   whatever the slicing. *)
+type run = {
+  run_scenario : Scenario.t;
+  run_sim : Sim.t;
+  run_st : Workload.Stepper.stepper;
+  mutable next_target : int;  (** Index into [targets]. *)
+  run_captures : bool;  (** False for bypassing configs: never checkpoint. *)
+}
 
-let execute t ~scenario =
+let run_sim r = r.run_sim
+
+let begin_run t ~scenario =
   if t.bypass then begin
     (* Uncacheable config: cold-run without checkpointing, since no stored
        entry could ever be sound to serve. *)
@@ -493,12 +478,13 @@ let execute t ~scenario =
     Avis_util.Trace.counter "cache.bypasses" (float_of_int t.bypasses);
     let sim = t.make_sim ~scenario in
     let st = Workload.Stepper.create t.workload in
-    let passed =
-      match Workload.Stepper.run st sim ~until:infinity with
-      | Workload.Stepper.Done passed -> passed
-      | Workload.Stepper.Running -> false
-    in
-    Sim.outcome sim ~workload_passed:passed
+    {
+      run_scenario = scenario;
+      run_sim = sim;
+      run_st = st;
+      next_target = Array.length t.targets;
+      run_captures = false;
+    }
   end
   else begin
     let serve e =
@@ -513,30 +499,74 @@ let execute t ~scenario =
           ~link_outages:(Scenario.link_outages scenario)
           e.sim_snap
       in
-      let st = Workload.Stepper.restore e.stepper_snap in
-      let passed = run_capturing t ~scenario sim st in
-      Sim.outcome sim ~workload_passed:passed
+      (sim, Workload.Stepper.restore e.stepper_snap)
     in
     advance_to t ~time:(earliest_fault scenario);
-    match lookup t ~scenario with
-    | Some e -> serve e
-    | None -> (
-      match store_lookup t ~scenario with
-      | Some e ->
-        (match t.store with
-        | Some s ->
-          Checkpoint_store.count_hit s;
-          note_store t
-        | None -> ());
-        serve e
-      | None ->
-        (match t.store with
-        | Some s ->
-          Checkpoint_store.count_miss s;
-          note_store t
-        | None -> ());
-        cold t ~scenario)
+    let sim, st =
+      match lookup t ~scenario with
+      | Some e -> serve e
+      | None -> (
+        match store_lookup t ~scenario with
+        | Some e ->
+          (match t.store with
+          | Some s ->
+            Checkpoint_store.count_hit s;
+            note_store t
+          | None -> ());
+          serve e
+        | None ->
+          (match t.store with
+          | Some s ->
+            Checkpoint_store.count_miss s;
+            note_store t
+          | None -> ());
+          t.misses <- t.misses + 1;
+          Avis_util.Trace.counter "cache.misses" (float_of_int t.misses);
+          (t.make_sim ~scenario, Workload.Stepper.create t.workload))
+    in
+    { run_scenario = scenario; run_sim = sim; run_st = st; next_target = 0;
+      run_captures = true }
   end
+
+let continue_run t r ~until =
+  let n = Array.length t.targets in
+  let sim = r.run_sim and st = r.run_st in
+  let rec go () =
+    (* Targets already behind the clock are skipped without capturing,
+       exactly as the uninterrupted loop skips them. *)
+    while r.next_target < n && t.targets.(r.next_target) <= Sim.time sim do
+      r.next_target <- r.next_target + 1
+    done;
+    let target =
+      if r.next_target < n then t.targets.(r.next_target) else infinity
+    in
+    let stop_at = Float.min target until in
+    match Workload.Stepper.run st sim ~until:stop_at with
+    | Workload.Stepper.Done passed ->
+      Some (Sim.outcome sim ~workload_passed:passed)
+    | Workload.Stepper.Running ->
+      if stop_at = infinity then
+        (* Nothing pauses at infinity, so a Running status here means the
+           run cannot progress; judge it as a failed workload. *)
+        Some (Sim.outcome sim ~workload_passed:false)
+      else if target <= until then begin
+        (* Paused just before a capture target. *)
+        if r.run_captures then capture t ~scenario:r.run_scenario sim st;
+        r.next_target <- r.next_target + 1;
+        go ()
+      end
+      else None
+  in
+  go ()
+
+let execute t ~scenario =
+  let r = begin_run t ~scenario in
+  match continue_run t r ~until:infinity with
+  | Some outcome -> outcome
+  | None ->
+    (* [continue_run ~until:infinity] always resolves: every pause either
+       captures and resumes or ends the run. *)
+    assert false
 
 let stats (t : t) =
   let store_hits, store_misses, store_bytes =

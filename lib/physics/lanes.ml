@@ -1,0 +1,1022 @@
+open Avis_geo
+
+(* Structure-of-arrays batched stepping: N worlds held as parallel float
+   columns (positions, velocities, quaternions, motor fractions), advanced
+   in lock-step by one allocation-free inner loop.
+
+   The kernel below is [World.step] — including [Motor.command]/[step]/
+   [body_torque_into], [Environment.wind_into] and [Rigid_body.step] —
+   replicated expression for expression over lane-indexed columns, so each
+   lane's trajectory is bit-identical to stepping its world alone (the
+   identity tests pin this down against both [World.step] and
+   [World.step_reference]). Loop-invariant subexpressions whose inputs are
+   immutable per lane (gravity, drag signs, the motor and gust filter
+   constants, the friction and flap coefficients) are precomputed at
+   adoption into constant columns; every one of them is a deterministic
+   function (including [exp]/[sqrt]) of the same inputs the single-world
+   kernel reads each step, so the cached bits equal the recomputed bits.
+
+   A lane *adopts* a live [World.t]: mutable collaborators with their own
+   state streams — the physics RNG and the gust cell — are shared by
+   pointer, so the lane draws the world's own randomness in the world's own
+   order; scalar state is gathered into the columns and scattered back by
+   [flush]. *)
+
+(* Unchecked column access for the kernel: indices are validated once at
+   the [step]/[adopt] boundary (lane < width, slot < width * motor_count),
+   so the ~100 per-lane-step bounds checks the safe operators would emit
+   are pure overhead. Primitives, so fully applied uses compile to the
+   raw load/store, specialised to unboxed floats where the element type is
+   float. *)
+external ( .!() ) : 'a array -> int -> 'a = "%array_unsafe_get"
+external ( .!()<- ) : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
+
+type t = {
+  width : int;
+  motor_count : int;
+  (* Rigid-body state, 16 floats per lane as columns. *)
+  pos : Vec3.Cols.cols;
+  vel : Vec3.Cols.cols;
+  att : Quat.Cols.cols;
+  omg : Vec3.Cols.cols;
+  acc : Vec3.Cols.cols;
+  elapsed : float array;
+  (* Latched flags and events. *)
+  active : bool array;
+  crashed : bool array;
+  fence_breached : bool array;
+  resting : bool array;
+  crash_events : World.contact_event option array;
+  (* Motor bank, lane-major: lane i owns slots [i*mc, (i+1)*mc). *)
+  m_commanded : float array;
+  m_actual : float array;
+  m_thrust : float array;
+  m_total : float array;
+  (* Per-lane collaborators, shared with the adopted world by pointer. *)
+  worlds : World.t option array;
+  envs : Environment.t array;
+  rngs : Avis_util.Rng.t array;
+  gusts : Vec3.Mut.vec array;
+  layouts : (Vec3.t * float) array array;
+  (* The motor layout flattened into lane-major float columns (same
+     values as [layouts], copied at adoption): the torque loop reads
+     flat unboxed loads per motor instead of chasing the tuple, record
+     and boxed-float pointers of [(Vec3.t * float) array]. The zero
+     cross-product terms and the spin-yaw coefficient are folded at
+     adoption with the very expressions the per-step loop would
+     evaluate — their inputs are per-motor constants, so the cached
+     bits equal the recomputed bits. *)
+  c_lx : float array;
+  c_ly : float array;
+  c_lz0 : float array; (* lz *. 0.0 *)
+  c_az0 : float array; (* (lx *. 0.0) -. (ly *. 0.0) *)
+  c_sy : float array; (* spin *. tpt *)
+  winds : Environment.wind option array;
+  has_wind : bool array;
+  has_fence : bool array;
+  has_obstacles : bool array;
+  (* Airframe-derived constants, fixed at adoption. *)
+  c_gravity_z : float array;
+  c_neg_drag : float array;
+  c_neg_adrag : float array;
+  c_fric_k : float array;
+  c_inv_mass : float array;
+  c_ix : float array;
+  c_iy : float array;
+  c_iz : float array;
+  c_max_n : float array;
+  c_tpt : float array;
+  c_flap_damp : float array;
+  c_flap_back : float array;
+  c_max_total : float array;
+  c_tau : float array;
+  c_wsx : float array;
+  c_wsy : float array;
+  c_wsz : float array;
+  (* dt-derived constants, refreshed when a lane's dt changes. *)
+  c_dt : float array;
+  c_m_alpha : float array;
+  c_w_alpha : float array;
+  c_w_sigma : float array;
+  c_w_sigma3 : float array;
+  (* Scratch (no state across steps; shared by all lanes sequentially). *)
+  s_ground : float array;
+  s_torque : float array;
+  s_blob : float array;
+  (* Phase-major scratch: per-lane intermediates carried between the
+     sweeps of [step_all], plus the shared clamped-command row. *)
+  s_cmd : float array;
+  s_live : bool array;
+  s_fx : float array;
+  s_fy : float array;
+  s_fz : float array;
+  s_tqx : float array;
+  s_tqy : float array;
+  s_tqz : float array;
+  mutable s_any : bool;
+  (* Inactive-slot placeholders so released lanes retain nothing. *)
+  d_env : Environment.t;
+  d_rng : Avis_util.Rng.t;
+  d_gust : Vec3.Mut.vec;
+  mutable n_active : int;
+}
+
+let fcol width = Array.make width 0.0
+
+let create ~width ~motor_count =
+  if width < 1 then invalid_arg "Lanes.create: width must be at least 1";
+  if motor_count < 1 then
+    invalid_arg "Lanes.create: motor count must be at least 1";
+  let d_env = Environment.benign () in
+  {
+    width;
+    motor_count;
+    pos = Vec3.Cols.create width;
+    vel = Vec3.Cols.create width;
+    att = Quat.Cols.create width;
+    omg = Vec3.Cols.create width;
+    acc = Vec3.Cols.create width;
+    elapsed = fcol width;
+    active = Array.make width false;
+    crashed = Array.make width false;
+    fence_breached = Array.make width false;
+    resting = Array.make width false;
+    crash_events = Array.make width None;
+    m_commanded = fcol (width * motor_count);
+    m_actual = fcol (width * motor_count);
+    m_thrust = fcol (width * motor_count);
+    m_total = fcol width;
+    worlds = Array.make width None;
+    envs = Array.make width d_env;
+    rngs = Array.make width (Avis_util.Rng.create 0);
+    gusts = Array.make width (Environment.gust_cell d_env);
+    layouts = Array.make width [||];
+    c_lx = fcol (width * motor_count);
+    c_ly = fcol (width * motor_count);
+    c_lz0 = fcol (width * motor_count);
+    c_az0 = fcol (width * motor_count);
+    c_sy = fcol (width * motor_count);
+    winds = Array.make width None;
+    has_wind = Array.make width false;
+    has_fence = Array.make width false;
+    has_obstacles = Array.make width false;
+    c_gravity_z = fcol width;
+    c_neg_drag = fcol width;
+    c_neg_adrag = fcol width;
+    c_fric_k = fcol width;
+    c_inv_mass = fcol width;
+    c_ix = fcol width;
+    c_iy = fcol width;
+    c_iz = fcol width;
+    c_max_n = fcol width;
+    c_tpt = fcol width;
+    c_flap_damp = fcol width;
+    c_flap_back = fcol width;
+    c_max_total = fcol width;
+    c_tau = fcol width;
+    c_wsx = fcol width;
+    c_wsy = fcol width;
+    c_wsz = fcol width;
+    c_dt = Array.make width neg_infinity;
+    c_m_alpha = fcol width;
+    c_w_alpha = fcol width;
+    c_w_sigma = fcol width;
+    c_w_sigma3 = fcol width;
+    s_ground = [| 0.0 |];
+    s_torque = [| 0.0; 0.0; 0.0 |];
+    s_blob = fcol (2 * motor_count);
+    s_cmd = fcol motor_count;
+    s_live = Array.make width false;
+    s_fx = fcol width;
+    s_fy = fcol width;
+    s_fz = fcol width;
+    s_tqx = fcol width;
+    s_tqy = fcol width;
+    s_tqz = fcol width;
+    s_any = false;
+    d_env;
+    d_rng = Avis_util.Rng.create 0;
+    d_gust = Environment.gust_cell d_env;
+    n_active = 0;
+  }
+
+let width t = t.width
+let active t = t.n_active
+let is_active t i = t.active.(i)
+
+let free_slot t =
+  let rec scan i =
+    if i >= t.width then None
+    else if t.active.(i) then scan (i + 1)
+    else Some i
+  in
+  scan 0
+
+let world t i = t.worlds.(i)
+
+(* Refresh the dt-derived constants for lane [i]: the motor spin-up alpha
+   ([Motor.step]) and the Ornstein-Uhlenbeck gust filter constants
+   ([Environment.wind_into]), computed from the same expressions. *)
+let refresh_dt t i ~dt =
+  t.c_dt.(i) <- dt;
+  let tau = t.c_tau.(i) in
+  t.c_m_alpha.(i) <- (if tau <= 0.0 then 1.0 else 1.0 -. exp (-.dt /. tau));
+  match t.winds.(i) with
+  | None -> ()
+  | Some w ->
+    let wtau = Float.max 1e-3 w.Environment.gust_correlation_s in
+    let alpha = exp (-.dt /. wtau) in
+    let sigma = w.Environment.gust_stddev *. sqrt (1.0 -. (alpha *. alpha)) in
+    t.c_w_alpha.(i) <- alpha;
+    t.c_w_sigma.(i) <- sigma;
+    t.c_w_sigma3.(i) <- sigma /. 3.0
+
+let adopt t i w =
+  if i < 0 || i >= t.width then invalid_arg "Lanes.adopt: lane out of range";
+  if t.active.(i) then invalid_arg "Lanes.adopt: lane already active";
+  let frame = World.airframe w in
+  if frame.Airframe.motor_count <> t.motor_count then
+    invalid_arg "Lanes.adopt: airframe motor count mismatch";
+  let b = World.body w in
+  Vec3.Cols.load t.pos i b.Rigid_body.position;
+  Vec3.Cols.load t.vel i b.Rigid_body.velocity;
+  Quat.Cols.load t.att i b.Rigid_body.attitude;
+  Vec3.Cols.load t.omg i b.Rigid_body.angular_velocity;
+  Vec3.Cols.load t.acc i b.Rigid_body.acceleration;
+  t.elapsed.(i) <- World.time w;
+  t.crashed.(i) <- World.crashed w;
+  t.fence_breached.(i) <- World.fence_breached w;
+  t.resting.(i) <- World.resting w;
+  t.crash_events.(i) <- World.crash_event w;
+  let mc = t.motor_count in
+  let base = i * mc in
+  let motors = World.motors w in
+  Motor.blit_to_floats motors t.s_blob ~pos:0;
+  Array.blit t.s_blob 0 t.m_commanded base mc;
+  Array.blit t.s_blob mc t.m_actual base mc;
+  (* Rebuild the thrust cache columns with [refresh_thrust]'s expressions —
+     deterministic in [actual], so bit-equal to the world's own cache. *)
+  let max_n = frame.Airframe.max_thrust_per_motor_n in
+  t.m_total.(i) <- 0.0;
+  for j = 0 to mc - 1 do
+    t.m_thrust.(base + j) <- t.m_actual.(base + j) *. max_n;
+    t.m_total.(i) <- t.m_total.(i) +. t.m_thrust.(base + j)
+  done;
+  let env = World.environment w in
+  t.worlds.(i) <- Some w;
+  t.envs.(i) <- env;
+  t.rngs.(i) <- World.rng w;
+  t.gusts.(i) <- Environment.gust_cell env;
+  t.layouts.(i) <- Motor.layout motors;
+  let layout = t.layouts.(i) in
+  for j = 0 to mc - 1 do
+    let lpos, spin = layout.(j) in
+    t.c_lx.(base + j) <- lpos.Vec3.x;
+    t.c_ly.(base + j) <- lpos.Vec3.y;
+    t.c_lz0.(base + j) <- lpos.Vec3.z *. 0.0;
+    t.c_az0.(base + j) <- (lpos.Vec3.x *. 0.0) -. (lpos.Vec3.y *. 0.0);
+    t.c_sy.(base + j) <- spin *. frame.Airframe.torque_per_thrust
+  done;
+  let wind = Environment.wind_spec env in
+  t.winds.(i) <- wind;
+  (match wind with
+  | None ->
+    t.has_wind.(i) <- false;
+    t.c_wsx.(i) <- 0.0;
+    t.c_wsy.(i) <- 0.0;
+    t.c_wsz.(i) <- 0.0
+  | Some wspec ->
+    t.has_wind.(i) <- true;
+    t.c_wsx.(i) <- wspec.Environment.steady.Vec3.x;
+    t.c_wsy.(i) <- wspec.Environment.steady.Vec3.y;
+    t.c_wsz.(i) <- wspec.Environment.steady.Vec3.z);
+  t.has_fence.(i) <- Environment.has_fence env;
+  t.has_obstacles.(i) <- Environment.has_obstacles env;
+  t.c_gravity_z.(i) <- -.frame.Airframe.mass_kg *. Airframe.gravity;
+  t.c_neg_drag.(i) <- -.frame.Airframe.linear_drag;
+  t.c_neg_adrag.(i) <- -.frame.Airframe.angular_drag;
+  t.c_fric_k.(i) <- -.World.ground_friction *. frame.Airframe.mass_kg;
+  t.c_inv_mass.(i) <- 1.0 /. frame.Airframe.mass_kg;
+  t.c_ix.(i) <- frame.Airframe.inertia.Vec3.x;
+  t.c_iy.(i) <- frame.Airframe.inertia.Vec3.y;
+  t.c_iz.(i) <- frame.Airframe.inertia.Vec3.z;
+  t.c_max_n.(i) <- max_n;
+  t.c_tpt.(i) <- frame.Airframe.torque_per_thrust;
+  t.c_flap_damp.(i) <- frame.Airframe.flap_rate_damping;
+  t.c_flap_back.(i) <- frame.Airframe.flap_back;
+  (* [Float.max 1e-6 max_total] hoisted out of [body_torque_into]'s
+     thrust-fraction divide. *)
+  t.c_max_total.(i) <-
+    Float.max 1e-6
+      (float_of_int frame.Airframe.motor_count
+      *. frame.Airframe.max_thrust_per_motor_n);
+  t.c_tau.(i) <- frame.Airframe.motor_time_constant_s;
+  (* Force a dt-constant refresh on the first step. *)
+  t.c_dt.(i) <- neg_infinity;
+  t.active.(i) <- true;
+  t.n_active <- t.n_active + 1
+
+let flush t i =
+  match t.worlds.(i) with
+  | None -> invalid_arg "Lanes.flush: inactive lane"
+  | Some w ->
+    let b = World.body w in
+    Vec3.Cols.store t.pos i b.Rigid_body.position;
+    Vec3.Cols.store t.vel i b.Rigid_body.velocity;
+    Quat.Cols.store t.att i b.Rigid_body.attitude;
+    Vec3.Cols.store t.omg i b.Rigid_body.angular_velocity;
+    Vec3.Cols.store t.acc i b.Rigid_body.acceleration;
+    (World.clock w).World.elapsed <- t.elapsed.(i);
+    World.set_crashed w t.crashed.(i);
+    World.set_fence_breached w t.fence_breached.(i);
+    World.set_resting w t.resting.(i);
+    World.set_crash_event w t.crash_events.(i);
+    let mc = t.motor_count in
+    let base = i * mc in
+    Array.blit t.m_commanded base t.s_blob 0 mc;
+    Array.blit t.m_actual base t.s_blob mc mc;
+    Motor.restore_floats (World.motors w) t.s_blob ~pos:0
+    (* The gust cell and RNG are the world's own (shared by pointer), so
+       they are already current. *)
+
+let release t i =
+  if not t.active.(i) then invalid_arg "Lanes.release: inactive lane";
+  flush t i;
+  t.active.(i) <- false;
+  t.worlds.(i) <- None;
+  t.envs.(i) <- t.d_env;
+  t.rngs.(i) <- t.d_rng;
+  t.gusts.(i) <- t.d_gust;
+  t.layouts.(i) <- [||];
+  t.winds.(i) <- None;
+  t.crash_events.(i) <- None;
+  t.n_active <- t.n_active - 1
+
+(* [World.latch_crash] on lane [i]. *)
+let latch_lane t i e =
+  t.crashed.(i) <- true;
+  t.crash_events.(i) <- Some e;
+  Vec3.Cols.set t.vel i ~x:0.0 ~y:0.0 ~z:0.0;
+  Vec3.Cols.set t.omg i ~x:0.0 ~y:0.0 ~z:0.0
+
+(* [World.settle_on_ground] on lane [i]; the ground level comes through the
+   scratch cell so no float crosses the call. *)
+let settle_lane t i =
+  let ground = t.s_ground.(0) in
+  t.pos.Vec3.Cols.zs.!(i) <- ground;
+  let vz = t.vel.Vec3.Cols.zs.!(i) in
+  t.vel.Vec3.Cols.zs.!(i) <- Float.max 0.0 vz
+
+(* One step of lane [i]: [World.step] over the columns, expression for
+   expression (see the header comment). Returns the contact event, if
+   any. *)
+let step_kernel t i ~motor_commands ~dt =
+  t.elapsed.!(i) <- t.elapsed.!(i) +. dt;
+  if t.crashed.!(i) then None
+  else begin
+    if dt <> t.c_dt.!(i) then refresh_dt t i ~dt;
+    let mc = t.motor_count in
+    if Array.length motor_commands <> mc then
+      invalid_arg "Motor.command: wrong motor count";
+    let base = i * mc in
+    (* [Motor.command] + [Motor.step] + [refresh_thrust], fused: each
+       motor's clamp, spin-up and thrust depend only on its own slots, and
+       the total accumulates in the same order, so the fusion is
+       value-identical to the three separate loops. *)
+    let m_alpha = t.c_m_alpha.!(i) in
+    let max_n = t.c_max_n.!(i) in
+    t.m_total.!(i) <- 0.0;
+    for j = 0 to mc - 1 do
+      let cmd = Float.max 0.0 (Float.min 1.0 motor_commands.(j)) in
+      t.m_commanded.!(base + j) <- cmd;
+      let a =
+        t.m_actual.!(base + j) +. (m_alpha *. (cmd -. t.m_actual.!(base + j)))
+      in
+      t.m_actual.!(base + j) <- a;
+      let th = a *. max_n in
+      t.m_thrust.!(base + j) <- th;
+      t.m_total.!(i) <- t.m_total.!(i) +. th
+    done;
+    (* thrust_world = attitude ⊗ (0, 0, total): [Quat.Mut.rotate_comp] with
+       vx = 0.0, vy = 0.0 spelled out (the zero products keep -0.0 sign
+       propagation identical). *)
+    let qw = t.att.Quat.Cols.ws.!(i)
+    and qx = t.att.Quat.Cols.xs.!(i)
+    and qy = t.att.Quat.Cols.ys.!(i)
+    and qz = t.att.Quat.Cols.zs.!(i) in
+    let tvz = t.m_total.!(i) in
+    let ttx = 2.0 *. ((qy *. tvz) -. (qz *. 0.0)) in
+    let tty = 2.0 *. ((qz *. 0.0) -. (qx *. tvz)) in
+    let ttz = 2.0 *. ((qx *. 0.0) -. (qy *. 0.0)) in
+    let thr_x = 0.0 +. ((qw *. ttx) +. ((qy *. ttz) -. (qz *. tty))) in
+    let thr_y = 0.0 +. ((qw *. tty) +. ((qz *. ttx) -. (qx *. ttz))) in
+    let thr_z = tvz +. ((qw *. ttz) +. ((qx *. tty) -. (qy *. ttx))) in
+    let gravity_z = t.c_gravity_z.!(i) in
+    (* [Environment.wind_into]: the gust process advances through the
+       world's own gust cell and RNG (z draw first, as the original). The
+       calm arm is a static tuple, so it does not allocate. *)
+    let wind_x, wind_y, wind_z =
+      if t.has_wind.!(i) then begin
+        let w_alpha = t.c_w_alpha.!(i) in
+        let rng = t.rngs.!(i) in
+        let nz =
+          Avis_util.Rng.gaussian_scaled rng ~mean:0.0
+            ~stddev:t.c_w_sigma3.!(i)
+        in
+        let ny =
+          Avis_util.Rng.gaussian_scaled rng ~mean:0.0 ~stddev:t.c_w_sigma.!(i)
+        in
+        let nx =
+          Avis_util.Rng.gaussian_scaled rng ~mean:0.0 ~stddev:t.c_w_sigma.!(i)
+        in
+        let g = t.gusts.!(i) in
+        g.Vec3.Mut.x <- (w_alpha *. g.Vec3.Mut.x) +. nx;
+        g.Vec3.Mut.y <- (w_alpha *. g.Vec3.Mut.y) +. ny;
+        g.Vec3.Mut.z <- (w_alpha *. g.Vec3.Mut.z) +. nz;
+        ( t.c_wsx.!(i) +. g.Vec3.Mut.x,
+          t.c_wsy.!(i) +. g.Vec3.Mut.y,
+          t.c_wsz.!(i) +. g.Vec3.Mut.z )
+      end
+      else (0.0, 0.0, 0.0)
+    in
+    let velx = t.vel.Vec3.Cols.xs.!(i)
+    and vely = t.vel.Vec3.Cols.ys.!(i)
+    and velz = t.vel.Vec3.Cols.zs.!(i) in
+    let asx = velx -. wind_x in
+    let asy = vely -. wind_y in
+    let asz = velz -. wind_z in
+    let neg_drag = t.c_neg_drag.!(i) in
+    let drag_x = neg_drag *. asx in
+    let drag_y = neg_drag *. asy in
+    let drag_z = neg_drag *. asz in
+    let px = t.pos.Vec3.Cols.xs.!(i)
+    and py = t.pos.Vec3.Cols.ys.!(i)
+    and pz = t.pos.Vec3.Cols.zs.!(i) in
+    (* [Environment.ground_altitude_into]: the world is flat, so the
+       sample is the constant 0.0 regardless of position — written into
+       the same scratch cell [post_step]'s replica below consumes. If
+       terrain ever becomes position-dependent this must go back to
+       calling the environment (the lane identity property tests guard
+       the equivalence). *)
+    t.s_ground.(0) <- 0.0;
+    let ground = t.s_ground.(0) in
+    let contact = pz <= ground +. 1e-9 in
+    let normal_z =
+      if contact then begin
+        let net_z = thr_z +. gravity_z +. drag_z in
+        if net_z < 0.0 then -.net_z else 0.0
+      end
+      else 0.0
+    in
+    let fric_k = t.c_fric_k.!(i) in
+    let fric_x = if contact then fric_k *. velx else 0.0 in
+    let fric_y = if contact then fric_k *. vely else 0.0 in
+    let fric_z = if contact then fric_k *. 0.0 else 0.0 in
+    let force_x = (((0.0 +. thr_x) +. 0.0) +. drag_x) +. 0.0 +. fric_x in
+    let force_y = (((0.0 +. thr_y) +. 0.0) +. drag_y) +. 0.0 +. fric_y in
+    let force_z =
+      (((0.0 +. thr_z) +. gravity_z) +. drag_z) +. normal_z +. fric_z
+    in
+    (* airspeed_body = rotate_inv attitude airspeed; the z component is
+       never consumed ([body_torque_into] reads x and y only), so it is not
+       materialised. *)
+    let nqx = -.qx and nqy = -.qy and nqz = -.qz in
+    let atx = 2.0 *. ((nqy *. asz) -. (nqz *. asy)) in
+    let aty = 2.0 *. ((nqz *. asx) -. (nqx *. asz)) in
+    let atz = 2.0 *. ((nqx *. asy) -. (nqy *. asx)) in
+    let ab_x = asx +. ((qw *. atx) +. ((nqy *. atz) -. (nqz *. aty))) in
+    let ab_y = asy +. ((qw *. aty) +. ((nqz *. atx) -. (nqx *. atz))) in
+    (* [Motor.body_torque_into]: accumulate through the scratch cells
+       exactly as the original accumulates through its destination
+       fields. *)
+    let omx = t.omg.Vec3.Cols.xs.!(i)
+    and omy = t.omg.Vec3.Cols.ys.!(i)
+    and omz = t.omg.Vec3.Cols.zs.!(i) in
+    let st = t.s_torque in
+    st.!(0) <- 0.0;
+    st.!(1) <- 0.0;
+    st.!(2) <- 0.0;
+    for j = 0 to mc - 1 do
+      let lx = t.c_lx.!(base + j)
+      and ly = t.c_ly.!(base + j)
+      and lz0 = t.c_lz0.!(base + j)
+      and az0 = t.c_az0.!(base + j)
+      and sy = t.c_sy.!(base + j) in
+      let th = t.m_thrust.!(base + j) in
+      let arm_x = (ly *. th) -. lz0 in
+      let arm_y = lz0 -. (lx *. th) in
+      let arm_z = az0 in
+      let yaw_z = sy *. th in
+      st.!(0) <- st.!(0) +. (arm_x +. 0.0);
+      st.!(1) <- st.!(1) +. (arm_y +. 0.0);
+      st.!(2) <- st.!(2) +. (arm_z +. yaw_z)
+    done;
+    let thrust_fraction = t.m_total.!(i) /. t.c_max_total.!(i) in
+    let k_damp = t.c_flap_damp.!(i) *. thrust_fraction in
+    let rate_x = -.k_damp *. omx and rate_y = -.k_damp *. omy in
+    let kb = t.c_flap_back.!(i) *. thrust_fraction in
+    (* [(0.0 *. 0.0)] is +0.0; [1.0 *. x] is x and [x -. (+0.0)] is x,
+       bit-for-bit, for every x — so the flap-back cross products fold
+       to the terms below with identical results. *)
+    let back_x = kb *. (0.0 -. ab_y) in
+    let back_y = kb *. ab_x in
+    let back_z = kb *. ((0.0 *. ab_y) -. (0.0 *. ab_x)) in
+    (* ... then [World.step]'s angular drag and ground damping terms. *)
+    let neg_adrag = t.c_neg_adrag.!(i) in
+    let tq_x = (st.!(0) +. (rate_x +. back_x)) +. (neg_adrag *. omx) in
+    let tq_y = (st.!(1) +. (rate_y +. back_y)) +. (neg_adrag *. omy) in
+    let tq_z = (st.!(2) +. (0.0 +. back_z)) +. (neg_adrag *. omz) in
+    let damped = contact && normal_z <> 0.0 in
+    let tq_x = if damped then tq_x +. (-1.0 *. omx) else tq_x in
+    let tq_y = if damped then tq_y +. (-1.0 *. omy) else tq_y in
+    let tq_z = if damped then tq_z +. (-1.0 *. omz) else tq_z in
+    (* [Rigid_body.step]: semi-implicit Euler, then Euler's equations with
+       a diagonal inertia tensor, then the quaternion integration. *)
+    let inv_mass = t.c_inv_mass.!(i) in
+    let acc_x = inv_mass *. force_x in
+    let acc_y = inv_mass *. force_y in
+    let acc_z = inv_mass *. force_z in
+    t.acc.Vec3.Cols.xs.!(i) <- acc_x;
+    t.acc.Vec3.Cols.ys.!(i) <- acc_y;
+    t.acc.Vec3.Cols.zs.!(i) <- acc_z;
+    let velx' = velx +. (dt *. acc_x) in
+    let vely' = vely +. (dt *. acc_y) in
+    let velz' = velz +. (dt *. acc_z) in
+    t.vel.Vec3.Cols.xs.!(i) <- velx';
+    t.vel.Vec3.Cols.ys.!(i) <- vely';
+    t.vel.Vec3.Cols.zs.!(i) <- velz';
+    let px' = px +. (dt *. velx') in
+    let py' = py +. (dt *. vely') in
+    let pz' = pz +. (dt *. velz') in
+    t.pos.Vec3.Cols.xs.!(i) <- px';
+    t.pos.Vec3.Cols.ys.!(i) <- py';
+    t.pos.Vec3.Cols.zs.!(i) <- pz';
+    let ix = t.c_ix.!(i) and iy = t.c_iy.!(i) and iz = t.c_iz.!(i) in
+    let cx = (iz -. iy) *. omy *. omz in
+    let cy = (ix -. iz) *. omz *. omx in
+    let cz = (iy -. ix) *. omx *. omy in
+    let aax = (tq_x -. cx) /. ix in
+    let aay = (tq_y -. cy) /. iy in
+    let aaz = (tq_z -. cz) /. iz in
+    let omx' = omx +. (dt *. aax) in
+    let omy' = omy +. (dt *. aay) in
+    let omz' = omz +. (dt *. aaz) in
+    t.omg.Vec3.Cols.xs.!(i) <- omx';
+    t.omg.Vec3.Cols.ys.!(i) <- omy';
+    t.omg.Vec3.Cols.zs.!(i) <- omz';
+    (* [Quat.Mut.integrate] (= [Quat.Cols.integrate] at lane [i]), inlined
+       so the attitude and rate stay in the locals already loaded. *)
+    let half_dt = dt /. 2.0 in
+    let dw =
+      0.0 -. (half_dt *. ((omx' *. qx) +. (omy' *. qy) +. (omz' *. qz)))
+    in
+    let dx = half_dt *. ((omx' *. qw) +. (omz' *. qy) -. (omy' *. qz)) in
+    let dy = half_dt *. ((omy' *. qw) +. (omx' *. qz) -. (omz' *. qx)) in
+    let dz = half_dt *. ((omz' *. qw) +. (omy' *. qx) -. (omx' *. qy)) in
+    let nw = qw +. dw in
+    let nx = qx +. dx in
+    let ny = qy +. dy in
+    let nz = qz +. dz in
+    let n = sqrt ((nw *. nw) +. (nx *. nx) +. (ny *. ny) +. (nz *. nz)) in
+    if n = 0.0 then begin
+      t.att.Quat.Cols.ws.!(i) <- 1.0;
+      t.att.Quat.Cols.xs.!(i) <- 0.0;
+      t.att.Quat.Cols.ys.!(i) <- 0.0;
+      t.att.Quat.Cols.zs.!(i) <- 0.0
+    end
+    else begin
+      t.att.Quat.Cols.ws.!(i) <- nw /. n;
+      t.att.Quat.Cols.xs.!(i) <- nx /. n;
+      t.att.Quat.Cols.ys.!(i) <- ny /. n;
+      t.att.Quat.Cols.zs.!(i) <- nz /. n
+    end;
+    (* [World.post_step] on the post-integration state, with the ground
+       level sampled before integration (still in the scratch cell). *)
+    let vx2 = velx'
+    and vy2 = vely'
+    and vz2 = velz' in
+    if
+      t.has_fence.!(i)
+      && Environment.breaches_fence_xyz t.envs.!(i) ~x:px' ~y:py' ~z:pz'
+    then t.fence_breached.!(i) <- true;
+    let hit =
+      if t.has_obstacles.!(i) then
+        Environment.obstacle_at t.envs.!(i) ~x:px' ~y:py' ~z:pz'
+      else None
+    in
+    match hit with
+    | Some o when sqrt ((vx2 *. vx2) +. (vy2 *. vy2) +. (vz2 *. vz2)) > 0.5 ->
+      let e =
+        World.Obstacle_strike
+          {
+            label = o.Environment.label;
+            speed = sqrt ((vx2 *. vx2) +. (vy2 *. vy2) +. (vz2 *. vz2));
+          }
+      in
+      latch_lane t i e;
+      Some e
+    | Some _ | None ->
+      let z = pz' in
+      if z < ground then begin
+        let sink = -.vz2 in
+        let lateral = sqrt ((vx2 *. vx2) +. (vy2 *. vy2) +. (0.0 *. 0.0)) in
+        if sink > World.crash_sink_speed || lateral > World.crash_lateral_speed
+        then begin
+          settle_lane t i;
+          let e = World.Ground_impact { speed = Float.max sink lateral } in
+          latch_lane t i e;
+          Some e
+        end
+        else if Quat.Cols.tilt t.att i > World.tipover_tilt_rad then begin
+          settle_lane t i;
+          latch_lane t i World.Tipover;
+          Some World.Tipover
+        end
+        else begin
+          settle_lane t i;
+          let was_resting = t.resting.!(i) in
+          t.resting.!(i) <- true;
+          if was_resting then None else Some (World.Touchdown { speed = sink })
+        end
+      end
+      else if
+        z <= ground +. 0.02 && Quat.Cols.tilt t.att i > World.tipover_tilt_rad
+      then begin
+        latch_lane t i World.Tipover;
+        Some World.Tipover
+      end
+      else begin
+        if z > ground +. 0.05 then t.resting.!(i) <- false;
+        None
+      end
+  end
+
+let step_resident t i ~motor_commands ~dt =
+  if not t.active.(i) then invalid_arg "Lanes.step: inactive lane";
+  step_kernel t i ~motor_commands ~dt
+
+let step t i ~motor_commands ~dt =
+  if not t.active.(i) then invalid_arg "Lanes.step: inactive lane";
+  let event = step_kernel t i ~motor_commands ~dt in
+  flush t i;
+  event
+
+(* One lock-step round, phase-major: the same per-lane expressions as
+   [step_kernel], but arranged as a few sweeps that each advance every
+   live lane through one pipeline stage before the next begins, with
+   every column array hoisted into a local ahead of its sweep. Both
+   halves matter on a non-flambda build: lanes are mutually independent,
+   so consecutive iterations of a sweep carry no data dependence and the
+   core overlaps them (the out-of-order window spans several small
+   bodies, where one whole-kernel body would fill it alone), and the
+   hoisted bindings turn each column access from a [t]-record chase
+   (three dependent loads, re-issued per use because the compiler cannot
+   prove the scratch stores don't alias [t]) into a single indexed load.
+   Intermediates travel between sweeps in preallocated scratch columns.
+   Every per-lane expression, evaluation order and store below is copied
+   from [step_kernel], so each lane's trajectory stays bit-identical to
+   stepping it alone (the property tests pin both paths to
+   [World.step]). *)
+let step_all t ~motor_commands ~dt =
+  let mc = t.motor_count in
+  let wd = t.width in
+  let live = t.s_live in
+  (* Clocks, the live mask and the dt-derived constants. Crashed lanes
+     only advance their clock, exactly as the kernel's latched path. *)
+  t.s_any <- false;
+  let active = t.active and crashed = t.crashed in
+  let elapsed = t.elapsed and c_dt = t.c_dt in
+  for i = 0 to wd - 1 do
+    if active.!(i) then begin
+      elapsed.!(i) <- elapsed.!(i) +. dt;
+      if crashed.!(i) then live.!(i) <- false
+      else begin
+        live.!(i) <- true;
+        t.s_any <- true;
+        if dt <> c_dt.!(i) then refresh_dt t i ~dt
+      end
+    end
+    else live.!(i) <- false
+  done;
+  if t.s_any then begin
+    if Array.length motor_commands <> mc then
+      invalid_arg "Motor.command: wrong motor count";
+    (* The commands are shared by every lane in the round, so the clamp
+       ([Motor.command]) happens once per motor, not once per lane — the
+       same expression on the same input, hence the same value. Ditto
+       the quaternion half-step below. *)
+    let s_cmd = t.s_cmd in
+    for j = 0 to mc - 1 do
+      s_cmd.!(j) <- Float.max 0.0 (Float.min 1.0 motor_commands.(j))
+    done;
+    let half_dt = dt /. 2.0 in
+    t.s_ground.(0) <- 0.0;
+    (* Motor spin-up and the thrust cache. *)
+    let m_commanded = t.m_commanded
+    and m_actual = t.m_actual
+    and m_thrust = t.m_thrust
+    and m_total = t.m_total
+    and c_m_alpha = t.c_m_alpha
+    and c_max_n = t.c_max_n in
+    for i = 0 to wd - 1 do
+      if live.!(i) then begin
+        let base = i * mc in
+        let m_alpha = c_m_alpha.!(i) in
+        let max_n = c_max_n.!(i) in
+        m_total.!(i) <- 0.0;
+        for j = 0 to mc - 1 do
+          let cmd = s_cmd.!(j) in
+          m_commanded.!(base + j) <- cmd;
+          let a =
+            m_actual.!(base + j) +. (m_alpha *. (cmd -. m_actual.!(base + j)))
+          in
+          m_actual.!(base + j) <- a;
+          let th = a *. max_n in
+          m_thrust.!(base + j) <- th;
+          m_total.!(i) <- m_total.!(i) +. th
+        done
+      end
+    done;
+    let att_ws = t.att.Quat.Cols.ws
+    and att_xs = t.att.Quat.Cols.xs
+    and att_ys = t.att.Quat.Cols.ys
+    and att_zs = t.att.Quat.Cols.zs in
+    let vel_xs = t.vel.Vec3.Cols.xs
+    and vel_ys = t.vel.Vec3.Cols.ys
+    and vel_zs = t.vel.Vec3.Cols.zs in
+    let pos_xs = t.pos.Vec3.Cols.xs
+    and pos_ys = t.pos.Vec3.Cols.ys
+    and pos_zs = t.pos.Vec3.Cols.zs in
+    let omg_xs = t.omg.Vec3.Cols.xs
+    and omg_ys = t.omg.Vec3.Cols.ys
+    and omg_zs = t.omg.Vec3.Cols.zs in
+    let s_fx = t.s_fx and s_fy = t.s_fy and s_fz = t.s_fz in
+    let s_tqx = t.s_tqx and s_tqy = t.s_tqy and s_tqz = t.s_tqz in
+    (* Forces and torques in one sweep over the lanes: thrust rotation,
+       gravity, wind, drag, contact normal and friction, then motor
+       arms and yaw, flapping, angular drag and ground damping. One
+       sweep rather than two so the quaternion and airspeed stay in
+       registers instead of round-tripping through scratch columns. *)
+    let st = t.s_torque in
+    let c_lx = t.c_lx
+    and c_ly = t.c_ly
+    and c_lz0 = t.c_lz0
+    and c_az0 = t.c_az0
+    and c_sy = t.c_sy
+    and c_gravity_z = t.c_gravity_z
+    and c_neg_drag = t.c_neg_drag
+    and c_fric_k = t.c_fric_k
+    and c_max_total = t.c_max_total
+    and c_flap_damp = t.c_flap_damp
+    and c_flap_back = t.c_flap_back
+    and c_neg_adrag = t.c_neg_adrag
+    and has_wind = t.has_wind in
+    for i = 0 to wd - 1 do
+      if live.!(i) then begin
+        let qw = att_ws.!(i)
+        and qx = att_xs.!(i)
+        and qy = att_ys.!(i)
+        and qz = att_zs.!(i) in
+        let tvz = m_total.!(i) in
+        let ttx = 2.0 *. ((qy *. tvz) -. (qz *. 0.0)) in
+        let tty = 2.0 *. ((qz *. 0.0) -. (qx *. tvz)) in
+        let ttz = 2.0 *. ((qx *. 0.0) -. (qy *. 0.0)) in
+        let thr_x = 0.0 +. ((qw *. ttx) +. ((qy *. ttz) -. (qz *. tty))) in
+        let thr_y = 0.0 +. ((qw *. tty) +. ((qz *. ttx) -. (qx *. ttz))) in
+        let thr_z = tvz +. ((qw *. ttz) +. ((qx *. tty) -. (qy *. ttx))) in
+        let gravity_z = c_gravity_z.!(i) in
+        let wind_x, wind_y, wind_z =
+          if has_wind.!(i) then begin
+            let w_alpha = t.c_w_alpha.!(i) in
+            let rng = t.rngs.!(i) in
+            let nz =
+              Avis_util.Rng.gaussian_scaled rng ~mean:0.0
+                ~stddev:t.c_w_sigma3.!(i)
+            in
+            let ny =
+              Avis_util.Rng.gaussian_scaled rng ~mean:0.0
+                ~stddev:t.c_w_sigma.!(i)
+            in
+            let nx =
+              Avis_util.Rng.gaussian_scaled rng ~mean:0.0
+                ~stddev:t.c_w_sigma.!(i)
+            in
+            let g = t.gusts.!(i) in
+            g.Vec3.Mut.x <- (w_alpha *. g.Vec3.Mut.x) +. nx;
+            g.Vec3.Mut.y <- (w_alpha *. g.Vec3.Mut.y) +. ny;
+            g.Vec3.Mut.z <- (w_alpha *. g.Vec3.Mut.z) +. nz;
+            ( t.c_wsx.!(i) +. g.Vec3.Mut.x,
+              t.c_wsy.!(i) +. g.Vec3.Mut.y,
+              t.c_wsz.!(i) +. g.Vec3.Mut.z )
+          end
+          else (0.0, 0.0, 0.0)
+        in
+        let velx = vel_xs.!(i)
+        and vely = vel_ys.!(i)
+        and velz = vel_zs.!(i) in
+        let asx = velx -. wind_x in
+        let asy = vely -. wind_y in
+        let asz = velz -. wind_z in
+        let neg_drag = c_neg_drag.!(i) in
+        let drag_x = neg_drag *. asx in
+        let drag_y = neg_drag *. asy in
+        let drag_z = neg_drag *. asz in
+        let pz = pos_zs.!(i) in
+        let ground = 0.0 in
+        let contact = pz <= ground +. 1e-9 in
+        let normal_z =
+          if contact then begin
+            let net_z = thr_z +. gravity_z +. drag_z in
+            if net_z < 0.0 then -.net_z else 0.0
+          end
+          else 0.0
+        in
+        let fric_k = c_fric_k.!(i) in
+        let fric_x = if contact then fric_k *. velx else 0.0 in
+        let fric_y = if contact then fric_k *. vely else 0.0 in
+        let fric_z = if contact then fric_k *. 0.0 else 0.0 in
+        s_fx.!(i) <- (((0.0 +. thr_x) +. 0.0) +. drag_x) +. 0.0 +. fric_x;
+        s_fy.!(i) <- (((0.0 +. thr_y) +. 0.0) +. drag_y) +. 0.0 +. fric_y;
+        s_fz.!(i) <-
+          (((0.0 +. thr_z) +. gravity_z) +. drag_z) +. normal_z +. fric_z;
+        let nqx = -.qx and nqy = -.qy and nqz = -.qz in
+        let atx = 2.0 *. ((nqy *. asz) -. (nqz *. asy)) in
+        let aty = 2.0 *. ((nqz *. asx) -. (nqx *. asz)) in
+        let atz = 2.0 *. ((nqx *. asy) -. (nqy *. asx)) in
+        let ab_x = asx +. ((qw *. atx) +. ((nqy *. atz) -. (nqz *. aty))) in
+        let ab_y = asy +. ((qw *. aty) +. ((nqz *. atx) -. (nqx *. atz))) in
+        let omx = omg_xs.!(i) and omy = omg_ys.!(i) and omz = omg_zs.!(i) in
+        st.!(0) <- 0.0;
+        st.!(1) <- 0.0;
+        st.!(2) <- 0.0;
+        let base = i * mc in
+        for j = 0 to mc - 1 do
+          let lx = c_lx.!(base + j)
+          and ly = c_ly.!(base + j)
+          and lz0 = c_lz0.!(base + j)
+          and az0 = c_az0.!(base + j)
+          and sy = c_sy.!(base + j) in
+          let th = m_thrust.!(base + j) in
+          let arm_x = (ly *. th) -. lz0 in
+          let arm_y = lz0 -. (lx *. th) in
+          let arm_z = az0 in
+          let yaw_z = sy *. th in
+          st.!(0) <- st.!(0) +. (arm_x +. 0.0);
+          st.!(1) <- st.!(1) +. (arm_y +. 0.0);
+          st.!(2) <- st.!(2) +. (arm_z +. yaw_z)
+        done;
+        let thrust_fraction = m_total.!(i) /. c_max_total.!(i) in
+        let k_damp = c_flap_damp.!(i) *. thrust_fraction in
+        let rate_x = -.k_damp *. omx and rate_y = -.k_damp *. omy in
+        let kb = c_flap_back.!(i) *. thrust_fraction in
+        let back_x = kb *. (0.0 -. ab_y) in
+        let back_y = kb *. ab_x in
+        let back_z = kb *. ((0.0 *. ab_y) -. (0.0 *. ab_x)) in
+        let neg_adrag = c_neg_adrag.!(i) in
+        let tq_x = (st.!(0) +. (rate_x +. back_x)) +. (neg_adrag *. omx) in
+        let tq_y = (st.!(1) +. (rate_y +. back_y)) +. (neg_adrag *. omy) in
+        let tq_z = (st.!(2) +. (0.0 +. back_z)) +. (neg_adrag *. omz) in
+        let damped = contact && normal_z <> 0.0 in
+        let tq_x = if damped then tq_x +. (-1.0 *. omx) else tq_x in
+        let tq_y = if damped then tq_y +. (-1.0 *. omy) else tq_y in
+        let tq_z = if damped then tq_z +. (-1.0 *. omz) else tq_z in
+        s_tqx.!(i) <- tq_x;
+        s_tqy.!(i) <- tq_y;
+        s_tqz.!(i) <- tq_z
+      end
+    done;
+    (* Integration, linear then rotational (semi-implicit Euler, then
+       Euler's equations, the quaternion update and its normalisation —
+       the longest latency chain in the step, and the sweep that gains
+       most from overlapping lanes). *)
+    let acc_xs = t.acc.Vec3.Cols.xs
+    and acc_ys = t.acc.Vec3.Cols.ys
+    and acc_zs = t.acc.Vec3.Cols.zs in
+    let c_inv_mass = t.c_inv_mass in
+    let c_ix = t.c_ix and c_iy = t.c_iy and c_iz = t.c_iz in
+    for i = 0 to wd - 1 do
+      if live.!(i) then begin
+        let inv_mass = c_inv_mass.!(i) in
+        let acc_x = inv_mass *. s_fx.!(i) in
+        let acc_y = inv_mass *. s_fy.!(i) in
+        let acc_z = inv_mass *. s_fz.!(i) in
+        acc_xs.!(i) <- acc_x;
+        acc_ys.!(i) <- acc_y;
+        acc_zs.!(i) <- acc_z;
+        let velx' = vel_xs.!(i) +. (dt *. acc_x) in
+        let vely' = vel_ys.!(i) +. (dt *. acc_y) in
+        let velz' = vel_zs.!(i) +. (dt *. acc_z) in
+        vel_xs.!(i) <- velx';
+        vel_ys.!(i) <- vely';
+        vel_zs.!(i) <- velz';
+        pos_xs.!(i) <- pos_xs.!(i) +. (dt *. velx');
+        pos_ys.!(i) <- pos_ys.!(i) +. (dt *. vely');
+        pos_zs.!(i) <- pos_zs.!(i) +. (dt *. velz');
+        let omx = omg_xs.!(i) and omy = omg_ys.!(i) and omz = omg_zs.!(i) in
+        let ix = c_ix.!(i) and iy = c_iy.!(i) and iz = c_iz.!(i) in
+        let cx = (iz -. iy) *. omy *. omz in
+        let cy = (ix -. iz) *. omz *. omx in
+        let cz = (iy -. ix) *. omx *. omy in
+        let aax = (s_tqx.!(i) -. cx) /. ix in
+        let aay = (s_tqy.!(i) -. cy) /. iy in
+        let aaz = (s_tqz.!(i) -. cz) /. iz in
+        let omx' = omx +. (dt *. aax) in
+        let omy' = omy +. (dt *. aay) in
+        let omz' = omz +. (dt *. aaz) in
+        omg_xs.!(i) <- omx';
+        omg_ys.!(i) <- omy';
+        omg_zs.!(i) <- omz';
+        let qw = att_ws.!(i)
+        and qx = att_xs.!(i)
+        and qy = att_ys.!(i)
+        and qz = att_zs.!(i) in
+        let dw =
+          0.0 -. (half_dt *. ((omx' *. qx) +. (omy' *. qy) +. (omz' *. qz)))
+        in
+        let dx = half_dt *. ((omx' *. qw) +. (omz' *. qy) -. (omy' *. qz)) in
+        let dy = half_dt *. ((omy' *. qw) +. (omx' *. qz) -. (omz' *. qx)) in
+        let dz = half_dt *. ((omz' *. qw) +. (omy' *. qx) -. (omx' *. qy)) in
+        let nw = qw +. dw in
+        let nx = qx +. dx in
+        let ny = qy +. dy in
+        let nz = qz +. dz in
+        let n = sqrt ((nw *. nw) +. (nx *. nx) +. (ny *. ny) +. (nz *. nz)) in
+        if n = 0.0 then begin
+          att_ws.!(i) <- 1.0;
+          att_xs.!(i) <- 0.0;
+          att_ys.!(i) <- 0.0;
+          att_zs.!(i) <- 0.0
+        end
+        else begin
+          att_ws.!(i) <- nw /. n;
+          att_xs.!(i) <- nx /. n;
+          att_ys.!(i) <- ny /. n;
+          att_zs.!(i) <- nz /. n
+        end
+      end
+    done;
+    (* Contact resolution ([World.post_step]): fence, obstacles, ground
+       impact, tipover, touchdown. Events are discarded (crashes still
+       latch per lane), as this sweep's callers only observe state. *)
+    let has_fence = t.has_fence
+    and has_obstacles = t.has_obstacles
+    and resting = t.resting in
+    for i = 0 to wd - 1 do
+      if live.!(i) then begin
+        let px' = pos_xs.!(i) and py' = pos_ys.!(i) and pz' = pos_zs.!(i) in
+        if
+          has_fence.!(i)
+          && Environment.breaches_fence_xyz t.envs.!(i) ~x:px' ~y:py' ~z:pz'
+        then t.fence_breached.!(i) <- true;
+        let hit =
+          if has_obstacles.!(i) then
+            Environment.obstacle_at t.envs.!(i) ~x:px' ~y:py' ~z:pz'
+          else None
+        in
+        match hit with
+        | Some o
+          when (let vx2 = vel_xs.!(i) and vy2 = vel_ys.!(i)
+                and vz2 = vel_zs.!(i) in
+                sqrt ((vx2 *. vx2) +. (vy2 *. vy2) +. (vz2 *. vz2)) > 0.5) ->
+          let vx2 = vel_xs.!(i) and vy2 = vel_ys.!(i) and vz2 = vel_zs.!(i) in
+          latch_lane t i
+            (World.Obstacle_strike
+               {
+                 label = o.Environment.label;
+                 speed = sqrt ((vx2 *. vx2) +. (vy2 *. vy2) +. (vz2 *. vz2));
+               })
+        | Some _ | None ->
+          let ground = t.s_ground.(0) in
+          let z = pz' in
+          if z < ground then begin
+            let vx2 = vel_xs.!(i) and vy2 = vel_ys.!(i)
+            and vz2 = vel_zs.!(i) in
+            let sink = -.vz2 in
+            let lateral =
+              sqrt ((vx2 *. vx2) +. (vy2 *. vy2) +. (0.0 *. 0.0))
+            in
+            if
+              sink > World.crash_sink_speed
+              || lateral > World.crash_lateral_speed
+            then begin
+              settle_lane t i;
+              latch_lane t i
+                (World.Ground_impact { speed = Float.max sink lateral })
+            end
+            else if Quat.Cols.tilt t.att i > World.tipover_tilt_rad then begin
+              settle_lane t i;
+              latch_lane t i World.Tipover
+            end
+            else begin
+              settle_lane t i;
+              resting.!(i) <- true
+            end
+          end
+          else if
+            z <= ground +. 0.02
+            && Quat.Cols.tilt t.att i > World.tipover_tilt_rad
+          then latch_lane t i World.Tipover
+          else if z > ground +. 0.05 then resting.!(i) <- false
+      end
+    done
+  end

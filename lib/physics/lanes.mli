@@ -1,0 +1,67 @@
+(** Structure-of-arrays batched multi-world stepping.
+
+    A [t] is a fixed-width batch of lanes; each lane holds one world's
+    per-step state (rigid body, motor bank, clock, latched flags) as
+    entries in preallocated float columns, advanced in lock-step by a
+    single allocation-free inner loop whose arithmetic replicates
+    {!World.step} expression for expression. Each lane's trajectory is
+    bit-identical ([Int64.bits_of_float]) to stepping its world alone —
+    [World.step]/[World.step_reference] remain the oracle, and the
+    identity property tests compare against both.
+
+    A lane {e adopts} a live {!World.t}: scalar state is gathered into the
+    columns; the world's physics RNG and gust cell are shared by pointer so
+    the lane draws the world's own random stream in the same order.
+    [flush] scatters the columns back so the world object stays a coherent
+    view (the batched SITL driver flushes every step so firmware, monitors
+    and snapshots read fresh state); [release] flushes and frees the slot
+    for the next scenario in the campaign queue. *)
+
+type t
+
+val create : width:int -> motor_count:int -> t
+(** A batch of [width] free lanes for airframes with [motor_count] motors.
+    All columns are preallocated here; nothing allocates per step. *)
+
+val width : t -> int
+
+val active : t -> int
+(** Number of currently adopted lanes. *)
+
+val is_active : t -> int -> bool
+
+val free_slot : t -> int option
+(** Lowest free lane index, if any. *)
+
+val world : t -> int -> World.t option
+(** The world bound to a lane, if the lane is active. *)
+
+val adopt : t -> int -> World.t -> unit
+(** [adopt t i w] gathers [w] into lane [i] and binds them. The lane must
+    be free and [w]'s airframe must have [motor_count] motors. After
+    adoption, step the lane (not the world): the world's scalar state is
+    stale until the next [flush]. *)
+
+val flush : t -> int -> unit
+(** Scatter lane [i]'s columns back into its bound world. *)
+
+val release : t -> int -> unit
+(** Flush lane [i] and free the slot. *)
+
+val step :
+  t -> int -> motor_commands:float array -> dt:float ->
+  World.contact_event option
+(** Advance lane [i] one time-step and flush, so the bound world is
+    immediately coherent — the batched SITL driver's per-step call. Same
+    contract as {!World.step}: after a crash the lane latches and further
+    steps only advance the clock. *)
+
+val step_resident :
+  t -> int -> motor_commands:float array -> dt:float ->
+  World.contact_event option
+(** [step] without the flush: state stays resident in the columns until an
+    explicit [flush]/[release]. The hot-loop bench steps resident lanes. *)
+
+val step_all : t -> motor_commands:float array -> dt:float -> unit
+(** One lock-step round: [step_resident] on every active lane with the
+    same commands, discarding events (crashes still latch per lane). *)

@@ -1,0 +1,88 @@
+open Avis_physics
+
+external ( .!() ) : 'a array -> int -> 'a = "%array_unsafe_get"
+external ( .!()<- ) : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
+
+(* Batched counterpart of [Suite.tick]. The only per-step suite state is the
+   battery's state of charge, already held in a single-cell float array — so
+   a lane shares that cell by pointer and replicates the drain expression
+   from per-lane constants gathered at adoption. No flush is needed: every
+   store lands in the suite itself. *)
+
+type t = {
+  width : int;
+  active : bool array;
+  cells : float array array; (* per-lane pointer to the suite's charge cell *)
+  c_power_w : float array;
+  c_capacity_j : float array;
+  d_cell : float array; (* placeholder so released lanes retain no suite *)
+  mutable n_active : int;
+}
+
+let create ~width =
+  if width < 1 then invalid_arg "Sensors.Lanes.create: width must be at least 1";
+  let d_cell = [| 0.0 |] in
+  {
+    width;
+    active = Array.make width false;
+    cells = Array.make width d_cell;
+    c_power_w = Array.make width 0.0;
+    c_capacity_j = Array.make width 1.0;
+    d_cell;
+    n_active = 0;
+  }
+
+let width t = t.width
+let n_active t = t.n_active
+
+let is_active t i =
+  if i < 0 || i >= t.width then
+    invalid_arg "Sensors.Lanes.is_active: lane out of range";
+  t.active.(i)
+
+let adopt t i suite world =
+  if i < 0 || i >= t.width then
+    invalid_arg "Sensors.Lanes.adopt: lane out of range";
+  if t.active.(i) then invalid_arg "Sensors.Lanes.adopt: lane already active";
+  (* [Suite.tick]'s power draw is a deterministic function of airframe
+     constants alone, so hoisting it to adoption reproduces the same float
+     every step. *)
+  let frame = World.airframe world in
+  let hover =
+    frame.Airframe.mass_kg *. Airframe.gravity
+    /. (float_of_int frame.Airframe.motor_count
+       *. frame.Airframe.max_thrust_per_motor_n)
+  in
+  let thrust_fraction = Float.max 0.05 hover in
+  let power_w = 180.0 *. (thrust_fraction /. hover) in
+  t.cells.(i) <- Suite.charge_cell suite;
+  t.c_power_w.(i) <- power_w;
+  t.c_capacity_j.(i) <- Suite.capacity_j suite;
+  t.active.(i) <- true;
+  t.n_active <- t.n_active + 1
+
+let release t i =
+  if i < 0 || i >= t.width then
+    invalid_arg "Sensors.Lanes.release: lane out of range";
+  if t.active.(i) then begin
+    t.active.(i) <- false;
+    t.cells.(i) <- t.d_cell;
+    t.c_power_w.(i) <- 0.0;
+    t.c_capacity_j.(i) <- 1.0;
+    t.n_active <- t.n_active - 1
+  end
+
+let[@inline] tick_lane t i ~dt =
+  (* Expression-for-expression replica of [Suite.tick]'s store. *)
+  let cell = t.cells.!(i) in
+  cell.!(0) <-
+    Float.max 0.0 (cell.!(0) -. (t.c_power_w.!(i) *. dt /. t.c_capacity_j.!(i)))
+
+let tick t i ~dt =
+  if not t.active.(i) then invalid_arg "Sensors.Lanes.tick: inactive lane";
+  tick_lane t i ~dt
+
+let tick_all t ~dt =
+  for i = 0 to t.width - 1 do
+    if t.active.!(i) then tick_lane t i ~dt
+  done

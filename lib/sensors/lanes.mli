@@ -1,0 +1,34 @@
+(** Batched per-step sensor state, the sensor half of lane stepping.
+
+    The suite's only per-step state is the battery's state of charge, which
+    {!Suite.t} already keeps in a single-cell float array. A lane therefore
+    {e shares} that cell by pointer — every drain lands directly in the
+    suite, so there is nothing to flush — and replicates {!Suite.tick}'s
+    drain expression from airframe constants gathered at adoption. Each
+    lane's charge trajectory is bit-identical to ticking its suite alone. *)
+
+type t
+
+val create : width:int -> t
+(** A batch of [width] free sensor lanes; nothing allocates per tick. *)
+
+val width : t -> int
+
+val n_active : t -> int
+(** Number of currently adopted lanes. *)
+
+val is_active : t -> int -> bool
+
+val adopt : t -> int -> Suite.t -> Avis_physics.World.t -> unit
+(** [adopt t i suite world] binds lane [i] to [suite]'s charge cell and
+    precomputes the constant power draw from [world]'s airframe. The lane
+    must be free. *)
+
+val release : t -> int -> unit
+(** Free lane [i]; the suite keeps its (already current) charge. *)
+
+val tick : t -> int -> dt:float -> unit
+(** Advance lane [i] one step — the batched {!Suite.tick}. *)
+
+val tick_all : t -> dt:float -> unit
+(** One lock-step round: [tick] on every active lane. *)

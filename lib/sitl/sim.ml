@@ -26,6 +26,17 @@ let default_config policy =
     airframe = Avis_physics.Airframe.iris;
   }
 
+(* While a harness is bound to a batch lane, [step] advances the physics
+   and battery through the lane kernels instead of [World.step]/[Suite.tick]
+   — bit-identical by the lane identity property, and the lane flushes every
+   step so the world object stays coherent for the firmware, monitors and
+   snapshots. *)
+type lane_binding = {
+  lb_phys : Avis_physics.Lanes.t;
+  lb_sens : Avis_sensors.Lanes.t;
+  lb_slot : int;
+}
+
 type t = {
   config : config;
   frame : Avis_geo.Geodesy.frame;
@@ -37,6 +48,7 @@ type t = {
   gcs : Gcs.t;
   trace : Trace.t;
   mutable steps : int;
+  mutable lane : lane_binding option;
 }
 
 (* The local frame is anchored at a fixed home location (the PX4 SITL
@@ -96,7 +108,7 @@ let create ?(plan = []) ?(degradations = []) ?(link_outages = []) config =
   in
   let trace = Trace.create () in
   { config; frame; world; suite; hinj; vehicle; link; gcs = Gcs.create link;
-    trace; steps = 0 }
+    trace; steps = 0; lane = None }
 
 type snapshot = {
   snap_config : config;
@@ -153,6 +165,7 @@ let restore ?plan ?link_outages s =
     gcs;
     trace = Trace.restore s.snap_trace;
     steps = s.snap_steps;
+    lane = None;
   }
 
 let config t = t.config
@@ -174,10 +187,18 @@ let step t =
     t.steps <- t.steps + 1;
     Link.step t.link;
     let motors = Vehicle.step t.vehicle t.world ~dt:t.config.dt in
-    let (_ : Avis_physics.World.contact_event option) =
-      Avis_physics.World.step t.world ~motor_commands:motors ~dt:t.config.dt
-    in
-    Avis_sensors.Suite.tick t.suite t.world ~dt:t.config.dt;
+    (match t.lane with
+    | None ->
+      let (_ : Avis_physics.World.contact_event option) =
+        Avis_physics.World.step t.world ~motor_commands:motors ~dt:t.config.dt
+      in
+      Avis_sensors.Suite.tick t.suite t.world ~dt:t.config.dt
+    | Some lb ->
+      let (_ : Avis_physics.World.contact_event option) =
+        Avis_physics.Lanes.step lb.lb_phys lb.lb_slot ~motor_commands:motors
+          ~dt:t.config.dt
+      in
+      Avis_sensors.Lanes.tick lb.lb_sens lb.lb_slot ~dt:t.config.dt);
     (* Pass steps and dt rather than a freshly computed time: [record]
        rebuilds the identical float internally, and the call site stays
        free of a boxed-float argument. *)
@@ -319,3 +340,76 @@ let decode_snapshot r : snapshot =
 
 let to_bytes s = Avis_util.Codec.to_string encode_snapshot s
 let of_bytes data = Avis_util.Codec.of_string decode_snapshot data
+
+module Batch = struct
+  type sim = t
+
+  type nonrec t = {
+    phys : Avis_physics.Lanes.t;
+    sens : Avis_sensors.Lanes.t;
+    sims : sim option array;
+    motor_count : int;
+    mutable forks : int;
+    mutable retired : int;
+  }
+
+  let create ~width ~motor_count =
+    {
+      phys = Avis_physics.Lanes.create ~width ~motor_count;
+      sens = Avis_sensors.Lanes.create ~width;
+      sims = Array.make width None;
+      motor_count;
+      forks = 0;
+      retired = 0;
+    }
+
+  let width b = Avis_physics.Lanes.width b.phys
+  let active b = Avis_physics.Lanes.active b.phys
+  let free_slot b = Avis_physics.Lanes.free_slot b.phys
+  let sim b slot = b.sims.(slot)
+
+  let[@inline] emit_active b =
+    Avis_util.Trace.counter "lanes.active" (float_of_int (active b))
+
+  let adopt b sim =
+    let frame = Avis_physics.World.airframe sim.world in
+    if frame.Avis_physics.Airframe.motor_count <> b.motor_count then None
+    else
+      match (free_slot b, sim.lane) with
+      | None, _ | _, Some _ -> None
+      | Some slot, None ->
+        Avis_physics.Lanes.adopt b.phys slot sim.world;
+        Avis_sensors.Lanes.adopt b.sens slot sim.suite sim.world;
+        b.sims.(slot) <- Some sim;
+        sim.lane <- Some { lb_phys = b.phys; lb_sens = b.sens; lb_slot = slot };
+        b.forks <- b.forks + 1;
+        Avis_util.Trace.counter "lanes.forks" (float_of_int b.forks);
+        emit_active b;
+        Some slot
+
+  let release b slot =
+    match b.sims.(slot) with
+    | None -> ()
+    | Some sim ->
+      Avis_physics.Lanes.release b.phys slot;
+      Avis_sensors.Lanes.release b.sens slot;
+      sim.lane <- None;
+      b.sims.(slot) <- None;
+      b.retired <- b.retired + 1;
+      Avis_util.Trace.counter "lanes.retired" (float_of_int b.retired);
+      emit_active b
+
+  let retire_finished b =
+    let n = ref 0 in
+    for slot = 0 to Array.length b.sims - 1 do
+      match b.sims.(slot) with
+      | Some sim when finished sim ->
+        release b slot;
+        incr n
+      | Some _ | None -> ()
+    done;
+    !n
+
+  let forks b = b.forks
+  let retired b = b.retired
+end

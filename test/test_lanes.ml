@@ -1,0 +1,325 @@
+(* Tests for the structure-of-arrays lane stepping: bit-identity of the
+   batched physics kernel against World.step and World.step_reference
+   under random lane widths, fork times and retirement orders; the
+   allocation-free guarantee of the lock-step round; the batched sensor
+   drain; Sim.Batch adoption; and lanes-on vs lanes-off campaign
+   identity. *)
+
+open Avis_geo
+open Avis_physics
+open Avis_core
+open Avis_firmware
+
+let dt = 0.004
+let hover = Airframe.hover_throttle Airframe.iris
+let steps_total = 3000
+
+(* The bench's three-phase command profile: climb, asymmetric thrust,
+   descent — exercises every torque and contact branch of the kernel. *)
+let profile i =
+  if i < 200 then Array.make 4 (hover *. 1.2)
+  else if i < 1200 then [| hover *. 1.02; hover *. 0.98; hover; hover |]
+  else Array.make 4 (hover *. 0.9)
+
+let make_flight_world ~windy ~seed =
+  let environment =
+    if windy then
+      Environment.create
+        ~wind:
+          (Some
+             { Environment.steady = Vec3.make 3.0 1.0 0.0;
+               gust_stddev = 1.0; gust_correlation_s = 1.0 })
+        ()
+    else Environment.benign ()
+  in
+  World.create ~environment ~rng:(Avis_util.Rng.create seed)
+    ~position:(Vec3.make 0.0 0.0 0.0) ()
+
+let fingerprint w =
+  let b = World.body w in
+  let p = Rigid_body.position_v b
+  and v = Rigid_body.velocity_v b
+  and q = Rigid_body.attitude_q b
+  and o = Rigid_body.angular_velocity_v b in
+  List.map Int64.bits_of_float
+    [ p.Vec3.x; p.y; p.z; v.x; v.y; v.z; q.Quat.w; q.Quat.x; q.Quat.y;
+      q.Quat.z; o.Vec3.x; o.y; o.z; World.time w ]
+
+(* Step a lone world through the full profile with [stepf]. *)
+let oracle stepf ~windy ~seed =
+  let w = make_flight_world ~windy ~seed in
+  for i = 0 to steps_total - 1 do
+    ignore (stepf w ~motor_commands:(profile i) ~dt)
+  done;
+  fingerprint w
+
+(* A shuffled [0..n-1] drawn from [rng] (Fisher–Yates). *)
+let permutation rng n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Avis_util.Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+(* Each lane's world flies singly until its fork step, is then adopted
+   into the batch mid-flight, and after the run the lanes are released in
+   a random order. Every trajectory must be bit-identical to stepping the
+   same-seeded world alone — against both the optimised and the reference
+   single-world step. *)
+let lanes_match_oracles (width, fork_spread, case_seed) =
+  let rng = Avis_util.Rng.create (1 + case_seed) in
+  let windy i = i mod 2 = 1 in
+  let forks =
+    Array.init width (fun _ ->
+        if fork_spread = 0 then 0 else Avis_util.Rng.int rng fork_spread)
+  in
+  let worlds =
+    Array.init width (fun i -> make_flight_world ~windy:(windy i) ~seed:(7 + i))
+  in
+  let lanes = Lanes.create ~width ~motor_count:4 in
+  for t = 0 to steps_total - 1 do
+    let cmds = profile t in
+    Array.iteri
+      (fun i w ->
+        if forks.(i) = t then Lanes.adopt lanes i w
+        else if forks.(i) > t then ignore (World.step w ~motor_commands:cmds ~dt))
+      worlds;
+    Lanes.step_all lanes ~motor_commands:cmds ~dt
+  done;
+  Array.iter (fun i -> Lanes.release lanes i) (permutation rng width);
+  Array.for_all
+    (fun i ->
+      let expect_opt = oracle World.step ~windy:(windy i) ~seed:(7 + i) in
+      let expect_ref =
+        oracle World.step_reference ~windy:(windy i) ~seed:(7 + i)
+      in
+      let got = fingerprint worlds.(i) in
+      got = expect_opt && got = expect_ref)
+    (Array.init width (fun i -> i))
+
+let prop_lane_identity =
+  QCheck.Test.make
+    ~name:"lane fingerprints bit-identical to World.step and step_reference"
+    ~count:12
+    QCheck.(
+      triple (int_range 1 16) (int_range 0 500)
+        (int_range 0 1_000_000))
+    lanes_match_oracles
+
+(* Retiring a lane mid-campaign and refilling its slot with a fresh world
+   must not disturb the surviving lanes, and the replacement's trajectory
+   (joining at a later round) must itself match its oracle. *)
+let test_retire_and_refill () =
+  let width = 4 in
+  let split = 1500 in
+  let lanes = Lanes.create ~width ~motor_count:4 in
+  let originals =
+    Array.init width (fun i -> make_flight_world ~windy:(i mod 2 = 1) ~seed:(7 + i))
+  in
+  Array.iteri (fun i w -> Lanes.adopt lanes i w) originals;
+  for t = 0 to split - 1 do
+    Lanes.step_all lanes ~motor_commands:(profile t) ~dt
+  done;
+  (* Retire lane 1, refill the freed slot with a new scenario's world. *)
+  Lanes.release lanes 1;
+  let retired_fp = fingerprint originals.(1) in
+  let replacement = make_flight_world ~windy:false ~seed:42 in
+  Alcotest.(check (option int)) "slot 1 freed" (Some 1) (Lanes.free_slot lanes);
+  Lanes.adopt lanes 1 replacement;
+  for t = split to steps_total - 1 do
+    Lanes.step_all lanes ~motor_commands:(profile t) ~dt
+  done;
+  for i = 0 to width - 1 do
+    Lanes.release lanes i
+  done;
+  (* Retired world: unchanged since its release at [split] steps. *)
+  let oracle_half =
+    let w = make_flight_world ~windy:true ~seed:8 in
+    for t = 0 to split - 1 do
+      ignore (World.step w ~motor_commands:(profile t) ~dt)
+    done;
+    fingerprint w
+  in
+  Alcotest.(check bool) "retired lane froze at release" true
+    (retired_fp = oracle_half && fingerprint originals.(1) = retired_fp);
+  (* Survivors: full-profile oracles. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "survivor lane %d matches oracle" i)
+        true
+        (fingerprint originals.(i)
+        = oracle World.step ~windy:(i mod 2 = 1) ~seed:(7 + i)))
+    [ 0; 2; 3 ];
+  (* Replacement: same commands from the round it joined. *)
+  let replacement_oracle =
+    let w = make_flight_world ~windy:false ~seed:42 in
+    for t = split to steps_total - 1 do
+      ignore (World.step w ~motor_commands:(profile t) ~dt)
+    done;
+    fingerprint w
+  in
+  Alcotest.(check bool) "replacement lane matches oracle" true
+    (fingerprint replacement = replacement_oracle)
+
+(* The lock-step round must not allocate: the columns are preallocated at
+   create time and the kernel works in unboxed floats. *)
+let test_step_all_allocation_free () =
+  let width = 8 in
+  let lanes = Lanes.create ~width ~motor_count:4 in
+  for i = 0 to width - 1 do
+    Lanes.adopt lanes i
+      (World.create ~position:(Vec3.make 0.0 0.0 100.0) ())
+  done;
+  let cmds = Array.make 4 hover in
+  for _ = 1 to 1000 do
+    Lanes.step_all lanes ~motor_commands:cmds ~dt
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    Lanes.step_all lanes ~motor_commands:cmds ~dt
+  done;
+  let allocated = Gc.minor_words () -. w0 in
+  if allocated >= 64.0 then
+    Alcotest.failf
+      "batched lock-step allocated %.0f minor words over 1000 rounds (%d lanes)"
+      allocated width
+
+(* The batched sensor drain shares the suite's charge cell by pointer and
+   must reproduce Suite.tick's state of charge bit-for-bit. *)
+let test_sensor_lane_drain_identity () =
+  let world = World.create ~position:(Vec3.make 0.0 0.0 50.0) () in
+  let plain = Avis_sensors.Suite.create ~rng:(Avis_util.Rng.create 1) () in
+  let laned = Avis_sensors.Suite.create ~rng:(Avis_util.Rng.create 1) () in
+  let sl = Avis_sensors.Lanes.create ~width:2 in
+  Avis_sensors.Lanes.adopt sl 0 laned world;
+  for _ = 1 to 5000 do
+    Avis_sensors.Suite.tick plain world ~dt;
+    Avis_sensors.Lanes.tick sl 0 ~dt
+  done;
+  Avis_sensors.Lanes.release sl 0;
+  Alcotest.(check bool) "battery drained" true
+    (Avis_sensors.Suite.battery_remaining plain < 1.0);
+  Alcotest.(check bool) "drain bit-identical" true
+    (Int64.bits_of_float (Avis_sensors.Suite.battery_remaining plain)
+    = Int64.bits_of_float (Avis_sensors.Suite.battery_remaining laned))
+
+(* A lane-bound harness must fly the same flight as an unbatched one:
+   same outcome, same transitions, same final battery. *)
+let test_sim_batch_identity () =
+  let open Avis_sitl in
+  let config =
+    { (Sim.default_config Policy.apm) with Sim.seed = 5; max_duration = 75.0 }
+  in
+  let run_batched () =
+    let sim = Sim.create config in
+    let batch = Sim.Batch.create ~width:4 ~motor_count:4 in
+    (match Sim.Batch.adopt batch sim with
+    | Some 0 -> ()
+    | Some s -> Alcotest.failf "expected slot 0, got %d" s
+    | None -> Alcotest.fail "adoption refused");
+    Alcotest.(check int) "one lane active" 1 (Sim.Batch.active batch);
+    Alcotest.(check int) "fork counted" 1 (Sim.Batch.forks batch);
+    let passed = Workload.execute Workload.quickstart sim in
+    (* The workload passes before the duration cap, so the lane is not
+       yet retireable; run out the clock and it is. *)
+    Alcotest.(check int) "not finished yet" 0 (Sim.Batch.retire_finished batch);
+    let (_ : bool) = Sim.run_until sim (fun s -> Sim.finished s) in
+    Alcotest.(check int) "finished lane retired" 1
+      (Sim.Batch.retire_finished batch);
+    Alcotest.(check int) "retire counted" 1 (Sim.Batch.retired batch);
+    (Sim.outcome sim ~workload_passed:passed, fingerprint (Sim.world sim))
+  in
+  let run_plain () =
+    let sim = Sim.create config in
+    let passed = Workload.execute Workload.quickstart sim in
+    let (_ : bool) = Sim.run_until sim (fun s -> Sim.finished s) in
+    (Sim.outcome sim ~workload_passed:passed, fingerprint (Sim.world sim))
+  in
+  let a, fp_a = run_batched () and b, fp_b = run_plain () in
+  Alcotest.(check bool) "workload passed" true a.Sim.workload_passed;
+  Alcotest.(check bool) "same pass/fail" a.Sim.workload_passed
+    b.Sim.workload_passed;
+  Alcotest.(check (float 0.0)) "same duration" b.Sim.duration a.Sim.duration;
+  Alcotest.(check int) "same transition count"
+    (List.length b.Sim.transitions)
+    (List.length a.Sim.transitions);
+  Alcotest.(check int) "same sensor reads" b.Sim.sensor_reads
+    a.Sim.sensor_reads;
+  Alcotest.(check bool) "same final world bits" true (fp_a = fp_b)
+
+(* Adoption is refused (not wedged) for airframes the batch was not sized
+   for, for already-bound harnesses, and for full batches. *)
+let test_sim_batch_refusals () =
+  let open Avis_sitl in
+  let config = Sim.default_config Policy.apm in
+  let batch = Sim.Batch.create ~width:1 ~motor_count:4 in
+  let first = Sim.create config in
+  Alcotest.(check (option int)) "adopts" (Some 0) (Sim.Batch.adopt batch first);
+  Alcotest.(check (option int)) "already bound" None
+    (Sim.Batch.adopt batch first);
+  Alcotest.(check (option int)) "batch full" None
+    (Sim.Batch.adopt batch (Sim.create config));
+  Sim.Batch.release batch 0;
+  Alcotest.(check int) "released" 0 (Sim.Batch.active batch);
+  Alcotest.(check (option int)) "slot reusable" (Some 0)
+    (Sim.Batch.adopt batch (Sim.create config))
+
+(* Random search never consults its observations, so the batched campaign
+   driver must reproduce the sequential driver's findings and budget
+   ledger bit-for-bit. *)
+let test_campaign_lanes_identity () =
+  let config =
+    {
+      (Campaign.default_config Policy.apm Workload.auto_box) with
+      Campaign.budget_s = 240.0;
+    }
+  in
+  let run lanes =
+    Campaign.run ~lanes config ~strategy:(fun ctx -> Random_search.make ctx)
+  in
+  let seq = run 1 and batched = run 4 in
+  Alcotest.(check int) "same simulations" seq.Campaign.simulations
+    batched.Campaign.simulations;
+  Alcotest.(check int) "same inferences" seq.Campaign.inferences
+    batched.Campaign.inferences;
+  Alcotest.(check int) "same findings" (Campaign.unsafe_count seq)
+    (Campaign.unsafe_count batched);
+  Alcotest.(check (float 0.0)) "same spend"
+    seq.Campaign.wall_clock_spent_s batched.Campaign.wall_clock_spent_s;
+  Alcotest.(check (list int)) "same finding indices"
+    (List.map (fun f -> f.Campaign.simulation_index) seq.Campaign.findings)
+    (List.map (fun f -> f.Campaign.simulation_index) batched.Campaign.findings)
+
+let q = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "avis_lanes"
+    [
+      ( "physics lanes",
+        [
+          q prop_lane_identity;
+          Alcotest.test_case "retire and refill" `Quick test_retire_and_refill;
+          Alcotest.test_case "lock-step allocation-free" `Quick
+            test_step_all_allocation_free;
+        ] );
+      ( "sensor lanes",
+        [
+          Alcotest.test_case "drain identity" `Quick
+            test_sensor_lane_drain_identity;
+        ] );
+      ( "sim batch",
+        [
+          Alcotest.test_case "lane-bound flight identity" `Quick
+            test_sim_batch_identity;
+          Alcotest.test_case "adoption refusals" `Quick test_sim_batch_refusals;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "lanes-on = lanes-off" `Quick
+            test_campaign_lanes_identity;
+        ] );
+    ]
