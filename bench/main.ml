@@ -63,13 +63,61 @@ let policies = [ Policy.apm; Policy.px4 ]
 
 let workloads = [ Workload.manual_box; Workload.auto_box ]
 
+(* A matrix cell either ran live in this process or was served from the
+   resumable run journal (AVIS_JOURNAL) written by an earlier, possibly
+   killed, process. Memo records carry exactly the fields the tables
+   need (counts, the spent ledger's bits, finding descriptions/buckets/
+   bug attributions), so every table derives identically from either
+   arm; what they cannot carry is the monitor profile, which no table
+   reads. *)
+type outcome = Live of Campaign.result | Memo of Run_journal.record
+
 type cell = {
   policy : Policy.t;
   workload : Workload.t;
   approach : string;
-  result : Campaign.result;
+  outcome : outcome;
   wall_s : float;
 }
+
+let cell_simulations c =
+  match c.outcome with
+  | Live r -> r.Campaign.simulations
+  | Memo m -> m.Run_journal.simulations
+
+let cell_inferences c =
+  match c.outcome with
+  | Live r -> r.Campaign.inferences
+  | Memo m -> m.Run_journal.inferences
+
+let cell_spent_s c =
+  match c.outcome with
+  | Live r -> r.Campaign.wall_clock_spent_s
+  | Memo m -> Run_journal.spent_s m
+
+let cell_unsafe c =
+  match c.outcome with
+  | Live r -> Campaign.unsafe_count r
+  | Memo m -> List.length m.Run_journal.findings
+
+let cell_found_bug c bug =
+  match c.outcome with
+  | Live r -> Campaign.found_bug r bug
+  | Memo m ->
+    let report = (Bug.info bug).Bug.report in
+    List.exists
+      (fun (f : Run_journal.finding) -> List.mem report f.Run_journal.bugs)
+      m.Run_journal.findings
+
+let cell_bucket_count c bucket =
+  match c.outcome with
+  | Live r -> List.assoc bucket (Campaign.count_by_bucket r)
+  | Memo m ->
+    let label = Report.bucket_label bucket in
+    List.length
+      (List.filter
+         (fun (f : Run_journal.finding) -> f.Run_journal.bucket = label)
+         m.Run_journal.findings)
 
 let cell_label ~approach ~policy ~workload =
   (* No spaces, so metrics lines stay grep-able key=value records. *)
@@ -79,22 +127,28 @@ let cell_label ~approach ~policy ~workload =
 
 let snapshot_of_cell c =
   let store_hits, store_misses, store_bytes =
-    match c.result.Campaign.cache_stats with
-    | Some s -> Prefix_cache.(s.store_hits, s.store_misses, s.store_bytes)
-    | None -> (0, 0, 0)
+    match c.outcome with
+    | Live { Campaign.cache_stats = Some s; _ } ->
+      Prefix_cache.(s.store_hits, s.store_misses, s.store_bytes)
+    | Live { Campaign.cache_stats = None; _ } | Memo _ -> (0, 0, 0)
+  in
+  let minor_words, major_collections =
+    match c.outcome with
+    | Live r -> (r.Campaign.minor_words, r.Campaign.major_collections)
+    | Memo _ -> (0.0, 0)
   in
   {
     Metrics.cell =
       cell_label ~approach:c.approach ~policy:c.policy.Policy.name
         ~workload:c.workload.Workload.name;
-    simulations = c.result.Campaign.simulations;
-    inferences = c.result.Campaign.inferences;
-    spent_s = c.result.Campaign.wall_clock_spent_s;
+    simulations = cell_simulations c;
+    inferences = cell_inferences c;
+    spent_s = cell_spent_s c;
     budget_s;
-    findings = Campaign.unsafe_count c.result;
+    findings = cell_unsafe c;
     wall_s = c.wall_s;
-    minor_words = c.result.Campaign.minor_words;
-    major_collections = c.result.Campaign.major_collections;
+    minor_words;
+    major_collections;
     store_hits;
     store_misses;
     store_bytes;
@@ -128,7 +182,7 @@ let decile_progress ~label ~started =
         }
     end
 
-let run_cell (policy, workload, (name, strategy)) =
+let run_cell journal (policy, workload, (name, strategy)) =
   let label =
     cell_label ~approach:name ~policy:policy.Policy.name
       ~workload:workload.Workload.name
@@ -143,15 +197,36 @@ let run_cell (policy, workload, (name, strategy)) =
           ~workload:workload.Workload.name ~approach:name ();
     }
   in
-  let result =
-    Campaign.run ~progress:(decile_progress ~label ~started) config ~strategy
+  let memo =
+    match journal with
+    | Some j -> Campaign.journal_memo j config ~approach:name
+    | None -> None
   in
-  let cell =
-    { policy; workload; approach = name; result;
-      wall_s = Metrics.now_s () -. started }
-  in
-  Metrics.emit ~event:"done" (snapshot_of_cell cell);
-  cell
+  match memo with
+  | Some record ->
+    let cell =
+      { policy; workload; approach = name; outcome = Memo record;
+        wall_s = Metrics.now_s () -. started }
+    in
+    Metrics.emit ~event:"memo" (snapshot_of_cell cell);
+    Some cell
+  | None -> (
+    match
+      Campaign.run_supervised ~progress:(decile_progress ~label ~started)
+        ?journal ~journal_approach:name config ~strategy
+    with
+    | Campaign.Completed result ->
+      let cell =
+        { policy; workload; approach = name; outcome = Live result;
+          wall_s = Metrics.now_s () -. started }
+      in
+      Metrics.emit ~event:"done" (snapshot_of_cell cell);
+      Some cell
+    | Campaign.Quarantined e ->
+      Printf.eprintf
+        "[bench] cell %s QUARANTINED [%s] after %d attempt(s): %s\n%!" label
+        e.Campaign.code e.Campaign.attempts e.Campaign.message;
+      None)
 
 let campaign_matrix =
   lazy
@@ -164,9 +239,27 @@ let campaign_matrix =
              workloads)
          policies
      in
+     (* Opened before the pool fans out: Run_journal.open_ reads and
+        indexes the file once, and the handle's appends are mutex-held,
+        so sharing one handle across domains is safe. *)
+     let journal =
+       Option.map
+         (fun path -> Run_journal.open_ path)
+         (Sys.getenv_opt "AVIS_JOURNAL")
+     in
+     (match journal with
+     | Some j ->
+       Printf.eprintf "[bench] journal %s: %d completed cell(s) on file\n%!"
+         (Run_journal.path j)
+         (Run_journal.completed_count j)
+     | None -> ());
      Printf.eprintf "[bench] campaign matrix: %d cells on %d domain(s)\n%!"
        (List.length specs) jobs;
-     let cells = Pool.map ~jobs run_cell specs in
+     let cells = List.filter_map Fun.id (Pool.map ~jobs (run_cell journal) specs) in
+     let dropped = List.length specs - List.length cells in
+     if dropped > 0 then
+       Printf.eprintf
+         "[bench] %d quarantined cell(s) excluded from the tables\n%!" dropped;
      Metrics.summary (List.map snapshot_of_cell cells);
      cells)
 
@@ -178,7 +271,7 @@ let cells_for ?approach ?policy () =
     (Lazy.force campaign_matrix)
 
 let total_unsafe cells =
-  List.fold_left (fun acc c -> acc + Campaign.unsafe_count c.result) 0 cells
+  List.fold_left (fun acc c -> acc + cell_unsafe c) 0 cells
 
 (* ------------------------------------------------------------------ *)
 (* Table I                                                              *)
@@ -462,7 +555,7 @@ let table2 () =
           let cells =
             cells_for ~approach ~policy:(Policy.of_firmware info.Bug.firmware) ()
           in
-          List.exists (fun c -> Campaign.found_bug c.result bug) cells
+          List.exists (fun c -> cell_found_bug c bug) cells
         in
         Table.add_row t
           [
@@ -520,11 +613,7 @@ let table4 () =
     (fun (name, _) ->
       let cells = cells_for ~approach:name () in
       let count bucket =
-        List.fold_left
-          (fun acc c ->
-            acc
-            + (List.assoc bucket (Campaign.count_by_bucket c.result)))
-          0 cells
+        List.fold_left (fun acc c -> acc + cell_bucket_count c bucket) 0 cells
       in
       Table.add_row t
         [

@@ -28,6 +28,7 @@ let known_counters =
     "cache.resident_bytes"; "snapshot.bytes"; "pool.queue_depth";
     "budget.spent_s"; "link.dropped"; "link.corrupted"; "link.duplicated";
     "lanes.active"; "lanes.forks"; "lanes.retired";
+    "cell.retries"; "cell.quarantined"; "cell.deadline_hits";
   ]
 
 let check_event ~path i ev =

@@ -125,6 +125,25 @@ let fly_cmd =
 
 (* hunt *)
 
+(* First ^C asks every in-flight campaign to stop at its next scheduling
+   boundary (partial results and the trace still get written, journal
+   records are marked incomplete); a second ^C aborts immediately. *)
+let exit_interrupted = 130
+
+let install_interrupt_handler () =
+  let again = ref false in
+  Sys.set_signal Sys.sigint
+    (Sys.Signal_handle
+       (fun _ ->
+         if !again then exit exit_interrupted
+         else begin
+           again := true;
+           Campaign.request_interrupt ();
+           prerr_endline
+             "\n[avis] interrupt: stopping at the next scheduling boundary, \
+              writing partial results (^C again to abort now)"
+         end))
+
 (* Resolving the name eagerly (before any campaign starts) lets a typo in
    a multi-approach hunt fail before budget is spent on the others. *)
 let strategy_of_name name =
@@ -137,10 +156,13 @@ let strategy_of_name name =
   | "bfs" -> fun ctx -> Bfs.make ctx
   | s -> invalid_arg ("unknown approach " ^ s)
 
-let hunt policy workload seed approaches budget jobs lanes verbose artefacts trace =
+let hunt policy workload seed approaches budget jobs lanes verbose artefacts trace
+    journal_path =
   (* Tracing spans every campaign, simulation, cache serve and search
      decision; the file is Chrome trace format (open in Perfetto). *)
   if trace <> None then Avis_util.Trace.set_enabled true;
+  install_interrupt_handler ();
+  let journal = Option.map (fun path -> Run_journal.open_ path) journal_path in
   let approaches =
     String.split_on_char ',' approaches
     |> List.map String.trim
@@ -180,68 +202,143 @@ let hunt policy workload seed approaches budget jobs lanes verbose artefacts tra
             ~workload:workload.Workload.name ~approach:name ();
       }
     in
-    let result = Campaign.run ?lanes config ~strategy:(strategy_of_name name) in
-    let store_hits, store_misses, store_bytes =
-      match result.Campaign.cache_stats with
-      | Some s -> Prefix_cache.(s.store_hits, s.store_misses, s.store_bytes)
-      | None -> (0, 0, 0)
+    let outcome =
+      match Option.map (fun j -> Campaign.journal_memo j config ~approach:name) journal with
+      | Some (Some record) -> `Memo record
+      | Some None | None -> (
+        match
+          Campaign.run_supervised ?lanes ?journal ~journal_approach:name config
+            ~strategy:(strategy_of_name name)
+        with
+        | Campaign.Completed r -> `Live r
+        | Campaign.Quarantined e -> `Quarantine e)
     in
+    (match (journal, outcome) with
+    | Some j, (`Live _ | `Quarantine _) when Campaign.interrupted () ->
+      Run_journal.record_interrupted j
+        ~key:(Campaign.journal_key j config ~approach:name)
+        ~label
+    | _ -> ());
+    let wall_s = Avis_util.Metrics.now_s () -. started in
     let snapshot =
-      {
-        Avis_util.Metrics.cell = label;
-        simulations = result.Campaign.simulations;
-        inferences = result.Campaign.inferences;
-        spent_s = result.Campaign.wall_clock_spent_s;
-        budget_s = budget;
-        findings = Campaign.unsafe_count result;
-        wall_s = Avis_util.Metrics.now_s () -. started;
-        minor_words = result.Campaign.minor_words;
-        major_collections = result.Campaign.major_collections;
-        store_hits;
-        store_misses;
-        store_bytes;
-      }
+      let zero =
+        {
+          Avis_util.Metrics.cell = label; simulations = 0; inferences = 0;
+          spent_s = 0.0; budget_s = budget; findings = 0; wall_s;
+          minor_words = 0.0; major_collections = 0; store_hits = 0;
+          store_misses = 0; store_bytes = 0;
+        }
+      in
+      match outcome with
+      | `Live result ->
+        let store_hits, store_misses, store_bytes =
+          match result.Campaign.cache_stats with
+          | Some s -> Prefix_cache.(s.store_hits, s.store_misses, s.store_bytes)
+          | None -> (0, 0, 0)
+        in
+        {
+          zero with
+          Avis_util.Metrics.simulations = result.Campaign.simulations;
+          inferences = result.Campaign.inferences;
+          spent_s = result.Campaign.wall_clock_spent_s;
+          findings = Campaign.unsafe_count result;
+          minor_words = result.Campaign.minor_words;
+          major_collections = result.Campaign.major_collections;
+          store_hits;
+          store_misses;
+          store_bytes;
+        }
+      | `Memo record ->
+        {
+          zero with
+          Avis_util.Metrics.simulations = record.Run_journal.simulations;
+          inferences = record.Run_journal.inferences;
+          spent_s = Run_journal.spent_s record;
+          findings = List.length record.Run_journal.findings;
+        }
+      | `Quarantine _ -> zero
     in
-    Avis_util.Metrics.emit ~event:"done" snapshot;
-    (name, result, snapshot)
+    let event =
+      match outcome with
+      | `Live _ -> "done"
+      | `Memo _ -> "memo"
+      | `Quarantine _ -> "quarantined"
+    in
+    Avis_util.Metrics.emit ~event snapshot;
+    (name, outcome, snapshot)
   in
   let results = Avis_util.Pool.map ~jobs hunt_one approaches in
+  let memo_bucket_counts findings =
+    List.fold_left
+      (fun acc (f : Run_journal.finding) ->
+        match List.assoc_opt f.Run_journal.bucket acc with
+        | Some n -> (f.Run_journal.bucket, n + 1) :: List.remove_assoc f.Run_journal.bucket acc
+        | None -> (f.Run_journal.bucket, 1) :: acc)
+      [] findings
+    |> List.rev
+  in
   List.iter
-    (fun (name, result, _) ->
-      Printf.printf
-        "%s: %d unsafe conditions in %d simulations (%d inferences, %.0f s spent)\n"
-        result.Campaign.approach
-        (Campaign.unsafe_count result)
-        result.Campaign.simulations result.Campaign.inferences
-        result.Campaign.wall_clock_spent_s;
-      List.iter
-        (fun (bucket, n) ->
-          Printf.printf "  %-8s %d\n" (Report.bucket_label bucket) n)
-        (Campaign.count_by_bucket result);
-      if verbose then
-        List.iteri
-          (fun i f ->
-            Printf.printf "[%02d] sim#%d %s\n" i f.Campaign.simulation_index
-              (Report.describe f.Campaign.report))
-          result.Campaign.findings;
-      match artefacts with
-      | None -> ()
-      | Some dir ->
-        let base =
-          Filename.concat dir
-            (policy.Avis_firmware.Policy.name ^ "-" ^ workload.Workload.name
-           ^ "-" ^ name)
-        in
-        Export.write_file ~path:(base ^ "-campaign.json")
-          (Avis_util.Json.to_string_pretty (Export.campaign_to_json result));
-        Export.write_file ~path:(base ^ "-modes.dot")
-          (Export.mode_graph_to_dot (Monitor.graph result.Campaign.profile));
-        Printf.printf "artefacts written under %s\n" dir)
+    (fun (name, outcome, _) ->
+      match outcome with
+      | `Quarantine (e : Campaign.cell_error) ->
+        Printf.printf "%s: QUARANTINED [%s] after %d attempt(s): %s\n" name
+          e.Campaign.code e.Campaign.attempts e.Campaign.message
+      | `Memo record ->
+        Printf.printf
+          "%s: %d unsafe conditions in %d simulations (%d inferences, %.0f s \
+           spent) [served from journal]\n"
+          name
+          (List.length record.Run_journal.findings)
+          record.Run_journal.simulations record.Run_journal.inferences
+          (Run_journal.spent_s record);
+        List.iter
+          (fun (bucket, n) -> Printf.printf "  %-8s %d\n" bucket n)
+          (memo_bucket_counts record.Run_journal.findings);
+        if verbose then
+          List.iteri
+            (fun i (f : Run_journal.finding) ->
+              Printf.printf "[%02d] sim#%d %s\n" i f.Run_journal.simulation_index
+                f.Run_journal.description)
+            record.Run_journal.findings;
+        if artefacts <> None then
+          Printf.printf
+            "(journal memos carry no profile; rerun without --journal to \
+             write artefacts)\n"
+      | `Live result -> (
+        Printf.printf
+          "%s: %d unsafe conditions in %d simulations (%d inferences, %.0f s spent)\n"
+          result.Campaign.approach
+          (Campaign.unsafe_count result)
+          result.Campaign.simulations result.Campaign.inferences
+          result.Campaign.wall_clock_spent_s;
+        List.iter
+          (fun (bucket, n) ->
+            Printf.printf "  %-8s %d\n" (Report.bucket_label bucket) n)
+          (Campaign.count_by_bucket result);
+        if verbose then
+          List.iteri
+            (fun i f ->
+              Printf.printf "[%02d] sim#%d %s\n" i f.Campaign.simulation_index
+                (Report.describe f.Campaign.report))
+            result.Campaign.findings;
+        match artefacts with
+        | None -> ()
+        | Some dir ->
+          let base =
+            Filename.concat dir
+              (policy.Avis_firmware.Policy.name ^ "-" ^ workload.Workload.name
+             ^ "-" ^ name)
+          in
+          Export.write_file ~path:(base ^ "-campaign.json")
+            (Avis_util.Json.to_string_pretty (Export.campaign_to_json result));
+          Export.write_file ~path:(base ^ "-modes.dot")
+            (Export.mode_graph_to_dot (Monitor.graph result.Campaign.profile));
+          Printf.printf "artefacts written under %s\n" dir))
     results;
   (match results with
   | [] | [ _ ] -> ()
   | _ -> Avis_util.Metrics.summary (List.map (fun (_, _, s) -> s) results));
-  match trace with
+  (match trace with
   | None -> ()
   | Some path ->
     Avis_util.Trace.write_chrome ~path;
@@ -251,7 +348,11 @@ let hunt policy workload seed approaches budget jobs lanes verbose artefacts tra
       path
       (Avis_util.Trace.event_count ());
     print_string (Avis_util.Table.render (Avis_util.Trace.summary_table ()));
-    print_newline ()
+    print_newline ());
+  if Campaign.interrupted () then begin
+    prerr_endline "[avis] interrupted: partial results above";
+    exit exit_interrupted
+  end
 
 let hunt_cmd =
   let approach =
@@ -300,9 +401,18 @@ let hunt_cmd =
                    https://ui.perfetto.dev); a per-span summary table is \
                    printed too.")
   in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Resumable run journal (JSONL). Completed cells found in \
+                   the journal are served as memos instead of re-running; \
+                   newly completed cells are appended. A journal written by \
+                   a different build of this binary is renamed aside and \
+                   started fresh.")
+  in
   Cmd.v
     (Cmd.info "hunt" ~doc:"Run model-checking campaigns against the firmware.")
-    Term.(const hunt $ firmware_arg $ workload_arg $ seed_arg $ approach $ budget $ jobs $ lanes $ verbose $ artefacts $ trace)
+    Term.(const hunt $ firmware_arg $ workload_arg $ seed_arg $ approach $ budget $ jobs $ lanes $ verbose $ artefacts $ trace $ journal)
 
 (* replay *)
 
@@ -340,6 +450,66 @@ let replay_cmd =
     (Cmd.info "replay"
        ~doc:"Find one unsafe condition, then replay it by mode-relative offsets.")
     Term.(const replay_cmd_run $ firmware_arg $ workload_arg $ seed_arg)
+
+(* selftest *)
+
+let selftest soak_minutes =
+  match soak_minutes with
+  | Some minutes ->
+    Printf.printf
+      "soaking: looping a fixed mini campaign under rotating seeds for \
+       %.1f min...\n%!"
+      minutes;
+    let s =
+      Selftest.soak ~minutes
+        ~progress:(fun i -> Printf.eprintf "[avis] soak: iteration %d done\n%!" i)
+        ()
+    in
+    if s.Selftest.drift = [] then
+      Printf.printf "soak: %d iterations, no drift\n" s.Selftest.iterations
+    else begin
+      Printf.printf "soak: %d iterations, %d DRIFT event(s):\n"
+        s.Selftest.iterations
+        (List.length s.Selftest.drift);
+      List.iter (fun d -> Printf.printf "  %s\n" d) s.Selftest.drift;
+      exit 1
+    end
+  | None ->
+    let reports =
+      List.map
+        (fun (c : Selftest.check) ->
+          Printf.eprintf "[avis] selftest: running %s...\n%!" c.Selftest.code;
+          Selftest.run_check c)
+        (Selftest.checks ())
+    in
+    print_string (Avis_util.Table.render (Selftest.table reports));
+    print_newline ();
+    if Selftest.all_passed reports then
+      Printf.printf "selftest: all %d checks passed\n" (List.length reports)
+    else begin
+      Printf.printf "selftest: FAILED (%s)\n"
+        (String.concat ", "
+           (List.filter_map
+              (fun (r : Selftest.report) ->
+                if r.Selftest.passed then None else Some r.Selftest.code)
+              reports));
+      exit 1
+    end
+
+let selftest_cmd =
+  let soak =
+    Arg.(value & opt (some float) None
+         & info [ "soak" ] ~docv:"MINUTES"
+             ~doc:"Instead of the staged checks, loop a small fixed campaign \
+                   under rotating seeds for this many minutes and report any \
+                   run-to-run drift in outcome fingerprints.")
+  in
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:"Run the staged burn-in diagnostics (determinism, snapshots, \
+             store, cache, pool, allocation) and exit non-zero on any \
+             failure.")
+    Term.(const selftest $ soak)
 
 (* study *)
 
@@ -387,4 +557,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "avis" ~version:"1.0.0"
              ~doc:"Avis: in-situ model checking for unmanned aerial vehicles")
-          [ fly_cmd; hunt_cmd; replay_cmd; study_cmd; bugs_cmd ]))
+          [ fly_cmd; hunt_cmd; replay_cmd; selftest_cmd; study_cmd; bugs_cmd ]))

@@ -56,28 +56,137 @@ type result = {
   major_collections : int;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Unattended operation: interrupt, watchdog, quarantine.              *)
+(* ------------------------------------------------------------------ *)
+
+(* Process-wide cooperative interrupt: a SIGINT handler (or test) raises
+   the flag, and every in-flight campaign treats it like an early stop at
+   its next scheduling boundary — partial findings and ledger are
+   returned, nothing is torn mid-judgement, and no journal record is
+   appended (an interrupted cell's counts are not a completed cell's). *)
+let interrupt_flag = Atomic.make false
+let request_interrupt () = Atomic.set interrupt_flag true
+let clear_interrupt () = Atomic.set interrupt_flag false
+let interrupted () = Atomic.get interrupt_flag
+
+exception Cell_deadline of float
+(** Raised inside {!run} when the cell's wall-clock deadline passes;
+    carries the elapsed seconds. *)
+
+(* Process-lifetime watchdog counters, mirrored onto the trace as counter
+   tracks so an unattended run's retries are visible in Perfetto. *)
+let retries_total = Atomic.make 0
+let quarantined_total = Atomic.make 0
+let deadline_hits_total = Atomic.make 0
+
+let watchdog_counters () =
+  ( Atomic.get retries_total,
+    Atomic.get quarantined_total,
+    Atomic.get deadline_hits_total )
+
+type cell_error = { code : string; message : string; attempts : int }
+type 'a supervised = Completed of 'a | Quarantined of cell_error
+
+type supervision = {
+  cell_timeout_s : float option;
+  max_attempts : int;
+  backoff_s : float;
+  transient : exn -> bool;
+  sleep : float -> unit;
+}
+
+(* Deadline hits and I/O errors are environmental (machine overload, a
+   full or flaky disk) and worth retrying; anything else — Failure from a
+   profiling run, Invalid_argument, Corrupt — is deterministic and would
+   fail identically on every attempt. *)
+let default_transient = function
+  | Cell_deadline _ -> true
+  | Sys_error _ | Unix.Unix_error _ -> true
+  | _ -> false
+
+let default_supervision =
+  {
+    cell_timeout_s = None;
+    max_attempts = 3;
+    backoff_s = 0.1;
+    transient = default_transient;
+    sleep = Unix.sleepf;
+  }
+
+let error_code = function
+  | Cell_deadline _ -> "CELL-DEADLINE"
+  | Sys_error _ | Unix.Unix_error _ -> "CELL-IO"
+  | Failure _ -> "CELL-FAIL"
+  | _ -> "CELL-EXN"
+
+(* The budget is modelled wall-clock; real wall time is normally far
+   below it (the simulator outruns real time and the cache shortcuts
+   clean prefixes), so the full budget — floored at a minute for tiny
+   test budgets — is a generous yet finite default deadline: it only
+   fires on a genuinely wedged cell. *)
+let deadline_of_budget budget_s = Float.max 60.0 budget_s
+
+let with_retries ?(supervision = default_supervision) ~label f =
+  let rec attempt n =
+    match f ~attempt:n with
+    | v -> Completed v
+    | exception e ->
+      (* During an interrupt-driven shutdown nothing is retried: the cell
+         is quarantined immediately so the process can wind down. *)
+      if
+        (not (interrupted ()))
+        && supervision.transient e
+        && n < supervision.max_attempts
+      then begin
+        Atomic.incr retries_total;
+        Avis_util.Trace.counter "cell.retries"
+          (float_of_int (Atomic.get retries_total));
+        let pause = supervision.backoff_s *. (2.0 ** float_of_int (n - 1)) in
+        Printf.eprintf
+          "[avis] warning: cell %s attempt %d/%d failed (%s: %s); retrying \
+           in %.1f s\n\
+           %!"
+          label n supervision.max_attempts (error_code e)
+          (Printexc.to_string e) pause;
+        supervision.sleep pause;
+        attempt (n + 1)
+      end
+      else begin
+        Atomic.incr quarantined_total;
+        Avis_util.Trace.counter "cell.quarantined"
+          (float_of_int (Atomic.get quarantined_total));
+        Printf.eprintf
+          "[avis] warning: cell %s quarantined after %d attempt(s) (%s: %s)\n%!"
+          label n (error_code e) (Printexc.to_string e);
+        Quarantined
+          { code = error_code e; message = Printexc.to_string e; attempts = n }
+      end
+  in
+  attempt 1
+
 (* The simulator's hard cap on one run, and therefore the most any run
    can charge to the budget. The affordability check below uses the same
    bound, so a run that starts is guaranteed to fit. *)
 let max_sim_duration (config : config) =
   config.workload.Workload.nominal_duration +. 60.0
 
-let sim_config (config : config) ~seed ~scenario =
+let sim_cfg_of (config : config) ~seed =
   let base = Sim.default_config config.policy in
-  let sim_cfg =
-    {
-      base with
-      Sim.enabled_bugs = config.enabled_bugs;
-      seed;
-      max_duration = max_sim_duration config;
-      link_jitter_steps = config.link_jitter_steps;
-      link_faults = config.link_faults;
-      environment = config.workload.Workload.environment ();
-    }
-  in
+  {
+    base with
+    Sim.enabled_bugs = config.enabled_bugs;
+    seed;
+    max_duration = max_sim_duration config;
+    link_jitter_steps = config.link_jitter_steps;
+    link_faults = config.link_faults;
+    environment = config.workload.Workload.environment ();
+  }
+
+let sim_config (config : config) ~seed ~scenario =
   Sim.create ~plan:(Scenario.to_plan scenario)
     ~link_outages:(Scenario.link_outages scenario)
-    sim_cfg
+    (sim_cfg_of config ~seed)
 
 let execute_run config ~seed ~scenario =
   let sim = sim_config config ~seed ~scenario in
@@ -117,6 +226,45 @@ let make_cache ?store_dir config =
     ~make_sim:(fun ~scenario -> sim_config config ~seed:test_seed ~scenario)
     ~checkpoint_times:(List.init (int_of_float dur) (fun i -> float_of_int (i + 1)))
     ()
+
+(* Canonical identity of one campaign cell, the config half of its
+   journal key: the exact test-run simulator configuration (policy, bugs,
+   test seed, dt, link faults, environment, airframe — everything
+   Sim.encode_config covers), the workload, the budget parameters by
+   their IEEE-754 bits, and the approach label. Two invocations agree on
+   these bytes exactly when their campaigns are bit-identical, which is
+   when serving a memo is sound. *)
+let journal_identity (config : config) ~approach =
+  let b = Buffer.create 256 in
+  Sim.encode_config b (sim_cfg_of config ~seed:(config.seed + 1000));
+  Buffer.add_char b '\x00';
+  Buffer.add_string b config.workload.Workload.name;
+  Buffer.add_char b '\x00';
+  Buffer.add_int64_le b (Int64.bits_of_float config.budget_s);
+  Buffer.add_int64_le b (Int64.bits_of_float config.speedup);
+  Buffer.add_int64_le b (Int64.of_int config.seed);
+  Buffer.add_int64_le b (Int64.of_int config.profiling_runs);
+  Buffer.add_string b approach;
+  Buffer.contents b
+
+let journal_key journal (config : config) ~approach =
+  Run_journal.key
+    ~fingerprint:(Run_journal.fingerprint journal)
+    ~config_bytes:(journal_identity config ~approach)
+
+let journal_memo journal config ~approach =
+  Run_journal.find journal ~key:(journal_key journal config ~approach)
+
+let journal_finding (f : finding) =
+  {
+    Run_journal.simulation_index = f.simulation_index;
+    description = Report.describe f.report;
+    bucket = Report.bucket_label (Report.injection_bucket f.report);
+    bugs =
+      List.map
+        (fun id -> (Bug.info id).Bug.report)
+        f.report.Report.triggered_bugs;
+  }
 
 (* How many scenarios a batched campaign keeps in flight at once. Absent,
    empty, or 1 means the classic one-at-a-time driver; malformed values are
@@ -159,11 +307,28 @@ type lane_ev =
   | Lane_run of lane_run
 
 let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
-    ?cache ?lanes config ~strategy =
+    ?cache ?lanes ?deadline_s ?journal ?journal_approach config ~strategy =
   (* One span per campaign: everything a cell does (profiling, search
      decisions, simulation, monitoring) nests under it, which is what lets
      a trace attribute a cell's wall time phase by phase. *)
   Avis_util.Trace.span ~cat:"campaign" "campaign.cell" @@ fun () ->
+  (* Cooperative wall-clock watchdog: checked at every scheduling
+     boundary (never mid-simulation), so a deadline abort leaves no
+     half-judged state behind. *)
+  let wall0 = Avis_util.Metrics.now_s () in
+  let tick_deadline () =
+    match deadline_s with
+    | None -> ()
+    | Some d ->
+      let elapsed = Avis_util.Metrics.now_s () -. wall0 in
+      if elapsed > d then begin
+        Atomic.incr deadline_hits_total;
+        Avis_util.Trace.counter "cell.deadline_hits"
+          (float_of_int (Atomic.get deadline_hits_total));
+        Avis_util.Trace.instant ~cat:"campaign" "cell.deadline";
+        raise (Cell_deadline elapsed)
+      end
+  in
   (* GC baseline for the cell: progress and result report allocation as
      deltas from here, so cells are comparable regardless of what ran
      before them in the process. Baseline and reading must come from the
@@ -273,7 +438,8 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
     report_progress ()
   in
   let sequential_loop () =
-    while (not !stopped) && not (Budget.exhausted budget) do
+    while (not !stopped) && (not (Budget.exhausted budget)) && not (interrupted ()) do
+      tick_deadline ();
       match
         Avis_util.Trace.span ~cat:"search" "search.next" searcher.Search.next
       with
@@ -401,7 +567,7 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
       match Queue.peek_opt ev_queue with
       | None -> ()
       | Some ev ->
-        if !stopped || Budget.exhausted budget then begin
+        if !stopped || Budget.exhausted budget || interrupted () then begin
           stopped := true;
           discard_rest ()
         end
@@ -444,6 +610,7 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
       while
         !continue_fill && (not !stopped)
         && (not (Budget.exhausted budget))
+        && (not (interrupted ()))
         && (not !stream_done)
         && !inflight < width
         && Queue.length ev_queue < width * 8
@@ -465,6 +632,7 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
     in
     fill ();
     while (not !stopped) && not (Queue.is_empty ev_queue) do
+      tick_deadline ();
       Queue.iter
         (function
           | Lane_run r when r.lr_outcome = None -> advance r
@@ -479,18 +647,65 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
     match lanes with Some n -> max 1 n | None -> lanes_of_env ()
   in
   if width >= 2 then batched_loop width else sequential_loop ();
+  (* Capture before building the result: an interrupt that lands after
+     this point must not suppress the journal record of a cell whose
+     campaign did in fact run to completion. *)
+  let was_interrupted = interrupted () in
   report_progress ();
-  {
-    approach = searcher.Search.name;
-    findings = List.rev !findings;
-    simulations = Budget.simulations_run budget;
-    inferences = Budget.inferences_run budget;
-    wall_clock_spent_s = Budget.spent_s budget;
-    profile;
-    cache_stats = Option.map Prefix_cache.stats cache;
-    minor_words = gc_minor_words ();
-    major_collections = gc_majors ();
-  }
+  let result =
+    {
+      approach = searcher.Search.name;
+      findings = List.rev !findings;
+      simulations = Budget.simulations_run budget;
+      inferences = Budget.inferences_run budget;
+      wall_clock_spent_s = Budget.spent_s budget;
+      profile;
+      cache_stats = Option.map Prefix_cache.stats cache;
+      minor_words = gc_minor_words ();
+      major_collections = gc_majors ();
+    }
+  in
+  (match journal with
+  | Some j when not was_interrupted ->
+    let approach =
+      match journal_approach with Some a -> a | None -> result.approach
+    in
+    Run_journal.record_complete j
+      {
+        Run_journal.key = journal_key j config ~approach;
+        label =
+          Printf.sprintf "%s/%s/%s" approach config.policy.Policy.name
+            config.workload.Workload.name;
+        simulations = result.simulations;
+        inferences = result.inferences;
+        spent_bits = Int64.bits_of_float result.wall_clock_spent_s;
+        findings = List.map journal_finding result.findings;
+      }
+  | Some _ | None -> ());
+  result
+
+(* Watchdogged cell execution: [run] under a wall-clock deadline (the
+   supervision's [cell_timeout_s], else derived from the budget) with
+   bounded exponential-backoff retry for transient failures. A cell that
+   exhausts its attempts is quarantined — the caller's matrix degrades
+   gracefully instead of aborting. Retried attempts re-run the campaign
+   from scratch: a completed cell's results are therefore always those of
+   one uninterrupted campaign, never a splice. *)
+let run_supervised ?(supervision = default_supervision) ?stop_when ?progress
+    ?cache ?lanes ?journal ?journal_approach (config : config) ~strategy =
+  let deadline_s =
+    match supervision.cell_timeout_s with
+    | Some d -> d
+    | None -> deadline_of_budget config.budget_s
+  in
+  let label =
+    Printf.sprintf "%s/%s/%s"
+      (match journal_approach with Some a -> a | None -> "campaign")
+      config.policy.Policy.name config.workload.Workload.name
+  in
+  with_retries ~supervision ~label (fun ~attempt:_ ->
+      run ?stop_when ?progress ?cache ?lanes ~deadline_s ?journal
+        ?journal_approach config ~strategy)
 
 (* A stable, platform-independent seed for one (policy, workload,
    approach) cell of a campaign matrix: FNV-1a over the labels, folded

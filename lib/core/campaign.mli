@@ -95,7 +95,8 @@ val make_cache : ?store_dir:string -> config -> Prefix_cache.t
 
 val run :
   ?stop_when:(finding -> bool) -> ?progress:(progress -> unit) ->
-  ?cache:Prefix_cache.t -> ?lanes:int -> config ->
+  ?cache:Prefix_cache.t -> ?lanes:int -> ?deadline_s:float ->
+  ?journal:Run_journal.t -> ?journal_approach:string -> config ->
   strategy:(Search.context -> Search.t) -> result
 (** Run a full campaign. [stop_when] ends the campaign early when a
     finding satisfies it (used by the Table V until-found experiments).
@@ -117,7 +118,103 @@ val run :
     ledger are bit-identical to the unbatched driver whenever the
     strategy's proposals don't depend on its observations (random
     search); adaptive strategies see observations up to [n] proposals
-    late and may schedule differently (still valid searches). *)
+    late and may schedule differently (still valid searches).
+
+    [deadline_s] is a cooperative wall-clock watchdog: checked at every
+    scheduling boundary (never mid-simulation), raising {!Cell_deadline}
+    when the cell has been running longer — use {!run_supervised} to get
+    the deadline, retry and quarantine policy together. [journal] appends
+    one completed-cell record on normal completion (not on an interrupt
+    or an exception), keyed by {!journal_key} under [journal_approach]
+    (default the strategy's name); see {!Run_journal}. *)
+
+exception Cell_deadline of float
+(** The cell's wall-clock deadline passed; carries the elapsed seconds. *)
+
+(** {2 Interrupt}
+
+    A process-wide cooperative stop flag. {!request_interrupt} (typically
+    from a SIGINT handler) makes every in-flight {!run} stop at its next
+    scheduling boundary and return its partial findings and ledger;
+    interrupted cells never append a journal record. *)
+
+val request_interrupt : unit -> unit
+val interrupted : unit -> bool
+val clear_interrupt : unit -> unit
+
+(** {2 Watchdogged execution}
+
+    Retry/backoff/quarantine around {!run} for unattended matrices: a
+    transient failure (deadline hit, I/O error) is retried with
+    exponential backoff; a cell that exhausts its attempts — or fails
+    deterministically — is quarantined with a stable error code instead
+    of aborting the whole matrix. *)
+
+type cell_error = {
+  code : string;
+      (** Stable code: [CELL-DEADLINE], [CELL-IO], [CELL-FAIL] or
+          [CELL-EXN]. *)
+  message : string;  (** The rendered exception. *)
+  attempts : int;  (** Attempts consumed, including the first. *)
+}
+
+type 'a supervised = Completed of 'a | Quarantined of cell_error
+
+type supervision = {
+  cell_timeout_s : float option;
+      (** Per-attempt wall-clock deadline; [None] derives one from the
+          cell's budget (the full modelled budget, floored at 60 s). *)
+  max_attempts : int;  (** Total attempts, including the first. *)
+  backoff_s : float;  (** First retry pause; doubles per retry. *)
+  transient : exn -> bool;  (** Which failures are worth retrying. *)
+  sleep : float -> unit;  (** Injectable for tests; [Unix.sleepf]. *)
+}
+
+val default_supervision : supervision
+(** 3 attempts, 0.1 s initial backoff, budget-derived deadline; deadline
+    hits and I/O errors ([Sys_error], [Unix.Unix_error]) are transient. *)
+
+val with_retries :
+  ?supervision:supervision -> label:string -> (attempt:int -> 'a) ->
+  'a supervised
+(** The bare retry engine: run the thunk, retrying transient failures
+    with exponential backoff up to [max_attempts], quarantining
+    otherwise. Each retry and quarantine bumps the [cell.retries] /
+    [cell.quarantined] trace counters and warns on stderr. *)
+
+val run_supervised :
+  ?supervision:supervision -> ?stop_when:(finding -> bool) ->
+  ?progress:(progress -> unit) -> ?cache:Prefix_cache.t -> ?lanes:int ->
+  ?journal:Run_journal.t -> ?journal_approach:string -> config ->
+  strategy:(Search.context -> Search.t) -> result supervised
+(** {!run} under {!with_retries} and a wall-clock deadline. Retried
+    attempts restart the campaign from scratch, so a [Completed] result
+    is always one uninterrupted campaign's. *)
+
+val watchdog_counters : unit -> int * int * int
+(** Process-lifetime [(retries, quarantined, deadline_hits)] totals —
+    the same values mirrored to the trace counter tracks. *)
+
+(** {2 Journal keys}
+
+    The resumable-journal addressing for one campaign cell; see
+    {!Run_journal} for the file format and staleness rules. *)
+
+val journal_identity : config -> approach:string -> string
+(** The cell's canonical configuration bytes: the exact test-run
+    simulator config, the workload name, the budget parameters by their
+    IEEE-754 bits, and the approach label. *)
+
+val journal_key : Run_journal.t -> config -> approach:string -> string
+(** {!Run_journal.key} over the journal's binary fingerprint and
+    {!journal_identity}. *)
+
+val journal_memo :
+  Run_journal.t -> config -> approach:string -> Run_journal.record option
+(** The completed record for this cell, if the journal holds one — the
+    caller then skips the campaign and serves the memo. The [approach]
+    string must match the one passed (or defaulted) as
+    [journal_approach] when the record was written. *)
 
 val lanes_of_env : unit -> int
 (** The [AVIS_LANES] width: 1 (unbatched) when unset; invalid values are

@@ -133,9 +133,13 @@ let unframe data =
       let payload = String.sub data header_len len in
       if Digest.string payload <> digest then None else Some payload
 
-(* Oldest-mtime-first deletion until the directory fits the budget. Other
-   processes may be adding or deleting concurrently; every step tolerates
-   files vanishing underneath it. *)
+(* Oldest-mtime-first deletion until the directory fits the budget, with
+   mtime ties broken by path: coarse filesystem timestamps (1 s mtime
+   granularity) routinely leave whole batches of checkpoints with equal
+   mtimes, and sorting those by anything else (size, inode order) would
+   make the surviving set filesystem-dependent. Other processes may be
+   adding or deleting concurrently; every step tolerates files vanishing
+   underneath it. *)
 let evict_to_budget t =
   if scan_bytes t > t.budget_bytes then begin
     let entries = ref [] in
@@ -147,14 +151,14 @@ let evict_to_budget t =
              try
                let st = Unix.stat path in
                entries :=
-                 (st.Unix.st_mtime, st.Unix.st_size, path) :: !entries
+                 (st.Unix.st_mtime, path, st.Unix.st_size) :: !entries
              with _ -> ())
          (Sys.readdir t.dir)
      with _ -> ());
     let by_age = List.sort compare !entries in
     let excess = ref (t.bytes - t.budget_bytes) in
     List.iter
-      (fun (_, size, path) ->
+      (fun (_, path, size) ->
         if !excess > 0 then begin
           (try
              Sys.remove path;

@@ -39,8 +39,11 @@
 
     The store is bounded by [store_mb] (default the [AVIS_STORE_MB]
     environment variable, else 1024 MiB). When the directory exceeds the
-    budget, files are deleted oldest-mtime-first; serving a checkpoint
-    touches its mtime, making the policy LRU across processes.
+    budget, files are deleted oldest-mtime-first — equal mtimes (coarse
+    filesystem timestamp granularity) are broken deterministically by path
+    order, so the surviving set does not depend on the filesystem; serving
+    a checkpoint touches its mtime, making the policy LRU across
+    processes.
 
     All I/O failures degrade to cache misses; the store never raises out of
     [put]/[lookup]. *)
@@ -86,3 +89,10 @@ type stats = {
 val stats : t -> stats
 
 val default_store_mb : int
+
+val default_fingerprint : unit -> string
+(** The code fingerprint used when [create]'s [?fingerprint] is omitted:
+    the hex digest of the running executable ([Sys.executable_name]), or
+    ["unknown"] when it cannot be read. {!Run_journal} keys its memos with
+    the same fingerprint, so a rebuilt binary invalidates both stores and
+    journals consistently. *)

@@ -185,7 +185,8 @@ let decode_snapshot r : snapshot =
   let len = r_int r in
   let sched0 = r_f64 r in
   (* Each sample needs at least 57 bytes; bound [len] before allocating. *)
-  if len < 0 || (len > 0 && len > remaining r) then corrupt "bad trace length %d" len;
+  if len < 0 || (len > 0 && len > remaining r / 57) then
+    corrupt "bad trace length %d" len;
   let nchunks = (len + chunk_cap - 1) lsr chunk_bits in
   let chunks = Array.init nchunks (fun _ -> fresh_chunk ()) in
   for i = 0 to len - 1 do

@@ -191,6 +191,76 @@ let test_of_bytes_rejects_garbage () =
   | _ -> Alcotest.fail "truncated snapshot decoded")
 
 (* ------------------------------------------------------------------ *)
+(* Hostile snapshot bytes                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Decoders face arbitrary disk bytes: partial writes, bit rot, other
+   processes' files. Whatever the damage, the only observable failure is
+   [Codec.Corrupt] — in particular no [Out_of_memory] or [Invalid_argument]
+   from allocating a length prefix the buffer cannot possibly back. A
+   damaged buffer that still decodes cleanly is fine (a flipped float bit
+   is just a different float); raising anything else is the bug. *)
+
+let exemplar_bytes =
+  lazy
+    (let sim, st = paused_run Workload.quickstart Policy.apm ~until:8.0 in
+     ( Sim.to_bytes (Sim.snapshot sim),
+       Workload.Stepper.to_bytes (Workload.Stepper.snapshot st) ))
+
+let decoders =
+  [
+    ("Sim.of_bytes", fun s -> ignore (Sim.of_bytes s));
+    ("Stepper.of_bytes", fun s -> ignore (Workload.Stepper.of_bytes s));
+    ( "Codec string+floats",
+      fun s ->
+        let r = Avis_util.Codec.reader s in
+        ignore (Avis_util.Codec.r_bytes r);
+        ignore (Avis_util.Codec.r_float_array r) );
+  ]
+
+let only_corrupt bytes =
+  List.for_all
+    (fun (name, decode) ->
+      match decode bytes with
+      | () -> true
+      | exception Avis_util.Codec.Corrupt _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "%s raised %s, not Corrupt" name
+          (Printexc.to_string e))
+    decoders
+
+let qcheck_fuzz_truncated =
+  QCheck.Test.make ~count:60 ~name:"truncated snapshot bytes: only Corrupt"
+    QCheck.(pair (float_range 0.0 1.0) bool)
+    (fun (frac, stepper) ->
+      let sim_b, st_b = Lazy.force exemplar_bytes in
+      let bytes = if stepper then st_b else sim_b in
+      let cut =
+        min (String.length bytes - 1)
+          (int_of_float (frac *. float_of_int (String.length bytes)))
+      in
+      only_corrupt (String.sub bytes 0 cut))
+
+let qcheck_fuzz_bitflip =
+  QCheck.Test.make ~count:120 ~name:"bit-flipped snapshot bytes: only Corrupt"
+    QCheck.(triple (float_range 0.0 1.0) (int_range 0 7) bool)
+    (fun (frac, bit, stepper) ->
+      let sim_b, st_b = Lazy.force exemplar_bytes in
+      let bytes = if stepper then st_b else sim_b in
+      let i =
+        min (String.length bytes - 1)
+          (int_of_float (frac *. float_of_int (String.length bytes)))
+      in
+      let b = Bytes.of_string bytes in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      only_corrupt (Bytes.to_string b))
+
+let qcheck_fuzz_random =
+  QCheck.Test.make ~count:120 ~name:"random buffers: only Corrupt"
+    QCheck.(string_gen_of_size (Gen.int_range 0 512) Gen.char)
+    only_corrupt
+
+(* ------------------------------------------------------------------ *)
 (* Checkpoint store                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -327,6 +397,29 @@ let test_store_eviction_bounded () =
     (s.Checkpoint_store.bytes <= 1024 * 1024);
   Alcotest.(check bool) "evicted something" true
     (s.Checkpoint_store.evictions > 0)
+
+let test_store_eviction_mtime_tiebreak () =
+  (* Filesystems with 1 s timestamp granularity make equal-mtime
+     checkpoints routine. The eviction order must then fall back to path
+     order, so the surviving set is a function of the store's contents,
+     not of readdir order or sub-second timer luck. *)
+  with_temp_dir @@ fun dir ->
+  let store = make_store ~store_mb:1 ~dir () in
+  put store ~fault_key:"" ~time:10.0 (String.make 400_000 'a');
+  put store ~fault_key:"" ~time:20.0 (String.make 400_000 'b');
+  let t = 1_000_000_000.0 in
+  List.iter (fun p -> Unix.utimes p t t) (ckpt_files dir);
+  let tied = List.sort compare (ckpt_files dir) in
+  put store ~fault_key:"" ~time:30.0 (String.make 400_000 'c');
+  let survivors = ckpt_files dir in
+  match tied with
+  | [ first; second ] ->
+    Alcotest.(check int) "exactly one eviction" 2 (List.length survivors);
+    Alcotest.(check bool) "lexicographically-first of the tie evicted" false
+      (List.mem first survivors);
+    Alcotest.(check bool) "lexicographically-second of the tie survives" true
+      (List.mem second survivors)
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 tied files, got %d" (List.length l))
 
 let test_store_mb_guard () =
   (* Malformed and non-positive budgets must warn and fall back to the
@@ -468,6 +561,12 @@ let () =
           Alcotest.test_case "garbage rejected" `Quick
             test_of_bytes_rejects_garbage;
         ] );
+      ( "hostile bytes",
+        [
+          QCheck_alcotest.to_alcotest ~long:false qcheck_fuzz_truncated;
+          QCheck_alcotest.to_alcotest ~long:false qcheck_fuzz_bitflip;
+          QCheck_alcotest.to_alcotest ~long:false qcheck_fuzz_random;
+        ] );
       ( "store",
         [
           Alcotest.test_case "put/lookup round-trip" `Quick test_store_put_lookup;
@@ -481,6 +580,8 @@ let () =
             test_store_stale_fingerprint_invisible;
           Alcotest.test_case "eviction keeps bytes bounded" `Quick
             test_store_eviction_bounded;
+          Alcotest.test_case "mtime-tie eviction is path-deterministic" `Quick
+            test_store_eviction_mtime_tiebreak;
           Alcotest.test_case "AVIS_STORE_MB guard" `Quick test_store_mb_guard;
           Alcotest.test_case "AVIS_CACHE_MB guard" `Slow test_cache_mb_guard;
         ] );

@@ -1,0 +1,327 @@
+(* Unattended operation: the resumable run journal (crash-safe JSONL,
+   torn-line recovery, stale-fingerprint invalidation, campaign memos),
+   the watchdogged retry/quarantine engine, and the cooperative
+   interrupt flag. *)
+
+open Avis_firmware
+open Avis_core
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let temp_counter = ref 0
+
+let with_journal_path f =
+  incr temp_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "avis-test-journal-%d-%d.jsonl" (Unix.getpid ())
+         !temp_counter)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".stale" ])
+    (fun () -> f path)
+
+let sample_record ~key =
+  {
+    Run_journal.key;
+    label = "avis/ArduPilot/quickstart";
+    simulations = 17;
+    inferences = 3;
+    spent_bits = Int64.bits_of_float 123.456;
+    findings =
+      [
+        {
+          Run_journal.simulation_index = 4;
+          description = "safety: ground impact (14.38 m/s) at t=6.9s";
+          bucket = "Takeoff";
+          bugs = [ "APM-16021"; "APM-16027" ];
+        };
+        {
+          Run_journal.simulation_index = 9;
+          description = "liveliness violation at t=3.7s";
+          bucket = "Land";
+          bugs = [];
+        };
+      ];
+  }
+
+let small_config () =
+  {
+    (Campaign.default_config Policy.apm Workload.quickstart) with
+    Campaign.budget_s = 60.0;
+    seed = 7;
+  }
+
+let sabre ctx = Sabre.make ctx
+
+(* ------------------------------------------------------------------ *)
+(* Journal file format                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_roundtrip () =
+  with_journal_path @@ fun path ->
+  let j = Run_journal.open_ ~fingerprint:"fp-a" path in
+  let key = Run_journal.key ~fingerprint:"fp-a" ~config_bytes:"cfg" in
+  Alcotest.(check bool) "empty journal serves nothing" true
+    (Run_journal.find j ~key = None);
+  let r = sample_record ~key in
+  Run_journal.record_complete j r;
+  Alcotest.(check bool) "served in-process" true
+    (Run_journal.find j ~key = Some r);
+  let j2 = Run_journal.open_ ~fingerprint:"fp-a" path in
+  Alcotest.(check int) "loaded on reopen" 1 (Run_journal.completed_count j2);
+  match Run_journal.find j2 ~key with
+  | None -> Alcotest.fail "record lost across reopen"
+  | Some r' ->
+    Alcotest.(check bool) "bit-identical across reopen" true (r' = r);
+    Alcotest.(check (float 0.0)) "spent seconds decode by bits" 123.456
+      (Run_journal.spent_s r')
+
+let test_journal_torn_line () =
+  with_journal_path @@ fun path ->
+  let j = Run_journal.open_ ~fingerprint:"fp-a" path in
+  let key1 = Run_journal.key ~fingerprint:"fp-a" ~config_bytes:"one" in
+  Run_journal.record_complete j (sample_record ~key:key1);
+  (* A crash mid-append leaves a torn, newline-less trailing line. *)
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+  output_string oc "{\"key\":\"deadbeef\",\"label\":\"torn";
+  close_out oc;
+  let j2 = Run_journal.open_ ~fingerprint:"fp-a" path in
+  Alcotest.(check int) "torn line skipped, rest intact" 1
+    (Run_journal.completed_count j2);
+  Alcotest.(check bool) "intact record still served" true
+    (Run_journal.find j2 ~key:key1 <> None);
+  (* The next append must terminate the torn line first, or it would
+     corrupt itself by concatenation. *)
+  let key2 = Run_journal.key ~fingerprint:"fp-a" ~config_bytes:"two" in
+  Run_journal.record_complete j2 (sample_record ~key:key2);
+  let j3 = Run_journal.open_ ~fingerprint:"fp-a" path in
+  Alcotest.(check int) "append after torn line is clean" 2
+    (Run_journal.completed_count j3);
+  Alcotest.(check bool) "appended record served" true
+    (Run_journal.find j3 ~key:key2 <> None)
+
+let test_journal_stale_fingerprint () =
+  with_journal_path @@ fun path ->
+  let j = Run_journal.open_ ~fingerprint:"build-a" path in
+  let key = Run_journal.key ~fingerprint:"build-a" ~config_bytes:"cfg" in
+  Run_journal.record_complete j (sample_record ~key);
+  (* A rebuilt binary must not serve the old build's memos. *)
+  let j2 = Run_journal.open_ ~fingerprint:"build-b" path in
+  Alcotest.(check int) "no stale memos loaded" 0
+    (Run_journal.completed_count j2);
+  Alcotest.(check bool) "no stale memos served" true
+    (Run_journal.find j2 ~key = None);
+  Alcotest.(check bool) "stale journal preserved aside" true
+    (Sys.file_exists (path ^ ".stale"));
+  let key_b = Run_journal.key ~fingerprint:"build-b" ~config_bytes:"cfg" in
+  Run_journal.record_complete j2 (sample_record ~key:key_b);
+  let j3 = Run_journal.open_ ~fingerprint:"build-b" path in
+  Alcotest.(check int) "fresh journal usable after invalidation" 1
+    (Run_journal.completed_count j3)
+
+let test_journal_interrupted_marker () =
+  with_journal_path @@ fun path ->
+  let j = Run_journal.open_ ~fingerprint:"fp" path in
+  let key = Run_journal.key ~fingerprint:"fp" ~config_bytes:"cfg" in
+  Run_journal.record_interrupted j ~key ~label:"cell";
+  let j2 = Run_journal.open_ ~fingerprint:"fp" path in
+  Alcotest.(check bool) "incomplete marker never served" true
+    (Run_journal.find j2 ~key = None);
+  Alcotest.(check int) "marker counted" 1 (Run_journal.interrupted_count j2);
+  Alcotest.(check int) "not counted complete" 0
+    (Run_journal.completed_count j2)
+
+let test_journal_key_sensitivity () =
+  let key = Run_journal.key in
+  Alcotest.(check bool) "config changes the key" true
+    (key ~fingerprint:"fp" ~config_bytes:"a"
+    <> key ~fingerprint:"fp" ~config_bytes:"b");
+  Alcotest.(check bool) "fingerprint changes the key" true
+    (key ~fingerprint:"fp1" ~config_bytes:"a"
+    <> key ~fingerprint:"fp2" ~config_bytes:"a");
+  Alcotest.(check bool) "key is deterministic" true
+    (key ~fingerprint:"fp" ~config_bytes:"a"
+    = key ~fingerprint:"fp" ~config_bytes:"a")
+
+(* ------------------------------------------------------------------ *)
+(* Campaign memos                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_journal_memo () =
+  with_journal_path @@ fun path ->
+  let j = Run_journal.open_ ~fingerprint:"fp" path in
+  let config = small_config () in
+  Alcotest.(check bool) "no memo before the run" true
+    (Campaign.journal_memo j config ~approach:"avis" = None);
+  let live = Campaign.run ~journal:j ~journal_approach:"avis" config ~strategy:sabre in
+  let j2 = Run_journal.open_ ~fingerprint:"fp" path in
+  (match Campaign.journal_memo j2 config ~approach:"avis" with
+  | None -> Alcotest.fail "completed cell not memoised"
+  | Some m ->
+    Alcotest.(check int) "simulations" live.Campaign.simulations
+      m.Run_journal.simulations;
+    Alcotest.(check int) "inferences" live.Campaign.inferences
+      m.Run_journal.inferences;
+    Alcotest.(check bool) "spent ledger bit-identical" true
+      (m.Run_journal.spent_bits
+      = Int64.bits_of_float live.Campaign.wall_clock_spent_s);
+    Alcotest.(check int) "finding count" (List.length live.Campaign.findings)
+      (List.length m.Run_journal.findings);
+    List.iter2
+      (fun (f : Campaign.finding) (g : Run_journal.finding) ->
+        Alcotest.(check int) "finding index" f.Campaign.simulation_index
+          g.Run_journal.simulation_index;
+        Alcotest.(check string) "finding description"
+          (Report.describe f.Campaign.report)
+          g.Run_journal.description)
+      live.Campaign.findings m.Run_journal.findings);
+  (* Another approach label is a different cell, another seed a different
+     config: neither may be served this memo. *)
+  Alcotest.(check bool) "approach isolates memos" true
+    (Campaign.journal_memo j2 config ~approach:"random" = None);
+  Alcotest.(check bool) "seed isolates memos" true
+    (Campaign.journal_memo j2
+       { config with Campaign.seed = config.Campaign.seed + 1 }
+       ~approach:"avis"
+    = None)
+
+let test_interrupted_run_appends_nothing () =
+  with_journal_path @@ fun path ->
+  let j = Run_journal.open_ ~fingerprint:"fp" path in
+  let config = small_config () in
+  Campaign.request_interrupt ();
+  Fun.protect ~finally:Campaign.clear_interrupt @@ fun () ->
+  let partial =
+    Campaign.run ~journal:j ~journal_approach:"avis" config ~strategy:sabre
+  in
+  Alcotest.(check int) "interrupted before any test simulation" 0
+    partial.Campaign.simulations;
+  let j2 = Run_journal.open_ ~fingerprint:"fp" path in
+  Alcotest.(check int) "interrupted run appended no memo" 0
+    (Run_journal.completed_count j2);
+  Alcotest.(check bool) "no memo served" true
+    (Campaign.journal_memo j2 config ~approach:"avis" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Retry / backoff / quarantine                                         *)
+(* ------------------------------------------------------------------ *)
+
+let capture_sleeps () =
+  let sleeps = ref [] in
+  ( (fun s -> sleeps := !sleeps @ [ s ]),
+    fun () -> !sleeps )
+
+let test_retry_transient_then_success () =
+  let sleep, sleeps = capture_sleeps () in
+  let sup = { Campaign.default_supervision with Campaign.sleep } in
+  let calls = ref 0 in
+  match
+    Campaign.with_retries ~supervision:sup ~label:"flaky-disk"
+      (fun ~attempt ->
+        incr calls;
+        if attempt < 3 then raise (Sys_error "disk momentarily full");
+        "ok")
+  with
+  | Campaign.Quarantined _ ->
+    Alcotest.fail "transient failure should have been retried to success"
+  | Campaign.Completed v ->
+    Alcotest.(check string) "value from the succeeding attempt" "ok" v;
+    Alcotest.(check int) "three attempts" 3 !calls;
+    Alcotest.(check (list (float 1e-9))) "exponential backoff" [ 0.1; 0.2 ]
+      (sleeps ())
+
+let test_retry_exhaustion_quarantines () =
+  let sleep, sleeps = capture_sleeps () in
+  let sup = { Campaign.default_supervision with Campaign.sleep } in
+  let retries0, quarantined0, _ = Campaign.watchdog_counters () in
+  match
+    Campaign.with_retries ~supervision:sup ~label:"always-flaky"
+      (fun ~attempt:_ -> raise (Sys_error "flaky"))
+  with
+  | Campaign.Completed _ -> Alcotest.fail "cannot complete"
+  | Campaign.Quarantined e ->
+    Alcotest.(check string) "stable code" "CELL-IO" e.Campaign.code;
+    Alcotest.(check int) "all attempts consumed" 3 e.Campaign.attempts;
+    Alcotest.(check (list (float 1e-9))) "backoff before each retry"
+      [ 0.1; 0.2 ] (sleeps ());
+    let retries1, quarantined1, _ = Campaign.watchdog_counters () in
+    Alcotest.(check int) "retries counted" 2 (retries1 - retries0);
+    Alcotest.(check int) "quarantine counted" 1 (quarantined1 - quarantined0)
+
+let test_non_transient_fails_immediately () =
+  let sleep, sleeps = capture_sleeps () in
+  let sup = { Campaign.default_supervision with Campaign.sleep } in
+  match
+    (Campaign.with_retries ~supervision:sup ~label:"deterministic" (fun ~attempt:_ ->
+         failwith "profiling run crashed")
+      : unit Campaign.supervised)
+  with
+  | Campaign.Completed _ -> Alcotest.fail "cannot complete"
+  | Campaign.Quarantined e ->
+    Alcotest.(check string) "stable code" "CELL-FAIL" e.Campaign.code;
+    Alcotest.(check int) "no retry for deterministic failures" 1
+      e.Campaign.attempts;
+    Alcotest.(check (list (float 1e-9))) "no backoff" [] (sleeps ())
+
+let test_deadline_quarantines () =
+  let sleep, _ = capture_sleeps () in
+  let sup =
+    { Campaign.default_supervision with
+      Campaign.cell_timeout_s = Some 0.0; sleep }
+  in
+  let _, _, deadline0 = Campaign.watchdog_counters () in
+  match Campaign.run_supervised ~supervision:sup (small_config ()) ~strategy:sabre with
+  | Campaign.Completed _ ->
+    Alcotest.fail "a zero-second deadline cannot complete"
+  | Campaign.Quarantined e ->
+    Alcotest.(check string) "stable code" "CELL-DEADLINE" e.Campaign.code;
+    Alcotest.(check int) "retried as transient, then quarantined" 3
+      e.Campaign.attempts;
+    let _, _, deadline1 = Campaign.watchdog_counters () in
+    Alcotest.(check bool) "deadline hits counted" true
+      (deadline1 - deadline0 >= 3)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "avis_unattended"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "round-trip across reopen" `Quick
+            test_journal_roundtrip;
+          Alcotest.test_case "torn trailing line recovered" `Quick
+            test_journal_torn_line;
+          Alcotest.test_case "stale fingerprint invalidates loudly" `Quick
+            test_journal_stale_fingerprint;
+          Alcotest.test_case "interrupted marker never served" `Quick
+            test_journal_interrupted_marker;
+          Alcotest.test_case "key sensitivity" `Quick
+            test_journal_key_sensitivity;
+        ] );
+      ( "campaign memos",
+        [
+          Alcotest.test_case "memo equals the live run" `Slow
+            test_campaign_journal_memo;
+          Alcotest.test_case "interrupted run appends nothing" `Slow
+            test_interrupted_run_appends_nothing;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "transient failure retried to success" `Quick
+            test_retry_transient_then_success;
+          Alcotest.test_case "exhausted retries quarantine" `Quick
+            test_retry_exhaustion_quarantines;
+          Alcotest.test_case "deterministic failure quarantines at once" `Quick
+            test_non_transient_fails_immediately;
+          Alcotest.test_case "deadline hits quarantine the cell" `Slow
+            test_deadline_quarantines;
+        ] );
+    ]
