@@ -16,18 +16,7 @@ open Avis_sensors
 open Avis_firmware
 open Avis_core
 
-let budget_s =
-  match Sys.getenv_opt "AVIS_BUDGET" with
-  | None -> 7200.0
-  | Some v -> (
-    match float_of_string_opt (String.trim v) with
-    | Some b when b > 0.0 -> b
-    | Some _ | None ->
-      Printf.eprintf
-        "[avis] warning: ignoring malformed AVIS_BUDGET=%S (want a positive \
-         number of seconds); using 7200\n%!"
-        v;
-      7200.0)
+let budget_s = Env.positive_float ~var:"AVIS_BUDGET" ~default:7200.0 ()
 
 let jobs = Pool.jobs_of_env ()
 

@@ -145,16 +145,13 @@ let install_interrupt_handler () =
          end))
 
 (* Resolving the name eagerly (before any campaign starts) lets a typo in
-   a multi-approach hunt fail before budget is spent on the others. *)
+   a multi-approach hunt fail before budget is spent on the others. The
+   name table itself lives in {!Avis_server.Worker} so the daemon resolves
+   identically. *)
 let strategy_of_name name =
-  match name with
-  | "avis" | "sabre" -> fun ctx -> Sabre.make ctx
-  | "strat-bfi" -> fun ctx -> Strat_bfi.make ctx
-  | "bfi" -> fun ctx -> Bfi.make ctx
-  | "random" -> fun ctx -> Random_search.make ctx
-  | "dfs" -> fun ctx -> Dfs.make ctx
-  | "bfs" -> fun ctx -> Bfs.make ctx
-  | s -> invalid_arg ("unknown approach " ^ s)
+  match Avis_server.Worker.strategy_of_name name with
+  | Some strategy -> strategy
+  | None -> invalid_arg ("unknown approach " ^ name)
 
 let hunt policy workload seed approaches budget jobs lanes verbose artefacts trace
     journal_path =
@@ -414,6 +411,186 @@ let hunt_cmd =
     (Cmd.info "hunt" ~doc:"Run model-checking campaigns against the firmware.")
     Term.(const hunt $ firmware_arg $ workload_arg $ seed_arg $ approach $ budget $ jobs $ lanes $ verbose $ artefacts $ trace $ journal)
 
+(* huntd / submit / watch *)
+
+let socket_arg =
+  Arg.(value & opt string "avis-huntd.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"The hunt daemon's Unix-domain socket.")
+
+let connect_daemon socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "avis: cannot connect to the daemon at %s: %s\n"
+       socket_path (Unix.error_message e);
+     exit Cmd.Exit.some_error);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+(* A daemon result printed exactly as `hunt` prints a live one: the
+   record carries the same counts, spent seconds (by bits) and findings
+   a local run would have produced, so cold, memo-served and
+   resumed-after-a-crash submissions all render identical bytes. *)
+let print_daemon_record ~verbose name (record : Run_journal.record) =
+  Printf.printf
+    "%s: %d unsafe conditions in %d simulations (%d inferences, %.0f s spent)\n"
+    name
+    (List.length record.Run_journal.findings)
+    record.Run_journal.simulations record.Run_journal.inferences
+    (Run_journal.spent_s record);
+  List.iter
+    (fun bucket ->
+      let label = Report.bucket_label bucket in
+      let n =
+        List.length
+          (List.filter
+             (fun (f : Run_journal.finding) -> f.Run_journal.bucket = label)
+             record.Run_journal.findings)
+      in
+      Printf.printf "  %-8s %d\n" label n)
+    Report.all_buckets;
+  if verbose then
+    List.iteri
+      (fun i (f : Run_journal.finding) ->
+        Printf.printf "[%02d] sim#%d %s\n" i f.Run_journal.simulation_index
+          f.Run_journal.description)
+      record.Run_journal.findings
+
+let submit policy workload seed approaches budget shards lanes verbose socket =
+  let approaches =
+    String.split_on_char ',' approaches
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let ic, oc = connect_daemon socket in
+  output_string oc
+    (Avis_server.Wire.render_request
+       (Avis_server.Wire.Submit
+          {
+            Avis_server.Wire.firmware = policy.Avis_firmware.Policy.name;
+            workload = workload.Workload.name;
+            approaches;
+            budget_s = budget;
+            seed;
+            lanes;
+            shards;
+          })
+    ^ "\n");
+  flush oc;
+  Printf.printf
+    "submitting %s on %s / %s (budget %.0f s wall-clock each, %d shard(s))...\n%!"
+    (String.concat ", " approaches)
+    policy.Avis_firmware.Policy.name workload.Workload.name budget shards;
+  (* Stream: metrics lines relay to stderr (where `hunt` emits its own),
+     cell results collect here and print in submission order on Done. *)
+  let results = Hashtbl.create 8 in
+  let rec loop req_id =
+    match input_line ic with
+    | exception End_of_file ->
+      prerr_endline "[avis] submit: daemon closed the connection mid-hunt";
+      exit Cmd.Exit.some_error
+    | line ->
+      if Avis_server.Wire.is_metrics_line line then begin
+        Printf.eprintf "%s\n%!" line;
+        loop req_id
+      end
+      else (
+        match Avis_server.Wire.parse_response line with
+        | Error e ->
+          Printf.eprintf "[avis] submit: %s\n%!" e;
+          loop req_id
+        | Ok (Avis_server.Wire.Rejected { reason }) ->
+          Printf.eprintf "avis: daemon rejected the hunt: %s\n" reason;
+          exit Cmd.Exit.cli_error
+        | Ok (Avis_server.Wire.Accepted { req; cells = _ }) -> loop (Some req)
+        | Ok (Avis_server.Wire.Cell { req; approach; label; status })
+          when req_id = Some req ->
+          Hashtbl.replace results label (approach, status);
+          loop req_id
+        | Ok (Avis_server.Wire.Done { req; retries; quarantined })
+          when req_id = Some req ->
+          (retries, quarantined)
+        | Ok _ -> loop req_id)
+  in
+  let retries, quarantined = loop None in
+  List.iter
+    (fun name ->
+      let label =
+        Printf.sprintf "%s/%s/%s" name policy.Avis_firmware.Policy.name
+          workload.Workload.name
+      in
+      match Hashtbl.find_opt results label with
+      | Some (_, Avis_server.Wire.Cell_done record)
+      | Some (_, Avis_server.Wire.Cell_memo record) ->
+        print_daemon_record ~verbose (Avis_server.Worker.display_name name)
+          record
+      | Some (_, Avis_server.Wire.Cell_quarantined { code; message; attempts })
+        ->
+        Printf.printf "%s: QUARANTINED [%s] after %d attempt(s): %s\n" name
+          code attempts message
+      | None -> Printf.printf "%s: no result reported\n" name)
+    approaches;
+  if retries > 0 || quarantined > 0 then
+    Printf.eprintf
+      "[avis] submit: daemon recovered from %d lost worker(s); %d cell(s) \
+       quarantined\n%!"
+      retries quarantined
+
+let submit_cmd =
+  let approach =
+    Arg.(value & opt string "avis"
+         & info [ "a"; "approach" ] ~docv:"APPROACHES"
+             ~doc:"Comma-separated search strategies \
+                   (avis|strat-bfi|bfi|random|dfs|bfs), one daemon cell \
+                   each. Seeds derive from --seed and the cell's labels \
+                   exactly as `hunt` derives them.")
+  in
+  let budget =
+    Arg.(value & opt float 1200.0
+         & info [ "b"; "budget" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock budget in seconds per cell.")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Worker processes to spread the cells over (the daemon \
+                   clamps to its worker budget and the cell count).")
+  in
+  let lanes =
+    Arg.(value & opt (some int) None
+         & info [ "lanes" ] ~docv:"N"
+             ~doc:"Scenarios in flight per campaign inside the worker; \
+                   defaults to the worker's \\$AVIS_LANES.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every finding.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a hunt to a running daemon and stream its progress. \
+             Results are byte-identical to `hunt` of the same request.")
+    Term.(const submit $ firmware_arg $ workload_arg $ seed_arg $ approach
+          $ budget $ shards $ lanes $ verbose $ socket_arg)
+
+let watch socket =
+  let ic, oc = connect_daemon socket in
+  output_string oc
+    (Avis_server.Wire.render_request Avis_server.Wire.Watch ^ "\n");
+  flush oc;
+  Printf.eprintf "[avis] watching %s (^C to stop)\n%!" socket;
+  try
+    while true do
+      Printf.printf "%s\n%!" (input_line ic)
+    done
+  with End_of_file -> prerr_endline "[avis] watch: daemon closed the connection"
+
+let watch_cmd =
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Subscribe to a running daemon's full metrics and result \
+             stream (every request, newline-delimited, to stdout).")
+    Term.(const watch $ socket_arg)
+
 (* replay *)
 
 let replay_cmd_run policy workload seed =
@@ -557,4 +734,7 @@ let () =
        (Cmd.group ~default
           (Cmd.info "avis" ~version:"1.0.0"
              ~doc:"Avis: in-situ model checking for unmanned aerial vehicles")
-          [ fly_cmd; hunt_cmd; replay_cmd; selftest_cmd; study_cmd; bugs_cmd ]))
+          [
+            fly_cmd; hunt_cmd; Huntd_cmd.cmd; submit_cmd; watch_cmd;
+            replay_cmd; selftest_cmd; study_cmd; bugs_cmd;
+          ]))

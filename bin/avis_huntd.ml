@@ -1,0 +1,14 @@
+(* Standalone hunt daemon binary — the same service as `avis_cli huntd`.
+
+   Note on journals: memo keys are fingerprinted by the binary that
+   computes them, so a journal written by avis_huntd serves avis_huntd
+   (and its forked workers), while `avis_cli huntd` shares its journal
+   with in-process `avis_cli hunt` runs. Pick one per journal file. *)
+
+let () =
+  exit
+    (Cmdliner.Cmd.eval
+       (Cmdliner.Cmd.v
+          (Cmdliner.Cmd.info "avis_huntd" ~version:"1.0.0"
+             ~doc:"Avis hunt daemon: campaign hunts as a service")
+          Huntd_cmd.term))

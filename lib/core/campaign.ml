@@ -255,6 +255,10 @@ let journal_key journal (config : config) ~approach =
 let journal_memo journal config ~approach =
   Run_journal.find journal ~key:(journal_key journal config ~approach)
 
+let label_of config ~approach =
+  Printf.sprintf "%s/%s/%s" approach config.policy.Policy.name
+    config.workload.Workload.name
+
 let journal_finding (f : finding) =
   {
     Run_journal.simulation_index = f.simulation_index;
@@ -266,23 +270,30 @@ let journal_finding (f : finding) =
         f.report.Report.triggered_bugs;
   }
 
+(* One construction site for the journal's view of a completed campaign:
+   [run]'s own journalling and the hunt daemon's wire results both go
+   through here, so a record streamed to a client is byte-for-byte the
+   record a journal would memo-serve. *)
+let record_of_result (config : config) ~approach ~fingerprint
+    (result : result) =
+  {
+    Run_journal.key =
+      Run_journal.key ~fingerprint
+        ~config_bytes:(journal_identity config ~approach);
+    label = label_of config ~approach;
+    simulations = result.simulations;
+    inferences = result.inferences;
+    spent_bits = Int64.bits_of_float result.wall_clock_spent_s;
+    findings = List.map journal_finding result.findings;
+  }
+
 (* How many scenarios a batched campaign keeps in flight at once. Absent,
    empty, or 1 means the classic one-at-a-time driver; malformed values are
    rejected loudly (a typo'd width must not silently serialise a campaign
    that asked for lanes). *)
 let lanes_of_env () =
-  match Sys.getenv_opt "AVIS_LANES" with
-  | None -> 1
-  | Some v -> (
-    match int_of_string_opt (String.trim v) with
-    | Some n when n >= 1 -> n
-    | Some _ | None ->
-      Printf.eprintf
-        "[avis] warning: ignoring invalid AVIS_LANES=%S (want a positive \
-         integer); running unbatched\n\
-         %!"
-        v;
-      1)
+  Avis_util.Env.positive_int ~default_label:"1 (unbatched)" ~var:"AVIS_LANES"
+    ~default:1 ()
 
 (* Batched-driver bookkeeping. A campaign's decision sequence — budget
    charges, affordability gates, observations, findings — is replayed in
@@ -671,16 +682,8 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
       match journal_approach with Some a -> a | None -> result.approach
     in
     Run_journal.record_complete j
-      {
-        Run_journal.key = journal_key j config ~approach;
-        label =
-          Printf.sprintf "%s/%s/%s" approach config.policy.Policy.name
-            config.workload.Workload.name;
-        simulations = result.simulations;
-        inferences = result.inferences;
-        spent_bits = Int64.bits_of_float result.wall_clock_spent_s;
-        findings = List.map journal_finding result.findings;
-      }
+      (record_of_result config ~approach
+         ~fingerprint:(Run_journal.fingerprint j) result)
   | Some _ | None -> ());
   result
 
@@ -724,14 +727,6 @@ let cell_seed ?(base = 1) ~policy ~workload ~approach () =
 let unsafe_count result = List.length result.findings
 
 let count_by_bucket result =
-  let buckets =
-    [
-      Report.Takeoff_bucket;
-      Report.Manual_bucket;
-      Report.Waypoint_bucket;
-      Report.Land_bucket;
-    ]
-  in
   List.map
     (fun bucket ->
       ( bucket,
@@ -739,7 +734,7 @@ let count_by_bucket result =
           (List.filter
              (fun f -> Report.injection_bucket f.report = bucket)
              result.findings) ))
-    buckets
+    Report.all_buckets
 
 let found_bug result bug =
   List.exists

@@ -216,6 +216,16 @@ val journal_memo :
     string must match the one passed (or defaulted) as
     [journal_approach] when the record was written. *)
 
+val label_of : config -> approach:string -> string
+(** The cell's display label, [approach/policy/workload]. *)
+
+val record_of_result :
+  config -> approach:string -> fingerprint:string -> result ->
+  Run_journal.record
+(** The journal record {!run} would append for this result — the single
+    construction site shared with the hunt daemon's wire results, so a
+    streamed result and a journal memo of the same cell are identical. *)
+
 val lanes_of_env : unit -> int
 (** The [AVIS_LANES] width: 1 (unbatched) when unset; invalid values are
     warned about and treated as 1. *)

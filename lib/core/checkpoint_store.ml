@@ -4,27 +4,19 @@ let default_store_mb = 1024
    warning, like [Pool.jobs_of_env]: a typo'd AVIS_STORE_MB must not
    silently disable (or unbound) the store. *)
 let budget_bytes_of ?store_mb () =
-  let of_value ~source v =
-    match v with
-    | Some mb when mb > 0 -> mb
-    | Some _ | None ->
-      Printf.eprintf
-        "[avis] warning: ignoring invalid %s (want a positive integer); \
-         using %d\n\
-         %!"
-        source default_store_mb;
-      default_store_mb
-  in
   let mb =
     match store_mb with
-    | Some mb -> of_value ~source:"store_mb" (Some mb)
-    | None -> (
-      match Sys.getenv_opt "AVIS_STORE_MB" with
-      | Some v ->
-        of_value
-          ~source:(Printf.sprintf "AVIS_STORE_MB=%S" v)
-          (int_of_string_opt (String.trim v))
-      | None -> default_store_mb)
+    | Some mb when mb > 0 -> mb
+    | Some mb ->
+      Printf.eprintf
+        "[avis] warning: ignoring invalid store_mb=%d (want a positive \
+         integer); using %d\n\
+         %!"
+        mb default_store_mb;
+      default_store_mb
+    | None ->
+      Avis_util.Env.positive_int ~var:"AVIS_STORE_MB" ~default:default_store_mb
+        ()
   in
   mb * 1024 * 1024
 

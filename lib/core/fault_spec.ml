@@ -36,7 +36,12 @@ let parse s =
     let time = String.sub s (i + 1) (String.length s - i - 1) in
     match float_of_string_opt time with
     | None -> Error (Printf.sprintf "bad injection time %S" time)
-    | Some at when Float.is_nan at -> Error "injection time cannot be nan"
+    (* Non-finite times are rejected wholesale: nan never compares true
+       against the simulation clock, and an "inf" injection time parses
+       but can never fire within the bounded flight — a scenario that
+       still charges its full budget while testing nothing. *)
+    | Some at when not (Float.is_finite at) ->
+      Error (Printf.sprintf "injection time %S is not finite" time)
     | Some at when at < 0.0 ->
       Error (Printf.sprintf "injection time %g is negative" at)
     | Some at -> (

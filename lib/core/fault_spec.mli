@@ -4,8 +4,10 @@
     ["gps@12.5"] (no index) fails {e every} instance of the kind. Parsing
     is strict: a bracketed index must be exactly decimal digits (a typo
     like ["gps[abc]@5"] is an error, not a silent all-instances fault),
-    and injection times must be finite-or-infinite non-negative numbers —
-    nan and negatives are rejected. *)
+    and injection times must be finite non-negative numbers — nan,
+    infinities and negatives are rejected (an infinite time parses as a
+    float but names a fault that can never fire, charging budget for a
+    scenario that tests nothing). *)
 
 type t = {
   kind : Avis_sensors.Sensor.kind;

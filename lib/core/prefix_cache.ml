@@ -63,27 +63,19 @@ let default_cache_mb = 1024
    [Pool.jobs_of_env]: a typo'd budget must not silently turn the cache
    stateless (a zero budget makes every capture evict itself). *)
 let budget_bytes_of ?cache_mb () =
-  let accept ~source v =
-    match v with
-    | Some mb when mb > 0 -> mb
-    | Some _ | None ->
-      Printf.eprintf
-        "[avis] warning: ignoring invalid %s (want a positive integer); \
-         using %d\n\
-         %!"
-        source default_cache_mb;
-      default_cache_mb
-  in
   let mb =
     match cache_mb with
-    | Some mb -> accept ~source:"cache_mb" (Some mb)
-    | None -> (
-      match Sys.getenv_opt "AVIS_CACHE_MB" with
-      | Some v ->
-        accept
-          ~source:(Printf.sprintf "AVIS_CACHE_MB=%S" v)
-          (int_of_string_opt (String.trim v))
-      | None -> default_cache_mb)
+    | Some mb when mb > 0 -> mb
+    | Some mb ->
+      Printf.eprintf
+        "[avis] warning: ignoring invalid cache_mb=%d (want a positive \
+         integer); using %d\n\
+         %!"
+        mb default_cache_mb;
+      default_cache_mb
+    | None ->
+      Avis_util.Env.positive_int ~var:"AVIS_CACHE_MB" ~default:default_cache_mb
+        ()
   in
   mb * 1024 * 1024
 
@@ -588,9 +580,4 @@ let stats (t : t) =
   }
 
 let enabled_by_env () =
-  match Sys.getenv_opt "AVIS_PREFIX_CACHE" with
-  | Some v -> (
-    match String.lowercase_ascii (String.trim v) with
-    | "0" | "false" | "off" | "no" -> false
-    | _ -> true)
-  | None -> true
+  Avis_util.Env.flag ~default:true ~var:"AVIS_PREFIX_CACHE" ()

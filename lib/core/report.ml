@@ -80,6 +80,9 @@ let bucket_of_mode label =
   | "Pre-Flight" | "Takeoff" -> Takeoff_bucket
   | _ -> Takeoff_bucket
 
+let all_buckets =
+  [ Takeoff_bucket; Manual_bucket; Waypoint_bucket; Land_bucket ]
+
 let bucket_label = function
   | Takeoff_bucket -> "Takeoff"
   | Manual_bucket -> "Manual"

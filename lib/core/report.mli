@@ -46,6 +46,9 @@ val bucket_of_mode : string -> mode_bucket
 (** Pre-Flight/Takeoff → takeoff; Waypoint legs → waypoint; Return To
     Launch/Land/Disarmed → land. *)
 
+val all_buckets : mode_bucket list
+(** Table IV's display order: takeoff, manual, waypoint, land. *)
+
 val bucket_label : mode_bucket -> string
 
 val injection_bucket : t -> mode_bucket

@@ -91,6 +91,8 @@ let finding_of_json j =
   in
   Some { simulation_index; description; bucket; bugs }
 
+let record_to_json = json_of_record
+
 let record_of_json j =
   let* key = str (Json.member "key" j) in
   let* label = str (Json.member "label" j) in

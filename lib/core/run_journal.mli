@@ -79,3 +79,15 @@ val interrupted_count : t -> int
 
 val spent_s : record -> float
 (** [Int64.float_of_bits record.spent_bits]. *)
+
+(** {2 Record serialisation}
+
+    The journal's one-line JSON encoding of a completed cell, exposed so
+    the hunt daemon can carry records over its wire protocol byte-for-byte
+    as they would be journalled — the client's view of a result and the
+    journal's memo of it are the same bytes. *)
+
+val record_to_json : record -> Avis_util.Json.t
+
+val record_of_json : Avis_util.Json.t -> record option
+(** [None] on any missing or ill-typed field. *)

@@ -1,0 +1,501 @@
+open Avis_core
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;
+  journal_path : string;
+  store_dir : string option;
+  workers : int;
+  jobs : int;
+}
+
+let default_config () =
+  {
+    socket_path = "avis-huntd.sock";
+    tcp_port = None;
+    journal_path = "avis-huntd-journal.jsonl";
+    store_dir = None;
+    workers = Avis_util.Pool.jobs_of_env ();
+    jobs = 1;
+  }
+
+let worker_attempts = 3
+
+let log fmt = Printf.eprintf ("[avis] huntd: " ^^ fmt ^^ "\n%!")
+
+(* A slow or dead client must not wedge the daemon: writes are
+   non-blocking with a bounded queue that sheds metrics lines first —
+   control messages (results) are never dropped. *)
+let max_queued_lines = 4096
+
+type client = {
+  fd : Unix.file_descr;
+  mutable inbuf : string;  (** Partial request line. *)
+  outq : string Queue.t;  (** Newline-terminated lines pending write. *)
+  mutable outbuf : string;  (** Partially written head line. *)
+  mutable watching : bool;
+}
+
+type cell_state = { cell : Worker.cell; mutable done_ : bool }
+
+type req_state = {
+  id : string;
+  mutable owner : Unix.file_descr option;
+      (** The submitting client; [None] once it disconnects (the hunt
+          still runs to completion — results live in the journal). *)
+  lanes : int option;
+  mutable outstanding : int;
+  mutable retries : int;
+  mutable quarantined : int;
+}
+
+type shard = {
+  sreq : req_state;
+  mutable remaining : cell_state list;  (** Cells not yet reported. *)
+  mutable attempts : int;  (** Forks consumed, including the first. *)
+}
+
+type worker_proc = {
+  pid : int;
+  pipe : Unix.file_descr;
+  mutable wbuf : string;  (** Partial line from the pipe. *)
+  wshard : shard;
+}
+
+type state = {
+  cfg : config;
+  journal : Run_journal.t;
+  memos : (string, Run_journal.record) Hashtbl.t;
+      (** Records journalled since startup, keyed by journal key — the
+          parent's in-memory view of what workers have completed (the
+          on-disk journal covers everything before startup). *)
+  listeners : Unix.file_descr list;
+  clients : (Unix.file_descr, client) Hashtbl.t;
+  workers : (Unix.file_descr, worker_proc) Hashtbl.t;  (** By pipe fd. *)
+  queue : shard Queue.t;
+  mutable reqs : req_state list;
+  mutable req_counter : int;
+  mutable memo_served : int;
+  mutable worker_retries : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Client output                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let disconnect st (c : client) =
+  Hashtbl.remove st.clients c.fd;
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  List.iter
+    (fun rq -> if rq.owner = Some c.fd then rq.owner <- None)
+    st.reqs
+
+let rec flush_client st (c : client) =
+  if not (Hashtbl.mem st.clients c.fd) then ()
+  else if c.outbuf <> "" then (
+    match Unix.write_substring c.fd c.outbuf 0 (String.length c.outbuf) with
+    | n ->
+      c.outbuf <- String.sub c.outbuf n (String.length c.outbuf - n);
+      if c.outbuf = "" then flush_client st c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> disconnect st c)
+  else
+    match Queue.take_opt c.outq with
+    | Some line ->
+      c.outbuf <- line;
+      flush_client st c
+    | None -> ()
+
+let enqueue st (c : client) line =
+  if
+    Queue.length c.outq < max_queued_lines || not (Wire.is_metrics_line line)
+  then begin
+    Queue.add (line ^ "\n") c.outq;
+    flush_client st c
+  end
+
+let send_to fd st line =
+  match Hashtbl.find_opt st.clients fd with
+  | Some c -> enqueue st c line
+  | None -> ()
+
+(* Owner plus every watcher (watchers see all requests' streams). *)
+let broadcast st (rq : req_state) line =
+  (match rq.owner with Some fd -> send_to fd st line | None -> ());
+  Hashtbl.iter
+    (fun fd c -> if c.watching && Some fd <> rq.owner then enqueue st c line)
+    st.clients
+
+let finish_req_if_done st rq =
+  if rq.outstanding = 0 then begin
+    broadcast st rq
+      (Wire.render_response
+         (Wire.Done
+            { req = rq.id; retries = rq.retries; quarantined = rq.quarantined }));
+    st.reqs <- List.filter (fun r -> r != rq) st.reqs;
+    log "%s done (%d retrie(s), %d quarantined)" rq.id rq.retries
+      rq.quarantined
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let spawn st (sh : shard) =
+  let cells = List.filter (fun cs -> not cs.done_) sh.remaining in
+  sh.remaining <- cells;
+  if cells = [] then ()
+  else begin
+    let r, w = Unix.pipe () in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      (* Worker child: drop every parent fd except the pipe, restore
+         default signal dispositions, run the shard, and _exit without
+         running the parent's at_exit handlers. *)
+      Unix.close r;
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) st.listeners;
+      Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) st.clients;
+      Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) st.workers;
+      Sys.set_signal Sys.sigterm Sys.Signal_default;
+      Sys.set_signal Sys.sigint Sys.Signal_default;
+      (try
+         Worker.run_shard ~req:sh.sreq.id ~journal_path:st.cfg.journal_path
+           ?lanes:sh.sreq.lanes ~jobs:st.cfg.jobs ~out:w
+           (List.map (fun cs -> cs.cell) cells)
+       with e ->
+         Printf.eprintf "[avis] huntd worker: uncaught %s\n%!"
+           (Printexc.to_string e));
+      Unix._exit 0
+    | pid ->
+      Unix.close w;
+      Hashtbl.replace st.workers r { pid; pipe = r; wbuf = ""; wshard = sh };
+      log "worker pid=%d forked for %s (%d cell(s), attempt %d/%d)" pid
+        sh.sreq.id (List.length cells) sh.attempts worker_attempts
+  end
+
+let maybe_spawn st =
+  while
+    Hashtbl.length st.workers < max 1 st.cfg.workers
+    && not (Queue.is_empty st.queue)
+  do
+    spawn st (Queue.take st.queue)
+  done
+
+let quarantine_cell st (rq : req_state) (cs : cell_state) ~attempts =
+  cs.done_ <- true;
+  rq.quarantined <- rq.quarantined + 1;
+  rq.outstanding <- rq.outstanding - 1;
+  broadcast st rq
+    (Wire.render_response
+       (Wire.Cell
+          {
+            req = rq.id;
+            approach = cs.cell.Worker.approach;
+            label = cs.cell.Worker.label;
+            status =
+              Wire.Cell_quarantined
+                {
+                  code = "WORKER-LOST";
+                  message =
+                    Printf.sprintf
+                      "worker process died before reporting this cell (%d \
+                       fork(s))"
+                      attempts;
+                  attempts;
+                };
+          }))
+
+(* EOF on a worker pipe: reap it, then either re-fork the shard's
+   unreported cells (the journal memo-serves whatever the dead worker
+   already finished) or quarantine them once the fork budget is spent. *)
+let reap st (w : worker_proc) =
+  Hashtbl.remove st.workers w.pipe;
+  (try Unix.close w.pipe with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+  let sh = w.wshard in
+  let rq = sh.sreq in
+  sh.remaining <- List.filter (fun cs -> not cs.done_) sh.remaining;
+  if sh.remaining <> [] then
+    if sh.attempts < worker_attempts then begin
+      sh.attempts <- sh.attempts + 1;
+      rq.retries <- rq.retries + 1;
+      st.worker_retries <- st.worker_retries + 1;
+      log
+        "worker pid=%d lost with %d cell(s) unreported; re-forking shard \
+         (attempt %d/%d)"
+        w.pid (List.length sh.remaining) sh.attempts worker_attempts;
+      Queue.add sh st.queue
+    end
+    else begin
+      log "worker pid=%d lost; quarantining %d cell(s) after %d fork(s)" w.pid
+        (List.length sh.remaining) sh.attempts;
+      List.iter
+        (fun cs -> quarantine_cell st rq cs ~attempts:sh.attempts)
+        sh.remaining;
+      sh.remaining <- [];
+      finish_req_if_done st rq
+    end
+
+let handle_worker_line st (w : worker_proc) line =
+  let rq = w.wshard.sreq in
+  if Wire.is_metrics_line line then broadcast st rq line
+  else
+    match Wire.parse_response line with
+    | Ok (Wire.Cell { label; status; _ }) ->
+      (match status with
+      | Wire.Cell_done record | Wire.Cell_memo record ->
+        Hashtbl.replace st.memos record.Run_journal.key record
+      | Wire.Cell_quarantined _ -> rq.quarantined <- rq.quarantined + 1);
+      (match
+         List.find_opt
+           (fun cs -> (not cs.done_) && cs.cell.Worker.label = label)
+           w.wshard.remaining
+       with
+      | Some cs ->
+        cs.done_ <- true;
+        rq.outstanding <- rq.outstanding - 1
+      | None -> log "worker pid=%d reported unknown cell %S" w.pid label);
+      broadcast st rq line;
+      finish_req_if_done st rq
+    | Ok _ | Error _ ->
+      log "ignoring unexpected line from worker pid=%d: %s" w.pid line
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let memo_for st (cell : Worker.cell) =
+  let key =
+    Campaign.journal_key st.journal cell.Worker.config
+      ~approach:cell.Worker.approach
+  in
+  match Hashtbl.find_opt st.memos key with
+  | Some record -> Some record
+  | None -> Run_journal.find st.journal ~key
+
+let submit st (c : client) (r : Wire.hunt_request) =
+  match Worker.cells_of_request r with
+  | Error reason -> enqueue st c (Wire.render_response (Wire.Rejected { reason }))
+  | Ok cells ->
+    st.req_counter <- st.req_counter + 1;
+    let rq =
+      {
+        id = Printf.sprintf "r%d" st.req_counter;
+        owner = Some c.fd;
+        lanes = r.Wire.lanes;
+        outstanding = List.length cells;
+        retries = 0;
+        quarantined = 0;
+      }
+    in
+    st.reqs <- rq :: st.reqs;
+    enqueue st c
+      (Wire.render_response
+         (Wire.Accepted
+            { req = rq.id; cells = List.map (fun cl -> cl.Worker.label) cells }));
+    log "%s accepted from client: %d cell(s), %d shard(s) requested" rq.id
+      (List.length cells) r.Wire.shards;
+    (* Serve memoised cells without forking at all. *)
+    let pending =
+      List.filter_map
+        (fun (cell : Worker.cell) ->
+          match memo_for st cell with
+          | Some record ->
+            st.memo_served <- st.memo_served + 1;
+            rq.outstanding <- rq.outstanding - 1;
+            broadcast st rq
+              (Avis_util.Metrics.line
+                 ~tags:[ ("req", rq.id) ]
+                 ~event:"memo"
+                 (Worker.memo_snapshot
+                    ~budget_s:cell.Worker.config.Campaign.budget_s ~wall_s:0.0
+                    record));
+            broadcast st rq
+              (Wire.render_response
+                 (Wire.Cell
+                    {
+                      req = rq.id;
+                      approach = cell.Worker.approach;
+                      label = cell.Worker.label;
+                      status = Wire.Cell_memo record;
+                    }));
+            None
+          | None -> Some { cell; done_ = false })
+        cells
+    in
+    if pending = [] then finish_req_if_done st rq
+    else begin
+      let shards =
+        max 1 (min r.Wire.shards (min (max 1 st.cfg.workers) (List.length pending)))
+      in
+      List.iter
+        (fun group -> Queue.add { sreq = rq; remaining = group; attempts = 1 } st.queue)
+        (Worker.shard_cells ~shards pending);
+      maybe_spawn st
+    end
+
+let handle_request st (c : client) line =
+  match Wire.parse_request line with
+  | Error reason -> enqueue st c (Wire.render_response (Wire.Rejected { reason }))
+  | Ok Wire.Ping -> enqueue st c (Wire.render_response Wire.Pong)
+  | Ok Wire.Watch -> c.watching <- true
+  | Ok Wire.Status ->
+    enqueue st c
+      (Wire.render_response
+         (Wire.Status_info
+            {
+              active = Hashtbl.length st.workers;
+              queued = Queue.length st.queue;
+              workers = st.cfg.workers;
+              memo_served = st.memo_served;
+              worker_retries = st.worker_retries;
+            }))
+  | Ok (Wire.Submit r) -> submit st c r
+
+(* ------------------------------------------------------------------ *)
+(* The event loop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let split_lines buf data =
+  let all = buf ^ data in
+  let rec go start acc =
+    match String.index_from_opt all start '\n' with
+    | Some i -> go (i + 1) (String.sub all start (i - start) :: acc)
+    | None -> (List.rev acc, String.sub all start (String.length all - start))
+  in
+  go 0 []
+
+let read_chunk fd =
+  let buf = Bytes.create 65536 in
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> `Eof
+  | n -> `Data (Bytes.sub_string buf 0 n)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    `Data ""
+  | exception Unix.Unix_error _ -> `Eof
+
+let handle_readable st fd =
+  if List.mem fd st.listeners then begin
+    match Unix.accept fd with
+    | cfd, _ ->
+      Unix.set_nonblock cfd;
+      Hashtbl.replace st.clients cfd
+        {
+          fd = cfd;
+          inbuf = "";
+          outq = Queue.create ();
+          outbuf = "";
+          watching = false;
+        }
+    | exception Unix.Unix_error _ -> ()
+  end
+  else
+    match Hashtbl.find_opt st.clients fd with
+    | Some c -> (
+      match read_chunk fd with
+      | `Eof -> disconnect st c
+      | `Data data ->
+        let lines, rest = split_lines c.inbuf data in
+        c.inbuf <- rest;
+        List.iter
+          (fun line -> if String.trim line <> "" then handle_request st c line)
+          lines)
+    | None -> (
+      match Hashtbl.find_opt st.workers fd with
+      | Some w -> (
+        match read_chunk fd with
+        | `Eof -> reap st w
+        | `Data data ->
+          let lines, rest = split_lines w.wbuf data in
+          w.wbuf <- rest;
+          List.iter (fun line -> handle_worker_line st w line) lines)
+      | None -> ())
+
+let serve cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop = ref false in
+  let on_stop = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigterm on_stop;
+  Sys.set_signal Sys.sigint on_stop;
+  (match cfg.store_dir with
+  | Some dir -> Unix.putenv "AVIS_STORE_DIR" dir
+  | None -> ());
+  (* Open (and thereby create) the journal before any fork, so workers
+     only ever see an existing file with a valid header. *)
+  let journal = Run_journal.open_ cfg.journal_path in
+  if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+  let unix_l = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind unix_l (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen unix_l 16;
+  let tcp_l =
+    Option.map
+      (fun port ->
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt s Unix.SO_REUSEADDR true;
+        Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen s 16;
+        s)
+      cfg.tcp_port
+  in
+  let st =
+    {
+      cfg;
+      journal;
+      memos = Hashtbl.create 64;
+      listeners = unix_l :: Option.to_list tcp_l;
+      clients = Hashtbl.create 16;
+      workers = Hashtbl.create 16;
+      queue = Queue.create ();
+      reqs = [];
+      req_counter = 0;
+      memo_served = 0;
+      worker_retries = 0;
+    }
+  in
+  log "listening on %s%s (journal %s: %d memo(s); %d worker slot(s) x %d \
+       domain(s))"
+    cfg.socket_path
+    (match cfg.tcp_port with
+    | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+    | None -> "")
+    cfg.journal_path
+    (Run_journal.completed_count journal)
+    (max 1 cfg.workers) (max 1 cfg.jobs);
+  while not !stop do
+    maybe_spawn st;
+    let client_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) st.clients [] in
+    let worker_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) st.workers [] in
+    let writable_wanted =
+      Hashtbl.fold
+        (fun fd c acc ->
+          if c.outbuf <> "" || not (Queue.is_empty c.outq) then fd :: acc
+          else acc)
+        st.clients []
+    in
+    match
+      Unix.select
+        (st.listeners @ client_fds @ worker_fds)
+        writable_wanted [] 0.2
+    with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+      List.iter (fun fd -> handle_readable st fd) readable;
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt st.clients fd with
+          | Some c -> flush_client st c
+          | None -> ())
+        writable
+  done;
+  log "shutting down: %d worker(s) to stop" (Hashtbl.length st.workers);
+  Hashtbl.iter
+    (fun _ w ->
+      (try Unix.kill w.pid Sys.sigterm with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+      try Unix.close w.pipe with Unix.Unix_error _ -> ())
+    st.workers;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) st.clients;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) st.listeners;
+  if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path

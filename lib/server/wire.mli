@@ -1,0 +1,73 @@
+(** The hunt daemon's wire protocol.
+
+    One line per message over a Unix-domain (or TCP) stream socket, in two
+    interleaved layers the first byte distinguishes:
+
+    - lines starting with ['{'] are control messages — strict JSON parsed
+      with {!Avis_util.Json} (requests client-to-server, responses
+      server-to-client);
+    - lines starting with ["[avis]"] are streamed {!Avis_util.Metrics}
+      records, relayed verbatim from the worker that produced them, each
+      tagged with the owning request id ([req=...]).
+
+    Campaign results travel as {!Avis_core.Run_journal.record} values in
+    their journal JSON encoding, so the bytes a client receives for a cell
+    are exactly the bytes the daemon's journal memoises — a served result
+    and a resumed one cannot differ. *)
+
+open Avis_core
+
+type hunt_request = {
+  firmware : string;  (** ["apm"] or ["px4"]. *)
+  workload : string;  (** A {!Workload.by_name} name. *)
+  approaches : string list;  (** Search strategies, one cell each. *)
+  budget_s : float;  (** Modelled wall-clock budget per cell. *)
+  seed : int;  (** Base seed; each cell derives its own via FNV-1a. *)
+  lanes : int option;
+      (** Scenarios in flight per campaign; [None] follows the worker's
+          [AVIS_LANES]. *)
+  shards : int;
+      (** Worker processes to spread this request's cells over (clamped to
+          the cell count and the daemon's worker budget). *)
+}
+
+type request =
+  | Submit of hunt_request
+  | Watch  (** Subscribe to every request's metrics stream. *)
+  | Status
+  | Ping
+
+type cell_status =
+  | Cell_done of Run_journal.record  (** Ran live in a worker. *)
+  | Cell_memo of Run_journal.record
+      (** Served from the daemon's journal or a completed worker, without
+          re-running. Bit-identical to [Cell_done] of the same cell. *)
+  | Cell_quarantined of { code : string; message : string; attempts : int }
+
+type status_info = {
+  active : int;  (** Worker processes currently running. *)
+  queued : int;  (** Shards waiting for a worker slot. *)
+  workers : int;  (** The daemon's concurrent-worker budget. *)
+  memo_served : int;  (** Cells served without forking since startup. *)
+  worker_retries : int;  (** Workers re-forked after dying mid-shard. *)
+}
+
+type response =
+  | Accepted of { req : string; cells : string list }
+  | Rejected of { reason : string }
+  | Cell of { req : string; approach : string; label : string; status : cell_status }
+  | Done of { req : string; retries : int; quarantined : int }
+  | Status_info of status_info
+  | Pong
+
+val is_metrics_line : string -> bool
+(** Does this line belong to the metrics layer (starts with ["[avis]"])? *)
+
+val render_request : request -> string
+(** One line of JSON, no trailing newline. *)
+
+val parse_request : string -> (request, string) result
+
+val render_response : response -> string
+
+val parse_response : string -> (response, string) result

@@ -1,0 +1,235 @@
+open Avis_core
+
+type cell = {
+  approach : string;
+  config : Campaign.config;
+  strategy : Search.context -> Search.t;
+  label : string;
+}
+
+let policy_of_name name =
+  match String.lowercase_ascii name with
+  | "apm" | "ardupilot" -> Some Avis_firmware.Policy.apm
+  | "px4" -> Some Avis_firmware.Policy.px4
+  | _ -> None
+
+let strategy_of_name name =
+  match name with
+  | "avis" | "sabre" -> Some (fun ctx -> Sabre.make ctx)
+  | "strat-bfi" -> Some (fun ctx -> Strat_bfi.make ctx)
+  | "bfi" -> Some (fun ctx -> Bfi.make ctx)
+  | "random" -> Some (fun ctx -> Random_search.make ctx)
+  | "dfs" -> Some (fun ctx -> Dfs.make ctx)
+  | "bfs" -> Some (fun ctx -> Bfs.make ctx)
+  | _ -> None
+
+(* Must agree with each strategy's [Search.name]: `submit` uses this to
+   print daemon results exactly as `hunt` prints live ones. *)
+let display_name = function
+  | "avis" | "sabre" -> "Avis (SABRE)"
+  | "strat-bfi" -> "Stratified BFI"
+  | "bfi" -> "BFI"
+  | "random" -> "Random"
+  | "dfs" -> "DFS"
+  | "bfs" -> "BFS"
+  | s -> s
+
+let cells_of_request (r : Wire.hunt_request) =
+  match policy_of_name r.firmware with
+  | None ->
+    Error (Printf.sprintf "unknown firmware %S (apm|px4)" r.firmware)
+  | Some policy -> (
+    match Workload.by_name r.workload with
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown workload %S (quickstart|manual-box|auto-box|fence-mission)"
+           r.workload)
+    | Some workload ->
+      if r.approaches = [] then Error "no approach given"
+      else if not (Float.is_finite r.budget_s) || r.budget_s <= 0.0 then
+        Error (Printf.sprintf "budget must be finite and positive")
+      else
+        let rec build acc = function
+          | [] -> Ok (List.rev acc)
+          | name :: rest -> (
+            match strategy_of_name name with
+            | None ->
+              Error
+                (Printf.sprintf
+                   "unknown approach %S (avis|strat-bfi|bfi|random|dfs|bfs)"
+                   name)
+            | Some strategy ->
+              (* The exact config [avis_cli hunt] builds for this cell:
+                 byte-identical journal keys depend on it. *)
+              let config =
+                {
+                  (Campaign.default_config policy workload) with
+                  Campaign.budget_s = r.budget_s;
+                  seed =
+                    Campaign.cell_seed ~base:r.seed
+                      ~policy:policy.Avis_firmware.Policy.name
+                      ~workload:workload.Workload.name ~approach:name ();
+                }
+              in
+              let label = Campaign.label_of config ~approach:name in
+              build ({ approach = name; config; strategy; label } :: acc) rest)
+        in
+        build [] r.approaches)
+
+let shard_cells ~shards cells =
+  let shards = max 1 shards in
+  let buckets = Array.make shards [] in
+  List.iteri (fun i c -> buckets.(i mod shards) <- c :: buckets.(i mod shards)) cells;
+  Array.to_list buckets |> List.map List.rev |> List.filter (fun s -> s <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Shard execution (forked child)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_all fd bytes pos len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes pos len in
+    write_all fd bytes (pos + n) (len - n)
+  end
+
+let snapshot_of_progress ~label ~started (p : Campaign.progress) =
+  {
+    Avis_util.Metrics.cell = label;
+    simulations = p.Campaign.simulations;
+    inferences = p.Campaign.inferences;
+    spent_s = p.Campaign.spent_s;
+    budget_s = p.Campaign.budget_s;
+    findings = p.Campaign.findings;
+    wall_s = Avis_util.Metrics.now_s () -. started;
+    minor_words = p.Campaign.minor_words;
+    major_collections = p.Campaign.major_collections;
+    store_hits = p.Campaign.store_hits;
+    store_misses = p.Campaign.store_misses;
+    store_bytes = p.Campaign.store_bytes;
+  }
+
+let memo_snapshot ~budget_s ~wall_s (record : Run_journal.record) =
+  {
+    Avis_util.Metrics.cell = record.Run_journal.label;
+    simulations = record.Run_journal.simulations;
+    inferences = record.Run_journal.inferences;
+    spent_s = Run_journal.spent_s record;
+    budget_s;
+    findings = List.length record.Run_journal.findings;
+    wall_s;
+    minor_words = 0.0;
+    major_collections = 0;
+    store_hits = 0;
+    store_misses = 0;
+    store_bytes = 0;
+  }
+
+let snapshot_of_result ~label ~budget_s ~wall_s (result : Campaign.result) =
+  let store_hits, store_misses, store_bytes =
+    match result.Campaign.cache_stats with
+    | Some s -> Prefix_cache.(s.store_hits, s.store_misses, s.store_bytes)
+    | None -> (0, 0, 0)
+  in
+  {
+    Avis_util.Metrics.cell = label;
+    simulations = result.Campaign.simulations;
+    inferences = result.Campaign.inferences;
+    spent_s = result.Campaign.wall_clock_spent_s;
+    budget_s;
+    findings = Campaign.unsafe_count result;
+    wall_s;
+    minor_words = result.Campaign.minor_words;
+    major_collections = result.Campaign.major_collections;
+    store_hits;
+    store_misses;
+    store_bytes;
+  }
+
+(* Progress lines are throttled per cell so a fast campaign doesn't flood
+   the pipe; terminal events (memo/done/quarantined) always go out. *)
+let progress_interval_s = 0.25
+
+let run_shard ~req ?journal_path ?lanes ~jobs ~out cells =
+  let write_mutex = Mutex.create () in
+  let send line =
+    let payload = Bytes.of_string (line ^ "\n") in
+    Mutex.lock write_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock write_mutex)
+      (fun () ->
+        try write_all out payload 0 (Bytes.length payload)
+        with Unix.Unix_error (Unix.EPIPE, _, _) ->
+          (* Daemon gone; keep running so the journal still gets the
+             records — the next daemon will memo-serve them. *)
+          ())
+  in
+  let tags = [ ("req", req) ] in
+  let send_metrics ~event snapshot =
+    send (Avis_util.Metrics.line ~tags ~event snapshot)
+  in
+  let send_cell ~approach ~label status =
+    send (Wire.render_response (Wire.Cell { req; approach; label; status }))
+  in
+  let journal = Option.map (fun p -> Run_journal.open_ p) journal_path in
+  let fingerprint =
+    match journal with
+    | Some j -> Run_journal.fingerprint j
+    | None -> Checkpoint_store.default_fingerprint ()
+  in
+  let run_cell cell =
+    let started = Avis_util.Metrics.now_s () in
+    match
+      Option.bind journal (fun j ->
+          Campaign.journal_memo j cell.config ~approach:cell.approach)
+    with
+    | Some record ->
+      let wall_s = Avis_util.Metrics.now_s () -. started in
+      send_metrics ~event:"memo"
+        (memo_snapshot ~budget_s:cell.config.Campaign.budget_s ~wall_s record);
+      send_cell ~approach:cell.approach ~label:cell.label
+        (Wire.Cell_memo record)
+    | None -> (
+      let last_progress = ref neg_infinity in
+      let progress p =
+        let now = Avis_util.Metrics.now_s () in
+        if now -. !last_progress >= progress_interval_s then begin
+          last_progress := now;
+          send_metrics ~event:"progress"
+            (snapshot_of_progress ~label:cell.label ~started p)
+        end
+      in
+      match
+        Campaign.run_supervised ?lanes ?journal ~journal_approach:cell.approach
+          ~progress cell.config ~strategy:cell.strategy
+      with
+      | Campaign.Completed result ->
+        let record =
+          Campaign.record_of_result cell.config ~approach:cell.approach
+            ~fingerprint result
+        in
+        let wall_s = Avis_util.Metrics.now_s () -. started in
+        send_metrics ~event:"done"
+          (snapshot_of_result ~label:cell.label
+             ~budget_s:cell.config.Campaign.budget_s ~wall_s result);
+        send_cell ~approach:cell.approach ~label:cell.label
+          (Wire.Cell_done record)
+      | Campaign.Quarantined e ->
+        let wall_s = Avis_util.Metrics.now_s () -. started in
+        send_metrics ~event:"quarantined"
+          {
+            Avis_util.Metrics.cell = cell.label;
+            simulations = 0; inferences = 0; spent_s = 0.0;
+            budget_s = cell.config.Campaign.budget_s; findings = 0; wall_s;
+            minor_words = 0.0; major_collections = 0; store_hits = 0;
+            store_misses = 0; store_bytes = 0;
+          };
+        send_cell ~approach:cell.approach ~label:cell.label
+          (Wire.Cell_quarantined
+             {
+               code = e.Campaign.code;
+               message = e.Campaign.message;
+               attempts = e.Campaign.attempts;
+             }))
+  in
+  ignore (Avis_util.Pool.map ~jobs run_cell cells : unit list)

@@ -1,0 +1,62 @@
+(** The hunt daemon's worker side: turning a {!Wire.hunt_request} into
+    campaign cells and running a shard of them in a forked process.
+
+    A worker is a fork of the daemon, so it shares the daemon's binary
+    fingerprint: the journal records it appends — and the
+    {!Wire.cell_status} records it streams back over its pipe — carry
+    exactly the keys an in-process [avis_cli hunt] of the same request
+    would compute. Cells inside the shard run on the domain {!Avis_util.Pool}
+    ([jobs] wide), so one request is parallel along both axes: processes
+    across shards, domains within a shard. *)
+
+open Avis_core
+
+type cell = {
+  approach : string;
+  config : Campaign.config;
+  strategy : Search.context -> Search.t;
+  label : string;  (** {!Campaign.label_of}: [approach/policy/workload]. *)
+}
+
+val policy_of_name : string -> Avis_firmware.Policy.t option
+(** ["apm"]/["ardupilot"] or ["px4"], case-insensitively — both the CLI
+    short names and the policies' display names resolve. *)
+
+val strategy_of_name : string -> (Search.context -> Search.t) option
+(** The CLI's approach names: avis|sabre|strat-bfi|bfi|random|dfs|bfs. *)
+
+val display_name : string -> string
+(** The strategy's [Search.name] for a CLI approach name (identity for
+    unknown names) — what a live campaign result reports as its
+    approach, and therefore what `submit` prints so daemon output
+    matches `hunt` output byte for byte. *)
+
+val cells_of_request : Wire.hunt_request -> (cell list, string) result
+(** Validate and expand a request into one cell per approach. Each cell's
+    config is built exactly as [avis_cli hunt] builds it — same
+    {!Campaign.default_config}, budget and {!Campaign.cell_seed} — which
+    is what makes daemon results byte-comparable to in-process runs. *)
+
+val shard_cells : shards:int -> 'a list -> 'a list list
+(** Round-robin the cells into [max 1 shards] non-empty groups (fewer
+    when there are fewer cells than shards). *)
+
+val memo_snapshot :
+  budget_s:float -> wall_s:float -> Run_journal.record ->
+  Avis_util.Metrics.snapshot
+(** The metrics snapshot a memo-served cell reports: counters from the
+    record, no GC or store activity (nothing ran). Shared by the worker,
+    the daemon's parent-side memo path and the client's reconstruction,
+    so a memo-served cell's metrics line is identical wherever the memo
+    was found. *)
+
+val run_shard :
+  req:string -> ?journal_path:string -> ?lanes:int -> jobs:int ->
+  out:Unix.file_descr -> cell list -> unit
+(** The forked child's main: run every cell (memo-serving from the
+    journal at [journal_path] when it already holds the cell), writing
+    newline-terminated {!Wire} response lines and [req]-tagged
+    {!Avis_util.Metrics} lines to [out]. Each line is written whole under
+    a mutex, so the stream stays line-atomic even though cells run on
+    concurrent domains. Never raises: a cell failure is reported as
+    [Cell_quarantined] by the supervised runner. *)

@@ -1,0 +1,42 @@
+let warn ~var ~value ~want ~using =
+  Printf.eprintf
+    "[avis] warning: ignoring invalid %s=%S (want %s); using %s\n%!" var value
+    want using
+
+let parse_with ~of_string ~valid ?default_label ~var ~default ~want ~render ()
+    =
+  match Sys.getenv_opt var with
+  | None -> default
+  | Some v -> (
+    match of_string (String.trim v) with
+    | Some x when valid x -> x
+    | Some _ | None ->
+      let using =
+        match default_label with Some l -> l | None -> render default
+      in
+      warn ~var ~value:v ~want ~using;
+      default)
+
+let positive_int ?default_label ~var ~default () =
+  parse_with ~of_string:int_of_string_opt
+    ~valid:(fun n -> n >= 1)
+    ?default_label ~var ~default ~want:"a positive integer"
+    ~render:string_of_int ()
+
+let positive_float ?default_label ~var ~default () =
+  parse_with ~of_string:float_of_string_opt
+    ~valid:(fun f -> f > 0.0)
+    ?default_label ~var ~default ~want:"a positive number"
+    ~render:(Printf.sprintf "%g") ()
+
+let bool_of_string v =
+  match String.lowercase_ascii v with
+  | "1" | "true" | "on" | "yes" -> Some true
+  | "0" | "false" | "off" | "no" -> Some false
+  | _ -> None
+
+let flag ?(default = false) ~var () =
+  parse_with ~of_string:bool_of_string
+    ~valid:(fun _ -> true)
+    ~var ~default ~want:"1|true|on|yes or 0|false|off|no"
+    ~render:string_of_bool ()

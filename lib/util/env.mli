@@ -1,0 +1,24 @@
+(** Uniform environment-variable parsing with warn-and-fall-back.
+
+    Every [AVIS_*] knob used to hand-roll its own parser, and they drifted:
+    some warned on a malformed value, some silently accepted garbage
+    ([AVIS_TRACE=tru] used to mean {e on}), and the wording differed. These
+    helpers give them one behaviour — an unset variable is the default, a
+    well-formed value wins, and anything else (malformed, zero, negative,
+    unrecognised) warns once on stderr and falls back to the default. A
+    typo must never silently disable, unbound or serialise anything. *)
+
+val positive_int : ?default_label:string -> var:string -> default:int -> unit -> int
+(** Parse [var] as a strictly positive integer. [default_label] names the
+    fallback in the warning when the default is computed (e.g. ["the
+    hardware's recommendation"]); it defaults to the rendered value. *)
+
+val positive_float :
+  ?default_label:string -> var:string -> default:float -> unit -> float
+(** Parse [var] as a strictly positive float (seconds, typically). *)
+
+val flag : ?default:bool -> var:string -> unit -> bool
+(** Parse [var] as a boolean: ["1"/"true"/"on"/"yes"] are true,
+    ["0"/"false"/"off"/"no"] are false (case-insensitive, trimmed).
+    Anything else warns and falls back to [default] (itself false by
+    default). *)

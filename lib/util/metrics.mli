@@ -8,7 +8,9 @@
     {v [avis] event=progress cell=Avis/apm/auto-box sims=41 infs=0 spent_s=612.0 budget_s=7200.0 findings=3 wall_s=0.8 minor_mw=12.50 majors=2 store_h=0 store_m=0 store_b=0 v} *)
 
 type snapshot = {
-  cell : string;  (** [approach/policy/workload], no spaces. *)
+  cell : string;
+      (** [approach/policy/workload]. Reserved bytes (space, ['='], ['%'],
+          control characters) are percent-escaped by {!line}. *)
   simulations : int;
   inferences : int;
   spent_s : float;  (** Modelled wall-clock charged to the budget. *)
@@ -30,10 +32,28 @@ val now_s : unit -> float
 (** Monotonic clock reading in seconds. Only differences are meaningful;
     immune to wall-clock steps (NTP, DST) unlike [Unix.gettimeofday]. *)
 
-val line : event:string -> snapshot -> string
-(** Render one record (no trailing newline). *)
+val line : ?tags:(string * string) list -> event:string -> snapshot -> string
+(** Render one record (no trailing newline). [tags] are appended as extra
+    [key=value] pairs — the hunt daemon tags every streamed record with
+    the owning request id ([req=...]). Values (the cell label, the event
+    and every tag) are percent-escaped so that a space, ['='], ['%'] or
+    control byte in a label cannot corrupt the [key=value] framing;
+    {!parse_line} reverses the escaping. *)
 
-val emit : ?oc:out_channel -> event:string -> snapshot -> unit
+val parse_line :
+  string ->
+  (string * snapshot * (string * string) list, string) result
+(** Parse a {!line}-rendered record back into [(event, snapshot, tags)] —
+    the inverse the daemon's clients use to read the stream. Strict: the
+    ["[avis]"] prefix and every snapshot field must be present and
+    well-formed. Labels and tag values round-trip exactly; numeric fields
+    round-trip through their fixed-point rendering, so
+    [line ~tags ~event snapshot] of a parsed line reproduces the input
+    byte for byte. *)
+
+val emit :
+  ?oc:out_channel -> ?tags:(string * string) list -> event:string ->
+  snapshot -> unit
 (** Write [line] atomically to [oc] (default stderr) and flush. Safe to
     call concurrently from worker domains. *)
 

@@ -146,12 +146,4 @@ let map ~jobs f items =
 let default_jobs () = Domain.recommended_domain_count ()
 
 let jobs_of_env ?(var = "AVIS_JOBS") () =
-  match Sys.getenv_opt var with
-  | None -> default_jobs ()
-  | Some v -> (
-    match int_of_string_opt (String.trim v) with
-    | Some n when n >= 1 -> n
-    | Some _ | None ->
-      Printf.eprintf "[avis] warning: ignoring malformed %s=%S (want a positive integer); using %d\n%!"
-        var v (default_jobs ());
-      default_jobs ())
+  Env.positive_int ~var ~default:(default_jobs ()) ()

@@ -31,13 +31,7 @@ let set_enabled on =
 
 let enabled () = Atomic.get enabled_flag
 
-let enabled_by_env ?(var = "AVIS_TRACE") () =
-  match Sys.getenv_opt var with
-  | None -> false
-  | Some v -> (
-    match String.lowercase_ascii (String.trim v) with
-    | "0" | "false" | "off" | "no" -> false
-    | _ -> true)
+let enabled_by_env ?(var = "AVIS_TRACE") () = Env.flag ~var ()
 
 let reset () =
   Mutex.lock registry_mutex;

@@ -333,8 +333,14 @@ let test_fault_spec_rejects () =
       "gps[1@5";
       "gps[1]]@5";
       "gps[-1]@5";
-      (* Times must be real and non-negative. *)
+      (* Times must be finite and non-negative. Regression: "inf" used to
+         parse, producing a scenario that can never fire yet still
+         charges budget. *)
       "gps@nan";
+      "gps@inf";
+      "gps@infinity";
+      "gps@-inf";
+      "gps@1e999";
       "gps@-1";
       "gps@";
       "gps";
@@ -342,6 +348,42 @@ let test_fault_spec_rejects () =
       "sonar@5";
       "@5";
     ]
+
+(* to_string then parse must reproduce any spec exactly. Times are drawn
+   on a grid that "%g" renders losslessly (at most 6 significant digits),
+   which covers every time a user could have typed back in. *)
+let test_fault_spec_roundtrip_qcheck =
+  let gen =
+    QCheck.Gen.(
+      let* kind =
+        oneofl
+          Sensor.
+            [ Accelerometer; Gyroscope; Compass; Gps; Barometer; Battery ]
+      in
+      let* index = opt (int_bound 3) in
+      let* at =
+        oneof
+          [
+            map (fun d -> float_of_int d /. 100.0) (int_bound 100_000);
+            map float_of_int (int_bound 1_000_000);
+            return 0.0;
+          ]
+      in
+      return { Fault_spec.kind; index; at })
+  in
+  QCheck.Test.make ~count:500 ~name:"fault spec to_string/parse round-trips"
+    (QCheck.make gen)
+    (fun spec ->
+      match Fault_spec.parse (Fault_spec.to_string spec) with
+      | Ok parsed ->
+        if parsed <> spec then
+          QCheck.Test.fail_reportf "round-trip changed %S to %S"
+            (Fault_spec.to_string spec)
+            (Fault_spec.to_string parsed)
+        else true
+      | Error e ->
+        QCheck.Test.fail_reportf "parse %S failed: %s"
+          (Fault_spec.to_string spec) e)
 
 let test_bugstudy_totals () =
   Alcotest.(check int) "215 records" 215 Avis_bugstudy.Bugstudy.total;
@@ -420,6 +462,7 @@ let () =
         [
           Alcotest.test_case "parses" `Quick test_fault_spec_parses;
           Alcotest.test_case "rejects malformed" `Quick test_fault_spec_rejects;
+          q test_fault_spec_roundtrip_qcheck;
         ] );
       ( "bug study",
         [

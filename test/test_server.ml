@@ -1,0 +1,411 @@
+(* The hunt daemon: wire-protocol round trips, request expansion, and a
+   live end-to-end session against a forked daemon.
+
+   The end-to-end test is the library-level version of CI's daemon smoke
+   job: fork [Hunt_service.serve], submit the same tiny hunt twice over
+   the socket, and require the memo-served record to be byte-identical to
+   the live one — the acceptance bar for the whole service. *)
+
+open Avis_core
+open Avis_server
+
+let temp_counter = ref 0
+
+let temp_dir () =
+  incr temp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "avis-test-server-%d-%d" (Unix.getpid ()) !temp_counter)
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Wire round trips                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sample_request =
+  {
+    Wire.firmware = "apm";
+    workload = "quickstart";
+    approaches = [ "random"; "avis" ];
+    (* Not representable in decimal: the bits must survive the wire. *)
+    budget_s = 0.1 +. 0.2;
+    seed = 42;
+    lanes = Some 4;
+    shards = 2;
+  }
+
+let sample_record =
+  {
+    Run_journal.key = "abcdef0123456789";
+    label = "random/ArduPilot/quickstart";
+    simulations = 17;
+    inferences = 3;
+    spent_bits = Int64.bits_of_float 123.456;
+    findings =
+      [
+        {
+          Run_journal.simulation_index = 9;
+          description = "a finding with spaces, \"quotes\" and \\ slashes";
+          bucket = "Takeoff";
+          bugs = [ "AV-3"; "AV-7" ];
+        };
+      ];
+  }
+
+let check_request r =
+  match Wire.parse_request (Wire.render_request r) with
+  | Ok r' -> Alcotest.(check bool) "request round-trips" true (r = r')
+  | Error e -> Alcotest.failf "request did not parse back: %s" e
+
+let check_response r =
+  match Wire.parse_response (Wire.render_response r) with
+  | Ok r' -> Alcotest.(check bool) "response round-trips" true (r = r')
+  | Error e -> Alcotest.failf "response did not parse back: %s" e
+
+let test_wire_request_roundtrip () =
+  check_request (Wire.Submit sample_request);
+  check_request (Wire.Submit { sample_request with Wire.lanes = None });
+  check_request Wire.Watch;
+  check_request Wire.Status;
+  check_request Wire.Ping
+
+let test_wire_response_roundtrip () =
+  check_response (Wire.Accepted { req = "r1"; cells = [ "a/b/c"; "d/e/f" ] });
+  check_response (Wire.Rejected { reason = "unknown workload \"x\"" });
+  check_response
+    (Wire.Cell
+       {
+         req = "r1";
+         approach = "random";
+         label = "random/ArduPilot/quickstart";
+         status = Wire.Cell_done sample_record;
+       });
+  check_response
+    (Wire.Cell
+       {
+         req = "r1";
+         approach = "random";
+         label = "random/ArduPilot/quickstart";
+         status = Wire.Cell_memo sample_record;
+       });
+  check_response
+    (Wire.Cell
+       {
+         req = "r2";
+         approach = "avis";
+         label = "avis/PX4/auto-box";
+         status =
+           Wire.Cell_quarantined
+             { code = "WORKER-LOST"; message = "worker died"; attempts = 3 };
+       });
+  check_response (Wire.Done { req = "r1"; retries = 1; quarantined = 0 });
+  check_response
+    (Wire.Status_info
+       {
+         active = 2;
+         queued = 1;
+         workers = 4;
+         memo_served = 7;
+         worker_retries = 1;
+       });
+  check_response Wire.Pong
+
+let test_wire_rejects () =
+  List.iter
+    (fun line ->
+      match Wire.parse_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad request line: %s" line)
+    [
+      "";
+      "not json";
+      "{}";
+      {|{"op":"fly"}|};
+      (* Submit with a missing field and with malformed budget bits. *)
+      {|{"op":"submit","firmware":"apm","workload":"quickstart","approaches":["random"],"seed":1,"shards":1}|};
+      {|{"op":"submit","firmware":"apm","workload":"quickstart","approaches":["random"],"budget_bits":"zz","seed":1,"shards":1}|};
+    ];
+  match Wire.parse_response {|{"type":"cell","req":"r1"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a cell response without a status"
+
+let test_wire_budget_bits_lossless () =
+  List.iter
+    (fun budget ->
+      match
+        Wire.parse_request
+          (Wire.render_request
+             (Wire.Submit { sample_request with Wire.budget_s = budget }))
+      with
+      | Ok (Wire.Submit r) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "bits of %h preserved" budget)
+          true
+          (Int64.bits_of_float r.Wire.budget_s = Int64.bits_of_float budget)
+      | Ok _ -> Alcotest.fail "parsed to a different request"
+      | Error e -> Alcotest.failf "failed to parse: %s" e)
+    [ 7200.0; 0.1; 1e-300; Float.pi; 4.9e-324 ]
+
+let test_metrics_layer_split () =
+  Alcotest.(check bool) "metrics prefix" true
+    (Wire.is_metrics_line "[avis] event=progress cell=x");
+  Alcotest.(check bool) "control line" false
+    (Wire.is_metrics_line {|{"type":"pong"}|});
+  Alcotest.(check bool) "short line" false (Wire.is_metrics_line "[avi")
+
+(* ------------------------------------------------------------------ *)
+(* Request expansion                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_cells_of_request () =
+  match Worker.cells_of_request sample_request with
+  | Error e -> Alcotest.failf "valid request rejected: %s" e
+  | Ok cells ->
+    Alcotest.(check int) "one cell per approach" 2 (List.length cells);
+    List.iter2
+      (fun name (cell : Worker.cell) ->
+        Alcotest.(check string) "approach" name cell.Worker.approach;
+        Alcotest.(check string) "label"
+          (Printf.sprintf "%s/ArduPilot/quickstart" name)
+          cell.Worker.label;
+        (* The exact seed and budget an in-process hunt would use. *)
+        Alcotest.(check int) "seed"
+          (Campaign.cell_seed ~base:42 ~policy:"ArduPilot"
+             ~workload:"quickstart" ~approach:name ())
+          cell.Worker.config.Campaign.seed;
+        Alcotest.(check bool) "budget bits" true
+          (Int64.bits_of_float cell.Worker.config.Campaign.budget_s
+          = Int64.bits_of_float sample_request.Wire.budget_s))
+      sample_request.Wire.approaches cells
+
+let test_cells_of_request_rejects () =
+  let expect_error label r =
+    match Worker.cells_of_request r with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" label
+  in
+  expect_error "unknown firmware"
+    { sample_request with Wire.firmware = "betaflight" };
+  expect_error "unknown workload"
+    { sample_request with Wire.workload = "nope" };
+  expect_error "unknown approach"
+    { sample_request with Wire.approaches = [ "random"; "montecarlo" ] };
+  expect_error "no approaches" { sample_request with Wire.approaches = [] };
+  expect_error "zero budget" { sample_request with Wire.budget_s = 0.0 };
+  expect_error "negative budget" { sample_request with Wire.budget_s = -1.0 };
+  expect_error "infinite budget"
+    { sample_request with Wire.budget_s = infinity };
+  expect_error "nan budget" { sample_request with Wire.budget_s = nan }
+
+let test_shard_cells () =
+  let groups = Worker.shard_cells ~shards:3 [ 1; 2; 3; 4; 5; 6; 7 ] in
+  Alcotest.(check (list (list int)))
+    "round robin" [ [ 1; 4; 7 ]; [ 2; 5 ]; [ 3; 6 ] ] groups;
+  Alcotest.(check (list (list int)))
+    "more shards than cells" [ [ 1 ]; [ 2 ] ]
+    (Worker.shard_cells ~shards:5 [ 1; 2 ]);
+  Alcotest.(check (list (list int)))
+    "non-positive shard count" [ [ 1; 2 ] ]
+    (Worker.shard_cells ~shards:0 [ 1; 2 ]);
+  Alcotest.(check (list (list int))) "no cells" []
+    (Worker.shard_cells ~shards:3 [])
+
+(* The client prints daemon results under the strategy's display name;
+   the mapping must agree with what each strategy actually reports. *)
+let test_display_names_match () =
+  let config =
+    {
+      (Campaign.default_config Avis_firmware.Policy.apm Workload.quickstart) with
+      Campaign.budget_s = 1.0;
+    }
+  in
+  let _, ctx, _ = Campaign.profile_and_context config in
+  List.iter
+    (fun name ->
+      match Worker.strategy_of_name name with
+      | None -> Alcotest.failf "approach %s unresolvable" name
+      | Some strategy ->
+        Alcotest.(check string)
+          (name ^ " display name")
+          (strategy ctx).Search.name (Worker.display_name name))
+    [ "avis"; "strat-bfi"; "bfi"; "random"; "dfs"; "bfs" ]
+
+(* ------------------------------------------------------------------ *)
+(* End to end against a forked daemon                                   *)
+(* ------------------------------------------------------------------ *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc req =
+  output_string oc (Wire.render_request req ^ "\n");
+  flush oc
+
+(* Read control responses until [until] says stop, checking every
+   interleaved metrics line parses and carries the request tag. *)
+let read_until ~req ic until =
+  let collected = ref [] in
+  let rec go () =
+    let line = input_line ic in
+    if Wire.is_metrics_line line then begin
+      (match Avis_util.Metrics.parse_line line with
+      | Ok (_, _, tags) ->
+        Alcotest.(check (option string))
+          "metrics line tagged with the request id" (Some req)
+          (List.assoc_opt "req" tags)
+      | Error e -> Alcotest.failf "bad metrics line (%s): %s" e line);
+      go ()
+    end
+    else
+      match Wire.parse_response line with
+      | Error e -> Alcotest.failf "bad control line (%s): %s" e line
+      | Ok resp ->
+        collected := resp :: !collected;
+        if until resp then List.rev !collected else go ()
+  in
+  go ()
+
+let submit_and_collect ic oc request =
+  send oc (Wire.Submit request);
+  let req =
+    match input_line ic with
+    | line -> (
+      match Wire.parse_response line with
+      | Ok (Wire.Accepted { req; cells }) ->
+        Alcotest.(check int) "accepted all cells"
+          (List.length request.Wire.approaches)
+          (List.length cells);
+        req
+      | Ok (Wire.Rejected { reason }) ->
+        Alcotest.failf "daemon rejected the hunt: %s" reason
+      | Ok _ -> Alcotest.fail "expected accepted/rejected first"
+      | Error e -> Alcotest.failf "bad accept line: %s" e)
+  in
+  let responses =
+    read_until ~req ic (function Wire.Done d -> d.req = req | _ -> false)
+  in
+  List.filter_map
+    (function
+      | Wire.Cell { req = r; status; _ } when r = req -> Some status
+      | _ -> None)
+    responses
+
+let tiny_request =
+  {
+    Wire.firmware = "apm";
+    workload = "quickstart";
+    approaches = [ "random" ];
+    budget_s = 20.0;
+    seed = 3;
+    lanes = None;
+    shards = 1;
+  }
+
+let record_bytes r = Avis_util.Json.to_string (Run_journal.record_to_json r)
+
+let test_daemon_end_to_end () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let socket_path = Filename.concat dir "huntd.sock" in
+  let cfg =
+    {
+      Hunt_service.socket_path;
+      tcp_port = None;
+      journal_path = Filename.concat dir "journal.jsonl";
+      store_dir = None;
+      workers = 2;
+      jobs = 1;
+    }
+  in
+  let daemon =
+    match Unix.fork () with
+    | 0 ->
+      (try Hunt_service.serve cfg with _ -> Unix._exit 1);
+      Unix._exit 0
+    | pid -> pid
+  in
+  Fun.protect ~finally:(fun () ->
+      (try Unix.kill daemon Sys.sigterm with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] daemon) with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let rec await_socket n =
+    if Sys.file_exists socket_path then ()
+    else if n = 0 then Alcotest.fail "daemon never created its socket"
+    else begin
+      Unix.sleepf 0.05;
+      await_socket (n - 1)
+    end
+  in
+  await_socket 100;
+  let ic, oc = connect socket_path in
+  send oc Wire.Ping;
+  (match Wire.parse_response (input_line ic) with
+  | Ok Wire.Pong -> ()
+  | _ -> Alcotest.fail "no pong");
+  (* Cold: the cell runs live in a worker. *)
+  let live =
+    match submit_and_collect ic oc tiny_request with
+    | [ Wire.Cell_done r ] -> r
+    | [ Wire.Cell_memo _ ] -> Alcotest.fail "cold submit served a memo"
+    | other -> Alcotest.failf "expected one live cell, got %d" (List.length other)
+  in
+  Alcotest.(check bool) "live cell simulated" true
+    (live.Run_journal.simulations > 0);
+  (* Warm: same request again must be memo-served, byte-identical. *)
+  (match submit_and_collect ic oc tiny_request with
+  | [ Wire.Cell_memo r ] ->
+    Alcotest.(check string) "memo bytes = live bytes" (record_bytes live)
+      (record_bytes r)
+  | [ Wire.Cell_done _ ] -> Alcotest.fail "warm submit re-ran the cell"
+  | other -> Alcotest.failf "expected one memo cell, got %d" (List.length other));
+  send oc Wire.Status;
+  match Wire.parse_response (input_line ic) with
+  | Ok (Wire.Status_info s) ->
+    Alcotest.(check bool) "memo served counted" true (s.Wire.memo_served >= 1)
+  | _ -> Alcotest.fail "no status"
+
+let () =
+  Alcotest.run "avis server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "request round-trip" `Quick
+            test_wire_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick
+            test_wire_response_roundtrip;
+          Alcotest.test_case "malformed lines rejected" `Quick
+            test_wire_rejects;
+          Alcotest.test_case "budget crosses as bits" `Quick
+            test_wire_budget_bits_lossless;
+          Alcotest.test_case "metrics/control layering" `Quick
+            test_metrics_layer_split;
+        ] );
+      ( "worker",
+        [
+          Alcotest.test_case "cells mirror hunt's configs" `Quick
+            test_cells_of_request;
+          Alcotest.test_case "invalid requests rejected" `Quick
+            test_cells_of_request_rejects;
+          Alcotest.test_case "round-robin sharding" `Quick test_shard_cells;
+          Alcotest.test_case "display names match strategies" `Quick
+            test_display_names_match;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "end-to-end: live then memo, same bytes" `Quick
+            test_daemon_end_to_end;
+        ] );
+    ]

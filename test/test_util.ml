@@ -333,6 +333,174 @@ let test_trace_env () =
   Alcotest.(check bool) "unset means disabled" false
     (Trace.enabled_by_env ~var:"AVIS_TEST_SURELY_UNSET_TRACE" ())
 
+(* Env: the shared warn-and-fall-back parser behind every AVIS_* knob. *)
+
+let with_env var value f =
+  Unix.putenv var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv var "") (fun () -> f ())
+
+(* putenv cannot truly unset; use a fresh name per case for the unset
+   arm and treat "" as a set-but-malformed value (which it is). *)
+let test_env_positive_int () =
+  Alcotest.(check int) "unset -> default" 7
+    (Env.positive_int ~var:"AVIS_TEST_ENV_UNSET_INT" ~default:7 ());
+  with_env "AVIS_TEST_ENV_INT" " 12 " (fun () ->
+      Alcotest.(check int) "trimmed value wins" 12
+        (Env.positive_int ~var:"AVIS_TEST_ENV_INT" ~default:7 ()));
+  List.iter
+    (fun bad ->
+      with_env "AVIS_TEST_ENV_INT" bad (fun () ->
+          Alcotest.(check int)
+            (Printf.sprintf "%S falls back" bad)
+            7
+            (Env.positive_int ~var:"AVIS_TEST_ENV_INT" ~default:7 ())))
+    [ "0"; "-3"; "four"; "4.5"; "" ]
+
+let test_env_positive_float () =
+  Alcotest.(check (float 0.0)) "unset -> default" 7200.0
+    (Env.positive_float ~var:"AVIS_TEST_ENV_UNSET_FLOAT" ~default:7200.0 ());
+  with_env "AVIS_TEST_ENV_FLOAT" "30.5" (fun () ->
+      Alcotest.(check (float 0.0)) "value wins" 30.5
+        (Env.positive_float ~var:"AVIS_TEST_ENV_FLOAT" ~default:7200.0 ()));
+  List.iter
+    (fun bad ->
+      with_env "AVIS_TEST_ENV_FLOAT" bad (fun () ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%S falls back" bad)
+            7200.0
+            (Env.positive_float ~var:"AVIS_TEST_ENV_FLOAT" ~default:7200.0 ())))
+    [ "0"; "-1.5"; "nan"; "soon"; "" ]
+
+let test_env_flag () =
+  Alcotest.(check bool) "unset -> default false" false
+    (Env.flag ~var:"AVIS_TEST_ENV_UNSET_FLAG" ());
+  Alcotest.(check bool) "unset -> default true" true
+    (Env.flag ~default:true ~var:"AVIS_TEST_ENV_UNSET_FLAG2" ());
+  List.iter
+    (fun (v, expect) ->
+      with_env "AVIS_TEST_ENV_FLAG" v (fun () ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S" v)
+            expect
+            (Env.flag ~var:"AVIS_TEST_ENV_FLAG" ())))
+    [ ("1", true); ("ON", true); ("Yes", true); ("0", false); ("off", false) ];
+  (* A typo no longer silently counts as "on": it warns and keeps the
+     default, like every other knob. *)
+  with_env "AVIS_TEST_ENV_FLAG" "tru" (fun () ->
+      Alcotest.(check bool) "malformed falls back to default" true
+        (Env.flag ~default:true ~var:"AVIS_TEST_ENV_FLAG" ()))
+
+(* Metrics: the key=value line protocol and its parse_line inverse. *)
+
+let sample_snapshot cell =
+  {
+    Metrics.cell; simulations = 41; inferences = 3; spent_s = 612.0;
+    budget_s = 7200.0; findings = 2; wall_s = 0.8; minor_words = 12.5e6;
+    major_collections = 2; store_hits = 5; store_misses = 1;
+    store_bytes = 123456;
+  }
+
+let test_metrics_line_escapes_cell () =
+  (* Regression: an unescaped space or '=' in the cell label used to
+     corrupt the key=value framing of the whole line. *)
+  let s = sample_snapshot "avis/apm/auto box=v2" in
+  let text = Metrics.line ~event:"progress" s in
+  Alcotest.(check bool) "no raw space in the cell field" false
+    (String.split_on_char ' ' text
+    |> List.exists (fun tok -> tok = "box=v2"));
+  match Metrics.parse_line text with
+  | Error e -> Alcotest.failf "parse_line failed: %s" e
+  | Ok (event, parsed, tags) ->
+    Alcotest.(check string) "event" "progress" event;
+    Alcotest.(check string) "cell exact" s.Metrics.cell parsed.Metrics.cell;
+    Alcotest.(check (list (pair string string))) "no tags" [] tags
+
+let test_metrics_line_tags () =
+  let s = sample_snapshot "avis/apm/auto-box" in
+  let tags = [ ("req", "r-12"); ("shard", "0") ] in
+  let text = Metrics.line ~tags ~event:"progress" s in
+  match Metrics.parse_line text with
+  | Error e -> Alcotest.failf "parse_line failed: %s" e
+  | Ok (_, _, parsed_tags) ->
+    Alcotest.(check (list (pair string string))) "tags round-trip" tags
+      parsed_tags
+
+let test_metrics_parse_rejects () =
+  List.iter
+    (fun bad ->
+      match Metrics.parse_line bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parse_line %S unexpectedly succeeded" bad)
+    [
+      "event=progress cell=x";  (* no [avis] prefix *)
+      "[avis] event=progress";  (* missing fields *)
+      "[avis] event=progress cell=x sims=many infs=0 spent_s=0.0 \
+       budget_s=0.0 findings=0 wall_s=0.0 minor_mw=0.00 majors=0 store_h=0 \
+       store_m=0 store_b=0";  (* non-numeric count *)
+      "[avis] event=progress cell=bad%GG sims=0 infs=0 spent_s=0.0 \
+       budget_s=0.0 findings=0 wall_s=0.0 minor_mw=0.00 majors=0 store_h=0 \
+       store_m=0 store_b=0";  (* malformed escape *)
+    ]
+
+(* Any cell label and tag value — spaces, '=', '%', newlines, whatever —
+   must survive line/parse_line exactly, and re-rendering the parsed
+   snapshot must reproduce the line byte for byte (numeric fields are
+   generated on the rendering grid so the fixed-point formats are
+   lossless). *)
+let test_metrics_roundtrip_qcheck =
+  let snapshot_gen =
+    QCheck.Gen.(
+      let* cell = string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 30) in
+      let* simulations = int_bound 10_000 in
+      let* inferences = int_bound 10_000 in
+      let* spent_d = int_bound 100_000 in
+      let* budget_d = int_bound 100_000 in
+      let* findings = int_bound 100 in
+      let* wall_d = int_bound 10_000 in
+      let* minor_cw = int_bound 1_000_000 in
+      let* major_collections = int_bound 50 in
+      let* store_hits = int_bound 1000 in
+      let* store_misses = int_bound 1000 in
+      let* store_bytes = int_bound 1_000_000_000 in
+      let* tag = string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 12) in
+      return
+        ( {
+            Metrics.cell;
+            simulations;
+            inferences;
+            spent_s = float_of_int spent_d /. 10.0;
+            budget_s = float_of_int budget_d /. 10.0;
+            findings;
+            wall_s = float_of_int wall_d /. 10.0;
+            minor_words = float_of_int minor_cw /. 100.0 *. 1e6;
+            major_collections;
+            store_hits;
+            store_misses;
+            store_bytes;
+          },
+          tag ))
+  in
+  QCheck.Test.make ~count:500
+    ~name:"metrics line/parse_line round-trips any cell label"
+    (QCheck.make snapshot_gen)
+    (fun (s, tag) ->
+      let tags = [ ("req", tag) ] in
+      let text = Metrics.line ~tags ~event:"progress" s in
+      match Metrics.parse_line text with
+      | Error e -> QCheck.Test.fail_reportf "parse_line failed: %s" e
+      | Ok (event, parsed, parsed_tags) ->
+        if event <> "progress" then QCheck.Test.fail_report "event mismatch";
+        if parsed.Metrics.cell <> s.Metrics.cell then
+          QCheck.Test.fail_reportf "cell mismatch: %S <> %S"
+            parsed.Metrics.cell s.Metrics.cell;
+        if parsed_tags <> tags then QCheck.Test.fail_report "tag mismatch";
+        let reprinted = Metrics.line ~tags:parsed_tags ~event parsed in
+        if reprinted <> text then
+          QCheck.Test.fail_reportf "re-render differs:\n%s\n%s" text reprinted;
+        true)
+
+let q = QCheck_alcotest.to_alcotest
+
 let () =
   Alcotest.run "avis_util"
     [
@@ -382,5 +550,19 @@ let () =
             test_trace_chrome_roundtrip;
           Alcotest.test_case "summary" `Quick test_trace_summary;
           Alcotest.test_case "env gate" `Quick test_trace_env;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "positive int" `Quick test_env_positive_int;
+          Alcotest.test_case "positive float" `Quick test_env_positive_float;
+          Alcotest.test_case "flag" `Quick test_env_flag;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "cell escaping" `Quick
+            test_metrics_line_escapes_cell;
+          Alcotest.test_case "tags" `Quick test_metrics_line_tags;
+          Alcotest.test_case "parse rejects" `Quick test_metrics_parse_rejects;
+          q test_metrics_roundtrip_qcheck;
         ] );
     ]
