@@ -244,7 +244,25 @@ let campaign_matrix =
      | None -> ());
      Printf.eprintf "[bench] campaign matrix: %d cells on %d domain(s)\n%!"
        (List.length specs) jobs;
-     let cells = List.filter_map Fun.id (Pool.map ~jobs (run_cell journal) specs) in
+     (* Predicted-longest first: journal timings (when resuming) keep a
+        long cell from landing last and straggling. Weights only reorder
+        the feed — per-cell seeding keeps the tables bit-identical. *)
+     let cost =
+       match journal with
+       | Some j -> Cost_model.of_journal j
+       | None -> Cost_model.create ()
+     in
+     let weight (policy, workload, (name, _)) =
+       Cost_model.predict cost
+         ~label:
+           (cell_label ~approach:name ~policy:policy.Policy.name
+              ~workload:workload.Workload.name)
+         ~budget_s
+     in
+     let cells =
+       List.filter_map Fun.id
+         (Pool.map_lpt ~jobs ~weight (run_cell journal) specs)
+     in
      let dropped = List.length specs - List.length cells in
      if dropped > 0 then
        Printf.eprintf
@@ -1494,6 +1512,229 @@ let hotloop_bench () =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Scheduling: cost-model-guided LPT vs static shards                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately skewed matrix — twelve short cells plus one ~4.5x
+   longer cell, long cell last in arrival order — is where scheduling
+   policy shows: round-robin static shards trap the long cell behind a
+   shard-mate backlog, and arrival-order dispatch starts it last so it
+   straggles. Makespans are computed by deterministic list-scheduling
+   simulation over each cell's measured duration (a real parallel run's
+   wall-clock would measure the CI runner's core count, not the
+   scheduler); the real runs below feed the identity check instead. *)
+
+type sched_spec = {
+  sname : string;
+  spolicy : Policy.t;
+  sbudget_s : float;
+  sbase : int;  (** Base seed: distinct per short cell. *)
+}
+
+let sched_workers = 4
+
+let sched_specs =
+  let short_budget_s = 20.0 in
+  List.init 12 (fun i ->
+      {
+        sname = Printf.sprintf "short%02d" i;
+        spolicy = Policy.apm;
+        sbudget_s = short_budget_s;
+        sbase = i + 1;
+      })
+  (* Same approach and workload as the shorts but a different firmware:
+     a distinct cost-model class (the label keys approach x firmware x
+     workload). The px4 model costs roughly half the wall-clock of apm
+     per modelled second, so 8.5x the modelled budget lands the long
+     cell's wall time near 4x a short's — the skew that maximises the
+     static-shard straggler penalty ((3s + L) vs max(L, 4s)). *)
+  @ [ { sname = "long"; spolicy = Policy.px4;
+        sbudget_s = 8.5 *. short_budget_s; sbase = 1 } ]
+
+let sched_config spec =
+  {
+    (Campaign.default_config spec.spolicy Workload.quickstart) with
+    Campaign.budget_s = spec.sbudget_s;
+    seed =
+      Campaign.cell_seed ~base:spec.sbase ~policy:spec.spolicy.Policy.name
+        ~workload:Workload.quickstart.Workload.name ~approach:"random" ();
+  }
+
+let sched_label spec =
+  Campaign.label_of (sched_config spec) ~approach:"random"
+
+(* The canonical journal-record bytes, elapsed normalized out (wall
+   measurements differ run to run; everything that matters — counts,
+   spent bits, findings — must not). *)
+let sched_digest spec (result : Campaign.result) =
+  let record =
+    Campaign.record_of_result (sched_config spec) ~approach:"random"
+      ~fingerprint:"sched-bench" result
+  in
+  Json.to_string
+    (Run_journal.record_to_json { record with Run_journal.elapsed_bits = None })
+
+let sched_run spec =
+  Campaign.run (sched_config spec) ~strategy:(fun ctx -> Random_search.make ctx)
+
+(* Greedy list scheduling (earliest-free worker takes the next cell in
+   [order]): what the pull dispatcher converges to when every cell's
+   duration is known. Returns the makespan and per-worker busy seconds. *)
+let sched_simulate ~workers order =
+  let free = Array.make workers 0.0 in
+  let busy = Array.make workers 0.0 in
+  List.iter
+    (fun (_, d) ->
+      let w = ref 0 in
+      Array.iteri (fun i t -> if t < free.(!w) then w := i) free;
+      free.(!w) <- free.(!w) +. d;
+      busy.(!w) <- busy.(!w) +. d)
+    order;
+  (Array.fold_left Float.max 0.0 free, busy)
+
+let sched_bench () =
+  section "Scheduling (pull dispatch + LPT vs static shards)";
+  (* Sequential reference: measures every cell's duration (the cost
+     model's training data and the simulation's ground truth) and fixes
+     the result bytes the parallel runs must reproduce. *)
+  let reference =
+    List.map
+      (fun spec ->
+        let t0 = Metrics.now_s () in
+        let result = sched_run spec in
+        let elapsed_s = Metrics.now_s () -. t0 in
+        (spec, sched_digest spec result, elapsed_s))
+      sched_specs
+  in
+  let cost = Cost_model.create () in
+  List.iter
+    (fun (spec, _, elapsed_s) ->
+      Cost_model.observe cost ~label:(sched_label spec) ~elapsed_s)
+    reference;
+  let arrival = List.map (fun (spec, _, d) -> (spec, d)) reference in
+  (* Heaviest predicted first, through the same model the daemon and the
+     matrix runners use; ties keep arrival order. *)
+  let weight spec =
+    Cost_model.predict cost ~label:(sched_label spec) ~budget_s:spec.sbudget_s
+  in
+  let lpt =
+    List.stable_sort
+      (fun (a, _) (b, _) -> Float.compare (weight b) (weight a))
+      arrival
+  in
+  (* The historical static schedule: cells round-robined into one shard
+     per worker up front, each shard a sequential run. *)
+  let shard_sums =
+    List.map
+      (fun shard -> List.fold_left (fun acc (_, d) -> acc +. d) 0.0 shard)
+      (Avis_server.Worker.shard_cells ~shards:sched_workers arrival)
+  in
+  let makespan_static = List.fold_left Float.max 0.0 shard_sums in
+  let makespan_pull_arrival, _ =
+    sched_simulate ~workers:sched_workers arrival
+  in
+  let makespan_pull_lpt, busy = sched_simulate ~workers:sched_workers lpt in
+  let makespan_ratio = makespan_static /. Float.max 1e-9 makespan_pull_lpt in
+  let lpt_gain = makespan_pull_arrival /. Float.max 1e-9 makespan_pull_lpt in
+  let speedup_ok = makespan_ratio >= 1.5 in
+  (* Identity: the same cells through a real static-shard run and a real
+     pull-order (LPT) run must reproduce the sequential bytes exactly —
+     scheduling must never touch results. *)
+  let digests_of run_name results =
+    List.map2
+      (fun (spec, want, _) got ->
+        let ok = got = want in
+        if not ok then
+          Printf.eprintf "[bench] sched: %s diverged on %s\n%!" run_name
+            spec.sname;
+        ok)
+      reference results
+  in
+  let static_results =
+    Pool.map ~jobs:sched_workers
+      (fun shard -> List.map (fun (spec, _) -> sched_digest spec (sched_run spec)) shard)
+      (Avis_server.Worker.shard_cells ~shards:sched_workers arrival)
+    |> List.concat
+  in
+  (* Shards permute the cells; compare by name against the reference. *)
+  let static_by_ref =
+    let shard_specs =
+      List.concat (Avis_server.Worker.shard_cells ~shards:sched_workers arrival)
+    in
+    List.map
+      (fun (spec, _, _) ->
+        let rec find = function
+          | [] -> ""
+          | ((s, _), digest) :: rest ->
+            if s.sname = spec.sname then digest else find rest
+        in
+        find (List.combine shard_specs static_results))
+      reference
+  in
+  let lpt_results =
+    Pool.map_lpt ~jobs:sched_workers ~weight:(fun (spec, _) -> weight spec)
+      (fun (spec, _) -> sched_digest spec (sched_run spec))
+      arrival
+  in
+  let identical =
+    List.for_all Fun.id (digests_of "static-shard run" static_by_ref)
+    && List.for_all Fun.id (digests_of "pull-LPT run" lpt_results)
+  in
+  let total_busy = Array.fold_left ( +. ) 0.0 busy in
+  Printf.printf
+    "13 cells (12 short + 1 long), %d workers\n\
+     static shards, arrival order: makespan %.2f s\n\
+     pull dispatch, arrival order: makespan %.2f s\n\
+     pull dispatch, LPT order:     makespan %.2f s\n\
+     static/LPT ratio %.2fx (gate >= 1.5x: %s), LPT/arrival gain %.2fx\n\
+     results identical across schedules: %b\n"
+    sched_workers makespan_static makespan_pull_arrival makespan_pull_lpt
+    makespan_ratio
+    (if speedup_ok then "ok" else "MISSED")
+    lpt_gain identical;
+  let json =
+    Json.Assoc
+      [
+        ("workers", Json.int sched_workers);
+        ("cells", Json.int (List.length sched_specs));
+        ( "durations_s",
+          Json.Assoc
+            (List.map
+               (fun (spec, _, d) -> (spec.sname, Json.Number d))
+               reference) );
+        ("makespan_static_shard_s", Json.Number makespan_static);
+        ("makespan_pull_arrival_s", Json.Number makespan_pull_arrival);
+        ("makespan_pull_lpt_s", Json.Number makespan_pull_lpt);
+        ("makespan_ratio", Json.Number makespan_ratio);
+        ("lpt_gain", Json.Number lpt_gain);
+        ("speedup_ok", Json.Bool speedup_ok);
+        ( "workers_busy_fraction",
+          Json.List
+            (List.map
+               (fun b ->
+                 Json.Number (b /. Float.max 1e-9 makespan_pull_lpt))
+               (Array.to_list busy)) );
+        ( "workers_idle_fraction",
+          Json.List
+            (List.map
+               (fun b ->
+                 Json.Number (1.0 -. (b /. Float.max 1e-9 makespan_pull_lpt)))
+               (Array.to_list busy)) );
+        ( "parallel_efficiency",
+          Json.Number
+            (total_busy
+            /. Float.max 1e-9
+                 (float_of_int sched_workers *. makespan_pull_lpt)) );
+        ("identical", Json.Bool identical);
+      ]
+  in
+  let path = "BENCH_sched.json" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_string_pretty json);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Simulator characteristics (the paper's slowdown discussion)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1642,6 +1883,7 @@ let () =
       ("store", store_bench);
       ("link_faults", link_faults_bench);
       ("hotloop", hotloop_bench);
+      ("sched", sched_bench);
       ("simulator_stats", simulator_stats);
       ("micro", micro_benchmarks);
     ]

@@ -26,6 +26,7 @@ let known_counters =
   [
     "cache.hits"; "cache.misses"; "cache.bypasses"; "cache.evictions";
     "cache.resident_bytes"; "snapshot.bytes"; "pool.queue_depth";
+    "pool.queue_wait_s";
     "budget.spent_s"; "link.dropped"; "link.corrupted"; "link.duplicated";
     "lanes.active"; "lanes.forks"; "lanes.retired";
     "cell.retries"; "cell.quarantined"; "cell.deadline_hits";

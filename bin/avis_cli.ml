@@ -264,7 +264,23 @@ let hunt policy workload seed approaches budget jobs lanes verbose artefacts tra
     Avis_util.Metrics.emit ~event snapshot;
     (name, outcome, snapshot)
   in
-  let results = Avis_util.Pool.map ~jobs hunt_one approaches in
+  (* Predicted-longest cells first (LPT): the journal's recorded
+     durations, when present, keep a long cell from starting last and
+     straggling. Per-cell seeding keeps the output bytes identical to
+     arrival order. *)
+  let cost =
+    match journal with
+    | Some j -> Cost_model.of_journal j
+    | None -> Cost_model.create ()
+  in
+  let weight name =
+    Cost_model.predict cost
+      ~label:
+        (Printf.sprintf "%s/%s/%s" name policy.Avis_firmware.Policy.name
+           workload.Workload.name)
+      ~budget_s:budget
+  in
+  let results = Avis_util.Pool.map_lpt ~jobs ~weight hunt_one approaches in
   let memo_bucket_counts findings =
     List.fold_left
       (fun acc (f : Run_journal.finding) ->
@@ -477,10 +493,11 @@ let submit policy workload seed approaches budget shards lanes verbose socket =
           })
     ^ "\n");
   flush oc;
+  ignore (shards : int);
   Printf.printf
-    "submitting %s on %s / %s (budget %.0f s wall-clock each, %d shard(s))...\n%!"
+    "submitting %s on %s / %s (budget %.0f s wall-clock each)...\n%!"
     (String.concat ", " approaches)
-    policy.Avis_firmware.Policy.name workload.Workload.name budget shards;
+    policy.Avis_firmware.Policy.name workload.Workload.name budget;
   (* Stream: metrics lines relay to stderr (where `hunt` emits its own),
      cell results collect here and print in submission order on Done. *)
   let results = Hashtbl.create 8 in
@@ -553,8 +570,10 @@ let submit_cmd =
   let shards =
     Arg.(value & opt int 1
          & info [ "shards" ] ~docv:"N"
-             ~doc:"Worker processes to spread the cells over (the daemon \
-                   clamps to its worker budget and the cell count).")
+             ~doc:"Historical (pre-pull daemons sharded cells statically). \
+                   Accepted and sent for wire compatibility; the daemon's \
+                   pull-based dispatcher sizes workers from pending work \
+                   and ignores it.")
   in
   let lanes =
     Arg.(value & opt (some int) None

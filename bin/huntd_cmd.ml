@@ -47,13 +47,15 @@ let store_arg =
 let workers_arg =
   Arg.(value & opt (some int) None
        & info [ "workers" ] ~docv:"N"
-           ~doc:"Concurrent worker processes (shards in flight). Defaults \
+           ~doc:"Concurrent worker processes; each pulls cells from the \
+                 daemon's LPT-ordered queue as its slots free up. Defaults \
                  to \\$AVIS_JOBS, then the hardware's recommendation.")
 
 let jobs_arg =
   Arg.(value & opt int 1
        & info [ "jobs" ] ~docv:"N"
-           ~doc:"Domains per worker process (within-shard parallelism).")
+           ~doc:"Cell slots per worker process: domains in its pool, and \
+                 the cells it may hold in flight at once.")
 
 let term =
   Term.(const run $ socket_arg $ tcp_arg $ journal_arg $ store_arg

@@ -274,7 +274,7 @@ let journal_finding (f : finding) =
    [run]'s own journalling and the hunt daemon's wire results both go
    through here, so a record streamed to a client is byte-for-byte the
    record a journal would memo-serve. *)
-let record_of_result (config : config) ~approach ~fingerprint
+let record_of_result ?elapsed_s (config : config) ~approach ~fingerprint
     (result : result) =
   {
     Run_journal.key =
@@ -284,6 +284,7 @@ let record_of_result (config : config) ~approach ~fingerprint
     simulations = result.simulations;
     inferences = result.inferences;
     spent_bits = Int64.bits_of_float result.wall_clock_spent_s;
+    elapsed_bits = Option.map Int64.bits_of_float elapsed_s;
     findings = List.map journal_finding result.findings;
   }
 
@@ -681,8 +682,12 @@ let run ?(stop_when = fun _ -> false) ?(progress = fun (_ : progress) -> ())
     let approach =
       match journal_approach with Some a -> a | None -> result.approach
     in
+    (* Measured here — one campaign's wall time, profiling included — so
+       every journal writer records the same notion of cell duration and
+       the cost model's history is comparable across entry points. *)
+    let elapsed_s = Avis_util.Metrics.now_s () -. wall0 in
     Run_journal.record_complete j
-      (record_of_result config ~approach
+      (record_of_result ~elapsed_s config ~approach
          ~fingerprint:(Run_journal.fingerprint j) result)
   | Some _ | None -> ());
   result

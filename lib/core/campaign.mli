@@ -220,11 +220,13 @@ val label_of : config -> approach:string -> string
 (** The cell's display label, [approach/policy/workload]. *)
 
 val record_of_result :
-  config -> approach:string -> fingerprint:string -> result ->
-  Run_journal.record
+  ?elapsed_s:float -> config -> approach:string -> fingerprint:string ->
+  result -> Run_journal.record
 (** The journal record {!run} would append for this result — the single
     construction site shared with the hunt daemon's wire results, so a
-    streamed result and a journal memo of the same cell are identical. *)
+    streamed result and a journal memo of the same cell are identical.
+    [elapsed_s] is the cell's measured wall-clock duration (the cost
+    model's training signal); omitted, the record carries no duration. *)
 
 val lanes_of_env : unit -> int
 (** The [AVIS_LANES] width: 1 (unbatched) when unset; invalid values are

@@ -1,0 +1,50 @@
+type stat = { mutable n : int; mutable total_s : float }
+
+type t = {
+  table : (string, stat) Hashtbl.t;  (** Keyed by cell label. *)
+  mutable obs : int;
+  mutable elapsed_sum_s : float;
+  mutable spent_sum_s : float;
+      (** Modelled budget seconds matching [elapsed_sum_s]: their ratio
+          converts a budget into a wall-clock estimate for classes the
+          model has never seen. *)
+}
+
+let create () =
+  { table = Hashtbl.create 32; obs = 0; elapsed_sum_s = 0.0; spent_sum_s = 0.0 }
+
+let observe ?spent_s t ~label ~elapsed_s =
+  if Float.is_finite elapsed_s && elapsed_s >= 0.0 then begin
+    (match Hashtbl.find_opt t.table label with
+    | Some s ->
+      s.n <- s.n + 1;
+      s.total_s <- s.total_s +. elapsed_s
+    | None -> Hashtbl.replace t.table label { n = 1; total_s = elapsed_s });
+    t.obs <- t.obs + 1;
+    t.elapsed_sum_s <- t.elapsed_sum_s +. elapsed_s;
+    match spent_s with
+    | Some sp when Float.is_finite sp && sp > 0.0 ->
+      t.spent_sum_s <- t.spent_sum_s +. sp
+    | Some _ | None -> ()
+  end
+
+let observe_record t (r : Run_journal.record) =
+  match Run_journal.elapsed_s r with
+  | Some elapsed_s ->
+    observe t ~label:r.Run_journal.label ~spent_s:(Run_journal.spent_s r)
+      ~elapsed_s
+  | None -> ()
+
+let of_journal journal =
+  let t = create () in
+  Run_journal.fold_records journal ~init:() ~f:(fun () r -> observe_record t r);
+  t
+
+let predict t ~label ~budget_s =
+  match Hashtbl.find_opt t.table label with
+  | Some s when s.n > 0 -> s.total_s /. float_of_int s.n
+  | Some _ | None ->
+    if t.spent_sum_s > 0.0 then budget_s *. (t.elapsed_sum_s /. t.spent_sum_s)
+    else budget_s
+
+let observations t = t.obs

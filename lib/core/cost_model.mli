@@ -1,0 +1,49 @@
+(** Per-cell duration prediction for cost-model-guided scheduling.
+
+    A campaign matrix's wall-clock is its makespan, and makespan under
+    any greedy scheduler is dominated by where the long cells land — so
+    both the in-process matrix runners and the hunt daemon order pending
+    cells longest-predicted-first (LPT). This module supplies the
+    predictions: observed mean wall-clock per cell class, keyed by the
+    cell label (approach × firmware × workload — {!Campaign.label_of}),
+    learned from {!Run_journal} history and from results as they
+    complete.
+
+    Prediction never affects results, only placement: per-cell seeding
+    makes every cell's bytes independent of execution order, so a wrong
+    prediction costs wall-clock, never correctness.
+
+    Not thread-safe: observe and predict from one domain (the daemon's
+    select loop, or a matrix runner before its pool fans out). *)
+
+type t
+
+val create : unit -> t
+(** An empty model: every prediction is the budget-derived fallback. *)
+
+val of_journal : Run_journal.t -> t
+(** A model primed from every journal record that carries an
+    [elapsed_bits] duration (records from older journals without the
+    field contribute nothing — they still memo-serve as always). *)
+
+val observe :
+  ?spent_s:float -> t -> label:string -> elapsed_s:float -> unit
+(** Record that a cell of class [label] took [elapsed_s] real seconds.
+    [spent_s] is the modelled budget charge of the same run; when given
+    it trains the global real-per-modelled-second ratio that powers the
+    budget-derived fallback for never-seen classes. *)
+
+val observe_record : t -> Run_journal.record -> unit
+(** {!observe} from a journal record; a no-op when the record predates
+    the [elapsed_bits] field. *)
+
+val predict : t -> label:string -> budget_s:float -> float
+(** Predicted duration in seconds for one cell: the observed mean for
+    [label] when the class has history; otherwise [budget_s] scaled by
+    the global observed real-per-modelled-second ratio; with no
+    observations at all, [budget_s] itself. All three tiers order
+    consistently under a uniform budget, so LPT degrades to arrival
+    order exactly when the model knows nothing. *)
+
+val observations : t -> int
+(** Total observations across all classes (diagnostics/logging). *)

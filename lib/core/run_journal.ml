@@ -13,6 +13,7 @@ type record = {
   simulations : int;
   inferences : int;
   spent_bits : int64;
+  elapsed_bits : int64 option;
   findings : finding list;
 }
 
@@ -34,6 +35,7 @@ let fingerprint t = t.fingerprint
 let completed_count t = t.loaded
 let interrupted_count t = t.interrupted
 let spent_s r = Int64.float_of_bits r.spent_bits
+let elapsed_s r = Option.map Int64.float_of_bits r.elapsed_bits
 
 let key ~fingerprint ~config_bytes =
   Digest.to_hex (Digest.string (fingerprint ^ "\x00" ^ config_bytes))
@@ -59,15 +61,25 @@ let json_of_finding f =
 
 let json_of_record r =
   Json.Assoc
-    [
-      ("key", Json.String r.key);
-      ("label", Json.String r.label);
-      ("complete", Json.Bool true);
-      ("sims", Json.int r.simulations);
-      ("infs", Json.int r.inferences);
-      ("spent_bits", Json.String (Printf.sprintf "%016Lx" r.spent_bits));
-      ("findings", Json.List (List.map json_of_finding r.findings));
-    ]
+    (List.concat
+       [
+         [
+           ("key", Json.String r.key);
+           ("label", Json.String r.label);
+           ("complete", Json.Bool true);
+           ("sims", Json.int r.simulations);
+           ("infs", Json.int r.inferences);
+           ("spent_bits", Json.String (Printf.sprintf "%016Lx" r.spent_bits));
+         ];
+         (* Wall-clock duration of the cell, feeding the scheduler's cost
+            model. Optional: journals written before the field existed (or
+            records from paths that never measured) stay servable. *)
+         (match r.elapsed_bits with
+         | Some bits ->
+           [ ("elapsed_bits", Json.String (Printf.sprintf "%016Lx" bits)) ]
+         | None -> []);
+         [ ("findings", Json.List (List.map json_of_finding r.findings)) ];
+       ])
 
 let str = function Some (Json.String s) -> Some s | _ -> None
 let num = function Some (Json.Number f) -> Some (int_of_float f) | _ -> None
@@ -102,6 +114,15 @@ let record_of_json j =
     let* hex = str (Json.member "spent_bits" j) in
     Int64.of_string_opt ("0x" ^ hex)
   in
+  (* Tolerant: a missing field (old journal line) is [None]; a present but
+     malformed one rejects the record like any other ill-typed field. *)
+  let* elapsed_bits =
+    match Json.member "elapsed_bits" j with
+    | None -> Some None
+    | Some (Json.String hex) ->
+      Option.map Option.some (Int64.of_string_opt ("0x" ^ hex))
+    | Some _ -> None
+  in
   let* findings =
     match Json.member "findings" j with
     | Some (Json.List l) ->
@@ -114,7 +135,7 @@ let record_of_json j =
       |> Option.map List.rev
     | _ -> None
   in
-  Some { key; label; simulations; inferences; spent_bits; findings }
+  Some { key; label; simulations; inferences; spent_bits; elapsed_bits; findings }
 
 let warn fmt = Printf.eprintf ("[avis] journal: " ^^ fmt ^^ "\n%!")
 
@@ -244,6 +265,12 @@ let find t ~key =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () -> Hashtbl.find_opt t.table key)
+
+let fold_records t ~init ~f =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () -> Hashtbl.fold (fun _ r acc -> f acc r) t.table init)
 
 let record_complete t r =
   append_line t (Json.to_string (json_of_record r));

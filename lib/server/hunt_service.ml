@@ -36,8 +36,6 @@ type client = {
   mutable watching : bool;
 }
 
-type cell_state = { cell : Worker.cell; mutable done_ : bool }
-
 type req_state = {
   id : string;
   mutable owner : Unix.file_descr option;
@@ -49,30 +47,41 @@ type req_state = {
   mutable quarantined : int;
 }
 
-type shard = {
-  sreq : req_state;
-  mutable remaining : cell_state list;  (** Cells not yet reported. *)
-  mutable attempts : int;  (** Forks consumed, including the first. *)
+(* One cell awaiting (or re-awaiting) dispatch. The assignment is built
+   once at submit time from the request's raw fields; re-dispatch after a
+   worker loss re-sends the identical frame. *)
+type pending = {
+  preq : req_state;
+  pcell : Worker.cell;
+  passign : Wire.assignment;
+  mutable pattempts : int;  (** Dispatches consumed, including the first. *)
+  pweight : float;  (** Predicted duration (LPT sort key), fixed at submit. *)
 }
 
 type worker_proc = {
   pid : int;
-  pipe : Unix.file_descr;
-  mutable wbuf : string;  (** Partial line from the pipe. *)
-  wshard : shard;
+  rpipe : Unix.file_descr;  (** Worker-to-daemon: results and metrics. *)
+  wpipe : Unix.file_descr;  (** Daemon-to-worker: directives. *)
+  mutable wbuf : string;  (** Partial line from [rpipe]. *)
+  mutable slots : int;  (** Unanswered [Cell_request]s (idle cell slots). *)
+  mutable inflight : pending list;  (** Assigned, not yet reported. *)
 }
 
 type state = {
   cfg : config;
   journal : Run_journal.t;
+  cost : Cost_model.t;
+      (** Primed from the journal at startup, trained from every live or
+          memo result a worker reports. Read when a submit computes its
+          cells' LPT weights. *)
   memos : (string, Run_journal.record) Hashtbl.t;
       (** Records journalled since startup, keyed by journal key — the
           parent's in-memory view of what workers have completed (the
           on-disk journal covers everything before startup). *)
   listeners : Unix.file_descr list;
   clients : (Unix.file_descr, client) Hashtbl.t;
-  workers : (Unix.file_descr, worker_proc) Hashtbl.t;  (** By pipe fd. *)
-  queue : shard Queue.t;
+  workers : (Unix.file_descr, worker_proc) Hashtbl.t;  (** By [rpipe]. *)
+  mutable pending : pending list;  (** Heaviest predicted first (LPT). *)
   mutable reqs : req_state list;
   mutable req_counter : int;
   mutable memo_served : int;
@@ -138,53 +147,113 @@ let finish_req_if_done st rq =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Workers                                                              *)
+(* Dispatch                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let spawn st (sh : shard) =
-  let cells = List.filter (fun cs -> not cs.done_) sh.remaining in
-  sh.remaining <- cells;
-  if cells = [] then ()
-  else begin
-    let r, w = Unix.pipe () in
-    flush stdout;
-    flush stderr;
-    match Unix.fork () with
-    | 0 ->
-      (* Worker child: drop every parent fd except the pipe, restore
-         default signal dispositions, run the shard, and _exit without
-         running the parent's at_exit handlers. *)
-      Unix.close r;
-      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) st.listeners;
-      Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) st.clients;
-      Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) st.workers;
-      Sys.set_signal Sys.sigterm Sys.Signal_default;
-      Sys.set_signal Sys.sigint Sys.Signal_default;
-      (try
-         Worker.run_shard ~req:sh.sreq.id ~journal_path:st.cfg.journal_path
-           ?lanes:sh.sreq.lanes ~jobs:st.cfg.jobs ~out:w
-           (List.map (fun cs -> cs.cell) cells)
-       with e ->
-         Printf.eprintf "[avis] huntd worker: uncaught %s\n%!"
-           (Printexc.to_string e));
-      Unix._exit 0
-    | pid ->
-      Unix.close w;
-      Hashtbl.replace st.workers r { pid; pipe = r; wbuf = ""; wshard = sh };
-      log "worker pid=%d forked for %s (%d cell(s), attempt %d/%d)" pid
-        sh.sreq.id (List.length cells) sh.attempts worker_attempts
-  end
+(* Keep [st.pending] sorted heaviest-first; equal weights keep arrival
+   order (a new cell goes after existing peers), so LPT degrades to FIFO
+   exactly when the cost model cannot tell cells apart. *)
+let insert_pending st p =
+  let rec ins = function
+    | q :: rest when q.pweight >= p.pweight -> q :: ins rest
+    | rest -> p :: rest
+  in
+  st.pending <- ins st.pending
+
+let spawn st =
+  let dir_r, dir_w = Unix.pipe () in
+  let res_r, res_w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (* Worker child: drop every parent fd except its two pipe ends —
+       including other workers' directive pipes, or closing one there
+       would never deliver its EOF — restore default signal
+       dispositions, serve cells, and _exit without running the parent's
+       at_exit handlers. *)
+    Unix.close dir_w;
+    Unix.close res_r;
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) st.listeners;
+    Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) st.clients;
+    Hashtbl.iter
+      (fun _ w ->
+        (try Unix.close w.rpipe with Unix.Unix_error _ -> ());
+        try Unix.close w.wpipe with Unix.Unix_error _ -> ())
+      st.workers;
+    Sys.set_signal Sys.sigterm Sys.Signal_default;
+    Sys.set_signal Sys.sigint Sys.Signal_default;
+    (try
+       Worker.serve_pull ~journal_path:st.cfg.journal_path ~jobs:st.cfg.jobs
+         ~input:dir_r ~out:res_w ()
+     with e ->
+       Printf.eprintf "[avis] huntd worker: uncaught %s\n%!"
+         (Printexc.to_string e));
+    Unix._exit 0
+  | pid ->
+    Unix.close dir_r;
+    Unix.close res_w;
+    Hashtbl.replace st.workers res_r
+      { pid; rpipe = res_r; wpipe = dir_w; wbuf = ""; slots = 0; inflight = [] };
+    log "worker pid=%d forked (%d cell slot(s))" pid (max 1 st.cfg.jobs)
 
 let maybe_spawn st =
-  while
-    Hashtbl.length st.workers < max 1 st.cfg.workers
-    && not (Queue.is_empty st.queue)
-  do
-    spawn st (Queue.take st.queue)
+  let live = Hashtbl.length st.workers in
+  let idle_slots = Hashtbl.fold (fun _ w acc -> acc + w.slots) st.workers 0 in
+  let n =
+    Worker.fork_budget ~limit:st.cfg.workers ~live ~idle_slots
+      ~pending:(List.length st.pending)
+  in
+  for _ = 1 to n do
+    spawn st
   done
 
-let quarantine_cell st (rq : req_state) (cs : cell_state) ~attempts =
-  cs.done_ <- true;
+let rec write_all fd bytes pos len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes pos len in
+    write_all fd bytes (pos + n) (len - n)
+  end
+
+(* Writes on the directive pipe block at most briefly: a worker holds at
+   most [jobs] outstanding requests, so the pipe never carries more than
+   a few short lines. A failed write means the worker died — its in-flight
+   cells come back through [reap] when the result pipe reports EOF; here
+   we only stop offering it work. *)
+let write_directive (w : worker_proc) d =
+  let payload = Bytes.of_string (Wire.render_directive d ^ "\n") in
+  match write_all w.wpipe payload 0 (Bytes.length payload) with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+
+(* Hand the heaviest pending cells to whichever workers have idle slots.
+   Every dispatch decision goes through here, so LPT order is a property
+   of the queue, not of any particular caller. *)
+let rec assign_pending st =
+  match st.pending with
+  | [] -> ()
+  | p :: rest -> (
+    let free =
+      Hashtbl.fold
+        (fun _ w acc ->
+          match acc with Some _ -> acc | None -> if w.slots > 0 then Some w else None)
+        st.workers None
+    in
+    match free with
+    | None -> ()
+    | Some w ->
+      st.pending <- rest;
+      if write_directive w (Wire.Cell_assign p.passign) then begin
+        p.pattempts <- p.pattempts + 1;
+        w.slots <- w.slots - 1;
+        w.inflight <- p :: w.inflight
+      end
+      else begin
+        st.pending <- p :: st.pending;
+        w.slots <- 0
+      end;
+      assign_pending st)
+
+let quarantine_cell st (rq : req_state) (p : pending) ~attempts =
   rq.quarantined <- rq.quarantined + 1;
   rq.outstanding <- rq.outstanding - 1;
   broadcast st rq
@@ -192,8 +261,8 @@ let quarantine_cell st (rq : req_state) (cs : cell_state) ~attempts =
        (Wire.Cell
           {
             req = rq.id;
-            approach = cs.cell.Worker.approach;
-            label = cs.cell.Worker.label;
+            approach = p.pcell.Worker.approach;
+            label = p.pcell.Worker.label;
             status =
               Wire.Cell_quarantined
                 {
@@ -201,64 +270,82 @@ let quarantine_cell st (rq : req_state) (cs : cell_state) ~attempts =
                   message =
                     Printf.sprintf
                       "worker process died before reporting this cell (%d \
-                       fork(s))"
+                       dispatch(es))"
                       attempts;
                   attempts;
                 };
           }))
 
-(* EOF on a worker pipe: reap it, then either re-fork the shard's
-   unreported cells (the journal memo-serves whatever the dead worker
-   already finished) or quarantine them once the fork budget is spent. *)
+(* EOF on a worker's result pipe: reap it, then re-queue exactly its
+   in-flight cells — everything it already reported is done, everything
+   still queued was never its problem. Each cell re-enters the LPT queue
+   at its original weight and is quarantined only once its own dispatch
+   budget is spent. *)
 let reap st (w : worker_proc) =
-  Hashtbl.remove st.workers w.pipe;
-  (try Unix.close w.pipe with Unix.Unix_error _ -> ());
+  Hashtbl.remove st.workers w.rpipe;
+  (try Unix.close w.rpipe with Unix.Unix_error _ -> ());
+  (try Unix.close w.wpipe with Unix.Unix_error _ -> ());
   (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
-  let sh = w.wshard in
-  let rq = sh.sreq in
-  sh.remaining <- List.filter (fun cs -> not cs.done_) sh.remaining;
-  if sh.remaining <> [] then
-    if sh.attempts < worker_attempts then begin
-      sh.attempts <- sh.attempts + 1;
-      rq.retries <- rq.retries + 1;
-      st.worker_retries <- st.worker_retries + 1;
-      log
-        "worker pid=%d lost with %d cell(s) unreported; re-forking shard \
-         (attempt %d/%d)"
-        w.pid (List.length sh.remaining) sh.attempts worker_attempts;
-      Queue.add sh st.queue
-    end
-    else begin
-      log "worker pid=%d lost; quarantining %d cell(s) after %d fork(s)" w.pid
-        (List.length sh.remaining) sh.attempts;
-      List.iter
-        (fun cs -> quarantine_cell st rq cs ~attempts:sh.attempts)
-        sh.remaining;
-      sh.remaining <- [];
-      finish_req_if_done st rq
-    end
+  List.iter
+    (fun p ->
+      let rq = p.preq in
+      if p.pattempts < worker_attempts then begin
+        rq.retries <- rq.retries + 1;
+        st.worker_retries <- st.worker_retries + 1;
+        log
+          "worker pid=%d lost mid-cell; re-queueing cell %s (dispatch %d/%d)"
+          w.pid p.pcell.Worker.label (p.pattempts + 1) worker_attempts;
+        insert_pending st p
+      end
+      else begin
+        log "worker pid=%d lost; quarantining cell %s after %d dispatch(es)"
+          w.pid p.pcell.Worker.label p.pattempts;
+        quarantine_cell st rq p ~attempts:p.pattempts;
+        finish_req_if_done st rq
+      end)
+    w.inflight;
+  w.inflight <- []
+
+(* Metrics lines only know their request through the req=... tag the
+   worker stamped on them; an unparsable or unknown tag still reaches
+   watchers (it is diagnostic output, not protocol state). *)
+let relay_metrics st line =
+  let rq =
+    match Avis_util.Metrics.parse_line line with
+    | Ok (_, _, tags) -> (
+      match List.assoc_opt "req" tags with
+      | Some id -> List.find_opt (fun rq -> rq.id = id) st.reqs
+      | None -> None)
+    | Error _ -> None
+  in
+  match rq with
+  | Some rq -> broadcast st rq line
+  | None ->
+    Hashtbl.iter (fun _ c -> if c.watching then enqueue st c line) st.clients
 
 let handle_worker_line st (w : worker_proc) line =
-  let rq = w.wshard.sreq in
-  if Wire.is_metrics_line line then broadcast st rq line
+  if Wire.is_metrics_line line then relay_metrics st line
   else
     match Wire.parse_response line with
-    | Ok (Wire.Cell { label; status; _ }) ->
-      (match status with
-      | Wire.Cell_done record | Wire.Cell_memo record ->
-        Hashtbl.replace st.memos record.Run_journal.key record
-      | Wire.Cell_quarantined _ -> rq.quarantined <- rq.quarantined + 1);
-      (match
-         List.find_opt
-           (fun cs -> (not cs.done_) && cs.cell.Worker.label = label)
-           w.wshard.remaining
-       with
-      | Some cs ->
-        cs.done_ <- true;
-        rq.outstanding <- rq.outstanding - 1
-      | None -> log "worker pid=%d reported unknown cell %S" w.pid label);
-      broadcast st rq line;
-      finish_req_if_done st rq
+    | Ok Wire.Cell_request ->
+      w.slots <- w.slots + 1;
+      assign_pending st
+    | Ok (Wire.Cell_result { approach; label; status; _ }) -> (
+      match List.find_opt (fun p -> p.pcell.Worker.label = label) w.inflight with
+      | None -> log "worker pid=%d reported unknown cell %S" w.pid label
+      | Some p ->
+        w.inflight <- List.filter (fun q -> q != p) w.inflight;
+        let rq = p.preq in
+        (match status with
+        | Wire.Cell_done record | Wire.Cell_memo record ->
+          Hashtbl.replace st.memos record.Run_journal.key record;
+          Cost_model.observe_record st.cost record
+        | Wire.Cell_quarantined _ -> rq.quarantined <- rq.quarantined + 1);
+        rq.outstanding <- rq.outstanding - 1;
+        broadcast st rq
+          (Wire.render_response
+             (Wire.Cell { req = rq.id; approach; label; status }));
+        finish_req_if_done st rq)
     | Ok _ | Error _ ->
       log "ignoring unexpected line from worker pid=%d: %s" w.pid line
 
@@ -295,10 +382,9 @@ let submit st (c : client) (r : Wire.hunt_request) =
       (Wire.render_response
          (Wire.Accepted
             { req = rq.id; cells = List.map (fun cl -> cl.Worker.label) cells }));
-    log "%s accepted from client: %d cell(s), %d shard(s) requested" rq.id
-      (List.length cells) r.Wire.shards;
-    (* Serve memoised cells without forking at all. *)
-    let pending =
+    log "%s accepted from client: %d cell(s)" rq.id (List.length cells);
+    (* Serve memoised cells without dispatching at all. *)
+    let fresh =
       List.filter_map
         (fun (cell : Worker.cell) ->
           match memo_for st cell with
@@ -322,18 +408,35 @@ let submit st (c : client) (r : Wire.hunt_request) =
                       status = Wire.Cell_memo record;
                     }));
             None
-          | None -> Some { cell; done_ = false })
+          | None -> Some cell)
         cells
     in
-    if pending = [] then finish_req_if_done st rq
+    if fresh = [] then finish_req_if_done st rq
     else begin
-      let shards =
-        max 1 (min r.Wire.shards (min (max 1 st.cfg.workers) (List.length pending)))
-      in
       List.iter
-        (fun group -> Queue.add { sreq = rq; remaining = group; attempts = 1 } st.queue)
-        (Worker.shard_cells ~shards pending);
-      maybe_spawn st
+        (fun (cell : Worker.cell) ->
+          insert_pending st
+            {
+              preq = rq;
+              pcell = cell;
+              passign =
+                {
+                  Wire.a_req = rq.id;
+                  a_firmware = r.Wire.firmware;
+                  a_workload = r.Wire.workload;
+                  a_approach = cell.Worker.approach;
+                  a_budget_s = r.Wire.budget_s;
+                  a_seed = r.Wire.seed;
+                  a_lanes = r.Wire.lanes;
+                };
+              pattempts = 0;
+              pweight =
+                Cost_model.predict st.cost ~label:cell.Worker.label
+                  ~budget_s:r.Wire.budget_s;
+            })
+        fresh;
+      maybe_spawn st;
+      assign_pending st
     end
 
 let handle_request st (c : client) line =
@@ -347,7 +450,7 @@ let handle_request st (c : client) line =
          (Wire.Status_info
             {
               active = Hashtbl.length st.workers;
-              queued = Queue.length st.queue;
+              queued = List.length st.pending;
               workers = st.cfg.workers;
               memo_served = st.memo_served;
               worker_retries = st.worker_retries;
@@ -439,32 +542,35 @@ let serve cfg =
         s)
       cfg.tcp_port
   in
+  let cost = Cost_model.of_journal journal in
   let st =
     {
       cfg;
       journal;
+      cost;
       memos = Hashtbl.create 64;
       listeners = unix_l :: Option.to_list tcp_l;
       clients = Hashtbl.create 16;
       workers = Hashtbl.create 16;
-      queue = Queue.create ();
+      pending = [];
       reqs = [];
       req_counter = 0;
       memo_served = 0;
       worker_retries = 0;
     }
   in
-  log "listening on %s%s (journal %s: %d memo(s); %d worker slot(s) x %d \
-       domain(s))"
+  log "listening on %s%s (journal %s: %d memo(s), %d timing(s); %d worker \
+       slot(s) x %d domain(s))"
     cfg.socket_path
     (match cfg.tcp_port with
     | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
     | None -> "")
     cfg.journal_path
     (Run_journal.completed_count journal)
-    (max 1 cfg.workers) (max 1 cfg.jobs);
+    (Cost_model.observations cost) (max 1 cfg.workers) (max 1 cfg.jobs);
   while not !stop do
     maybe_spawn st;
+    assign_pending st;
     let client_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) st.clients [] in
     let worker_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) st.workers [] in
     let writable_wanted =
@@ -492,9 +598,12 @@ let serve cfg =
   log "shutting down: %d worker(s) to stop" (Hashtbl.length st.workers);
   Hashtbl.iter
     (fun _ w ->
+      (* Closing the directive pipe is the drain signal; SIGTERM then
+         stops any still-running campaign rather than waiting it out. *)
+      (try Unix.close w.wpipe with Unix.Unix_error _ -> ());
       (try Unix.kill w.pid Sys.sigterm with Unix.Unix_error _ -> ());
       (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
-      try Unix.close w.pipe with Unix.Unix_error _ -> ())
+      try Unix.close w.rpipe with Unix.Unix_error _ -> ())
     st.workers;
   Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) st.clients;
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) st.listeners;

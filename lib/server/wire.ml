@@ -37,6 +37,23 @@ type response =
   | Done of { req : string; retries : int; quarantined : int }
   | Status_info of status_info
   | Pong
+  | Cell_request
+  | Cell_result of
+      { req : string; approach : string; label : string; status : cell_status }
+
+type assignment = {
+  a_req : string;
+  a_firmware : string;
+  a_workload : string;
+  a_approach : string;
+  a_budget_s : float;
+  a_seed : int;
+  a_lanes : int option;
+}
+
+type directive =
+  | Cell_assign of assignment
+  | Drain
 
 let is_metrics_line line =
   String.length line >= 6 && String.sub line 0 6 = "[avis]"
@@ -164,6 +181,14 @@ let response_to_json = function
         ("worker_retries", Json.int s.worker_retries);
       ]
   | Pong -> Json.Assoc [ ("type", Json.String "pong") ]
+  | Cell_request -> Json.Assoc [ ("type", Json.String "cell-request") ]
+  | Cell_result { req; approach; label; status } ->
+    Json.Assoc
+      (( ("type", Json.String "cell-result")
+       :: ("req", Json.String req)
+       :: ("approach", Json.String approach)
+       :: ("label", Json.String label)
+       :: status_to_json status ))
 
 let status_of_json j =
   match str (Json.member "status" j) with
@@ -219,6 +244,61 @@ let response_of_json j =
     let* worker_retries = num (Json.member "worker_retries" j) in
     Some (Status_info { active; queued; workers; memo_served; worker_retries })
   | Some "pong" -> Some Pong
+  | Some "cell-request" -> Some Cell_request
+  | Some "cell-result" ->
+    let* req = str (Json.member "req" j) in
+    let* approach = str (Json.member "approach" j) in
+    let* label = str (Json.member "label" j) in
+    let* status = status_of_json j in
+    Some (Cell_result { req; approach; label; status })
+  | Some _ | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Directives (daemon -> worker)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let directive_to_json = function
+  | Cell_assign a ->
+    Json.Assoc
+      (List.concat
+         [
+           [
+             ("op", Json.String "cell-assign");
+             ("req", Json.String a.a_req);
+             ("firmware", Json.String a.a_firmware);
+             ("workload", Json.String a.a_workload);
+             ("approach", Json.String a.a_approach);
+             (* As with submit: the budget reaches the worker by its
+                IEEE-754 bits so the cell's journal key is bit-exact. *)
+             ( "budget_bits",
+               Json.String
+                 (Printf.sprintf "%016Lx" (Int64.bits_of_float a.a_budget_s)) );
+             ("seed", Json.int a.a_seed);
+           ];
+           (match a.a_lanes with
+           | Some n -> [ ("lanes", Json.int n) ]
+           | None -> []);
+         ])
+  | Drain -> Json.Assoc [ ("op", Json.String "drain") ]
+
+let directive_of_json j =
+  match str (Json.member "op" j) with
+  | Some "cell-assign" ->
+    let* a_req = str (Json.member "req" j) in
+    let* a_firmware = str (Json.member "firmware" j) in
+    let* a_workload = str (Json.member "workload" j) in
+    let* a_approach = str (Json.member "approach" j) in
+    let* a_budget_s =
+      let* hex = str (Json.member "budget_bits" j) in
+      let* bits = Int64.of_string_opt ("0x" ^ hex) in
+      Some (Int64.float_of_bits bits)
+    in
+    let* a_seed = num (Json.member "seed" j) in
+    let a_lanes = num (Json.member "lanes" j) in
+    Some
+      (Cell_assign
+         { a_req; a_firmware; a_workload; a_approach; a_budget_s; a_seed; a_lanes })
+  | Some "drain" -> Some Drain
   | Some _ | None -> None
 
 let parse_of of_json kind line =
@@ -233,3 +313,5 @@ let render_request r = Json.to_string (request_to_json r)
 let parse_request line = parse_of request_of_json "request" line
 let render_response r = Json.to_string (response_to_json r)
 let parse_response line = parse_of response_of_json "response" line
+let render_directive d = Json.to_string (directive_to_json d)
+let parse_directive line = parse_of directive_of_json "directive" line

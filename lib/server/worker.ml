@@ -83,8 +83,33 @@ let shard_cells ~shards cells =
   List.iteri (fun i c -> buckets.(i mod shards) <- c :: buckets.(i mod shards)) cells;
   Array.to_list buckets |> List.map List.rev |> List.filter (fun s -> s <> [])
 
+(* How many additional workers pending work justifies: never more than the
+   configured limit allows, and never more than the cells that no existing
+   idle slot could absorb — forking a process that would only ever block on
+   an empty queue wastes a fork and a journal load. *)
+let fork_budget ~limit ~live ~idle_slots ~pending =
+  let limit = max 1 limit in
+  max 0 (min (limit - live) (pending - idle_slots))
+
+let cell_of_assignment (a : Wire.assignment) =
+  match
+    cells_of_request
+      {
+        Wire.firmware = a.Wire.a_firmware;
+        workload = a.Wire.a_workload;
+        approaches = [ a.Wire.a_approach ];
+        budget_s = a.Wire.a_budget_s;
+        seed = a.Wire.a_seed;
+        lanes = a.Wire.a_lanes;
+        shards = 1;
+      }
+  with
+  | Ok [ cell ] -> Ok cell
+  | Ok _ -> Error "assignment expanded to more than one cell"
+  | Error e -> Error e
+
 (* ------------------------------------------------------------------ *)
-(* Shard execution (forked child)                                       *)
+(* Cell execution (forked child)                                        *)
 (* ------------------------------------------------------------------ *)
 
 let rec write_all fd bytes pos len =
@@ -150,7 +175,92 @@ let snapshot_of_result ~label ~budget_s ~wall_s (result : Campaign.result) =
    the pipe; terminal events (memo/done/quarantined) always go out. *)
 let progress_interval_s = 0.25
 
-let run_shard ~req ?journal_path ?lanes ~jobs ~out cells =
+(* Run one assigned cell and report its terminal [Cell_result]. A live
+   result's record is read back from the journal (which [Campaign.run]
+   just appended, elapsed seconds included), so the bytes on the wire are
+   exactly the bytes a later memo-serve of the same cell would produce. *)
+let execute_cell ~send ~journal ~fingerprint (a : Wire.assignment) =
+  let req = a.Wire.a_req in
+  let tags = [ ("req", req) ] in
+  let send_metrics ~event snapshot =
+    send (Avis_util.Metrics.line ~tags ~event snapshot)
+  in
+  let send_result ~approach ~label status =
+    send
+      (Wire.render_response (Wire.Cell_result { req; approach; label; status }))
+  in
+  match cell_of_assignment a with
+  | Error message ->
+    (* Unreachable from a well-behaved daemon: assignments are expanded
+       from requests the daemon already validated. Reported rather than
+       crashed so one malformed frame cannot kill a whole executor. *)
+    send_result ~approach:a.Wire.a_approach
+      ~label:(Printf.sprintf "%s/?/%s" a.Wire.a_approach a.Wire.a_workload)
+      (Wire.Cell_quarantined
+         { code = "BAD-ASSIGNMENT"; message; attempts = 1 })
+  | Ok cell -> (
+    let started = Avis_util.Metrics.now_s () in
+    match
+      Option.bind journal (fun j ->
+          Campaign.journal_memo j cell.config ~approach:cell.approach)
+    with
+    | Some record ->
+      let wall_s = Avis_util.Metrics.now_s () -. started in
+      send_metrics ~event:"memo"
+        (memo_snapshot ~budget_s:cell.config.Campaign.budget_s ~wall_s record);
+      send_result ~approach:cell.approach ~label:cell.label
+        (Wire.Cell_memo record)
+    | None -> (
+      let last_progress = ref neg_infinity in
+      let progress p =
+        let now = Avis_util.Metrics.now_s () in
+        if now -. !last_progress >= progress_interval_s then begin
+          last_progress := now;
+          send_metrics ~event:"progress"
+            (snapshot_of_progress ~label:cell.label ~started p)
+        end
+      in
+      match
+        Campaign.run_supervised ?lanes:a.Wire.a_lanes ?journal
+          ~journal_approach:cell.approach ~progress cell.config
+          ~strategy:cell.strategy
+      with
+      | Campaign.Completed result ->
+        let wall_s = Avis_util.Metrics.now_s () -. started in
+        let record =
+          match
+            Option.bind journal (fun j ->
+                Campaign.journal_memo j cell.config ~approach:cell.approach)
+          with
+          | Some record -> record
+          | None ->
+            Campaign.record_of_result ~elapsed_s:wall_s cell.config
+              ~approach:cell.approach ~fingerprint result
+        in
+        send_metrics ~event:"done"
+          (snapshot_of_result ~label:cell.label
+             ~budget_s:cell.config.Campaign.budget_s ~wall_s result);
+        send_result ~approach:cell.approach ~label:cell.label
+          (Wire.Cell_done record)
+      | Campaign.Quarantined e ->
+        let wall_s = Avis_util.Metrics.now_s () -. started in
+        send_metrics ~event:"quarantined"
+          {
+            Avis_util.Metrics.cell = cell.label;
+            simulations = 0; inferences = 0; spent_s = 0.0;
+            budget_s = cell.config.Campaign.budget_s; findings = 0; wall_s;
+            minor_words = 0.0; major_collections = 0; store_hits = 0;
+            store_misses = 0; store_bytes = 0;
+          };
+        send_result ~approach:cell.approach ~label:cell.label
+          (Wire.Cell_quarantined
+             {
+               code = e.Campaign.code;
+               message = e.Campaign.message;
+               attempts = e.Campaign.attempts;
+             })))
+
+let serve_pull ?journal_path ~jobs ~input ~out () =
   let write_mutex = Mutex.create () in
   let send line =
     let payload = Bytes.of_string (line ^ "\n") in
@@ -164,72 +274,41 @@ let run_shard ~req ?journal_path ?lanes ~jobs ~out cells =
              records — the next daemon will memo-serve them. *)
           ())
   in
-  let tags = [ ("req", req) ] in
-  let send_metrics ~event snapshot =
-    send (Avis_util.Metrics.line ~tags ~event snapshot)
-  in
-  let send_cell ~approach ~label status =
-    send (Wire.render_response (Wire.Cell { req; approach; label; status }))
-  in
   let journal = Option.map (fun p -> Run_journal.open_ p) journal_path in
   let fingerprint =
     match journal with
     | Some j -> Run_journal.fingerprint j
     | None -> Checkpoint_store.default_fingerprint ()
   in
-  let run_cell cell =
-    let started = Avis_util.Metrics.now_s () in
-    match
-      Option.bind journal (fun j ->
-          Campaign.journal_memo j cell.config ~approach:cell.approach)
-    with
-    | Some record ->
-      let wall_s = Avis_util.Metrics.now_s () -. started in
-      send_metrics ~event:"memo"
-        (memo_snapshot ~budget_s:cell.config.Campaign.budget_s ~wall_s record);
-      send_cell ~approach:cell.approach ~label:cell.label
-        (Wire.Cell_memo record)
-    | None -> (
-      let last_progress = ref neg_infinity in
-      let progress p =
-        let now = Avis_util.Metrics.now_s () in
-        if now -. !last_progress >= progress_interval_s then begin
-          last_progress := now;
-          send_metrics ~event:"progress"
-            (snapshot_of_progress ~label:cell.label ~started p)
-        end
-      in
-      match
-        Campaign.run_supervised ?lanes ?journal ~journal_approach:cell.approach
-          ~progress cell.config ~strategy:cell.strategy
-      with
-      | Campaign.Completed result ->
-        let record =
-          Campaign.record_of_result cell.config ~approach:cell.approach
-            ~fingerprint result
-        in
-        let wall_s = Avis_util.Metrics.now_s () -. started in
-        send_metrics ~event:"done"
-          (snapshot_of_result ~label:cell.label
-             ~budget_s:cell.config.Campaign.budget_s ~wall_s result);
-        send_cell ~approach:cell.approach ~label:cell.label
-          (Wire.Cell_done record)
-      | Campaign.Quarantined e ->
-        let wall_s = Avis_util.Metrics.now_s () -. started in
-        send_metrics ~event:"quarantined"
-          {
-            Avis_util.Metrics.cell = cell.label;
-            simulations = 0; inferences = 0; spent_s = 0.0;
-            budget_s = cell.config.Campaign.budget_s; findings = 0; wall_s;
-            minor_words = 0.0; major_collections = 0; store_hits = 0;
-            store_misses = 0; store_bytes = 0;
-          };
-        send_cell ~approach:cell.approach ~label:cell.label
-          (Wire.Cell_quarantined
-             {
-               code = e.Campaign.code;
-               message = e.Campaign.message;
-               attempts = e.Campaign.attempts;
-             }))
+  let pool = Avis_util.Pool.create ~jobs:(max 1 jobs) in
+  let request_cell () = send (Wire.render_response Wire.Cell_request) in
+  let ic = Unix.in_channel_of_descr input in
+  (* One outstanding request per cell slot; each completion requests the
+     next cell, so the daemon never assigns more than the executor can
+     hold and the in-flight set it must re-queue on our death stays at
+     most [jobs] cells. *)
+  for _ = 1 to Avis_util.Pool.jobs pool do
+    request_cell ()
+  done;
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line -> (
+      match Wire.parse_directive line with
+      | Ok (Wire.Cell_assign a) ->
+        Avis_util.Pool.submit pool (fun () ->
+            execute_cell ~send ~journal ~fingerprint a;
+            request_cell ());
+        loop ()
+      | Ok Wire.Drain -> ()
+      | Error e ->
+        Printf.eprintf "[avis] huntd worker: %s\n%!" e;
+        loop ())
   in
-  ignore (Avis_util.Pool.map ~jobs run_cell cells : unit list)
+  loop ();
+  (* Finish in-flight cells before exiting: their results (and journal
+     records) are the whole point of a graceful drain. *)
+  try Avis_util.Pool.close_and_wait pool
+  with e ->
+    Printf.eprintf "[avis] huntd worker: cell failed during drain: %s\n%!"
+      (Printexc.to_string e)

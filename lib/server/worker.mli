@@ -1,13 +1,15 @@
-(** The hunt daemon's worker side: turning a {!Wire.hunt_request} into
-    campaign cells and running a shard of them in a forked process.
+(** The hunt daemon's worker side: a long-lived cell executor forked from
+    the daemon.
 
     A worker is a fork of the daemon, so it shares the daemon's binary
     fingerprint: the journal records it appends — and the
     {!Wire.cell_status} records it streams back over its pipe — carry
     exactly the keys an in-process [avis_cli hunt] of the same request
-    would compute. Cells inside the shard run on the domain {!Avis_util.Pool}
-    ([jobs] wide), so one request is parallel along both axes: processes
-    across shards, domains within a shard. *)
+    would compute. Dispatch is pull-based: the executor sends one
+    {!Wire.response.Cell_request} per idle slot on its domain
+    {!Avis_util.Pool} ([jobs] wide) and the daemon answers each with a
+    {!Wire.directive.Cell_assign}, so a worker never holds more than
+    [jobs] cells and losing one costs at most that many re-queues. *)
 
 open Avis_core
 
@@ -39,7 +41,23 @@ val cells_of_request : Wire.hunt_request -> (cell list, string) result
 
 val shard_cells : shards:int -> 'a list -> 'a list list
 (** Round-robin the cells into [max 1 shards] non-empty groups (fewer
-    when there are fewer cells than shards). *)
+    when there are fewer cells than shards). No longer on the daemon's
+    dispatch path — it pulls cells one at a time — but still the model
+    of the historical static-shard schedule, which the scheduling bench
+    simulates against and `hunt --shards` documentation refers to. *)
+
+val fork_budget : limit:int -> live:int -> idle_slots:int -> pending:int -> int
+(** How many additional workers pending work justifies: never more than
+    [limit - live], and never more than the [pending] cells that the
+    [idle_slots] already waiting on existing workers could not absorb —
+    forking a process that would only ever block on an empty queue wastes
+    a fork and a journal load. Never negative; [limit] is clamped to at
+    least 1. *)
+
+val cell_of_assignment : Wire.assignment -> (cell, string) result
+(** Expand one assignment through {!cells_of_request} (the assignment's
+    approach as the sole entry), so an assigned cell's config cannot
+    drift from what `submit` validated. *)
 
 val memo_snapshot :
   budget_s:float -> wall_s:float -> Run_journal.record ->
@@ -50,13 +68,18 @@ val memo_snapshot :
     so a memo-served cell's metrics line is identical wherever the memo
     was found. *)
 
-val run_shard :
-  req:string -> ?journal_path:string -> ?lanes:int -> jobs:int ->
-  out:Unix.file_descr -> cell list -> unit
-(** The forked child's main: run every cell (memo-serving from the
-    journal at [journal_path] when it already holds the cell), writing
-    newline-terminated {!Wire} response lines and [req]-tagged
-    {!Avis_util.Metrics} lines to [out]. Each line is written whole under
-    a mutex, so the stream stays line-atomic even though cells run on
-    concurrent domains. Never raises: a cell failure is reported as
-    [Cell_quarantined] by the supervised runner. *)
+val serve_pull :
+  ?journal_path:string -> jobs:int -> input:Unix.file_descr ->
+  out:Unix.file_descr -> unit -> unit
+(** The forked child's main: request cells over [out] (one
+    {!Wire.response.Cell_request} per free slot), execute each
+    {!Wire.directive.Cell_assign} read from [input] (memo-serving from
+    the journal at [journal_path] when it already holds the cell), and
+    report terminal {!Wire.response.Cell_result} lines plus req-tagged
+    {!Avis_util.Metrics} lines. A live cell's record is read back from
+    the journal after the run, so its wire bytes equal a later memo's.
+    Each line is written whole under a mutex, so the stream stays
+    line-atomic even though cells run on concurrent domains. Returns
+    after [Drain] or EOF on [input], once in-flight cells finish. Never
+    raises on a cell failure: the supervised runner reports it as
+    [Cell_quarantined]. *)

@@ -6,6 +6,10 @@ type shared = {
   not_full : Condition.t;
   mutable closed : bool;
   mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable wait_total_s : float;
+      (** Cumulative seconds jobs sat queued before a worker picked them
+          up — the scheduler-health number: a busy pool with near-zero
+          queue wait is saturated by work, not by dispatch. *)
 }
 
 type t =
@@ -14,6 +18,12 @@ type t =
       mutable failure : (exn * Printexc.raw_backtrace) option;
     }
   | Crew of { shared : shared; workers : unit Domain.t list; njobs : int }
+
+let record_wait shared wait_s =
+  Mutex.lock shared.mutex;
+  shared.wait_total_s <- shared.wait_total_s +. wait_s;
+  Mutex.unlock shared.mutex;
+  Trace.counter "pool.queue_wait_s" wait_s
 
 let run_job shared job =
   try Trace.span ~cat:"pool" "pool.job" job
@@ -53,6 +63,7 @@ let create ~jobs =
         not_full = Condition.create ();
         closed = false;
         failure = None;
+        wait_total_s = 0.0;
       }
     in
     let workers = List.init jobs (fun _ -> Domain.spawn (worker shared)) in
@@ -61,10 +72,21 @@ let create ~jobs =
 
 let jobs = function Inline _ -> 1 | Crew { njobs; _ } -> njobs
 
+let queue_wait_s = function
+  | Inline _ -> 0.0
+  | Crew { shared; _ } ->
+    Mutex.lock shared.mutex;
+    let w = shared.wait_total_s in
+    Mutex.unlock shared.mutex;
+    w
+
 let submit t job =
   match t with
   | Inline i ->
     if i.closed then invalid_arg "Pool.submit: pool is closed";
+    (* An inline job runs during submit: its queue wait is zero by
+       construction. Emitted anyway so jobs=1 traces carry the counter. *)
+    Trace.counter "pool.queue_wait_s" 0.0;
     (* Capture instead of raising here: [jobs = 1] must behave like
        [jobs > 1], where a failure only surfaces at [close_and_wait]. *)
     (try Trace.span ~cat:"pool" "pool.job" job
@@ -88,7 +110,12 @@ let submit t job =
       Mutex.unlock shared.mutex;
       invalid_arg "Pool.submit: pool is closed"
     end;
-    Queue.push job shared.queue;
+    let enqueued_at = Metrics.now_s () in
+    Queue.push
+      (fun () ->
+        record_wait shared (Metrics.now_s () -. enqueued_at);
+        job ())
+      shared.queue;
     Trace.counter "pool.queue_depth" (float_of_int (Queue.length shared.queue));
     Condition.signal shared.not_empty;
     Mutex.unlock shared.mutex
@@ -142,6 +169,34 @@ let map ~jobs f items =
          | None ->
            (* Only reachable when a sibling job raised first. *)
            failwith "Pool.map: job did not complete")
+
+(* LPT (longest-processing-time-first) list scheduling: feed the heaviest
+   work to the pool first so a long item starts on a fresh worker instead
+   of landing last on a drained queue and straggling alone. Results come
+   back in input order, so callers are order-blind to the reordering. *)
+let map_lpt ~jobs ~weight f items =
+  match items with
+  | [] -> []
+  | items ->
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let w = Array.map weight arr in
+    let order = Array.init n (fun i -> i) in
+    (* Heaviest first; ties keep arrival order, so a weight function that
+       knows nothing (all equal) degrades to plain [map]. *)
+    Array.sort
+      (fun a b -> match compare w.(b) w.(a) with 0 -> compare a b | c -> c)
+      order;
+    let results = Array.make n None in
+    let pool = create ~jobs:(min jobs n) in
+    Array.iter
+      (fun i -> submit pool (fun () -> results.(i) <- Some (f arr.(i))))
+      order;
+    close_and_wait pool;
+    Array.to_list results
+    |> List.map (function
+         | Some r -> r
+         | None -> failwith "Pool.map_lpt: job did not complete")
 
 let default_jobs () = Domain.recommended_domain_count ()
 

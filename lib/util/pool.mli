@@ -31,10 +31,26 @@ val close_and_wait : t -> unit
     may re-raise (the failure is consumed under the pool lock); every
     later close is a no-op. *)
 
+val queue_wait_s : t -> float
+(** Cumulative seconds jobs spent queued before a worker picked them up
+    (0 for inline pools, where jobs run during {!submit}). Each job's
+    individual wait is also emitted as the [pool.queue_wait_s] trace
+    counter, so scheduling wins are readable straight off a trace. *)
+
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f items] applies [f] to every item on a fresh pool and
     returns results in input order regardless of completion order.
     Exceptions propagate as in {!close_and_wait}. *)
+
+val map_lpt :
+  jobs:int -> weight:('a -> float) -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map}, but items are fed to the pool heaviest-[weight]-first (LPT
+    list scheduling), so predicted-long items start early instead of
+    straggling at the tail of the queue. Ties keep arrival order — a
+    constant weight makes this exactly {!map}. Results still come back
+    in input order; with order-independent jobs (the campaign matrix's
+    per-cell seeding) the output is byte-identical to {!map}'s, only the
+    makespan changes. *)
 
 val default_jobs : unit -> int
 (** What the hardware suggests: [Domain.recommended_domain_count ()]. *)

@@ -65,6 +65,7 @@ let record ~writer ~i =
     simulations = i;
     inferences = writer;
     spent_bits = Int64.bits_of_float (float_of_int i *. 1.5);
+    elapsed_bits = Some (Int64.bits_of_float (float_of_int i *. 0.25));
     findings =
       [
         {

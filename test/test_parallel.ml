@@ -149,6 +149,55 @@ let test_pool_concurrent_close () =
   Alcotest.(check int) "exactly one closer observes the failure" 1
     (Domain.join d1 + Domain.join d2)
 
+let test_pool_map_lpt_matches_map () =
+  let items = List.init 30 Fun.id in
+  let f x = (x * 3) + 1 in
+  Alcotest.(check (list int)) "results in input order, equal to map"
+    (Pool.map ~jobs:4 f items)
+    (Pool.map_lpt ~jobs:4 ~weight:float_of_int f items);
+  Alcotest.(check (list int)) "empty input" []
+    (Pool.map_lpt ~jobs:4 ~weight:float_of_int f [])
+
+let test_pool_map_lpt_feeds_heaviest_first () =
+  (* An inline pool (jobs=1) runs each job at submit, so the execution
+     order observed here is exactly the feed order. *)
+  let ran = ref [] in
+  let items = [ 1.0; 5.0; 3.0; 5.0; 2.0 ] in
+  let results =
+    Pool.map_lpt ~jobs:1 ~weight:Fun.id
+      (fun w ->
+        ran := w :: !ran;
+        w)
+      items
+  in
+  Alcotest.(check (list (float 0.0))) "results keep input order" items results;
+  Alcotest.(check (list (float 0.0))) "fed heaviest first, ties stable"
+    [ 5.0; 5.0; 3.0; 2.0; 1.0 ] (List.rev !ran)
+
+let test_pool_queue_wait () =
+  let inline = Pool.create ~jobs:1 in
+  Pool.submit inline (fun () -> ());
+  Alcotest.(check (float 0.0)) "inline jobs never wait" 0.0
+    (Pool.queue_wait_s inline);
+  Pool.close_and_wait inline;
+  let pool = Pool.create ~jobs:2 in
+  let gate = Atomic.make false in
+  let running = Atomic.make 0 in
+  for _ = 1 to 2 do
+    Pool.submit pool (fun () ->
+        Atomic.incr running;
+        spin_until (fun () -> Atomic.get gate))
+  done;
+  spin_until (fun () -> Atomic.get running = 2);
+  (* Both workers parked on the gate: this job must sit in the queue. *)
+  Pool.submit pool (fun () -> ());
+  let t0 = Metrics.now_s () in
+  spin_until (fun () -> Metrics.now_s () -. t0 > 0.02);
+  Atomic.set gate true;
+  Pool.close_and_wait pool;
+  Alcotest.(check bool) "queued job's wait measured" true
+    (Pool.queue_wait_s pool > 0.0)
+
 (* Metrics *)
 
 let test_metrics_line_format () =
@@ -313,6 +362,82 @@ let test_cell_seed_stable_and_distinct () =
     (seed ~base:1 "Avis" <> seed ~base:2 "Avis");
   Alcotest.(check bool) "positive" true (seed "Avis" > 0)
 
+(* Scheduler identity: a cell's bytes are a function of the cell alone,
+   never of when or in what order the scheduler happened to run it. Any
+   permutation of the execution order must yield byte-identical campaign
+   records and journal contents. *)
+
+let perm_specs =
+  List.concat_map
+    (fun (name, strategy) ->
+      List.map (fun base -> (name, strategy, base)) [ 1; 2 ])
+    [
+      ("Avis", fun ctx -> Sabre.make ctx);
+      ("Random", fun ctx -> Random_search.make ctx);
+    ]
+
+let perm_config (name, _, base) =
+  {
+    (Campaign.default_config Policy.apm Workload.quickstart) with
+    Campaign.budget_s = 15.0;
+    seed =
+      Campaign.cell_seed ~base ~policy:Policy.apm.Policy.name
+        ~workload:Workload.quickstart.Workload.name ~approach:name ();
+  }
+
+(* elapsed_bits is the one informational field allowed to differ between
+   runs (measured wall time); everything else must match to the byte. *)
+let perm_record_bytes record =
+  Json.to_string
+    (Run_journal.record_to_json { record with Run_journal.elapsed_bits = None })
+
+let perm_run order =
+  let path = Filename.temp_file "avis-perm" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let journal = Run_journal.open_ ~fingerprint:"perm" path in
+  let digests =
+    List.map
+      (fun i ->
+        let ((name, strategy, _) as spec) = List.nth perm_specs i in
+        let config = perm_config spec in
+        let result =
+          Campaign.run ~journal ~journal_approach:name config ~strategy
+        in
+        ( i,
+          perm_record_bytes
+            (Campaign.record_of_result config ~approach:name
+               ~fingerprint:"perm" result) ))
+      order
+  in
+  (* Reopen the journal as a reader: the records it serves back must be
+     byte-identical too, independent of the order they were appended. *)
+  let reader = Run_journal.open_ ~fingerprint:"perm" path in
+  let memos =
+    List.mapi
+      (fun i ((name, _, _) as spec) ->
+        match Campaign.journal_memo reader (perm_config spec) ~approach:name with
+        | Some record -> (i, perm_record_bytes record)
+        | None -> (i, "missing"))
+      perm_specs
+  in
+  (List.sort compare digests, memos)
+
+let perm_reference = lazy (perm_run [ 0; 1; 2; 3 ])
+
+let test_permutation_identity =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:5
+       ~name:"any execution order yields byte-identical cells"
+       (QCheck.make
+          ~print:(fun order ->
+            String.concat "," (List.map string_of_int order))
+          (QCheck.Gen.shuffle_l [ 0; 1; 2; 3 ]))
+       (fun order ->
+         let ref_results, ref_memos = Lazy.force perm_reference in
+         let results, memos = perm_run order in
+         results = ref_results && memos = ref_memos))
+
 let () =
   Alcotest.run "avis_parallel"
     [
@@ -334,6 +459,12 @@ let () =
             test_pool_double_close_idempotent;
           Alcotest.test_case "concurrent close" `Quick
             test_pool_concurrent_close;
+          Alcotest.test_case "map_lpt = map" `Quick
+            test_pool_map_lpt_matches_map;
+          Alcotest.test_case "map_lpt feeds heaviest first" `Quick
+            test_pool_map_lpt_feeds_heaviest_first;
+          Alcotest.test_case "queue wait measured" `Quick
+            test_pool_queue_wait;
         ] );
       ( "metrics",
         [
@@ -347,5 +478,6 @@ let () =
           Alcotest.test_case "zero-cost think terminates" `Quick test_zero_cost_think_terminates;
           Alcotest.test_case "cell seeds" `Quick test_cell_seed_stable_and_distinct;
           Alcotest.test_case "parallel matrix = sequential" `Slow test_parallel_matrix_matches_sequential;
+          test_permutation_identity;
         ] );
     ]

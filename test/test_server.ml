@@ -52,6 +52,7 @@ let sample_record =
     simulations = 17;
     inferences = 3;
     spent_bits = Int64.bits_of_float 123.456;
+    elapsed_bits = Some (Int64.bits_of_float 7.89);
     findings =
       [
         {
@@ -110,6 +111,27 @@ let test_wire_response_roundtrip () =
              { code = "WORKER-LOST"; message = "worker died"; attempts = 3 };
        });
   check_response (Wire.Done { req = "r1"; retries = 1; quarantined = 0 });
+  (* The worker-to-daemon half of the pull handshake shares the response
+     layer. *)
+  check_response Wire.Cell_request;
+  check_response
+    (Wire.Cell_result
+       {
+         req = "r1";
+         approach = "random";
+         label = "random/ArduPilot/quickstart";
+         status = Wire.Cell_done sample_record;
+       });
+  check_response
+    (Wire.Cell_result
+       {
+         req = "r1";
+         approach = "random";
+         label = "random/ArduPilot/quickstart";
+         status =
+           Wire.Cell_quarantined
+             { code = "BAD-ASSIGNMENT"; message = "no"; attempts = 1 };
+       });
   check_response
     (Wire.Status_info
        {
@@ -139,6 +161,98 @@ let test_wire_rejects () =
   match Wire.parse_response {|{"type":"cell","req":"r1"}|} with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted a cell response without a status"
+
+let sample_assignment =
+  {
+    Wire.a_req = "r7";
+    a_firmware = "apm";
+    a_workload = "quickstart";
+    a_approach = "random";
+    (* Not representable in decimal: the bits must survive the wire. *)
+    a_budget_s = 0.1 +. 0.2;
+    a_seed = 42;
+    a_lanes = Some 4;
+  }
+
+let check_directive d =
+  match Wire.parse_directive (Wire.render_directive d) with
+  | Ok d' -> Alcotest.(check bool) "directive round-trips" true (d = d')
+  | Error e -> Alcotest.failf "directive did not parse back: %s" e
+
+let test_wire_directive_roundtrip () =
+  check_directive (Wire.Cell_assign sample_assignment);
+  check_directive
+    (Wire.Cell_assign { sample_assignment with Wire.a_lanes = None });
+  check_directive Wire.Drain;
+  (match Wire.parse_directive {|{"op":"cell-assign","req":"r1"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an assignment without its cell fields");
+  match Wire.parse_directive "not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a non-JSON directive line"
+
+(* An assignment expands through the same validation as a request, so a
+   worker's cell config cannot drift from what submit/hunt would build. *)
+let test_cell_of_assignment () =
+  let req =
+    { sample_request with Wire.approaches = [ "random" ]; shards = 1 }
+  in
+  let from_request =
+    match Worker.cells_of_request req with
+    | Ok [ cell ] -> cell
+    | Ok _ -> Alcotest.fail "request expanded to more than one cell"
+    | Error e -> Alcotest.failf "request rejected: %s" e
+  in
+  (match
+     Worker.cell_of_assignment
+       {
+         Wire.a_req = "r1";
+         a_firmware = req.Wire.firmware;
+         a_workload = req.Wire.workload;
+         a_approach = "random";
+         a_budget_s = req.Wire.budget_s;
+         a_seed = req.Wire.seed;
+         a_lanes = req.Wire.lanes;
+       }
+   with
+  | Ok cell ->
+    (* Configs carry closures (workload scenarios), so compare their
+       canonical journal-identity bytes instead of the values. *)
+    Alcotest.(check string) "assignment rebuilds the request's config"
+      (Avis_core.Campaign.journal_identity from_request.Worker.config
+         ~approach:"random")
+      (Avis_core.Campaign.journal_identity cell.Worker.config
+         ~approach:"random");
+    Alcotest.(check string) "same label" from_request.Worker.label
+      cell.Worker.label
+  | Error e -> Alcotest.failf "assignment rejected: %s" e);
+  match
+    Worker.cell_of_assignment
+      { sample_assignment with Wire.a_approach = "teleport" }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an unknown approach"
+
+let test_fork_budget () =
+  let check name want ~limit ~live ~idle_slots ~pending =
+    Alcotest.(check int)
+      name want
+      (Worker.fork_budget ~limit ~live ~idle_slots ~pending)
+  in
+  check "no pending work forks nothing" 0 ~limit:4 ~live:0 ~idle_slots:0
+    ~pending:0;
+  check "pending work forks up to the limit" 4 ~limit:4 ~live:0 ~idle_slots:0
+    ~pending:9;
+  check "live workers count against the limit" 2 ~limit:4 ~live:2
+    ~idle_slots:0 ~pending:9;
+  check "idle slots absorb pending first" 1 ~limit:4 ~live:1 ~idle_slots:2
+    ~pending:3;
+  check "fully idle crew forks nothing" 0 ~limit:4 ~live:2 ~idle_slots:5
+    ~pending:3;
+  check "at the limit forks nothing" 0 ~limit:4 ~live:4 ~idle_slots:0
+    ~pending:9;
+  check "never negative" 0 ~limit:2 ~live:3 ~idle_slots:7 ~pending:1;
+  check "limit clamps to one" 1 ~limit:0 ~live:0 ~idle_slots:0 ~pending:5
 
 let test_wire_budget_bits_lossless () =
   List.iter
@@ -390,6 +504,8 @@ let () =
             test_wire_rejects;
           Alcotest.test_case "budget crosses as bits" `Quick
             test_wire_budget_bits_lossless;
+          Alcotest.test_case "directive round-trip" `Quick
+            test_wire_directive_roundtrip;
           Alcotest.test_case "metrics/control layering" `Quick
             test_metrics_layer_split;
         ] );
@@ -400,6 +516,9 @@ let () =
           Alcotest.test_case "invalid requests rejected" `Quick
             test_cells_of_request_rejects;
           Alcotest.test_case "round-robin sharding" `Quick test_shard_cells;
+          Alcotest.test_case "assignments rebuild request configs" `Quick
+            test_cell_of_assignment;
+          Alcotest.test_case "fork budget" `Quick test_fork_budget;
           Alcotest.test_case "display names match strategies" `Quick
             test_display_names_match;
         ] );

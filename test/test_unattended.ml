@@ -34,6 +34,7 @@ let sample_record ~key =
     simulations = 17;
     inferences = 3;
     spent_bits = Int64.bits_of_float 123.456;
+    elapsed_bits = Some (Int64.bits_of_float 0.75);
     findings =
       [
         {
@@ -150,6 +151,94 @@ let test_journal_key_sensitivity () =
     (key ~fingerprint:"fp" ~config_bytes:"a"
     = key ~fingerprint:"fp" ~config_bytes:"a")
 
+let test_journal_elapsed_roundtrip () =
+  with_journal_path @@ fun path ->
+  let j = Run_journal.open_ ~fingerprint:"fp" path in
+  let key_with = Run_journal.key ~fingerprint:"fp" ~config_bytes:"with" in
+  let key_without = Run_journal.key ~fingerprint:"fp" ~config_bytes:"without" in
+  (* Not representable in decimal: the duration must survive by bits. *)
+  let elapsed = 0.1 +. 0.2 in
+  Run_journal.record_complete j
+    { (sample_record ~key:key_with) with
+      Run_journal.elapsed_bits = Some (Int64.bits_of_float elapsed) };
+  Run_journal.record_complete j
+    { (sample_record ~key:key_without) with Run_journal.elapsed_bits = None };
+  let j2 = Run_journal.open_ ~fingerprint:"fp" path in
+  (match Run_journal.find j2 ~key:key_with with
+  | None -> Alcotest.fail "record with elapsed lost across reopen"
+  | Some r ->
+    Alcotest.(check (float 0.0)) "elapsed decodes by bits" elapsed
+      (Option.get (Run_journal.elapsed_s r)));
+  match Run_journal.find j2 ~key:key_without with
+  | None -> Alcotest.fail "record without elapsed lost across reopen"
+  | Some r ->
+    Alcotest.(check bool) "absent elapsed stays absent" true
+      (Run_journal.elapsed_s r = None)
+
+(* A journal written before the elapsed_bits field existed must still
+   parse and memo-serve; its records simply carry no duration. *)
+let test_journal_old_line_tolerated () =
+  with_journal_path @@ fun path ->
+  let j = Run_journal.open_ ~fingerprint:"fp" path in
+  ignore (j : Run_journal.t);
+  let key = Run_journal.key ~fingerprint:"fp" ~config_bytes:"old" in
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+  Printf.fprintf oc
+    "{\"key\":\"%s\",\"label\":\"avis/ArduPilot/quickstart\",\"complete\":true,\
+     \"sims\":17,\"infs\":3,\"spent_bits\":\"405edd2f1a9fbe77\",\"findings\":[]}\n"
+    key;
+  close_out oc;
+  let j2 = Run_journal.open_ ~fingerprint:"fp" path in
+  Alcotest.(check int) "pre-elapsed line still loads" 1
+    (Run_journal.completed_count j2);
+  match Run_journal.find j2 ~key with
+  | None -> Alcotest.fail "pre-elapsed record not served"
+  | Some r ->
+    Alcotest.(check (float 0.0)) "spent bits intact" 123.456
+      (Run_journal.spent_s r);
+    Alcotest.(check bool) "no duration invented" true
+      (Run_journal.elapsed_s r = None)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cost_model_predictions () =
+  let m = Cost_model.create () in
+  Alcotest.(check (float 0.0)) "empty model falls back to the budget" 30.0
+    (Cost_model.predict m ~label:"a" ~budget_s:30.0);
+  Cost_model.observe m ~label:"a" ~spent_s:10.0 ~elapsed_s:2.0;
+  Cost_model.observe m ~label:"a" ~spent_s:10.0 ~elapsed_s:4.0;
+  Alcotest.(check (float 1e-9)) "seen class predicts its mean" 3.0
+    (Cost_model.predict m ~label:"a" ~budget_s:30.0);
+  (* Unseen class: budget scaled by the global real-per-modelled ratio
+     (6 elapsed over 20 spent = 0.3). *)
+  Alcotest.(check (float 1e-9)) "unseen class scales the budget" 9.0
+    (Cost_model.predict m ~label:"b" ~budget_s:30.0);
+  Alcotest.(check int) "observations counted" 2 (Cost_model.observations m);
+  (* Garbage measurements must not poison the model. *)
+  Cost_model.observe m ~label:"a" ~elapsed_s:Float.nan;
+  Cost_model.observe m ~label:"a" ~elapsed_s:(-1.0);
+  Alcotest.(check int) "non-finite and negative ignored" 2
+    (Cost_model.observations m)
+
+let test_cost_model_of_journal () =
+  with_journal_path @@ fun path ->
+  let j = Run_journal.open_ ~fingerprint:"fp" path in
+  let key1 = Run_journal.key ~fingerprint:"fp" ~config_bytes:"one" in
+  let key2 = Run_journal.key ~fingerprint:"fp" ~config_bytes:"two" in
+  Run_journal.record_complete j
+    { (sample_record ~key:key1) with
+      Run_journal.elapsed_bits = Some (Int64.bits_of_float 5.0) };
+  (* A record without a duration (old journal) trains nothing. *)
+  Run_journal.record_complete j
+    { (sample_record ~key:key2) with Run_journal.elapsed_bits = None };
+  let m = Cost_model.of_journal j in
+  Alcotest.(check int) "only timed records train" 1
+    (Cost_model.observations m);
+  Alcotest.(check (float 1e-9)) "journal timing drives the prediction" 5.0
+    (Cost_model.predict m ~label:"avis/ArduPilot/quickstart" ~budget_s:1000.0)
+
 (* ------------------------------------------------------------------ *)
 (* Campaign memos                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -172,6 +261,10 @@ let test_campaign_journal_memo () =
     Alcotest.(check bool) "spent ledger bit-identical" true
       (m.Run_journal.spent_bits
       = Int64.bits_of_float live.Campaign.wall_clock_spent_s);
+    Alcotest.(check bool) "live run journals its measured duration" true
+      (match Run_journal.elapsed_s m with
+      | Some d -> Float.is_finite d && d >= 0.0
+      | None -> false);
     Alcotest.(check int) "finding count" (List.length live.Campaign.findings)
       (List.length m.Run_journal.findings);
     List.iter2
@@ -305,6 +398,17 @@ let () =
             test_journal_interrupted_marker;
           Alcotest.test_case "key sensitivity" `Quick
             test_journal_key_sensitivity;
+          Alcotest.test_case "elapsed duration round-trips by bits" `Quick
+            test_journal_elapsed_roundtrip;
+          Alcotest.test_case "pre-elapsed journal lines tolerated" `Quick
+            test_journal_old_line_tolerated;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "mean, fallback and hygiene" `Quick
+            test_cost_model_predictions;
+          Alcotest.test_case "primed from the journal" `Quick
+            test_cost_model_of_journal;
         ] );
       ( "campaign memos",
         [
